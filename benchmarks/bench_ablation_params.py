@@ -1,0 +1,203 @@
+"""Design-parameter ablations beyond the paper's figures.
+
+DESIGN.md calls out three tunables whose values embody Loom's central
+trade-off (index little enough to ingest fast, enough to query fast):
+
+* **chunk size** — the sparse-indexing granularity.  Smaller chunks mean
+  more summaries (more write-path work, larger chunk index) but finer
+  skipping (fewer irrelevant records scanned per query).  The paper picks
+  64 KiB; this sweep shows the U-shape around any such choice.
+* **timestamp interval** — RECORD entries per source.  Denser entries
+  seek closer to a time-range's edge at higher write cost.
+* **publish interval** — how often the watermark advances.  Batching
+  publication trades recency (records invisible until published) for
+  fewer publication steps.
+
+Each sweep reports both sides of the trade-off so the chosen defaults can
+be judged, and asserts the directional claims.
+"""
+
+import time
+
+import pytest
+
+from conftest import once
+from repro.core import HistogramSpec, Loom, LoomConfig, QueryStats, VirtualClock
+from repro.core.clock import seconds
+from repro.core.operators import indexed_scan, raw_scan
+from repro.workloads import events, latency_stream
+
+STREAM = None  # lazily generated, shared across sweeps
+
+
+def get_stream():
+    global STREAM
+    if STREAM is None:
+        STREAM = latency_stream(4_000, 30.0, sigma=1.3, seed=20)
+    return STREAM
+
+
+def build(chunk_size=8192, ts_interval=64, publish_interval=1):
+    clock = VirtualClock()
+    loom = Loom(
+        LoomConfig(
+            chunk_size=chunk_size,
+            record_block_size=1 << 18,
+            timestamp_interval=ts_interval,
+            publish_interval=publish_interval,
+        ),
+        clock=clock,
+    )
+    loom.define_source(events.SRC_SYSCALL)
+    index_id = loom.define_index(
+        events.SRC_SYSCALL,
+        events.latency_value,
+        HistogramSpec([2.0, 8.0, 32.0, 128.0, 512.0]),
+    )
+    start = time.perf_counter()
+    for t, sid, payload in get_stream():
+        clock.set(max(t, clock.now()))
+        loom.push(sid, payload)
+    ingest_s = time.perf_counter() - start
+    loom.sync()
+    return loom, index_id, clock, ingest_s
+
+
+def tail_query_stats(loom, index_id, clock):
+    snap = loom.snapshot()
+    index = loom.record_log.get_index(index_id)
+    stats = QueryStats()
+    t_end = clock.now() - seconds(5)
+    list(
+        indexed_scan(
+            snap, events.SRC_SYSCALL, index, t_end - seconds(15), t_end,
+            v_min=512.0, stats=stats,
+        )
+    )
+    return stats
+
+
+def test_chunk_size_ablation(benchmark, report):
+    once(benchmark, lambda: _chunk_size_sweep(report))
+
+
+def _chunk_size_sweep(report):
+    rows = []
+    scanned = {}
+    summaries = {}
+    for chunk_size in (1024, 4096, 16_384, 65_536):
+        loom, index_id, clock, ingest_s = build(chunk_size=chunk_size)
+        stats = tail_query_stats(loom, index_id, clock)
+        fp = loom.footprint()
+        scanned[chunk_size] = stats.records_scanned
+        summaries[chunk_size] = fp["finalized_chunks"]
+        rows.append(
+            [
+                f"{chunk_size // 1024} KiB",
+                fp["finalized_chunks"],
+                f"{fp['chunk_index_bytes']:,}",
+                f"{len(get_stream()) / ingest_s:,.0f}",
+                f"{stats.records_scanned:,}",
+                stats.chunks_skipped,
+            ]
+        )
+        loom.close()
+    report(
+        "Ablation: chunk size (sparse-indexing granularity)",
+        ["chunk size", "summaries", "index bytes", "ingest rec/s",
+         "records scanned (tail query)", "chunks skipped"],
+        rows,
+        note="smaller chunks -> bigger index, finer skipping; the paper "
+        "picks 64 KiB for native scale",
+    )
+    # Finer chunks must scan fewer records per selective query...
+    assert scanned[1024] < scanned[65_536]
+    # ...at the cost of many more summaries to maintain.
+    assert summaries[1024] > 10 * summaries[65_536]
+
+
+def test_timestamp_interval_ablation(benchmark, report):
+    once(benchmark, lambda: _ts_interval_sweep(report))
+
+
+def _ts_interval_sweep(report):
+    rows = []
+    overshoot = {}
+    entries = {}
+    for interval in (8, 64, 512):
+        loom, index_id, clock, _ = build(ts_interval=interval)
+        fp = loom.footprint()
+        # Measure seek precision: raw_scan work for a 1-second window far
+        # in the past; coarser entries overshoot further past the window.
+        snap = loom.snapshot()
+        stats = QueryStats()
+        t_end = clock.now() - seconds(20)
+        matched = sum(
+            1
+            for _ in raw_scan(
+                snap, events.SRC_SYSCALL, t_end - seconds(1), t_end, stats=stats
+            )
+        )
+        overshoot[interval] = stats.records_scanned - matched
+        entries[interval] = fp["timestamp_entries"]
+        rows.append(
+            [
+                interval,
+                fp["timestamp_entries"],
+                f"{fp['timestamp_index_bytes']:,}",
+                f"{stats.records_scanned:,}",
+                matched,
+            ]
+        )
+        loom.close()
+    report(
+        "Ablation: timestamp-index interval (RECORD entries per source)",
+        ["interval", "entries", "index bytes", "records scanned (1s window)",
+         "records matched"],
+        rows,
+        note="denser entries seek closer to the window edge at higher "
+        "index-maintenance cost",
+    )
+    assert entries[8] > entries[512]
+    assert overshoot[8] <= overshoot[512]
+
+
+def test_publish_interval_ablation(benchmark, report):
+    once(benchmark, lambda: _publish_interval_sweep(report))
+
+
+def _publish_interval_sweep(report):
+    rows = []
+    for publish_interval in (1, 64, 1024):
+        clock = VirtualClock()
+        loom = Loom(
+            LoomConfig(
+                chunk_size=8192,
+                record_block_size=1 << 18,
+                publish_interval=publish_interval,
+            ),
+            clock=clock,
+        )
+        loom.define_source(1)
+        start = time.perf_counter()
+        payload = events.pack_latency(0, 1.0, 1)
+        for i in range(20_000):
+            loom.push(1, payload)
+        ingest_s = time.perf_counter() - start
+        # Recency: how many pushed records are visible *before* a sync?
+        visible = len(loom.raw_scan(1, (0, 2**63 - 1)))
+        rows.append(
+            [
+                publish_interval,
+                f"{20_000 / ingest_s:,.0f}",
+                f"{visible:,} / 20,000",
+            ]
+        )
+        loom.close()
+    report(
+        "Ablation: publish interval (watermark batching)",
+        ["publish every N records", "ingest rec/s", "visible before sync"],
+        rows,
+        note="batching publication trades recency for fewer publication "
+        "steps; sync() always forces full visibility",
+    )

@@ -1,0 +1,84 @@
+"""Figure 3: uniform sampling misses the rare events.
+
+The paper's ground truth: six slow Redis requests and six mangled packets
+in a 10-second Phase 3 window; uniform ~10% sampling (the thinning needed
+for InfluxDB to keep up) captures about one slow request and none of the
+mangled packets, destroying the correlation.  This bench reproduces the
+counting experiment on the generated workload and benchmarks the sampling
+pass itself.
+"""
+
+import pytest
+
+from repro.workloads import RedisCaseStudy, events, uniform_sample
+
+SCALE = 1e-3
+
+
+@pytest.fixture(scope="module")
+def phase3():
+    return RedisCaseStudy(scale=SCALE, phase_duration_s=10.0).generate_phase(3)
+
+
+def _needle_counts(records, needles):
+    needle_ids = {n.request_op_id for n in needles}
+    slow = sum(
+        1
+        for _, sid, p in records
+        if sid == events.SRC_APP and events.latency_op_id(p) in needle_ids
+    )
+    mangled = sum(
+        1
+        for _, sid, p in records
+        if sid == events.SRC_PACKET
+        and events.unpack_packet(p)[1] == events.MANGLED_PORT
+    )
+    return slow, mangled
+
+
+def test_fig3_sampling_table(benchmark, report, phase3):
+    from conftest import once
+
+    once(benchmark, lambda: _fig3_table(report, phase3))
+
+
+def _fig3_table(report, phase3):
+    truth_slow, truth_mangled = _needle_counts(phase3.records, phase3.needles)
+    rows = [
+        [
+            "ground truth (full capture / Loom)",
+            len(phase3.records),
+            truth_slow,
+            truth_mangled,
+            "yes",
+        ]
+    ]
+    total_slow = total_mangled = 0
+    trials = 10
+    for seed in range(trials):
+        kept = uniform_sample(phase3.records, 0.1, seed=seed)
+        slow, mangled = _needle_counts(kept, phase3.needles)
+        total_slow += slow
+        total_mangled += mangled
+    rows.append(
+        [
+            f"10% uniform sample (mean of {trials} seeds)",
+            len(kept),
+            f"{total_slow/trials:.1f}",
+            f"{total_mangled/trials:.1f}",
+            "no",
+        ]
+    )
+    report(
+        "Figure 3: sampling vs rare events (Redis Phase 3)",
+        ["capture", "records", "slow req found /6", "mangled pkts found /6", "correlation possible"],
+        rows,
+        note="paper: sampling caught 1 of 6 slow requests and 0 of 6 mangled packets",
+    )
+    assert truth_slow == 6 and truth_mangled == 6
+    assert total_slow / trials < 3
+    assert total_mangled / trials < 3
+
+
+def test_bench_uniform_sampling(benchmark, phase3):
+    benchmark(uniform_sample, phase3.records, 0.1, 1)

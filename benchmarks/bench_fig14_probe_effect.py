@@ -1,0 +1,166 @@
+"""Figure 14: probe effect of telemetry collection on the monitored app.
+
+The paper runs RocksDB Phase 3 ingest-only (~8M records/s) against a
+5.06M ops/s RocksDB instance and measures the application's slowdown per
+collection backend: raw file 4.10%, Loom 4.83%, FishStore-N 6.6%,
+FishStore-I (3 PSFs) 9.9%, InfluxDB 14.1% (>7% is considered problematic
+in industry).  Probe effect is co-location resource arithmetic, so the
+table comes from the calibrated model; the measured micro-benchmarks show
+the mechanism — per-event collector cost ordering across backends.
+"""
+
+import time
+
+import pytest
+
+from conftest import once
+from repro.baselines import FishStore, InfluxLite, Point, RawFileCapture
+from repro.baselines.fishstore import source_equals
+from repro.core import Loom, LoomConfig, VirtualClock
+from repro.simulate import (
+    PROBLEMATIC_PROBE_EFFECT,
+    compare_backends,
+    fishstore_model,
+    influxdb_model,
+    loom_model,
+    rawfile_model,
+)
+from repro.workloads import fixed_size_records
+
+EVENT_RATE = 8_000_000
+BASELINE_OPS = 5_060_000
+PAPER = {
+    "raw file": "4.10%",
+    "Loom": "4.83%",
+    "FishStore-N": "6.6%",
+    "FishStore-I(3)": "9.9%",
+    "InfluxDB-e2e": "14.1%",
+}
+
+
+def test_fig14_probe_table(benchmark, report):
+    once(benchmark, lambda: _fig14_table(report))
+
+
+def _fig14_table(report):
+    models = [
+        rawfile_model(),
+        loom_model(),
+        fishstore_model(0),
+        fishstore_model(3),
+        influxdb_model(e2e=True),
+    ]
+    outcomes = compare_backends(models, EVENT_RATE, BASELINE_OPS)
+    rows = []
+    for outcome in outcomes:
+        rows.append(
+            [
+                outcome.backend,
+                f"{outcome.probe_fraction*100:.2f}%",
+                PAPER[outcome.backend],
+                f"{outcome.app_throughput/1e6:.2f}M ops/s",
+                "yes" if outcome.problematic else "no",
+            ]
+        )
+    report(
+        "Figure 14: probe effect on RocksDB (simulated, RocksDB P3 rates)",
+        ["backend", "probe effect", "paper", "app throughput", f">{PROBLEMATIC_PROBE_EFFECT*100:.0f}% problematic"],
+        rows,
+        note="baseline without collection: 5.06M ops/s; Loom is on par with a raw file",
+    )
+    probes = [o.probe_fraction for o in outcomes]
+    assert probes == sorted(probes)
+    assert abs(probes[1] - probes[0]) < 0.01  # Loom ~ raw file
+
+
+def test_measured_collector_cost_ordering(benchmark, report):
+    once(benchmark, lambda: _measured_costs(report))
+
+
+def _measured_costs(report):
+    """Measured per-event collector work in this repository's engines.
+
+    The orderings that drive Figure 14 — PSFs make FishStore's write path
+    more expensive, the TSDB's write path dwarfs everything — hold in the
+    measured implementations too.
+    """
+    n = 20_000
+    payloads = fixed_size_records(n, 24)
+
+    def run(fn):
+        start = time.perf_counter()
+        fn()
+        return n / (time.perf_counter() - start)
+
+    raw = RawFileCapture()
+    raw_rate = run(lambda: [raw.write(1, i, p) for i, p in enumerate(payloads)])
+
+    loom = Loom(LoomConfig(chunk_size=64 * 1024, record_block_size=1 << 22),
+                clock=VirtualClock())
+    loom.define_source(1)
+    loom_rate = run(lambda: [loom.push(1, p) for p in payloads])
+    loom.close()
+
+    fs0 = FishStore(max_psfs=0)
+    fs0_rate = run(lambda: [fs0.append(1, i, p) for i, p in enumerate(payloads)])
+
+    fs3 = FishStore(max_psfs=3)
+    for name in ("a", "b", "c"):
+        fs3.register_psf(name, source_equals(1))
+    fs3_rate = run(lambda: [fs3.append(1, i, p) for i, p in enumerate(payloads)])
+
+    tsdb = InfluxLite(memtable_points=10_000)
+    tsdb_rate = run(
+        lambda: [
+            tsdb.write(Point.make("m", {"s": "a"}, i, float(i % 13)))
+            for i in range(n)
+        ]
+    )
+
+    rows = [
+        ["raw file", f"{raw_rate:,.0f}"],
+        ["Loom", f"{loom_rate:,.0f}"],
+        ["FishStore-N", f"{fs0_rate:,.0f}"],
+        ["FishStore-I(3)", f"{fs3_rate:,.0f}"],
+        ["InfluxDB-like TSDB", f"{tsdb_rate:,.0f}"],
+    ]
+    report(
+        "Figure 14 mechanism (measured): collector write-path throughput",
+        ["backend", "events/s (Python)"],
+        rows,
+        note="orderings that drive probe effect: PSFs tax FishStore's path; "
+        "the TSDB write path is the most expensive",
+    )
+    assert fs3_rate < fs0_rate  # PSFs cost per event
+    assert tsdb_rate < fs0_rate  # TSDB write path heaviest
+    assert raw_rate > loom_rate  # raw capture is the floor
+
+
+def test_bench_loom_push(benchmark):
+    loom = Loom(
+        LoomConfig(chunk_size=64 * 1024, record_block_size=1 << 22),
+        clock=VirtualClock(),
+    )
+    loom.define_source(1)
+    payload = b"x" * 24
+
+    def push_batch():
+        for _ in range(1_000):
+            loom.push(1, payload)
+
+    benchmark(push_batch)
+    loom.close()
+
+
+def test_bench_rawfile_write(benchmark):
+    raw = RawFileCapture()
+    payload = b"x" * 24
+    counter = [0]
+
+    def write_batch():
+        base = counter[0]
+        for i in range(1_000):
+            raw.write(1, base + i, payload)
+        counter[0] += 1_000
+
+    benchmark(write_batch)

@@ -1,0 +1,189 @@
+"""Figure 15: data-structure ingest throughput vs record size.
+
+The paper benchmarks Loom's hybrid log against LMDB's B+-tree, RocksDB's
+LSM-tree, and FishStore's log for 8-1024-byte records, also granting the
+baselines extra threads (3 for FishStore, 8 for RocksDB) until they match
+Loom.  Headline shapes: Loom is fastest for small records (log append is
+a few hundred cycles; small writes are CPU-bound); the gap narrows as
+record size amortizes fixed costs and the disk becomes the bottleneck;
+FishStore (3 cpus) matches Loom at 256 B and is best at 1024 B (1.4M/s);
+RocksDB (8 cpus) marginally beats Loom only at 1024 B (1.1M/s); LMDB
+never matches.
+
+Cross-system throughput comes from the calibrated structure cost model
+(Python wall-clock measures interpreter overhead, not the algorithms'
+cycle costs — see the module docstring of repro.simulate.structures).
+The *mechanisms* behind the model's constants are measured on this
+repository's real implementations: LSM write amplification, B-tree page
+splits, and the log's byte-for-byte writes.
+"""
+
+import pytest
+
+from conftest import once
+from repro.baselines import BPlusTree, FishStore, LsmKv
+from repro.core import Loom, LoomConfig, VirtualClock
+from repro.simulate import fig15_models, loom_structure, rocksdb_structure
+from repro.workloads import FIG15_RECORD_SIZES, fixed_size_records
+
+
+def test_fig15_throughput_table(benchmark, report):
+    once(benchmark, lambda: _fig15_table(report))
+
+
+def _fig15_table(report):
+    models = fig15_models()
+    rows = []
+    for model in models:
+        rows.append(
+            [model.name]
+            + [f"{model.throughput(s)/1e6:.2f}M" for s in FIG15_RECORD_SIZES]
+            + [f"{model.probe_fraction*100:.0f}%"]
+        )
+    report(
+        "Figure 15: ingest throughput vs record size (records/s, cost model)",
+        ["structure"] + [f"{s} B" for s in FIG15_RECORD_SIZES] + ["probe effect"],
+        rows,
+        note="paper anchors: Loom ~9M/s small records on 1 cpu; FishStore-3cpu "
+        "matches Loom at 256 B, best at 1024 B (1.4M); RocksDB-8cpu 1.1M at "
+        "1024 B; probe: RocksDB-8cpu 29%, FishStore-3cpu 19%, Loom 2%",
+    )
+    by_name = {m.name: m for m in models}
+    loom = by_name["Loom (1 cpu)"]
+    # Loom fastest at small records against every configuration.
+    for size in (8, 64):
+        assert all(
+            loom.throughput(size) >= m.throughput(size)
+            for m in models
+            if m is not loom
+        )
+    # FishStore (3 cpu) matches Loom at 256 B.
+    fs3 = by_name["FishStore (3 cpu)"]
+    assert abs(fs3.throughput(256) - loom.throughput(256)) / loom.throughput(256) < 0.1
+    # At 1024 B: FishStore best; RocksDB-8cpu marginally above Loom.
+    rdb8 = by_name["RocksDB (8 cpu)"]
+    assert fs3.throughput(1024) > rdb8.throughput(1024) > loom.throughput(1024)
+    assert rdb8.throughput(1024) < 1.25 * loom.throughput(1024)
+    # LMDB never matches Loom.
+    lmdb = by_name["LMDB (1 cpu)"]
+    assert all(lmdb.throughput(s) < loom.throughput(s) for s in FIG15_RECORD_SIZES)
+    # The advantage shrinks with record size (the paper's narrowing gap).
+    gaps = [loom.throughput(s) / rdb8.throughput(s) for s in FIG15_RECORD_SIZES]
+    assert gaps[0] > gaps[-1]
+
+
+def test_fig15_mechanism_table(benchmark, report):
+    once(benchmark, lambda: _mechanism_table(report))
+
+
+def _mechanism_table(report):
+    """Measured on the real implementations: why trees cost more.
+
+    The cost model's write_factor/per-byte constants correspond to
+    mechanisms these engines actually exhibit: the LSM rewrites every
+    record multiple times through compaction; the B-tree splits pages;
+    the log writes each byte exactly once and never rewrites.
+    """
+    n = 30_000
+    payloads = fixed_size_records(n, 64)
+
+    kv = LsmKv(memtable_entries=1_000, fanout=3)
+    for i, p in enumerate(payloads):
+        kv.put(i, p)
+    lsm_wa = kv.write_amplification
+
+    tree = BPlusTree(order=64)
+    for i, p in enumerate(payloads):
+        tree.append(i, p)
+
+    loom = Loom(
+        LoomConfig(chunk_size=64 * 1024, record_block_size=1 << 20),
+        clock=VirtualClock(),
+    )
+    loom.define_source(1)
+    for p in payloads:
+        loom.push(1, p)
+    loom.sync()
+    stats = loom.record_log.log.stats
+    loom_wa = stats.bytes_flushed / max(1, stats.bytes_appended)
+
+    fs = FishStore(max_psfs=0)
+    for i, p in enumerate(payloads):
+        fs.append(1, i, p)
+
+    rows = [
+        ["Loom hybrid log", f"{loom_wa:.2f}x bytes rewritten", "0 (append-only)"],
+        ["FishStore log", "1.00x bytes rewritten", "0 (append-only)"],
+        ["RocksDB-like LSM", f"{lsm_wa:.2f}x entries rewritten", f"{kv.stats.compactions} compactions"],
+        ["LMDB-like B+-tree", "page construction per insert", f"{tree.page_splits} page splits"],
+    ]
+    report(
+        "Figure 15 mechanism (measured on this repo's implementations)",
+        ["structure", "write amplification", "maintenance events"],
+        rows,
+        note=f"{n} x 64 B records; LSM merged {kv.stats.entries_merged:,} entries during compaction",
+    )
+    assert lsm_wa > 1.0
+    assert tree.page_splits > 0
+    assert loom_wa <= 1.01  # the hybrid log never rewrites
+
+
+# ----------------------------------------------------------------------
+# Measured append-path benchmarks (per structure, 64 B records).
+# Absolute numbers are Python-substrate-bound; they are reported for
+# completeness, not comparison (see module docstring).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def payloads_64b():
+    return fixed_size_records(5_000, 64)
+
+
+def test_bench_loom_append_64b(benchmark, payloads_64b):
+    loom = Loom(
+        LoomConfig(chunk_size=64 * 1024, record_block_size=1 << 22),
+        clock=VirtualClock(),
+    )
+    loom.define_source(1)
+
+    def run():
+        for p in payloads_64b:
+            loom.push(1, p)
+
+    benchmark(run)
+    loom.close()
+
+
+def test_bench_lsm_put_64b(benchmark, payloads_64b):
+    kv = LsmKv(memtable_entries=10_000)
+    counter = [0]
+
+    def run():
+        base = counter[0]
+        for i, p in enumerate(payloads_64b):
+            kv.put(base + i, p)
+        counter[0] += len(payloads_64b)
+
+    benchmark(run)
+
+
+def test_bench_btree_append_64b(benchmark, payloads_64b):
+    tree = BPlusTree(order=64)
+    counter = [0]
+
+    def run():
+        base = counter[0]
+        for i, p in enumerate(payloads_64b):
+            tree.append(base + i, p)
+        counter[0] += len(payloads_64b)
+
+    benchmark(run)
+
+
+def test_bench_fishstore_append_64b(benchmark, payloads_64b):
+    fs = FishStore(max_psfs=0)
+
+    def run():
+        for i, p in enumerate(payloads_64b):
+            fs.append(1, i, p)
+
+    benchmark(run)

@@ -1,0 +1,71 @@
+"""Benchmark-suite plumbing.
+
+Every file in this directory regenerates one table or figure from the
+paper's evaluation (see DESIGN.md's experiment index).  Benchmarks use
+pytest-benchmark for the timed kernels and report the paper-shaped rows
+through the ``report`` fixture, which prints all collected tables in the
+terminal summary (so ``pytest benchmarks/ --benchmark-only`` output shows
+them without ``-s``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+import pytest
+
+from repro.analysis.report import format_table
+
+_TABLES: List[str] = []
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects paper-figure tables; printed after the run."""
+
+    def add(
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        note: Optional[str] = None,
+    ) -> None:
+        text = format_table(title, headers, rows, note=note)
+        if text not in _TABLES:
+            _TABLES.append(text)
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("REPRODUCED PAPER TABLES AND FIGURES")
+    terminalreporter.write_line("=" * 72)
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run a table-producing function exactly once under pytest-benchmark.
+
+    Table tests must carry the ``benchmark`` fixture so they still execute
+    under ``--benchmark-only`` (the mode the harness documents); a single
+    round keeps the expensive sweeps from repeating.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def time_query(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeat`` runs."""
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]

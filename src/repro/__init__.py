@@ -1,0 +1,44 @@
+"""Reproduction of "Loom: Efficient Capture and Querying of High-Frequency
+Telemetry" (SOSP 2025).
+
+Public API highlights:
+
+* :class:`repro.core.Loom` — the Loom engine (hybrid log + sparse indexes
+  + query operators), the paper's primary contribution.
+* :mod:`repro.daemon` — a monitoring-daemon substrate hosting Loom
+  (paper Figure 4) and a multi-node coordinator (section 8).
+* :mod:`repro.baselines` — from-scratch comparators: a FishStore-style
+  PSF store, an InfluxDB-style TSDB, LSM/B-tree key-value stores, a raw
+  file writer, and an index-free append log.
+* :mod:`repro.workloads` — deterministic generators for the paper's Redis
+  and RocksDB case studies (Figure 10) with planted rare events.
+* :mod:`repro.simulate` — the calibrated host cost model used for the
+  hardware-gated results (Figures 2, 11, 14); see DESIGN.md for the
+  substitution rationale.
+* :mod:`repro.analysis` — cross-source correlation and statistics helpers.
+"""
+
+from .core import (
+    HistogramSpec,
+    Loom,
+    LoomConfig,
+    MonotonicClock,
+    Record,
+    VirtualClock,
+    exponential_edges,
+    uniform_edges,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HistogramSpec",
+    "Loom",
+    "LoomConfig",
+    "MonotonicClock",
+    "Record",
+    "VirtualClock",
+    "exponential_edges",
+    "uniform_edges",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Analysis helpers: composed drill-down queries, correlation, statistics,
+and benchmark report formatting."""
+
+from .correlate import (
+    CorrelationReport,
+    correlate_windows,
+    drill_down,
+    records_above_percentile,
+)
+from .queries import (
+    SENTINEL,
+    subset_percentile,
+    subset_records_above,
+    subset_tail_records,
+)
+from .report import format_table, print_table, ratio
+from .stats import (
+    cdf_target_bin,
+    merge_histograms,
+    nearest_rank_percentile,
+    summarize,
+)
+
+__all__ = [
+    "CorrelationReport",
+    "cdf_target_bin",
+    "correlate_windows",
+    "drill_down",
+    "format_table",
+    "merge_histograms",
+    "nearest_rank_percentile",
+    "print_table",
+    "ratio",
+    "records_above_percentile",
+    "subset_percentile",
+    "subset_records_above",
+    "subset_tail_records",
+    "SENTINEL",
+    "summarize",
+]

@@ -1,0 +1,129 @@
+"""Cross-source temporal correlation (the drill-down workflow of §2.1).
+
+The paper's motivating investigation is a chain of correlations: slow
+requests ↔ slow ``recv`` syscalls ↔ mangled packets, discovered by
+querying each source *around the timestamps* of anomalies in another.
+These helpers compose Loom's operators into that workflow:
+
+* :func:`records_above_percentile` — the data-dependent value-range query
+  ("requests above the 99.99th percentile"): an ``indexed_aggregate``
+  percentile followed by an ``indexed_scan`` above the result.
+* :func:`correlate_windows` — for each anchor record, fetch records of
+  another source within a ± window (``raw_scan`` per anchor).
+* :class:`CorrelationReport` — pairs every anchor with its correlates and
+  counts coverage, which is how the tests assert that Loom finds all six
+  needles while a sampled store cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.loom import Loom
+from ..core.record import Record
+from ..core.snapshot import Snapshot
+
+
+@dataclass
+class CorrelationReport:
+    """Anchors and the correlated records found near each."""
+
+    window_before_ns: int
+    window_after_ns: int
+    matches: List[Tuple[Record, List[Record]]] = field(default_factory=list)
+
+    @property
+    def anchor_count(self) -> int:
+        return len(self.matches)
+
+    @property
+    def correlated_count(self) -> int:
+        """Anchors that found at least one correlate."""
+        return sum(1 for _, found in self.matches if found)
+
+    def all_correlates(self) -> List[Record]:
+        out: List[Record] = []
+        for _, found in self.matches:
+            out.extend(found)
+        return out
+
+
+def records_above_percentile(
+    loom: Loom,
+    source_id: int,
+    index_id: int,
+    t_range: Tuple[int, int],
+    percentile: float,
+    snapshot: Optional[Snapshot] = None,
+) -> Tuple[Optional[float], List[Record]]:
+    """Data-dependent range query: records at/above the p-th percentile.
+
+    Composes ``indexed_aggregate`` (find the threshold) with
+    ``indexed_scan`` (fetch records at or above it), pinned to one
+    snapshot so the two steps see identical data.
+    """
+    snap = snapshot or loom.snapshot()
+    result = loom.indexed_aggregate(
+        source_id, index_id, t_range, "percentile", percentile=percentile,
+        snapshot=snap,
+    )
+    if result.value is None:
+        return None, []
+    records = loom.indexed_scan(
+        source_id, index_id, t_range, (result.value, float("inf")), snapshot=snap
+    )
+    return result.value, records
+
+
+def correlate_windows(
+    loom: Loom,
+    anchors: Sequence[Record],
+    target_source_id: int,
+    window_before_ns: int,
+    window_after_ns: int,
+    predicate: Optional[Callable[[Record], bool]] = None,
+    snapshot: Optional[Snapshot] = None,
+) -> CorrelationReport:
+    """For each anchor, raw-scan ``target_source_id`` in a ± time window.
+
+    ``predicate`` optionally filters the correlates (e.g. "destination
+    port is not the Redis port" to spot mangled packets).
+    """
+    snap = snapshot or loom.snapshot()
+    report = CorrelationReport(
+        window_before_ns=window_before_ns, window_after_ns=window_after_ns
+    )
+    for anchor in anchors:
+        t_range = (
+            anchor.timestamp - window_before_ns,
+            anchor.timestamp + window_after_ns,
+        )
+        found = loom.raw_scan(target_source_id, t_range, snapshot=snap)
+        if predicate is not None:
+            found = [r for r in found if predicate(r)]
+        report.matches.append((anchor, found))
+    return report
+
+
+def drill_down(
+    loom: Loom,
+    anchor_source: int,
+    anchor_index: int,
+    t_range: Tuple[int, int],
+    percentile: float,
+    target_source: int,
+    window_ns: int,
+    predicate: Optional[Callable[[Record], bool]] = None,
+) -> Tuple[Optional[float], CorrelationReport]:
+    """The full §2.1 drill-down: outliers in one source, correlates in
+    another, under a single snapshot."""
+    snap = loom.snapshot()
+    threshold, anchors = records_above_percentile(
+        loom, anchor_source, anchor_index, t_range, percentile, snapshot=snap
+    )
+    report = correlate_windows(
+        loom, anchors, target_source, window_ns, window_ns,
+        predicate=predicate, snapshot=snap,
+    )
+    return threshold, report

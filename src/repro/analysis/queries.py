@@ -1,0 +1,115 @@
+"""Composed observability queries built from Loom's operators.
+
+The paper's drill-downs frequently aggregate a *subset* of a source's
+records (e.g. only ``sendto`` syscalls, only ``pread64`` calls).  Loom's
+histogram indexes support this with a **sentinel UDF**: the index function
+maps out-of-subset records to a sentinel value below the histogram's first
+edge, so they all land in the low outlier bin and every other bin contains
+only subset records.  Subset max/scan queries then come straight from the
+operators; subset percentiles need a small composition implemented here:
+bin counts (minus the sentinel bin) form the CDF, and only the target
+bin's chunks are scanned — the same strategy as section 4.3, restricted to
+the subset.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.loom import Loom
+from ..core.operators import bin_histogram, indexed_scan
+from ..core.record import Record
+from ..core.snapshot import Snapshot
+
+#: Sentinel returned by subset index UDFs for out-of-subset records; any
+#: value below the histogram's first edge works (it lands in bin 0).
+SENTINEL = -1.0
+
+
+def subset_percentile(
+    loom: Loom,
+    source_id: int,
+    index_id: int,
+    t_range: Tuple[int, int],
+    percentile: float,
+    sentinel_bins: Sequence[int] = (0,),
+    snapshot: Optional[Snapshot] = None,
+) -> Optional[float]:
+    """Exact percentile over a sentinel-indexed subset of a source.
+
+    ``sentinel_bins`` are excluded from the CDF (bin 0 by default — the
+    low outlier bin where the sentinel lands).  Returns ``None`` when the
+    subset is empty in the window.
+    """
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    snap = snapshot or loom.snapshot()
+    index = loom.record_log.get_index(index_id)
+    counts = bin_histogram(snap, source_id, index, t_range[0], t_range[1])
+    for bin_idx in sentinel_bins:
+        counts.pop(bin_idx, None)
+    total = sum(counts.values())
+    if total == 0:
+        return None
+    rank = max(1, math.ceil(percentile / 100.0 * total))
+    cumulative = 0
+    target_bin = None
+    for bin_idx in sorted(counts):
+        if counts[bin_idx] == 0:
+            continue
+        if cumulative + counts[bin_idx] >= rank:
+            target_bin = bin_idx
+            break
+        cumulative += counts[bin_idx]
+    assert target_bin is not None
+    lo, hi = index.spec.bin_range(target_bin)
+    values: List[float] = []
+    for record in indexed_scan(
+        snap, source_id, index, t_range[0], t_range[1], v_min=lo, v_max=hi
+    ):
+        value = index.index_func(record.payload)
+        if index.spec.bin_of(value) == target_bin:
+            values.append(value)
+    values.sort()
+    return values[rank - cumulative - 1]
+
+
+def subset_records_above(
+    loom: Loom,
+    source_id: int,
+    index_id: int,
+    t_range: Tuple[int, int],
+    threshold: float,
+    snapshot: Optional[Snapshot] = None,
+) -> List[Record]:
+    """Subset records with indexed value >= threshold (sentinel-safe as
+    long as the threshold exceeds the sentinel)."""
+    snap = snapshot or loom.snapshot()
+    index = loom.record_log.get_index(index_id)
+    return list(
+        indexed_scan(
+            snap, source_id, index, t_range[0], t_range[1], v_min=threshold
+        )
+    )
+
+
+def subset_tail_records(
+    loom: Loom,
+    source_id: int,
+    index_id: int,
+    t_range: Tuple[int, int],
+    percentile: float,
+    snapshot: Optional[Snapshot] = None,
+) -> Tuple[Optional[float], List[Record]]:
+    """The composed data-dependent query over a sentinel-indexed subset:
+    find the subset percentile, then fetch subset records at/above it."""
+    snap = snapshot or loom.snapshot()
+    threshold = subset_percentile(
+        loom, source_id, index_id, t_range, percentile, snapshot=snap
+    )
+    if threshold is None:
+        return None, []
+    return threshold, subset_records_above(
+        loom, source_id, index_id, t_range, threshold, snapshot=snap
+    )

@@ -1,0 +1,64 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every benchmark regenerates a paper table or figure; these helpers render
+the rows the same way across benches so EXPERIMENTS.md and the bench logs
+read uniformly: a title line, a header, aligned columns, and optional
+paper-expectation columns for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned fixed-width table as a string."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: Optional[str] = None,
+) -> None:
+    print()
+    print(format_table(title, headers, rows, note=note))
+    print()
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def ratio(a: float, b: float) -> str:
+    """Human-readable speedup/slowdown ratio ("12.3x")."""
+    if b == 0:
+        return "inf"
+    return f"{a / b:.1f}x"

@@ -1,0 +1,70 @@
+"""Statistics helpers shared by queries, tests, and benchmarks.
+
+Loom's percentile semantics are *nearest-rank* (inverted CDF): the p-th
+percentile of N values is the smallest value whose cumulative count
+reaches ``ceil(p/100 · N)``.  That is the definition the chunk-index CDF
+walk implements, so the reference implementations here (and numpy's
+``method="inverted_cdf"``) agree with Loom bit-for-bit — which the test
+suite asserts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def nearest_rank_percentile(values: Sequence[float], percentile: float) -> float:
+    """Reference nearest-rank percentile (matches Loom and numpy
+    ``inverted_cdf``)."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(percentile / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """count/sum/min/max/mean of a value sequence (empty-safe)."""
+    if not values:
+        return {"count": 0.0, "sum": 0.0, "min": float("nan"), "max": float("nan"), "mean": float("nan")}
+    total = float(sum(values))
+    return {
+        "count": float(len(values)),
+        "sum": total,
+        "min": float(min(values)),
+        "max": float(max(values)),
+        "mean": total / len(values),
+    }
+
+
+def merge_histograms(histograms: Iterable[Dict[int, int]]) -> Dict[int, int]:
+    """Sum per-bin counts across partial histograms."""
+    merged: Dict[int, int] = {}
+    for histogram in histograms:
+        for bin_idx, count in histogram.items():
+            merged[bin_idx] = merged.get(bin_idx, 0) + count
+    return merged
+
+
+def cdf_target_bin(
+    counts: Dict[int, int], percentile: float
+) -> Tuple[int, int, int]:
+    """Locate the bin containing a percentile's rank.
+
+    Returns ``(bin_idx, rank, cumulative_before)`` — the core step of the
+    paper's holistic-aggregate strategy, reused by the distributed
+    coordinator.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("empty histogram")
+    rank = max(1, math.ceil(percentile / 100.0 * total))
+    cumulative = 0
+    for bin_idx in sorted(counts):
+        if cumulative + counts[bin_idx] >= rank:
+            return bin_idx, rank, cumulative
+        cumulative += counts[bin_idx]
+    raise AssertionError("rank not reachable")  # pragma: no cover

@@ -1,0 +1,33 @@
+"""Baseline systems the paper evaluates Loom against, built from scratch.
+
+========================  ==================================================
+Module                    Stands in for
+========================  ==================================================
+:mod:`.rawfile`           raw-file capture (``perf record``-style) + scripts
+:mod:`.fasterlog`         FasterLog: index-free append log
+:mod:`.fishstore`         FishStore: shared log + PSF subset-hash index
+:mod:`.tsdb`              InfluxDB/ClickHouse-style read-optimized TSDB
+:mod:`.kvstore`           RocksDB-style LSM tree and LMDB-style B+-tree
+========================  ==================================================
+
+See DESIGN.md section 2 for the substitution rationale for each.
+"""
+
+from .fasterlog import AppendLog, LogRecord
+from .fishstore import FishStore
+from .kvstore import BPlusTree, LsmKv
+from .rawfile import RawFileCapture, RawRecord, scan_file
+from .tsdb import InfluxLite, Point
+
+__all__ = [
+    "AppendLog",
+    "BPlusTree",
+    "FishStore",
+    "InfluxLite",
+    "LogRecord",
+    "LsmKv",
+    "Point",
+    "RawFileCapture",
+    "RawRecord",
+    "scan_file",
+]

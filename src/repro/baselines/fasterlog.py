@@ -1,0 +1,116 @@
+"""An index-free append log, in the spirit of FasterLog.
+
+FasterLog (the storage layer FishStore builds on) is a high-throughput
+append-only log with *no* indexing: records are retrievable by address or
+by scanning.  This module provides that substrate for two purposes:
+
+* it is the ingest-only baseline representing "log storage" in the paper's
+  taxonomy (Figure 1): high ingest rate, no fast queries; and
+* :class:`repro.baselines.fishstore.FishStore` builds its PSF chains on
+  top of it, mirroring the real system's layering.
+
+Records are framed as ``source_id (u32) | timestamp (u64) | length (u32)``
+plus payload, with optional extra header bytes reserved by the caller
+(FishStore uses these for its per-PSF chain pointers).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+from ..core.storage import MemoryStorage, Storage
+
+_HEADER = struct.Struct("<IQI")
+HEADER_SIZE = _HEADER.size  # 16
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """A decoded log record (with any caller-reserved extra header bytes)."""
+
+    source_id: int
+    timestamp: int
+    payload: bytes
+    extra: bytes
+    address: int
+
+    @property
+    def size(self) -> int:
+        return HEADER_SIZE + len(self.extra) + len(self.payload)
+
+
+class AppendLog:
+    """A flat append-only record log with sequential scans.
+
+    Unlike Loom's hybrid log this class does not maintain chunking,
+    summaries, or a timestamp index — a query is a scan.
+    """
+
+    def __init__(self, storage: Optional[Storage] = None) -> None:
+        self._storage = storage if storage is not None else MemoryStorage()
+        self.record_count = 0
+
+    def append(
+        self, source_id: int, timestamp: int, payload: bytes, extra: bytes = b""
+    ) -> int:
+        """Append one record; returns its address.
+
+        ``extra`` is caller-defined header space stored between the fixed
+        header and the payload.  It must have the same width on every
+        append in a given log (FishStore fixes it by its PSF slot count)
+        and the caller passes that width back when decoding.
+        """
+        framed = _HEADER.pack(source_id, timestamp, len(payload)) + extra + payload
+        address = self._storage.append(framed)
+        self.record_count += 1
+        return address
+
+    def read(self, address: int, extra_len: int = 0) -> LogRecord:
+        """Decode the record at ``address`` (with ``extra_len`` header bytes)."""
+        head = self._storage.read(address, HEADER_SIZE + extra_len)
+        source_id, timestamp, length = _HEADER.unpack_from(head)
+        extra = head[HEADER_SIZE:]
+        payload = self._storage.read(address + HEADER_SIZE + extra_len, length)
+        return LogRecord(
+            source_id=source_id,
+            timestamp=timestamp,
+            payload=payload,
+            extra=extra,
+            address=address,
+        )
+
+    def scan(
+        self,
+        func: Optional[Callable[[LogRecord], None]] = None,
+        extra_len: int = 0,
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> Optional[Iterator[LogRecord]]:
+        """Full sequential scan — the only query FasterLog offers.
+
+        With ``func`` the scan is driven eagerly (streaming form);
+        otherwise an iterator is returned.
+        """
+        it = self._iter(extra_len, start, self.tail if end is None else end)
+        if func is None:
+            return it
+        for record in it:
+            func(record)
+        return None
+
+    def _iter(self, extra_len: int, start: int, end: int) -> Iterator[LogRecord]:
+        address = start
+        while address < end:
+            record = self.read(address, extra_len)
+            yield record
+            address += record.size
+
+    @property
+    def tail(self) -> int:
+        return self._storage.size
+
+    @property
+    def size_bytes(self) -> int:
+        return self._storage.size

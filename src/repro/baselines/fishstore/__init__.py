@@ -1,0 +1,15 @@
+"""FishStore-style baseline: shared log + PSF subset-hash indexing."""
+
+from .psf import PSF, PsfFunc, field_equals, field_threshold, source_equals
+from .store import NULL_ADDRESS, FishStore, FishStoreStats
+
+__all__ = [
+    "FishStore",
+    "FishStoreStats",
+    "NULL_ADDRESS",
+    "PSF",
+    "PsfFunc",
+    "field_equals",
+    "field_threshold",
+    "source_equals",
+]

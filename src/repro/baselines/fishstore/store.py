@@ -1,0 +1,178 @@
+"""A FishStore-style store: a shared log plus PSF subset chains.
+
+FishStore (Xie et al., SIGMOD 2019) ingests records into a FasterLog-style
+shared log and, on the write path, evaluates every installed PSF against
+every record.  For each PSF that matches, the record is linked into that
+subset's back-pointer chain via a hash index keyed by ``(psf, key)``.
+
+Reproduced behaviours the paper's evaluation depends on:
+
+* **Ingest cost grows with installed PSFs** — every record pays one UDF
+  evaluation per PSF (Figure 14: FishStore-I vs. FishStore-N).
+* **Exact-match chain scans are fast** — a ``psf_scan`` touches only
+  matching records (Figure 17, short lookbacks; Figure 13 Phase 3).
+* **No time index** — a time-range query walks its chain (or the whole
+  log) from the newest record and must traverse *everything newer than
+  the range* before reaching it, so latency grows with lookback distance
+  (Figure 17) and with the volume of interleaved other-source data
+  (Figure 12: Phase 2 queries slower than Phase 1).
+* **Arbitrary value ranges and percentiles are unindexable** — they fall
+  back to a full log scan (Figures 12/13).
+
+Chain pointers live in a fixed-width ``extra`` header region of the
+underlying :class:`~repro.baselines.fasterlog.AppendLog`, one 8-byte slot
+per PSF, mirroring FishStore's record layout.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from ..fasterlog import AppendLog, LogRecord
+from .psf import PSF, PsfFunc
+
+NULL_ADDRESS = 0xFFFF_FFFF_FFFF_FFFF
+_PTR = struct.Struct("<Q")
+
+
+@dataclass
+class FishStoreStats:
+    """Ingest/query work counters."""
+
+    records_ingested: int = 0
+    psf_evaluations: int = 0
+    records_scanned: int = 0
+    chain_hops: int = 0
+
+
+class FishStore:
+    """Shared log with PSF subset-hash indexing.
+
+    Args:
+        max_psfs: width of the per-record pointer region.  FishStore sizes
+            record headers for a fixed number of PSF slots; registering
+            more than ``max_psfs`` raises.
+    """
+
+    def __init__(self, max_psfs: int = 4) -> None:
+        if max_psfs < 0:
+            raise ValueError("max_psfs must be >= 0")
+        self.log = AppendLog()
+        self.max_psfs = max_psfs
+        self._extra_len = max_psfs * _PTR.size
+        self._psfs: List[PSF] = []
+        #: (psf_id, key) -> address of newest record in the subset chain.
+        self._hash_index: Dict[Tuple[int, Hashable], int] = {}
+        self.stats = FishStoreStats()
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def register_psf(self, name: str, func: PsfFunc) -> int:
+        """Install a PSF; indexing applies to subsequently ingested records."""
+        if len(self._psfs) >= self.max_psfs:
+            raise ValueError(f"record layout has only {self.max_psfs} PSF slots")
+        psf = PSF(psf_id=len(self._psfs), name=name, func=func)
+        self._psfs.append(psf)
+        return psf.psf_id
+
+    @property
+    def psf_count(self) -> int:
+        return len(self._psfs)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def append(self, source_id: int, timestamp: int, payload: bytes) -> int:
+        """Ingest one record, evaluating every installed PSF against it."""
+        extra = bytearray(self._extra_len)
+        chain_updates: List[Tuple[Tuple[int, Hashable], int]] = []
+        for psf in self._psfs:
+            self.stats.psf_evaluations += 1
+            key = psf.evaluate(source_id, payload)
+            slot = psf.psf_id * _PTR.size
+            if key is None:
+                _PTR.pack_into(extra, slot, NULL_ADDRESS)
+            else:
+                index_key = (psf.psf_id, key)
+                prev = self._hash_index.get(index_key, NULL_ADDRESS)
+                _PTR.pack_into(extra, slot, prev)
+                chain_updates.append((index_key, 0))  # address patched below
+        address = self.log.append(source_id, timestamp, payload, bytes(extra))
+        for index_key, _ in chain_updates:
+            self._hash_index[index_key] = address
+        self.stats.records_ingested += 1
+        return address
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def read(self, address: int) -> LogRecord:
+        return self.log.read(address, self._extra_len)
+
+    def _chain_prev(self, record: LogRecord, psf_id: int) -> int:
+        (prev,) = _PTR.unpack_from(record.extra, psf_id * _PTR.size)
+        return prev
+
+    def psf_scan(
+        self,
+        psf_id: int,
+        key: Hashable,
+        t_start: int = 0,
+        t_end: Optional[int] = None,
+    ) -> Iterator[LogRecord]:
+        """Walk a subset chain newest-to-oldest, filtering by time.
+
+        There is no time index: the walk starts at the chain head and
+        *scans every matching record newer than* ``t_start`` — this is the
+        lookback-proportional cost of Figure 17.
+        """
+        address = self._hash_index.get((psf_id, key), NULL_ADDRESS)
+        while address != NULL_ADDRESS:
+            record = self.read(address)
+            self.stats.chain_hops += 1
+            self.stats.records_scanned += 1
+            if record.timestamp < t_start:
+                break
+            if t_end is None or record.timestamp <= t_end:
+                yield record
+            address = self._chain_prev(record, psf_id)
+
+    def full_scan(
+        self,
+        predicate: Optional[Callable[[LogRecord], bool]] = None,
+        t_start: int = 0,
+        t_end: Optional[int] = None,
+    ) -> Iterator[LogRecord]:
+        """Scan the entire shared log (the fallback for unindexed queries).
+
+        Every record of every source is touched — the interleaving cost the
+        paper highlights for FishStore's Phase 2/3 queries.
+        """
+        for record in self.log.scan(extra_len=self._extra_len):
+            self.stats.records_scanned += 1
+            if record.timestamp < t_start:
+                continue
+            if t_end is not None and record.timestamp > t_end:
+                continue
+            if predicate is None or predicate(record):
+                yield record
+
+    def source_scan(
+        self, source_id: int, t_start: int = 0, t_end: Optional[int] = None
+    ) -> Iterator[LogRecord]:
+        """Full-scan filtered to one source (no per-source chains without a
+        PSF, so the whole log is still traversed)."""
+        return self.full_scan(
+            predicate=lambda r: r.source_id == source_id, t_start=t_start, t_end=t_end
+        )
+
+    @property
+    def record_count(self) -> int:
+        return self.stats.records_ingested
+
+    @property
+    def size_bytes(self) -> int:
+        return self.log.size_bytes

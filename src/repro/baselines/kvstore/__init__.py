@@ -1,0 +1,6 @@
+"""Key-value store baselines: LMDB-style B+-tree and RocksDB-style LSM."""
+
+from .btree import BPlusTree
+from .lsm import LsmKv, LsmStats, SSTable
+
+__all__ = ["BPlusTree", "LsmKv", "LsmStats", "SSTable"]

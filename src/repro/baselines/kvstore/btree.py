@@ -1,0 +1,226 @@
+"""An LMDB-style B+-tree with an append-mode fast path.
+
+LMDB is the persistent B-tree baseline of paper Figure 15.  The experiment
+uses LMDB's ``APPEND`` mode — the fastest possible ingest for a B-tree,
+where keys arrive in strictly increasing order and the tree grows along
+its right edge without any search.  Even so, page construction, splits,
+and parent maintenance cost more per record than a log append, which is
+the structural point the figure makes ("LMDB's B-tree construction means
+it cannot match Loom's performance rooted in fast, log-based storage").
+
+This implementation supports both general inserts (with descent) and the
+append fast path (right-edge insertion), point lookups, and ordered range
+scans over leaf links.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+
+@dataclass
+class _Node:
+    is_leaf: bool
+    keys: List[int] = field(default_factory=list)
+    # Leaves: values parallel to keys, plus next-leaf link.
+    values: List[bytes] = field(default_factory=list)
+    next_leaf: Optional["_Node"] = None
+    # Interior: children has len(keys) + 1 entries.
+    children: List["_Node"] = field(default_factory=list)
+
+
+class BPlusTree:
+    """B+-tree keyed by integers with byte-string values.
+
+    Args:
+        order: max keys per node (split threshold).  LMDB pages hold on
+            the order of dozens to hundreds of entries; 64 is a reasonable
+            stand-in that produces realistic tree depths.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._root: _Node = _Node(is_leaf=True)
+        self._height = 1
+        self.entry_count = 0
+        self.page_splits = 0
+        self._last_key: Optional[int] = None
+        # Right-edge path cache for append mode: one node per level,
+        # root first.
+        self._right_path: List[_Node] = [self._root]
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, key: int, value: bytes) -> None:
+        """APPEND-mode insert: ``key`` must exceed every existing key.
+
+        Skips the root-to-leaf search entirely — the right-edge leaf is
+        cached — so the remaining cost is pure page maintenance, matching
+        LMDB's bulk-load behaviour.
+        """
+        if self._last_key is not None and key <= self._last_key:
+            raise ValueError(
+                f"append-mode keys must be increasing ({key} <= {self._last_key})"
+            )
+        self._last_key = key
+        leaf = self._right_path[-1]
+        leaf.keys.append(key)
+        leaf.values.append(value)
+        self.entry_count += 1
+        if len(leaf.keys) > self.order:
+            self._split_right_edge()
+
+    def _split_right_edge(self) -> None:
+        """Split the rightmost leaf (and any overflowing ancestors)."""
+        for depth in range(len(self._right_path) - 1, -1, -1):
+            node = self._right_path[depth]
+            if len(node.keys) <= self.order:
+                break
+            self.page_splits += 1
+            mid = len(node.keys) // 2
+            if node.is_leaf:
+                right = _Node(
+                    is_leaf=True, keys=node.keys[mid:], values=node.values[mid:]
+                )
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+                right.next_leaf = node.next_leaf
+                node.next_leaf = right
+                separator = right.keys[0]
+            else:
+                right = _Node(
+                    is_leaf=False,
+                    keys=node.keys[mid + 1 :],
+                    children=node.children[mid + 1 :],
+                )
+                separator = node.keys[mid]
+                node.keys = node.keys[:mid]
+                node.children = node.children[: mid + 1]
+            if depth == 0:
+                new_root = _Node(
+                    is_leaf=False, keys=[separator], children=[node, right]
+                )
+                self._root = new_root
+                self._height += 1
+                self._right_path = [new_root] + self._right_path
+                self._right_path[depth + 1] = right
+            else:
+                parent = self._right_path[depth - 1]
+                parent.keys.append(separator)
+                parent.children.append(right)
+                self._right_path[depth] = right
+
+    def insert(self, key: int, value: bytes) -> None:
+        """General insert with root-to-leaf descent (non-append workloads)."""
+        if self._last_key is None or key > self._last_key:
+            # Monotone inserts get the fast path automatically.
+            self.append(key, value)
+            return
+        path: List[_Node] = []
+        node = self._root
+        while not node.is_leaf:
+            path.append(node)
+            node = node.children[self._child_slot(node, key)]
+        slot = self._leaf_slot(node, key)
+        if slot < len(node.keys) and node.keys[slot] == key:
+            node.values[slot] = value  # overwrite
+            return
+        node.keys.insert(slot, key)
+        node.values.insert(slot, value)
+        self.entry_count += 1
+        if len(node.keys) > self.order:
+            self._split_general(path, node)
+
+    def _split_general(self, path: List[_Node], node: _Node) -> None:
+        while len(node.keys) > self.order:
+            self.page_splits += 1
+            mid = len(node.keys) // 2
+            if node.is_leaf:
+                right = _Node(
+                    is_leaf=True, keys=node.keys[mid:], values=node.values[mid:]
+                )
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+                right.next_leaf = node.next_leaf
+                node.next_leaf = right
+                separator = right.keys[0]
+            else:
+                right = _Node(
+                    is_leaf=False,
+                    keys=node.keys[mid + 1 :],
+                    children=node.children[mid + 1 :],
+                )
+                separator = node.keys[mid]
+                node.keys = node.keys[:mid]
+                node.children = node.children[: mid + 1]
+            if path:
+                parent = path.pop()
+                slot = self._child_slot(parent, separator)
+                parent.keys.insert(slot, separator)
+                parent.children.insert(slot + 1, right)
+                node = parent
+            else:
+                self._root = _Node(
+                    is_leaf=False, keys=[separator], children=[node, right]
+                )
+                self._height += 1
+                self._rebuild_right_path()
+                return
+        self._rebuild_right_path()
+
+    def _rebuild_right_path(self) -> None:
+        path = [self._root]
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+            path.append(node)
+        self._right_path = path
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _child_slot(node: _Node, key: int) -> int:
+        return bisect_right(node.keys, key)
+
+    @staticmethod
+    def _leaf_slot(node: _Node, key: int) -> int:
+        return bisect_left(node.keys, key)
+
+    def get(self, key: int) -> Optional[bytes]:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[self._child_slot(node, key)]
+        slot = self._leaf_slot(node, key)
+        if slot < len(node.keys) and node.keys[slot] == key:
+            return node.values[slot]
+        return None
+
+    def range(self, start: int, end: int) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(key, value)`` for keys in ``[start, end]``, ascending."""
+        node = self._root
+        while not node.is_leaf:
+            # Leftmost child that can contain keys >= start.
+            node = node.children[bisect_left(node.keys, start)]
+        slot = self._leaf_slot(node, start)
+        while node is not None:
+            while slot < len(node.keys):
+                key = node.keys[slot]
+                if key > end:
+                    return
+                yield key, node.values[slot]
+                slot += 1
+            node = node.next_leaf
+            slot = 0
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def __len__(self) -> int:
+        return self.entry_count

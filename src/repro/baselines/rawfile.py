@@ -1,0 +1,105 @@
+"""Raw-file telemetry capture — the de facto standard the paper critiques.
+
+Writing HFT to a raw file (as ``perf record`` or an eBPF dump would) is
+the *minimum-overhead* capture path: a framed append into a buffered file,
+no indexing whatsoever.  It anchors the probe-effect comparison (Figure 14
+uses it as the floor Loom is measured against) and represents the "custom
+scripts" analysis workflow of section 2.3: every query is a full parse of
+the file with hand-written filtering.
+
+:class:`RawFileCapture` writes either to a real file or to in-memory
+storage; :func:`scan_file` plays the role of the engineer's post-processing
+script (the paper's 50-LoC, 35-second, 8-GB example), touching every record
+on every question asked.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..core.storage import FileStorage, MemoryStorage, Storage
+
+_HEADER = struct.Struct("<IQI")
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass(frozen=True)
+class RawRecord:
+    source_id: int
+    timestamp: int
+    payload: bytes
+
+
+class RawFileCapture:
+    """Framed append-only capture file with buffered writes."""
+
+    def __init__(
+        self, path: Optional[str] = None, buffer_bytes: int = 1 << 20
+    ) -> None:
+        self._storage: Storage = FileStorage(path) if path else MemoryStorage()
+        self._buffer = bytearray()
+        self._buffer_bytes = buffer_bytes
+        self.record_count = 0
+
+    def write(self, source_id: int, timestamp: int, payload: bytes) -> None:
+        """Append one framed record (buffered; cheapest possible capture)."""
+        self._buffer += _HEADER.pack(source_id, timestamp, len(payload))
+        self._buffer += payload
+        self.record_count += 1
+        if len(self._buffer) >= self._buffer_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._storage.append(bytes(self._buffer))
+            self._buffer.clear()
+
+    def scan(self) -> Iterator[RawRecord]:
+        """Parse every record (the post-processing-script access path)."""
+        self.flush()
+        address = 0
+        end = self._storage.size
+        while address < end:
+            source_id, timestamp, length = _HEADER.unpack(
+                self._storage.read(address, HEADER_SIZE)
+            )
+            payload = self._storage.read(address + HEADER_SIZE, length)
+            yield RawRecord(source_id=source_id, timestamp=timestamp, payload=payload)
+            address += HEADER_SIZE + length
+
+    @property
+    def size_bytes(self) -> int:
+        return self._storage.size + len(self._buffer)
+
+    def close(self) -> None:
+        self.flush()
+        self._storage.close()
+
+
+def scan_file(
+    capture: RawFileCapture,
+    source_id: Optional[int] = None,
+    t_start: int = 0,
+    t_end: Optional[int] = None,
+    predicate: Optional[Callable[[RawRecord], bool]] = None,
+) -> List[RawRecord]:
+    """An ad hoc "analysis script" over a capture file.
+
+    Scans and parses the entire file regardless of how selective the
+    question is — the ergonomic and latency cost the paper attributes to
+    the raw-file workflow.
+    """
+    out = []
+    for record in capture.scan():
+        if source_id is not None and record.source_id != source_id:
+            continue
+        if record.timestamp < t_start:
+            continue
+        if t_end is not None and record.timestamp > t_end:
+            continue
+        if predicate is not None and not predicate(record):
+            continue
+        out.append(record)
+    return out

@@ -1,0 +1,30 @@
+"""InfluxDB-style TSDB baseline: WAL, memtable, TSM-like segments,
+inverted tag index, leveled compaction."""
+
+from .engine import EngineStats, InfluxLite
+from .memtable import MemTable
+from .point import Point, series_key
+from .segment import (
+    CompactionStats,
+    LeveledSegmentStore,
+    Segment,
+    SeriesBlock,
+    merge_segments,
+)
+from .tagindex import TagIndex
+from .wal import WriteAheadLog
+
+__all__ = [
+    "CompactionStats",
+    "EngineStats",
+    "InfluxLite",
+    "LeveledSegmentStore",
+    "MemTable",
+    "Point",
+    "Segment",
+    "SeriesBlock",
+    "TagIndex",
+    "WriteAheadLog",
+    "merge_segments",
+    "series_key",
+]

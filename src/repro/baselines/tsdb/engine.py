@@ -1,0 +1,176 @@
+"""The InfluxDB-style engine: WAL + memtable + segments + tag index.
+
+This is the "read-optimized TSDB" comparator of the paper's evaluation.
+Its write path does strictly more work per record than a log append:
+
+1. WAL append (durability);
+2. memtable insert;
+3. tag-index maintenance for new series;
+4. when the memtable fills: per-series sort + segment build; and
+5. background-style leveled compaction (k-way merges), performed inline
+   here but attributed to "index maintenance" CPU in the cost model.
+
+Queries are correspondingly fast for the patterns its indexes serve
+(tag-filtered subsets, time ranges via sorted segments) and slow for
+holistic aggregates (percentiles require collecting every matching point
+and sorting — there is no percentile index, as the paper observes in
+Figure 13's discussion).
+
+This engine never drops data itself; drop behaviour under overload is an
+arrival-vs-capacity outcome modelled in :mod:`repro.simulate.ingest`,
+calibrated to this engine's measured per-point work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .memtable import MemTable
+from .point import Point, series_key
+from .segment import LeveledSegmentStore, Segment
+from .tagindex import TagIndex
+from .wal import WriteAheadLog
+
+
+@dataclass
+class EngineStats:
+    """Ingest and query work counters."""
+
+    points_written: int = 0
+    memtable_flushes: int = 0
+    points_scanned: int = 0
+    segments_pruned: int = 0
+
+
+class InfluxLite:
+    """A compact InfluxDB-like time-series engine.
+
+    Args:
+        memtable_points: flush threshold (points per memtable).
+        compaction_fanout: segments per level before merge-compaction.
+    """
+
+    def __init__(
+        self, memtable_points: int = 50_000, compaction_fanout: int = 4
+    ) -> None:
+        self.wal = WriteAheadLog()
+        self.memtable = MemTable(max_points=memtable_points)
+        self.segments = LeveledSegmentStore(fanout=compaction_fanout)
+        self.tag_index = TagIndex()
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write(self, point: Point) -> None:
+        """Ingest one point through WAL, memtable, and tag index."""
+        key = point.series_key
+        self.wal.append(key, point.timestamp, point.value)
+        self.memtable.insert(key, point.timestamp, point.value)
+        self.tag_index.observe(point.measurement, point.tags, key)
+        self.stats.points_written += 1
+        if self.memtable.is_full:
+            self.flush()
+
+    def write_values(
+        self,
+        measurement: str,
+        tags: Mapping[str, str],
+        timestamps: Sequence[int],
+        values: Sequence[float],
+    ) -> None:
+        """Bulk write one series (convenience for workload loading)."""
+        for ts, value in zip(timestamps, values):
+            self.write(Point.make(measurement, tags, ts, value))
+
+    def flush(self) -> None:
+        """Freeze the memtable into an immutable segment (plus compaction)."""
+        if self.memtable.point_count == 0:
+            return
+        buffers = self.memtable.freeze()
+        self.segments.add(Segment.from_buffers(buffers))
+        self.wal.checkpoint()
+        self.stats.memtable_flushes += 1
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        measurement: str,
+        tags: Optional[Mapping[str, str]],
+        t_start: int,
+        t_end: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Collect (timestamps, values) for matching series in a time range.
+
+        Series resolution goes through the tag index; per-segment time
+        pruning uses segment min/max ranges; within a block the time slice
+        is a binary search.  The result is *not* globally time-sorted
+        across series (callers that need order sort it), matching the
+        engine's column-gather behaviour.
+        """
+        keys = self.tag_index.lookup(measurement, tags)
+        ts_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        for segment in self.segments.segments():
+            if not segment.overlaps(t_start, t_end):
+                self.stats.segments_pruned += 1
+                continue
+            for key in keys:
+                ts, vs = segment.series_points(key, t_start, t_end)
+                if len(ts):
+                    ts_parts.append(ts)
+                    val_parts.append(vs)
+                    self.stats.points_scanned += len(ts)
+        for key in keys:
+            pairs = self.memtable.points_for(key, t_start, t_end)
+            if pairs:
+                ts_parts.append(np.fromiter((t for t, _ in pairs), dtype=np.int64))
+                val_parts.append(np.fromiter((v for _, v in pairs), dtype=np.float64))
+                self.stats.points_scanned += len(pairs)
+        if not ts_parts:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        return np.concatenate(ts_parts), np.concatenate(val_parts)
+
+    def aggregate(
+        self,
+        measurement: str,
+        tags: Optional[Mapping[str, str]],
+        t_start: int,
+        t_end: int,
+        method: str,
+        percentile: Optional[float] = None,
+    ) -> Optional[float]:
+        """Aggregate matching points.
+
+        min/max/count/sum/mean stream over the gathered columns;
+        ``percentile`` must materialize and sort everything — the engine
+        has no index that can answer it, which is the paper's core
+        observation about TSDB percentile latency.
+        """
+        _, values = self.select(measurement, tags, t_start, t_end)
+        if len(values) == 0:
+            return None
+        if method == "count":
+            return float(len(values))
+        if method == "sum":
+            return float(values.sum())
+        if method == "min":
+            return float(values.min())
+        if method == "max":
+            return float(values.max())
+        if method == "mean":
+            return float(values.mean())
+        if method == "percentile":
+            if percentile is None:
+                raise ValueError("percentile method needs a percentile")
+            return float(np.percentile(values, percentile, method="inverted_cdf"))
+        raise ValueError(f"unknown method: {method!r}")
+
+    @property
+    def point_count(self) -> int:
+        return self.stats.points_written

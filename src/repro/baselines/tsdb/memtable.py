@@ -1,0 +1,59 @@
+"""In-memory write cache (memtable) for the TSDB baseline.
+
+Writes land here after the WAL.  Each series accumulates an append list of
+``(timestamp, value)`` pairs; when the memtable exceeds its point budget it
+is frozen, sorted per series, and handed to the engine for conversion into
+an immutable segment.  Sorting at flush time (rather than on every insert)
+mirrors InfluxDB's TSM cache behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class MemTable:
+    """Per-series append buffers with a global point budget."""
+
+    def __init__(self, max_points: int = 50_000) -> None:
+        if max_points < 1:
+            raise ValueError("max_points must be >= 1")
+        self.max_points = max_points
+        self._series: Dict[str, List[Tuple[int, float]]] = {}
+        self.point_count = 0
+
+    def insert(self, series_key: str, timestamp: int, value: float) -> None:
+        bucket = self._series.get(series_key)
+        if bucket is None:
+            bucket = self._series[series_key] = []
+        bucket.append((timestamp, value))
+        self.point_count += 1
+
+    @property
+    def is_full(self) -> bool:
+        return self.point_count >= self.max_points
+
+    def series_keys(self) -> Iterator[str]:
+        return iter(self._series.keys())
+
+    def points_for(
+        self, series_key: str, t_start: int, t_end: int
+    ) -> List[Tuple[int, float]]:
+        """Time-filtered points for query reads against unflushed data."""
+        bucket = self._series.get(series_key)
+        if not bucket:
+            return []
+        return [(t, v) for t, v in bucket if t_start <= t <= t_end]
+
+    def freeze(self) -> Dict[str, List[Tuple[int, float]]]:
+        """Sort every series by time and return the buffers for flushing.
+
+        The memtable is emptied; the caller owns the returned dict.  The
+        per-series sort is part of the TSDB's ingest-path CPU cost.
+        """
+        frozen = self._series
+        for bucket in frozen.values():
+            bucket.sort(key=lambda tv: tv[0])
+        self._series = {}
+        self.point_count = 0
+        return frozen

@@ -1,0 +1,44 @@
+"""Data model for the InfluxDB-style TSDB baseline.
+
+InfluxDB organizes data as *measurements* containing *series*; a series is
+identified by the measurement name plus a sorted tag set, and carries
+timestamped field values.  We reproduce the single-field form the paper's
+workloads use (one numeric value per point, e.g. a latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """One timestamped value in a series."""
+
+    measurement: str
+    tags: Tuple[Tuple[str, str], ...]
+    timestamp: int
+    value: float
+
+    @staticmethod
+    def make(
+        measurement: str, tags: Mapping[str, str], timestamp: int, value: float
+    ) -> "Point":
+        return Point(
+            measurement=measurement,
+            tags=tuple(sorted(tags.items())),
+            timestamp=timestamp,
+            value=float(value),
+        )
+
+    @property
+    def series_key(self) -> str:
+        """Canonical series identity: measurement plus sorted tag pairs."""
+        return series_key(self.measurement, self.tags)
+
+
+def series_key(measurement: str, tags: Tuple[Tuple[str, str], ...]) -> str:
+    if not tags:
+        return measurement
+    return measurement + "," + ",".join(f"{k}={v}" for k, v in tags)

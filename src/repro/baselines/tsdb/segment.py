@@ -1,0 +1,163 @@
+"""Immutable sorted segments (TSM-file analogue) and their compaction.
+
+A flushed memtable becomes a :class:`Segment`: per-series numpy arrays of
+timestamps and values, sorted by time, with segment-level and per-series
+time ranges for pruning.  Segments are organized into levels; when a level
+accumulates enough segments they are merge-compacted into the next level.
+The merge is a real k-way merge over sorted arrays — the CPU cost that
+Figure 2's "index maintenance" fraction and Figure 15's LSM ingest numbers
+come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SeriesBlock:
+    """Sorted column data for one series within a segment."""
+
+    timestamps: np.ndarray  # int64, sorted ascending
+    values: np.ndarray  # float64
+
+    @property
+    def t_min(self) -> int:
+        return int(self.timestamps[0])
+
+    @property
+    def t_max(self) -> int:
+        return int(self.timestamps[-1])
+
+    def slice_time(self, t_start: int, t_end: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (timestamps, values) within [t_start, t_end] via bisect."""
+        lo = int(np.searchsorted(self.timestamps, t_start, side="left"))
+        hi = int(np.searchsorted(self.timestamps, t_end, side="right"))
+        return self.timestamps[lo:hi], self.values[lo:hi]
+
+
+class Segment:
+    """An immutable, time-sorted collection of series blocks."""
+
+    _next_id = 0
+
+    def __init__(self, blocks: Dict[str, SeriesBlock], level: int = 0) -> None:
+        if not blocks:
+            raise ValueError("segment needs at least one series block")
+        self.blocks = blocks
+        self.level = level
+        self.segment_id = Segment._next_id
+        Segment._next_id += 1
+        self.t_min = min(b.t_min for b in blocks.values())
+        self.t_max = max(b.t_max for b in blocks.values())
+        self.point_count = sum(len(b.timestamps) for b in blocks.values())
+
+    @classmethod
+    def from_buffers(
+        cls, buffers: Dict[str, List[Tuple[int, float]]], level: int = 0
+    ) -> "Segment":
+        """Build a segment from frozen (sorted) memtable buffers."""
+        blocks = {}
+        for key, pairs in buffers.items():
+            if not pairs:
+                continue
+            ts = np.fromiter((t for t, _ in pairs), dtype=np.int64, count=len(pairs))
+            vs = np.fromiter((v for _, v in pairs), dtype=np.float64, count=len(pairs))
+            blocks[key] = SeriesBlock(timestamps=ts, values=vs)
+        return cls(blocks, level=level)
+
+    def overlaps(self, t_start: int, t_end: int) -> bool:
+        return self.t_min <= t_end and self.t_max >= t_start
+
+    def series_points(
+        self, series_key: str, t_start: int, t_end: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        block = self.blocks.get(series_key)
+        if block is None or block.t_min > t_end or block.t_max < t_start:
+            empty = np.empty(0)
+            return empty.astype(np.int64), empty
+        return block.slice_time(t_start, t_end)
+
+
+@dataclass
+class CompactionStats:
+    """Work counters for the compaction machinery."""
+
+    compactions: int = 0
+    points_merged: int = 0
+    segments_merged: int = 0
+
+
+def merge_segments(segments: Sequence[Segment], level: int) -> Segment:
+    """K-way merge of segments into one sorted segment at ``level``.
+
+    Per-series arrays are concatenated and re-sorted (numpy mergesort,
+    which exploits pre-sorted runs) — the write-amplification work an
+    LSM/TSM engine performs off the critical path but on the same CPUs.
+    """
+    merged: Dict[str, List[SeriesBlock]] = {}
+    for segment in segments:
+        for key, block in segment.blocks.items():
+            merged.setdefault(key, []).append(block)
+    blocks: Dict[str, SeriesBlock] = {}
+    for key, parts in merged.items():
+        if len(parts) == 1:
+            blocks[key] = parts[0]
+            continue
+        ts = np.concatenate([p.timestamps for p in parts])
+        vs = np.concatenate([p.values for p in parts])
+        order = np.argsort(ts, kind="mergesort")
+        blocks[key] = SeriesBlock(timestamps=ts[order], values=vs[order])
+    return Segment(blocks, level=level)
+
+
+class LeveledSegmentStore:
+    """Leveled segment organization with size-tiered compaction.
+
+    Level ``i`` holds up to ``fanout`` segments; overflowing merges the
+    whole level into a single segment at level ``i + 1``.
+    """
+
+    def __init__(self, fanout: int = 4, max_levels: int = 6) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.fanout = fanout
+        self.max_levels = max_levels
+        self.levels: List[List[Segment]] = [[] for _ in range(max_levels)]
+        self.stats = CompactionStats()
+
+    def add(self, segment: Segment) -> None:
+        """Insert a fresh level-0 segment and run any cascading compaction."""
+        self.levels[0].append(segment)
+        level = 0
+        while (
+            level < self.max_levels - 1 and len(self.levels[level]) > self.fanout
+        ):
+            to_merge = self.levels[level]
+            self.levels[level] = []
+            merged = merge_segments(to_merge, level=level + 1)
+            self.stats.compactions += 1
+            self.stats.segments_merged += len(to_merge)
+            self.stats.points_merged += merged.point_count
+            self.levels[level + 1].append(merged)
+            level += 1
+
+    def segments(self) -> Iterator[Segment]:
+        for level in self.levels:
+            yield from level
+
+    def segments_overlapping(self, t_start: int, t_end: int) -> Iterator[Segment]:
+        for segment in self.segments():
+            if segment.overlaps(t_start, t_end):
+                yield segment
+
+    @property
+    def segment_count(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    @property
+    def point_count(self) -> int:
+        return sum(s.point_count for s in self.segments())

@@ -1,0 +1,57 @@
+"""Inverted tag index for the TSDB baseline (InfluxDB's "tag" index).
+
+InfluxDB maintains an inverted index from each ``tag_key=tag_value`` pair
+to the set of series containing it.  The index is updated on the write
+path whenever a new series appears, and it is what makes queries over
+narrow tag subsets fast (paper Figure 13, Phases 2–3: "InfluxDB's 'tag'
+index allows it to efficiently find subsets of data").
+
+It does nothing for value predicates or percentiles — those still require
+fetching and aggregating the raw points, which is why the Phase 1 tail
+latency query takes 380 seconds in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+
+class TagIndex:
+    """Inverted index: measurement and (tag key, tag value) -> series keys."""
+
+    def __init__(self) -> None:
+        self._by_measurement: Dict[str, Set[str]] = {}
+        self._by_tag: Dict[Tuple[str, str, str], Set[str]] = {}
+        self._known_series: Set[str] = set()
+        self.series_indexed = 0
+
+    def observe(
+        self, measurement: str, tags: Tuple[Tuple[str, str], ...], series_key: str
+    ) -> bool:
+        """Index a series if it is new; returns True on first sighting."""
+        if series_key in self._known_series:
+            return False
+        self._known_series.add(series_key)
+        self._by_measurement.setdefault(measurement, set()).add(series_key)
+        for key, value in tags:
+            self._by_tag.setdefault((measurement, key, value), set()).add(series_key)
+        self.series_indexed += 1
+        return True
+
+    def lookup(
+        self, measurement: str, tags: Optional[Mapping[str, str]] = None
+    ) -> Set[str]:
+        """Series matching a measurement and an optional tag conjunction."""
+        candidates = self._by_measurement.get(measurement)
+        if candidates is None:
+            return set()
+        result = set(candidates)
+        for key, value in (tags or {}).items():
+            result &= self._by_tag.get((measurement, key, value), set())
+            if not result:
+                break
+        return result
+
+    @property
+    def series_count(self) -> int:
+        return len(self._known_series)

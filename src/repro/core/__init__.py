@@ -1,0 +1,98 @@
+"""Loom core: hybrid logs, layered sparse indexes, and query operators.
+
+This package is the reproduction of the paper's primary contribution.  The
+main entry point is :class:`~repro.core.loom.Loom`; the submodules mirror
+the architecture of paper Figure 5.
+"""
+
+from .clock import Clock, MonotonicClock, VirtualClock, micros, millis, seconds
+from .config import LoomConfig, PAPER_CONFIG
+from .errors import (
+    AddressError,
+    ClosedError,
+    HistogramSpecError,
+    LoomError,
+    SnapshotConflictError,
+    StorageError,
+    UnknownIndexError,
+    UnknownSourceError,
+)
+from .histogram import (
+    HistogramSpec,
+    IndexDefinition,
+    exponential_edges,
+    uniform_edges,
+)
+from .hybridlog import NULL_ADDRESS, HybridLog, LogStats
+from .loom import Loom
+from .operators import (
+    AggregateResult,
+    QueryStats,
+    indexed_aggregate,
+    indexed_scan,
+    raw_scan,
+)
+from .record import HEADER_SIZE, Record
+from .recovery import (
+    RecoveredSource,
+    RecoveredState,
+    recover,
+    scan_persisted_records,
+    scan_persisted_summaries,
+    scan_persisted_timestamps,
+)
+from .record_log import RecordLog, SourceState
+from .snapshot import Snapshot
+from .storage import FileStorage, MemoryStorage, Storage
+from .summary import BinStats, ChunkSummary, SourceChunkInfo
+from .timestamp_index import TimestampIndex
+
+__all__ = [
+    "AddressError",
+    "AggregateResult",
+    "BinStats",
+    "ChunkSummary",
+    "Clock",
+    "ClosedError",
+    "FileStorage",
+    "HEADER_SIZE",
+    "HistogramSpec",
+    "HistogramSpecError",
+    "HybridLog",
+    "IndexDefinition",
+    "LogStats",
+    "Loom",
+    "LoomConfig",
+    "LoomError",
+    "MemoryStorage",
+    "MonotonicClock",
+    "NULL_ADDRESS",
+    "PAPER_CONFIG",
+    "QueryStats",
+    "Record",
+    "RecoveredSource",
+    "RecoveredState",
+    "RecordLog",
+    "Snapshot",
+    "SnapshotConflictError",
+    "SourceChunkInfo",
+    "SourceState",
+    "Storage",
+    "StorageError",
+    "TimestampIndex",
+    "UnknownIndexError",
+    "UnknownSourceError",
+    "VirtualClock",
+    "exponential_edges",
+    "indexed_aggregate",
+    "indexed_scan",
+    "micros",
+    "millis",
+    "raw_scan",
+    "recover",
+    "scan_persisted_records",
+    "scan_persisted_summaries",
+    "scan_persisted_timestamps",
+    "seconds",
+    "uniform_edges",
+]

@@ -1,0 +1,129 @@
+"""Fixed-size in-memory blocks with seqlock-style versioning.
+
+The hybrid log (paper section 4.1) stages all writes into one of two
+fixed-size blocks.  Readers never lock a block: they copy the bytes they
+need and then validate that the block was not concurrently recycled
+(flushed to storage and reused for a later part of the log).  The paper
+calls this "a lock-free versioning mechanism to detect this event"
+(section 5.5).
+
+The versioning scheme is a classic sequence lock:
+
+* ``version`` is even while the block is stable and odd while the writer is
+  recycling it;
+* a reader records the version, copies bytes, and re-reads the version —
+  if either read is odd or the two differ, the copy may be torn and the
+  reader must fall back to persistent storage (the data that used to be in
+  this block has, by construction, already been flushed).
+
+Writers appending *within* the current block do not bump the version:
+readers are only ever handed addresses at or below the log's high
+watermark, and bytes below the watermark are immutable until recycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class Block:
+    """One fixed-size staging block of a hybrid log.
+
+    Attributes:
+        capacity: block size in bytes (fixed at construction).
+        base_address: logical log address of the block's first byte, or
+            ``None`` while the block is not mapped into the address space.
+        filled: number of valid bytes currently in the block.
+    """
+
+    __slots__ = ("capacity", "base_address", "filled", "_buf", "_version", "_lock")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("block capacity must be positive")
+        self.capacity = capacity
+        self.base_address: Optional[int] = None
+        self.filled = 0
+        self._buf = bytearray(capacity)
+        # Even = stable, odd = mid-recycle. Starts at 0 (stable, unmapped).
+        self._version = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Writer-side operations (single writer thread)
+    # ------------------------------------------------------------------
+    def map(self, base_address: int) -> None:
+        """Map the block at ``base_address`` in the log's address space."""
+        if self.base_address is not None:
+            raise RuntimeError("block already mapped; recycle() it first")
+        self.base_address = base_address
+        self.filled = 0
+
+    @property
+    def remaining(self) -> int:
+        """Bytes of free space left in the block."""
+        return self.capacity - self.filled
+
+    @property
+    def is_full(self) -> bool:
+        return self.filled == self.capacity
+
+    def write(self, data: bytes) -> int:
+        """Append up to ``len(data)`` bytes; return the number written.
+
+        The caller (the hybrid log) handles the spill into the next block
+        when the write does not fully fit.
+        """
+        if self.base_address is None:
+            raise RuntimeError("block is not mapped")
+        n = min(len(data), self.remaining)
+        self._buf[self.filled : self.filled + n] = data[:n]
+        self.filled += n
+        return n
+
+    def snapshot_bytes(self) -> bytes:
+        """Writer-side copy of the filled prefix (used when flushing)."""
+        return bytes(self._buf[: self.filled])
+
+    def recycle(self) -> None:
+        """Invalidate the block so it can be remapped for new log space.
+
+        Bumps the version to odd, clears the mapping, then bumps back to
+        even.  Readers racing with this observe a version change and fall
+        back to storage.
+        """
+        with self._lock:
+            self._version += 1  # now odd: mid-recycle
+            self.base_address = None
+            self.filled = 0
+            self._version += 1  # even again: stable
+
+    # ------------------------------------------------------------------
+    # Reader-side operations (any thread)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def try_copy(self, address: int, length: int) -> Optional[bytes]:
+        """Lock-free copy of ``[address, address+length)`` from this block.
+
+        Returns the bytes, or ``None`` if the block does not (or no longer)
+        covers the range — the seqlock validation failed, meaning the block
+        was recycled mid-copy and the requested bytes are now in persistent
+        storage.
+        """
+        v1 = self._version
+        if v1 & 1:
+            return None
+        base = self.base_address
+        filled = self.filled
+        if base is None or address < base or address + length > base + filled:
+            return None
+        off = address - base
+        data = bytes(self._buf[off : off + length])
+        v2 = self._version
+        if v1 != v2:
+            return None
+        return data

@@ -1,0 +1,141 @@
+"""The chunk index: a hybrid log of chunk summaries (paper section 4.2).
+
+The chunk index is the middle layer of Loom's index hierarchy.  It is
+append-only: when the record log finalizes a chunk, the writer serializes
+the chunk's :class:`~repro.core.summary.ChunkSummary` into this log.
+Nothing is ever updated in place.
+
+Because summaries amortize whole chunks of records, the chunk index grows
+orders of magnitude more slowly than the record log (the paper's example:
+253 GiB of records → 3 GiB of chunk index), so in a real deployment a much
+larger fraction of it stays in memory.  This implementation keeps a decoded
+in-memory mirror of all finalized summaries — the structure queries scan —
+while still appending the serialized form to a hybrid log so the index has
+the same persistence story and measurable on-disk footprint as the paper's.
+
+Summaries are finalized in chunk order, so the mirror is sorted both by
+``chunk_id`` and by ``t_min``; time-range lookups bisect rather than scan.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from .hybridlog import HybridLog
+from .storage import Storage
+from .summary import ChunkSummary
+
+_LEN = struct.Struct("<I")
+
+
+class ChunkIndex:
+    """Append-only index of finalized chunk summaries."""
+
+    def __init__(
+        self,
+        storage: Optional[Storage] = None,
+        block_size: int = 1 << 18,
+        threaded_flush: bool = False,
+    ) -> None:
+        self.log = HybridLog(
+            storage=storage, block_size=block_size, threaded_flush=threaded_flush
+        )
+        # Decoded mirror of finalized summaries, in chunk order.  Guarded by
+        # a lock only for structural append vs. concurrent len() snapshots;
+        # entries themselves are immutable once appended.
+        self._summaries: List[ChunkSummary] = []
+        self._t_mins: List[int] = []
+        self._chunk_ids: List[int] = []
+        self._append_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Writer API
+    # ------------------------------------------------------------------
+    def append(self, summary: ChunkSummary) -> int:
+        """Persist a finalized summary; return its address in the index log.
+
+        The summary must not be mutated afterwards (it is finalized).
+        """
+        data = summary.encode()
+        address = self.log.append(_LEN.pack(len(data)) + data)
+        with self._append_lock:
+            self._summaries.append(summary)
+            self._t_mins.append(summary.t_min)
+            self._chunk_ids.append(summary.chunk_id)
+        return address
+
+    def publish(self) -> None:
+        """Expose everything appended so far to queries."""
+        self.log.publish()
+
+    def close(self) -> None:
+        self.log.close()
+
+    # ------------------------------------------------------------------
+    # Reader API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def get(self, position: int) -> ChunkSummary:
+        """Return the ``position``-th finalized summary (0-based)."""
+        return self._summaries[position]
+
+    def last(self) -> Optional[ChunkSummary]:
+        return self._summaries[-1] if self._summaries else None
+
+    def summaries_in_time_range(
+        self, t_start: int, t_end: int, limit: Optional[int] = None
+    ) -> Iterator[ChunkSummary]:
+        """Yield finalized summaries whose time range intersects the query.
+
+        Uses binary search over the (monotonic) per-chunk ``t_min`` values
+        to find the window, then filters by exact overlap.  ``limit`` bounds
+        the mirror length observed, which snapshot-based queries use to pin
+        a consistent view.
+        """
+        n = len(self._summaries) if limit is None else min(limit, len(self._summaries))
+        if n == 0 or t_end < t_start:
+            return
+        # First chunk that could overlap: the last one with t_min <= t_end;
+        # chunks before the first with t_min > t_start - might still
+        # overlap because a chunk spans [t_min, t_max].  Chunk t_max is its
+        # successor's t_min or later, so start from the chunk *before* the
+        # first t_min > t_start.
+        start = bisect_right(self._t_mins, t_start, 0, n) - 1
+        if start < 0:
+            start = 0
+        for i in range(start, n):
+            summary = self._summaries[i]
+            if summary.t_min > t_end:
+                break
+            if summary.overlaps_time(t_start, t_end):
+                yield summary
+
+    def summary_for_chunk(self, chunk_id: int, limit: Optional[int] = None) -> Optional[ChunkSummary]:
+        """Look up a summary by chunk id (binary search)."""
+        n = len(self._chunk_ids) if limit is None else min(limit, len(self._chunk_ids))
+        i = bisect_left(self._chunk_ids, chunk_id, 0, n)
+        if i < n and self._chunk_ids[i] == chunk_id:
+            return self._summaries[i]
+        return None
+
+    # ------------------------------------------------------------------
+    # Recovery / verification helpers
+    # ------------------------------------------------------------------
+    def iter_persisted(self) -> Iterator[ChunkSummary]:
+        """Decode summaries straight from the underlying log bytes.
+
+        Used by tests to verify the serialized index matches the in-memory
+        mirror, and by recovery tooling to rebuild the mirror after reopen.
+        """
+        address = 0
+        tail = self.log.tail_address
+        while address < tail:
+            (length,) = _LEN.unpack(self.log.read(address, _LEN.size))
+            payload = self.log.read(address + _LEN.size, length)
+            yield ChunkSummary.decode(payload)
+            address += _LEN.size + length

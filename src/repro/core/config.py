@@ -1,0 +1,82 @@
+"""Configuration for a Loom instance.
+
+The paper's prototype uses 64 MiB hybrid-log blocks and 64 KiB chunks.
+Those defaults make sense for a Rust system ingesting millions of records
+per second; for this Python reproduction the defaults are scaled down so
+that tests and examples exercise many chunk-finalization and block-flush
+events in milliseconds.  Every size is configurable, and the benchmark
+harness picks sizes appropriate to each experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LoomConfig:
+    """Tunables for one Loom instance.
+
+    Attributes:
+        chunk_size: record-log bytes per chunk, the unit of sparse indexing
+            (paper default 64 KiB).
+        record_block_size: staging block size of the record log's hybrid
+            log (paper default 64 MiB; two blocks are allocated).
+        index_block_size: staging block size for the chunk-index log.
+        timestamp_block_size: staging block size for the timestamp-index log.
+        timestamp_interval: records per source between timestamp-index
+            RECORD entries.
+        publish_interval: records between watermark publications.  1 means
+            every record is immediately queryable; larger values batch the
+            publication step (``sync`` always forces it).
+        threaded_flush: flush full blocks on a background thread (the
+            paper's behaviour) instead of inline.
+        data_dir: directory for the three log files, or ``None`` to keep
+            all logs in memory (tests, benchmarks).
+    """
+
+    chunk_size: int = 16 * 1024
+    record_block_size: int = 1 << 20
+    index_block_size: int = 1 << 18
+    timestamp_block_size: int = 1 << 16
+    timestamp_interval: int = 64
+    publish_interval: int = 1
+    threaded_flush: bool = False
+    data_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.publish_interval < 1:
+            raise ValueError("publish_interval must be >= 1")
+        if self.timestamp_interval < 1:
+            raise ValueError("timestamp_interval must be >= 1")
+
+    def record_log_path(self) -> Optional[str]:
+        return self._path("records.log")
+
+    def chunk_index_path(self) -> Optional[str]:
+        return self._path("chunks.idx")
+
+    def timestamp_index_path(self) -> Optional[str]:
+        return self._path("timestamps.idx")
+
+    def _path(self, name: str) -> Optional[str]:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, name)
+
+
+#: Configuration mirroring the paper's prototype constants.  Useful for
+#: sizing experiments; heavyweight for unit tests.
+PAPER_CONFIG = LoomConfig(
+    chunk_size=64 * 1024,
+    record_block_size=64 << 20,
+    index_block_size=8 << 20,
+    timestamp_block_size=1 << 20,
+    timestamp_interval=256,
+    publish_interval=64,
+    threaded_flush=True,
+)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Loom reproduction.
+
+All errors raised by :mod:`repro.core` derive from :class:`LoomError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``ValueError`` subclasses) from
+runtime conditions (e.g. a snapshot invalidated by a concurrent flush).
+"""
+
+from __future__ import annotations
+
+
+class LoomError(Exception):
+    """Base class for all errors raised by the Loom library."""
+
+
+class ClosedError(LoomError):
+    """An operation was attempted on a closed log, source, or index."""
+
+
+class UnknownSourceError(LoomError, KeyError):
+    """A ``source_id`` does not name a defined source."""
+
+    def __init__(self, source_id: int) -> None:
+        super().__init__(f"unknown source_id: {source_id}")
+        self.source_id = source_id
+
+
+class UnknownIndexError(LoomError, KeyError):
+    """An ``index_id`` does not name a defined index."""
+
+    def __init__(self, index_id: int) -> None:
+        super().__init__(f"unknown index_id: {index_id}")
+        self.index_id = index_id
+
+
+class AddressError(LoomError, ValueError):
+    """A log address is out of range or otherwise malformed."""
+
+
+class SnapshotConflictError(LoomError):
+    """A lock-free snapshot copy raced with a block flush and must retry.
+
+    This is an internal signal: the read path catches it and falls back to
+    reading the flushed data from persistent storage (paper section 5.5).
+    It escapes to callers only if retries are exhausted, which indicates a
+    bug or a pathologically small block size.
+    """
+
+
+class HistogramSpecError(LoomError, ValueError):
+    """A histogram index specification is invalid (e.g. unsorted edges)."""
+
+
+class StorageError(LoomError, IOError):
+    """The persistent storage backend failed."""

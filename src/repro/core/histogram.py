@@ -1,0 +1,159 @@
+"""Histogram index specifications (paper section 4.2, Figure 8).
+
+A Loom index over a source is defined by two things:
+
+* an ``index_func`` — a user-defined function mapping raw record payload
+  bytes to a numeric value (e.g. "the latency field"); and
+* a **histogram**: an ordered list of bin edges partitioning the value
+  domain.  The monitoring daemon supplies the interior bins; Loom always
+  adds two *outlier bins* — one below the first edge and one above the last
+  — because observability queries overwhelmingly care about outliers.
+
+The histogram is deliberately inexact: chunk summaries record per-bin
+statistics rather than per-record entries, which is what keeps index
+maintenance off the critical path.  But the abstraction is flexible enough
+to serve value-range queries, distributive aggregates, percentiles (bins as
+a CDF), and — with a single bin — exact-match predicates emulating
+FishStore's PSFs (paper section 6.4).
+
+Bin numbering for ``edges = [e0, e1, ..., en]``:
+
+====  =======================
+bin    value range
+====  =======================
+0      value < e0        (low outlier bin, added by Loom)
+1      e0 <= value < e1
+...    ...
+n      e(n-1) <= value < en
+n+1    value >= en       (high outlier bin, added by Loom)
+====  =======================
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from .errors import HistogramSpecError
+
+#: Signature of an index UDF: payload bytes -> numeric value.
+IndexFunc = Callable[[bytes], float]
+
+
+@dataclass(frozen=True)
+class HistogramSpec:
+    """An immutable, validated histogram bin layout.
+
+    Args:
+        edges: strictly increasing finite bin edges.  ``k`` edges define
+            ``k + 1`` bins (including the two outlier bins); a single edge is
+            allowed and yields a two-bin below/above split, which is the
+            exact-match emulation mode.
+    """
+
+    edges: Tuple[float, ...]
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        edges_t = tuple(float(e) for e in edges)
+        if not edges_t:
+            raise HistogramSpecError("histogram needs at least one edge")
+        for a, b in zip(edges_t, edges_t[1:]):
+            if not a < b:
+                raise HistogramSpecError(f"edges must be strictly increasing: {a} !< {b}")
+        for e in edges_t:
+            if e != e or e in (float("inf"), float("-inf")):
+                raise HistogramSpecError("edges must be finite numbers")
+        object.__setattr__(self, "edges", edges_t)
+
+    @property
+    def num_bins(self) -> int:
+        """Total bins including the two outlier bins Loom adds."""
+        return len(self.edges) + 1
+
+    @property
+    def low_outlier_bin(self) -> int:
+        return 0
+
+    @property
+    def high_outlier_bin(self) -> int:
+        return self.num_bins - 1
+
+    def bin_of(self, value: float) -> int:
+        """Return the bin index that ``value`` falls into."""
+        return bisect_right(self.edges, value)
+
+    def bin_range(self, bin_idx: int) -> Tuple[float, float]:
+        """Return the half-open value range ``[lo, hi)`` covered by a bin.
+
+        Outlier bins extend to -inf / +inf respectively.
+        """
+        if bin_idx < 0 or bin_idx >= self.num_bins:
+            raise HistogramSpecError(f"bin {bin_idx} out of range")
+        lo = float("-inf") if bin_idx == 0 else self.edges[bin_idx - 1]
+        hi = float("inf") if bin_idx == self.num_bins - 1 else self.edges[bin_idx]
+        return lo, hi
+
+    def bins_overlapping(self, v_min: float, v_max: float) -> List[int]:
+        """Bins that could contain values in the closed range [v_min, v_max]."""
+        if v_min > v_max:
+            return []
+        return list(range(self.bin_of(v_min), self.bin_of(v_max) + 1))
+
+    def bins_fully_inside(self, v_min: float, v_max: float) -> List[int]:
+        """Bins whose *entire* value range lies inside [v_min, v_max].
+
+        Records in these bins satisfy a value-range predicate without
+        scanning the chunk; only partially overlapping bins force a scan.
+        """
+        result = []
+        for b in self.bins_overlapping(v_min, v_max):
+            lo, hi = self.bin_range(b)
+            # Bin covers [lo, hi); it is contained in the closed query range
+            # iff lo >= v_min and hi <= v_max.  Infinite query bounds make
+            # the matching outlier bin fully contained too (inf <= inf).
+            if lo >= v_min and hi <= v_max:
+                result.append(b)
+        return result
+
+
+def uniform_edges(lo: float, hi: float, bins: int) -> List[float]:
+    """Evenly spaced edges: ``bins`` interior bins over [lo, hi]."""
+    if bins < 1:
+        raise HistogramSpecError("need at least one interior bin")
+    if not lo < hi:
+        raise HistogramSpecError("lo must be < hi")
+    step = (hi - lo) / bins
+    return [lo + i * step for i in range(bins + 1)]
+
+
+def exponential_edges(lo: float, hi: float, bins: int) -> List[float]:
+    """Geometrically spaced edges, the natural layout for latency data.
+
+    Latency distributions are heavy-tailed; exponential bins give roughly
+    constant relative resolution, which is what SLO-style histograms
+    (and the paper's percentile queries) want.
+    """
+    if bins < 1:
+        raise HistogramSpecError("need at least one interior bin")
+    if not 0 < lo < hi:
+        raise HistogramSpecError("exponential edges need 0 < lo < hi")
+    ratio = (hi / lo) ** (1.0 / bins)
+    return [lo * ratio**i for i in range(bins + 1)]
+
+
+@dataclass(frozen=True)
+class IndexDefinition:
+    """A registered index: id, owning source, UDF, and histogram layout."""
+
+    index_id: int
+    source_id: int
+    index_func: IndexFunc = field(compare=False)
+    spec: HistogramSpec = field(compare=False)
+
+    def value_of(self, payload: bytes) -> float:
+        """Apply the UDF to a payload."""
+        return self.index_func(payload)
+
+    def bin_of(self, payload: bytes) -> int:
+        return self.spec.bin_of(self.index_func(payload))

@@ -1,0 +1,303 @@
+"""The hybrid log: an append-only log spanning memory and storage.
+
+This is the storage primitive at the heart of Loom (paper section 4.1).
+Every log in Loom — the record log, the chunk index, and the timestamp
+index — is a hybrid log:
+
+* Writes go to one of **two fixed-size in-memory blocks**.  In the common
+  case an append is a bounds check and a ``memcpy``, which is how Loom
+  keeps per-record ingest cost at "a few hundred cycles".
+* When the active block fills, its contents are **evicted to persistent
+  storage** (optionally in a background thread) and writing switches to the
+  second block; when that fills, the roles swap back.  Eviction happens in
+  strict address order, so persistent storage always holds a prefix of the
+  logical address space.
+* Each appended byte has a permanent **logical address** equal to the total
+  number of bytes appended before it, making record lookup by address
+  ``O(1)`` forever, with no compaction, sorting, or rewriting.
+
+Concurrency model (paper sections 4.4, 5.5): exactly one writer thread; any
+number of reader threads.  Readers never take locks on the write path —
+they copy from the in-memory blocks and validate a per-block version
+(seqlock, see :mod:`repro.core.block`).  If a copy races with a block being
+recycled, the data has by construction already been flushed, so the reader
+falls back to persistent storage.  A *high watermark* published by the
+writer bounds what readers may observe, which is how Loom linearizes
+queries with ingest (section 4.5).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .block import Block
+from .errors import AddressError, ClosedError
+from .storage import MemoryStorage, Storage
+
+#: Sentinel address meaning "no previous record" in back-pointer chains.
+NULL_ADDRESS = 0xFFFF_FFFF_FFFF_FFFF
+
+_READ_RETRIES = 16
+
+
+@dataclass
+class LogStats:
+    """Counters maintained by a hybrid log (cheap, writer-thread only)."""
+
+    appends: int = 0
+    bytes_appended: int = 0
+    block_flushes: int = 0
+    bytes_flushed: int = 0
+    reader_storage_fallbacks: int = 0
+    _fallback_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def note_fallback(self) -> None:
+        with self._fallback_lock:
+            self.reader_storage_fallbacks += 1
+
+
+class HybridLog:
+    """Append-only log over two staging blocks plus a storage backend.
+
+    Args:
+        storage: persistent backend; defaults to :class:`MemoryStorage`.
+        block_size: capacity of each staging block in bytes.  The paper uses
+            64 MiB; the default here is 1 MiB so tests exercise many flush
+            and recycle events quickly.  Appends larger than one block are
+            split across blocks transparently.
+        threaded_flush: if True, full blocks are flushed by a background
+            thread (the paper's behaviour); if False, flushes happen inline,
+            which is deterministic and is the default for tests.
+    """
+
+    def __init__(
+        self,
+        storage: Optional[Storage] = None,
+        block_size: int = 1 << 20,
+        threaded_flush: bool = False,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self._storage = storage if storage is not None else MemoryStorage()
+        self.block_size = block_size
+        self._blocks = (Block(block_size), Block(block_size))
+        self._active = 0
+        self._blocks[0].map(self._storage.size)
+        self._tail = self._storage.size
+        self._watermark = self._tail
+        self._closed = False
+        self.stats = LogStats()
+
+        self._threaded = threaded_flush
+        self._flush_queue: "queue.Queue[Optional[Block]]" = queue.Queue(maxsize=2)
+        self._flush_error: Optional[BaseException] = None
+        self._flusher: Optional[threading.Thread] = None
+        if threaded_flush:
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="loom-flusher", daemon=True
+            )
+            self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # Writer API (single thread)
+    # ------------------------------------------------------------------
+    def append(self, data: bytes) -> int:
+        """Append ``data``; return the logical address of its first byte.
+
+        Appends may span block boundaries; the spilled suffix lands in the
+        next block(s) at contiguous logical addresses.
+        """
+        if self._closed:
+            raise ClosedError("log is closed")
+        if self._flush_error is not None:  # pragma: no cover - io failure
+            raise self._flush_error
+        address = self._tail
+        view = memoryview(data)
+        while len(view):
+            block = self._blocks[self._active]
+            written = block.write(bytes(view[: block.remaining]))
+            view = view[written:]
+            self._tail += written
+            if block.is_full:
+                self._rotate(block)
+        self.stats.appends += 1
+        self.stats.bytes_appended += len(data)
+        return address
+
+    def _rotate(self, full_block: Block) -> None:
+        """Hand ``full_block`` to the flusher and map the other block."""
+        if self._threaded:
+            self._flush_queue.put(full_block)  # blocks if both flushes pending
+        else:
+            self._flush_block(full_block)
+        nxt = self._blocks[1 - self._active]
+        self._wait_unmapped(nxt)
+        nxt.map(self._tail)
+        self._active = 1 - self._active
+
+    def _wait_unmapped(self, block: Block) -> None:
+        """Wait for an in-flight flush of ``block`` to complete (threaded mode)."""
+        while block.base_address is not None:
+            if self._flush_error is not None:  # pragma: no cover - io failure
+                raise self._flush_error
+            threading.Event().wait(0.0005)
+
+    def _flush_block(self, block: Block) -> None:
+        data = block.snapshot_bytes()
+        got = self._storage.append(data)
+        assert got == block.base_address, "blocks must flush in address order"
+        self.stats.block_flushes += 1
+        self.stats.bytes_flushed += len(data)
+        # Recycle only *after* the bytes are readable from storage, so
+        # readers that lose the seqlock race always find the data there.
+        block.recycle()
+
+    def _flush_loop(self) -> None:
+        while True:
+            block = self._flush_queue.get()
+            if block is None:
+                return
+            try:
+                self._flush_block(block)
+            except BaseException as exc:  # pragma: no cover - io failure
+                self._flush_error = exc
+                return
+
+    def publish(self, address: Optional[int] = None) -> int:
+        """Advance the high watermark, making data queryable.
+
+        Loom's write path makes the record log, chunk index, and timestamp
+        index queryable *in that order* with an atomic operation (paper
+        section 5.4).  Here the single interpreter-atomic store of
+        ``_watermark`` plays that role.  Returns the new watermark.
+        """
+        target = self._tail if address is None else address
+        if target < self._watermark or target > self._tail:
+            raise AddressError(
+                f"watermark {target} outside [{self._watermark}, {self._tail}]"
+            )
+        self._watermark = target
+        return target
+
+    def close(self) -> None:
+        """Flush everything (including the partial active block) and close.
+
+        After ``close()`` the log is immutable; reads keep working against
+        persistent storage.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._threaded and self._flusher is not None:
+            self._flush_queue.put(None)
+            self._flusher.join()
+            if self._flush_error is not None:  # pragma: no cover
+                raise self._flush_error
+        active = self._blocks[self._active]
+        if active.base_address is not None and active.filled:
+            data = active.snapshot_bytes()
+            self._storage.append(data)
+            self.stats.block_flushes += 1
+            self.stats.bytes_flushed += len(data)
+        active.recycle()
+        self._watermark = self._tail
+
+    # ------------------------------------------------------------------
+    # Reader API (any thread)
+    # ------------------------------------------------------------------
+    @property
+    def tail_address(self) -> int:
+        """Exclusive upper bound of all appended bytes."""
+        return self._tail
+
+    @property
+    def watermark(self) -> int:
+        """Exclusive upper bound of *queryable* bytes."""
+        return self._watermark
+
+    @property
+    def persisted_tail(self) -> int:
+        """Exclusive upper bound of bytes already in persistent storage."""
+        return self._storage.size
+
+    @property
+    def storage(self) -> Storage:
+        return self._storage
+
+    @property
+    def in_memory_bytes(self) -> int:
+        """Bytes currently staged in memory (not yet persisted)."""
+        return self._tail - self._storage.size
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``address`` from storage and/or blocks.
+
+        The range must lie below the tail.  This is the lock-free read path:
+        persisted prefixes come straight from storage, in-memory suffixes
+        are seqlock-copied from the staging blocks, and a lost race falls
+        back to storage (which by then holds the bytes).
+        """
+        if length == 0:
+            return b""
+        if address < 0 or address + length > self._tail:
+            raise AddressError(
+                f"read [{address}, {address + length}) beyond tail {self._tail}"
+            )
+        out = bytearray()
+        pos = address
+        end = address + length
+        retries = 0
+        while pos < end:
+            persisted = self._storage.size
+            if pos < persisted:
+                n = min(end, persisted) - pos
+                out += self._storage.read(pos, n)
+                pos += n
+                continue
+            piece = self._copy_from_blocks(pos, end)
+            if piece is None:
+                # Lost the seqlock race: the block recycled, so the bytes
+                # are now (or will momentarily be) in persistent storage.
+                self.stats.note_fallback()
+                retries += 1
+                if retries > _READ_RETRIES:  # pragma: no cover - defensive
+                    raise AddressError(
+                        f"unable to read address {pos} after {retries} retries"
+                    )
+                continue
+            out += piece
+            pos += len(piece)
+        return bytes(out)
+
+    def read_upto(self, address: int, max_length: int) -> bytes:
+        """Read up to ``max_length`` bytes at ``address``, clamped to tail.
+
+        Speculative reads let the record decoder fetch a header plus a
+        typical payload in one call instead of two (telemetry records are
+        small, so one read almost always suffices).
+        """
+        length = min(max_length, self._tail - address)
+        if length <= 0:
+            if address > self._tail:
+                raise AddressError(f"read at {address} beyond tail {self._tail}")
+            return b""
+        return self.read(address, length)
+
+    def _copy_from_blocks(self, pos: int, end: int) -> Optional[bytes]:
+        """Copy as much of ``[pos, end)`` as one staging block covers."""
+        for block in self._blocks:
+            base = block.base_address
+            if base is None:
+                continue
+            filled_end = base + block.filled
+            if base <= pos < filled_end:
+                n = min(end, filled_end) - pos
+                data = block.try_copy(pos, n)
+                if data is not None:
+                    return data
+        return None

@@ -1,0 +1,239 @@
+"""The Loom facade: the public API of paper Figure 9.
+
+A :class:`Loom` instance is a library object embedded in a monitoring
+daemon (paper Figure 4).  The daemon uses the *schema operators* to define
+sources and histogram indexes, the *ingest operators* to push records, and
+the *query operators* to scan and aggregate — exactly the surface of
+Figure 9:
+
+==============================================================  =========
+``define_source(source_id)``                                    schema
+``close_source(source_id)``                                     schema
+``define_index(source_id, index_func, bins)``                   schema
+``close_index(index_id)``                                       schema
+``push(source_id, bytes)``                                      ingest
+``sync(source_id)``                                             ingest
+``raw_scan(source_id, t_range, func)``                          query
+``indexed_scan(source_id, index_id, t_range, v_range, func)``   query
+``indexed_aggregate(source_id, index_id, t_range, method)``     query
+==============================================================  =========
+
+Queries linearize at snapshot creation (section 4.5); each query method
+takes its own snapshot unless handed an explicit one, so a drill-down
+sequence can pin a single consistent view across several operator calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .clock import Clock, MonotonicClock
+from .config import LoomConfig
+from .errors import LoomError
+from .histogram import HistogramSpec, IndexFunc
+from .operators import (
+    AggregateResult,
+    NEG_INF,
+    POS_INF,
+    QueryStats,
+    indexed_aggregate,
+    indexed_scan,
+    raw_scan,
+)
+from .record import Record
+from .record_log import RecordLog
+from .snapshot import Snapshot
+
+TimeRange = Tuple[int, int]
+ValueRange = Tuple[float, float]
+RecordFunc = Callable[[Record], None]
+
+
+class Loom:
+    """A single-host engine for capturing and querying high-frequency
+    telemetry.
+
+    Args:
+        config: sizes and tunables; defaults are test-friendly scaled-down
+            values (see :class:`~repro.core.config.LoomConfig`).
+        clock: timestamp source.  Live deployments use the monotonic clock;
+            workload replay uses a :class:`~repro.core.clock.VirtualClock`.
+    """
+
+    def __init__(
+        self, config: Optional[LoomConfig] = None, clock: Optional[Clock] = None
+    ) -> None:
+        self._record_log = RecordLog(config=config, clock=clock or MonotonicClock())
+
+    # ------------------------------------------------------------------
+    # Schema operators
+    # ------------------------------------------------------------------
+    def define_source(self, source_id: int) -> None:
+        """Define a new source (Figure 9)."""
+        self._record_log.define_source(source_id)
+
+    def close_source(self, source_id: int) -> None:
+        """Remove an existing source; its captured data remains queryable."""
+        self._record_log.close_source(source_id)
+
+    def define_index(
+        self,
+        source_id: int,
+        index_func: IndexFunc,
+        bins: Union[HistogramSpec, Sequence[float]],
+    ) -> int:
+        """Define a histogram index on a source; returns the index id.
+
+        ``bins`` is either a prepared :class:`HistogramSpec` or a sequence
+        of bin edges; Loom adds the two outlier bins itself (section 4.2).
+        Indexing applies to records pushed from now on (section 5.3).
+        """
+        spec = bins if isinstance(bins, HistogramSpec) else HistogramSpec(bins)
+        return self._record_log.define_index(source_id, index_func, spec)
+
+    def close_index(self, index_id: int) -> None:
+        """Remove an existing index (new chunks stop maintaining it)."""
+        self._record_log.close_index(index_id)
+
+    # ------------------------------------------------------------------
+    # Data ingest operators
+    # ------------------------------------------------------------------
+    def push(self, source_id: int, data: bytes) -> int:
+        """Write one record from a source; returns its log address."""
+        return self._record_log.push(source_id, data)
+
+    def sync(self, source_id: Optional[int] = None) -> None:
+        """Make all records from a source visible to queriers."""
+        self._record_log.sync(source_id)
+
+    # ------------------------------------------------------------------
+    # Query operators
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """Capture an explicit query snapshot (linearization point)."""
+        return Snapshot.capture(self._record_log)
+
+    def raw_scan(
+        self,
+        source_id: int,
+        t_range: TimeRange,
+        func: Optional[RecordFunc] = None,
+        snapshot: Optional[Snapshot] = None,
+        stats: Optional[QueryStats] = None,
+    ) -> Optional[List[Record]]:
+        """Scan a source in a time range, newest record first.
+
+        With ``func`` given, applies it to each record and returns ``None``
+        (the paper's streaming UDF form); otherwise returns the matching
+        records as a list.
+        """
+        snap = snapshot or self.snapshot()
+        it = raw_scan(snap, source_id, t_range[0], t_range[1], stats=stats)
+        return self._drive(it, func)
+
+    def indexed_scan(
+        self,
+        source_id: int,
+        index_id: int,
+        t_range: TimeRange,
+        v_range: ValueRange = (NEG_INF, POS_INF),
+        func: Optional[RecordFunc] = None,
+        snapshot: Optional[Snapshot] = None,
+        stats: Optional[QueryStats] = None,
+    ) -> Optional[List[Record]]:
+        """Scan a source in a time and value range using an index."""
+        snap = snapshot or self.snapshot()
+        index = self._record_log.get_index(index_id)
+        if index.source_id != source_id:
+            raise LoomError(
+                f"index {index_id} is defined on source {index.source_id}, "
+                f"not {source_id}"
+            )
+        it = indexed_scan(
+            snap, source_id, index, t_range[0], t_range[1],
+            v_range[0], v_range[1], stats=stats,
+        )
+        return self._drive(it, func)
+
+    def indexed_aggregate(
+        self,
+        source_id: int,
+        index_id: int,
+        t_range: TimeRange,
+        method: str,
+        percentile: Optional[float] = None,
+        snapshot: Optional[Snapshot] = None,
+    ) -> AggregateResult:
+        """Aggregate a source in a time range using the specified method.
+
+        ``method``: count/sum/min/max/mean, or ``percentile`` with the
+        ``percentile`` argument in [0, 100] (exact, per section 4.3).
+        """
+        snap = snapshot or self.snapshot()
+        index = self._record_log.get_index(index_id)
+        if index.source_id != source_id:
+            raise LoomError(
+                f"index {index_id} is defined on source {index.source_id}, "
+                f"not {source_id}"
+            )
+        return indexed_aggregate(
+            snap, source_id, index, t_range[0], t_range[1], method,
+            percentile=percentile,
+        )
+
+    @staticmethod
+    def _drive(
+        it: Iterator[Record], func: Optional[RecordFunc]
+    ) -> Optional[List[Record]]:
+        if func is None:
+            return list(it)
+        for record in it:
+            func(record)
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def record_log(self) -> RecordLog:
+        """The underlying record log (advanced use: ablations, benches)."""
+        return self._record_log
+
+    @property
+    def clock(self) -> Clock:
+        return self._record_log.clock
+
+    @property
+    def total_records(self) -> int:
+        """Records ingested since creation.  Loom never drops data, so
+        this equals the number of ``push`` calls."""
+        return self._record_log.total_records
+
+    def source_record_count(self, source_id: int) -> int:
+        return self._record_log.get_source(source_id).record_count
+
+    def footprint(self) -> dict:
+        """Approximate resource footprint: log sizes and staged bytes."""
+        rl, ci, ti = (
+            self._record_log.log,
+            self._record_log.chunk_index.log,
+            self._record_log.timestamp_index.log,
+        )
+        return {
+            "record_log_bytes": rl.tail_address,
+            "chunk_index_bytes": ci.tail_address,
+            "timestamp_index_bytes": ti.tail_address,
+            "in_memory_bytes": rl.in_memory_bytes + ci.in_memory_bytes + ti.in_memory_bytes,
+            "finalized_chunks": len(self._record_log.chunk_index),
+            "timestamp_entries": self._record_log.timestamp_index.entry_count,
+        }
+
+    def close(self) -> None:
+        """Publish all pending data and close the three logs."""
+        self._record_log.close()
+
+    def __enter__(self) -> "Loom":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

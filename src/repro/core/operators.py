@@ -1,0 +1,478 @@
+"""Loom's query operators (paper section 4.3).
+
+Three composable operators cover the paper's target query classes:
+
+* :func:`raw_scan` — all records of a source in a time range, newest
+  first, via the timestamp index and the source's back-pointer chain.
+* :func:`indexed_scan` — records of a source in a time range *and* a value
+  range of a histogram index.  The timestamp index narrows the chunk-index
+  window; chunk summaries whose relevant bins are empty are skipped
+  entirely; only the surviving chunks are scanned.
+* :func:`indexed_aggregate` — distributive aggregates (count/sum/min/max/
+  mean) computed from bin statistics, scanning only chunks that partially
+  overlap the time range, and holistic aggregates (percentiles) computed by
+  treating bin counts as a CDF and scanning only the chunks that contain
+  records in the single bin where the target rank falls.
+
+Every operator runs in the calling thread, touches a bounded amount of
+memory, and reads through a :class:`~repro.core.snapshot.Snapshot`, so
+queries impose no coordination on ingest (sections 3 and 4.4).
+
+For the index-ablation experiment (paper Figure 16) the scan operators
+accept ``use_time_index`` / ``use_chunk_index`` flags; disabling an index
+layer falls back to exactly the extra scanning the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .errors import LoomError
+from .histogram import IndexDefinition
+from .record import Record
+from .snapshot import Snapshot
+from .summary import BinStats, ChunkSummary
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+#: Aggregation methods accepted by :func:`indexed_aggregate`.
+DISTRIBUTIVE_METHODS = ("count", "sum", "min", "max", "mean")
+
+
+@dataclass
+class QueryStats:
+    """Work counters filled in by the operators (used by tests & benches)."""
+
+    records_scanned: int = 0
+    records_matched: int = 0
+    chunks_scanned: int = 0
+    chunks_skipped: int = 0
+    summaries_examined: int = 0
+    summaries_aggregated: int = 0
+    used_time_index: bool = False
+    used_chunk_index: bool = False
+
+
+# ----------------------------------------------------------------------
+# raw scan
+# ----------------------------------------------------------------------
+def raw_scan(
+    snapshot: Snapshot,
+    source_id: int,
+    t_start: int,
+    t_end: int,
+    stats: Optional[QueryStats] = None,
+    use_time_index: bool = True,
+) -> Iterator[Record]:
+    """Yield a source's records with ``t_start <= timestamp <= t_end``,
+    newest to oldest.
+
+    Uses the timestamp index to find the most recent record at or after the
+    end of the range, then walks the back-pointer chain until it passes the
+    start of the range.  With ``use_time_index=False`` the walk starts from
+    the source's live chain head, so cost grows with lookback distance —
+    the paper's "no index" ablation behaviour.
+    """
+    if t_end < t_start:
+        return
+    start_hint: Optional[int] = None
+    if use_time_index:
+        hit = snapshot.first_record_after(source_id, t_end)
+        if hit is not None:
+            start_hint = hit[1]
+        if stats is not None:
+            stats.used_time_index = True
+    for record in snapshot.iter_chain(source_id, start=start_hint):
+        if stats is not None:
+            stats.records_scanned += 1
+        if record.timestamp > t_end:
+            continue
+        if record.timestamp < t_start:
+            break
+        if stats is not None:
+            stats.records_matched += 1
+        yield record
+
+
+# ----------------------------------------------------------------------
+# indexed range scan
+# ----------------------------------------------------------------------
+def indexed_scan(
+    snapshot: Snapshot,
+    source_id: int,
+    index: IndexDefinition,
+    t_start: int,
+    t_end: int,
+    v_min: float = NEG_INF,
+    v_max: float = POS_INF,
+    stats: Optional[QueryStats] = None,
+    use_time_index: bool = True,
+    use_chunk_index: bool = True,
+) -> Iterator[Record]:
+    """Yield records of ``source_id`` in the time range whose indexed value
+    lies in ``[v_min, v_max]``, in ascending address (= arrival) order.
+
+    The three-step access pattern of section 4.3: the timestamp index
+    narrows the summary window, summaries filter chunks by bin occupancy,
+    and only surviving chunks (plus the unsummarized active region) are
+    scanned.
+    """
+    if t_end < t_start:
+        return
+    spec = index.spec
+    relevant_bins = set(spec.bins_overlapping(v_min, v_max))
+
+    for summary in _candidate_summaries(snapshot, t_start, t_end, use_time_index, stats):
+        if stats is not None:
+            stats.summaries_examined += 1
+        info = summary.source_info(source_id)
+        if info is None or info.t_min > t_end or info.t_max < t_start:
+            if stats is not None:
+                stats.chunks_skipped += 1
+            continue
+        if use_chunk_index:
+            if stats is not None:
+                stats.used_chunk_index = True
+            bins = summary.bins_for(source_id, index.index_id)
+            if not any(b in relevant_bins and bins[b].count > 0 for b in bins):
+                if stats is not None:
+                    stats.chunks_skipped += 1
+                continue
+        if stats is not None:
+            stats.chunks_scanned += 1
+        yield from _scan_region(
+            snapshot, summary.start_addr, summary.end_addr,
+            source_id, index, t_start, t_end, v_min, v_max, stats,
+        )
+
+    active_start, active_end = snapshot.active_region()
+    yield from _scan_region(
+        snapshot, active_start, active_end,
+        source_id, index, t_start, t_end, v_min, v_max, stats,
+    )
+
+
+def _candidate_summaries(
+    snapshot: Snapshot,
+    t_start: int,
+    t_end: int,
+    use_time_index: bool,
+    stats: Optional[QueryStats],
+) -> Iterator[ChunkSummary]:
+    """Summaries overlapping the time range, in chunk order.
+
+    With the time index this is a bisected window.  Without it, the query
+    must discover the window by scanning summaries backward from the tail
+    until it passes the range — cost proportional to lookback distance,
+    which is the growth Figure 16 shows for the chunk-index-only ablation.
+    """
+    if use_time_index:
+        if stats is not None:
+            stats.used_time_index = True
+        yield from snapshot.summaries_in_time_range(t_start, t_end)
+        return
+    collected: List[ChunkSummary] = []
+    for i in range(snapshot.n_chunks - 1, -1, -1):
+        summary = snapshot.record_log.chunk_index.get(i)
+        if stats is not None:
+            stats.summaries_examined += 1
+        if summary.t_min > t_end:
+            continue
+        if summary.t_max < t_start:
+            break
+        collected.append(summary)
+    yield from reversed(collected)
+
+
+def _scan_region(
+    snapshot: Snapshot,
+    start: int,
+    end: int,
+    source_id: int,
+    index: Optional[IndexDefinition],
+    t_start: int,
+    t_end: int,
+    v_min: float,
+    v_max: float,
+    stats: Optional[QueryStats],
+) -> Iterator[Record]:
+    """Scan ``[start, end)`` filtering by source, time, and value."""
+    for record in snapshot.iter_region(start, end):
+        if stats is not None:
+            stats.records_scanned += 1
+        if record.source_id != source_id:
+            continue
+        if record.timestamp < t_start or record.timestamp > t_end:
+            continue
+        if index is not None:
+            value = index.index_func(record.payload)
+            if value < v_min or value > v_max:
+                continue
+        if stats is not None:
+            stats.records_matched += 1
+        yield record
+
+
+# ----------------------------------------------------------------------
+# indexed aggregate
+# ----------------------------------------------------------------------
+@dataclass
+class AggregateResult:
+    """Result of :func:`indexed_aggregate` plus its work counters."""
+
+    value: Optional[float]
+    count: int
+    stats: QueryStats = field(default_factory=QueryStats)
+
+
+def indexed_aggregate(
+    snapshot: Snapshot,
+    source_id: int,
+    index: IndexDefinition,
+    t_start: int,
+    t_end: int,
+    method: str,
+    percentile: Optional[float] = None,
+    use_time_index: bool = True,
+    use_chunk_index: bool = True,
+) -> AggregateResult:
+    """Aggregate a source's indexed values over a time range.
+
+    ``method`` is one of ``count``, ``sum``, ``min``, ``max``, ``mean``, or
+    ``percentile`` (with ``percentile`` in [0, 100]).  Distributive methods
+    come from bin statistics wherever a chunk lies fully inside the time
+    range; chunks straddling a range edge are scanned.  Percentiles use the
+    bin-counts-as-CDF strategy of section 4.3 and are *exact*: the returned
+    value is the same order statistic a full sort would produce.
+    """
+    if method == "percentile":
+        if percentile is None or not 0 <= percentile <= 100:
+            raise LoomError("percentile method needs percentile in [0, 100]")
+        return _aggregate_percentile(
+            snapshot, source_id, index, t_start, t_end, percentile,
+            use_time_index, use_chunk_index,
+        )
+    if method not in DISTRIBUTIVE_METHODS:
+        raise LoomError(f"unknown aggregation method: {method!r}")
+    return _aggregate_distributive(
+        snapshot, source_id, index, t_start, t_end, method,
+        use_time_index, use_chunk_index,
+    )
+
+
+def _aggregate_distributive(
+    snapshot: Snapshot,
+    source_id: int,
+    index: IndexDefinition,
+    t_start: int,
+    t_end: int,
+    method: str,
+    use_time_index: bool,
+    use_chunk_index: bool,
+) -> AggregateResult:
+    stats = QueryStats()
+    total = BinStats()
+    for summary, full in _classified_summaries(
+        snapshot, source_id, t_start, t_end, use_time_index, stats
+    ):
+        if full and use_chunk_index:
+            stats.used_chunk_index = True
+            stats.summaries_aggregated += 1
+            for bin_stats in summary.bins_for(source_id, index.index_id).values():
+                total.merge(bin_stats)
+        else:
+            stats.chunks_scanned += 1
+            for record in _scan_region(
+                snapshot, summary.start_addr, summary.end_addr,
+                source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+            ):
+                total.update(index.index_func(record.payload), record.timestamp)
+    active_start, active_end = snapshot.active_region()
+    for record in _scan_region(
+        snapshot, active_start, active_end,
+        source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+    ):
+        total.update(index.index_func(record.payload), record.timestamp)
+
+    if total.count == 0:
+        return AggregateResult(value=None, count=0, stats=stats)
+    if method == "count":
+        value: float = float(total.count)
+    elif method == "sum":
+        value = total.sum
+    elif method == "min":
+        value = total.min
+    elif method == "max":
+        value = total.max
+    else:  # mean
+        value = total.sum / total.count
+    return AggregateResult(value=value, count=total.count, stats=stats)
+
+
+def _aggregate_percentile(
+    snapshot: Snapshot,
+    source_id: int,
+    index: IndexDefinition,
+    t_start: int,
+    t_end: int,
+    percentile: float,
+    use_time_index: bool,
+    use_chunk_index: bool,
+) -> AggregateResult:
+    """Exact percentile via the CDF-over-bins strategy (section 4.3).
+
+    Pass 1 establishes per-bin counts: bin statistics for chunks fully
+    inside the time range, record scans for straddling chunks and the
+    active region (scanned values are retained per bin so they need not be
+    re-read).  Pass 2 locates the target bin from the cumulative counts and
+    scans only the fully-covered chunks that have records in that bin.
+    """
+    stats = QueryStats()
+    spec = index.spec
+    bin_counts: Dict[int, int] = {}
+    scanned_bin_values: Dict[int, List[float]] = {}
+    full_summaries: List[ChunkSummary] = []
+
+    for summary, full in _classified_summaries(
+        snapshot, source_id, t_start, t_end, use_time_index, stats
+    ):
+        if full and use_chunk_index:
+            stats.used_chunk_index = True
+            stats.summaries_aggregated += 1
+            full_summaries.append(summary)
+            for bin_idx, bin_stats in summary.bins_for(source_id, index.index_id).items():
+                bin_counts[bin_idx] = bin_counts.get(bin_idx, 0) + bin_stats.count
+        else:
+            stats.chunks_scanned += 1
+            for record in _scan_region(
+                snapshot, summary.start_addr, summary.end_addr,
+                source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+            ):
+                value = index.index_func(record.payload)
+                b = spec.bin_of(value)
+                bin_counts[b] = bin_counts.get(b, 0) + 1
+                scanned_bin_values.setdefault(b, []).append(value)
+    active_start, active_end = snapshot.active_region()
+    for record in _scan_region(
+        snapshot, active_start, active_end,
+        source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+    ):
+        value = index.index_func(record.payload)
+        b = spec.bin_of(value)
+        bin_counts[b] = bin_counts.get(b, 0) + 1
+        scanned_bin_values.setdefault(b, []).append(value)
+
+    total_count = sum(bin_counts.values())
+    if total_count == 0:
+        return AggregateResult(value=None, count=0, stats=stats)
+
+    # Rank of the percentile using the nearest-rank (inverted CDF)
+    # definition: the smallest value with CDF >= p. numpy's
+    # method="inverted_cdf" matches this, which the tests rely on.
+    rank = max(1, math.ceil(percentile / 100.0 * total_count))
+
+    cumulative = 0
+    target_bin = None
+    for bin_idx in sorted(bin_counts):
+        if bin_counts[bin_idx] == 0:
+            continue
+        if cumulative + bin_counts[bin_idx] >= rank:
+            target_bin = bin_idx
+            break
+        cumulative += bin_counts[bin_idx]
+    assert target_bin is not None
+
+    # Collect the exact values in the target bin: retained scan values plus
+    # a scan of each fully-covered chunk with records in that bin.
+    values = list(scanned_bin_values.get(target_bin, ()))
+    for summary in full_summaries:
+        bins = summary.bins_for(source_id, index.index_id)
+        bin_stats = bins.get(target_bin)
+        if bin_stats is None or bin_stats.count == 0:
+            if stats is not None:
+                stats.chunks_skipped += 1
+            continue
+        stats.chunks_scanned += 1
+        for record in _scan_region(
+            snapshot, summary.start_addr, summary.end_addr,
+            source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+        ):
+            value = index.index_func(record.payload)
+            if spec.bin_of(value) == target_bin:
+                values.append(value)
+
+    values.sort()
+    k = rank - cumulative  # 1-based order statistic within the target bin
+    assert 1 <= k <= len(values), (k, len(values), rank, cumulative)
+    return AggregateResult(value=values[k - 1], count=total_count, stats=stats)
+
+
+def bin_histogram(
+    snapshot: Snapshot,
+    source_id: int,
+    index: IndexDefinition,
+    t_start: int,
+    t_end: int,
+    use_time_index: bool = True,
+    use_chunk_index: bool = True,
+) -> Dict[int, int]:
+    """Per-bin record counts for a source/index over a time range.
+
+    This is pass 1 of the percentile algorithm exposed on its own: chunks
+    fully inside the range contribute their bin statistics, straddling
+    chunks and the active region are scanned.  The distributed coordinator
+    (paper section 8) merges these histograms across nodes to locate a
+    global percentile's bin without moving raw data.
+    """
+    stats = QueryStats()
+    spec = index.spec
+    counts: Dict[int, int] = {}
+
+    def scan_into(start: int, end: int) -> None:
+        for record in _scan_region(
+            snapshot, start, end, source_id, index,
+            t_start, t_end, NEG_INF, POS_INF, stats,
+        ):
+            b = spec.bin_of(index.index_func(record.payload))
+            counts[b] = counts.get(b, 0) + 1
+
+    for summary, full in _classified_summaries(
+        snapshot, source_id, t_start, t_end, use_time_index, stats
+    ):
+        if full and use_chunk_index:
+            for bin_idx, bin_stats in summary.bins_for(source_id, index.index_id).items():
+                counts[bin_idx] = counts.get(bin_idx, 0) + bin_stats.count
+        else:
+            scan_into(summary.start_addr, summary.end_addr)
+    active_start, active_end = snapshot.active_region()
+    scan_into(active_start, active_end)
+    return counts
+
+
+def _classified_summaries(
+    snapshot: Snapshot,
+    source_id: int,
+    t_start: int,
+    t_end: int,
+    use_time_index: bool,
+    stats: QueryStats,
+) -> Iterator[Tuple[ChunkSummary, bool]]:
+    """Yield ``(summary, fully_inside)`` for chunks relevant to the query.
+
+    ``fully_inside`` is judged on the *source's* time range within the
+    chunk: if every one of the source's records in the chunk falls inside
+    the query range, its bin statistics can be used without a scan.
+    """
+    if t_end < t_start:
+        return
+    for summary in _candidate_summaries(snapshot, t_start, t_end, use_time_index, stats):
+        stats.summaries_examined += 1
+        info = summary.source_info(source_id)
+        if info is None or info.t_min > t_end or info.t_max < t_start:
+            stats.chunks_skipped += 1
+            continue
+        full = t_start <= info.t_min and info.t_max <= t_end
+        yield summary, full

@@ -1,0 +1,72 @@
+"""Record encoding for the record log.
+
+Every record Loom ingests is framed with a fixed 24-byte header followed by
+the raw payload bytes the monitoring daemon passed to ``push`` (Figure 9).
+The header carries everything the read path needs to walk the log:
+
+``source_id``  (u32)  which source produced the record;
+``timestamp``  (u64)  Loom's internal arrival timestamp in nanoseconds
+                      (paper section 5.2 — monotonic, assigned on ingest);
+``prev_addr``  (u64)  back-pointer to the previous record from the *same*
+                      source (``NULL_ADDRESS`` for the first), forming the
+                      per-source record chain of Figure 7;
+``length``     (u32)  payload length in bytes.
+
+Records are stored back to back in the record log; a record's address is
+the address of its header's first byte.  Records may span chunk and block
+boundaries — a record belongs to the chunk containing its *first* byte.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .hybridlog import NULL_ADDRESS
+
+_HEADER = struct.Struct("<IQQI")
+
+#: Size in bytes of the fixed record header.
+HEADER_SIZE = _HEADER.size  # 24
+
+
+@dataclass(frozen=True)
+class Record:
+    """A decoded record: header fields plus payload and its own address."""
+
+    source_id: int
+    timestamp: int
+    prev_addr: int
+    payload: bytes
+    address: int
+
+    @property
+    def size(self) -> int:
+        """Total on-log footprint (header + payload)."""
+        return HEADER_SIZE + len(self.payload)
+
+    @property
+    def has_prev(self) -> bool:
+        return self.prev_addr != NULL_ADDRESS
+
+
+def encode_header(source_id: int, timestamp: int, prev_addr: int, length: int) -> bytes:
+    """Pack a record header."""
+    return _HEADER.pack(source_id, timestamp, prev_addr, length)
+
+
+def encode_record(
+    source_id: int, timestamp: int, prev_addr: int, payload: bytes
+) -> bytes:
+    """Frame a full record (header + payload) ready for the record log."""
+    return _HEADER.pack(source_id, timestamp, prev_addr, len(payload)) + payload
+
+
+def decode_header(data: bytes, offset: int = 0) -> "tuple[int, int, int, int]":
+    """Unpack ``(source_id, timestamp, prev_addr, length)`` from header bytes."""
+    return _HEADER.unpack_from(data, offset)
+
+
+def record_size(payload_len: int) -> int:
+    """On-log footprint of a record with a payload of ``payload_len`` bytes."""
+    return HEADER_SIZE + payload_len

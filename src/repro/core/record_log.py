@@ -1,0 +1,325 @@
+"""The record log and Loom's write path (paper sections 4.2, 5.4).
+
+The record log is the bottom layer of Loom's storage hierarchy: a hybrid
+log holding every raw record from every source, interleaved in arrival
+order.  Records from one source are threaded into a back-pointer chain.
+The log is divided into fixed-size *chunks* — the units of sparse indexing.
+
+This module implements the carefully ordered write path of paper
+section 5.4.  For each pushed record, the writer:
+
+1. takes an internal timestamp (monotonic arrival time);
+2. appends the framed record to the record log;
+3. if the record starts a new chunk, finalizes the previous chunk's
+   summary, appends it to the chunk index, and writes a CHUNK entry to the
+   timestamp index;
+4. updates the *active* chunk summary (per-source info plus one histogram
+   bin update per index defined on the source) — the active summary is
+   never visible to queries;
+5. periodically writes a RECORD entry to the timestamp index;
+6. publishes the new high watermarks of the record log, chunk index, and
+   timestamp index, in that order.
+
+Step 6's ordering is what makes the lock-free read path safe: any index
+entry a reader can see refers only to record-log bytes already below the
+record log's watermark.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .chunk_index import ChunkIndex
+from .clock import Clock, MonotonicClock
+from .config import LoomConfig
+from .errors import ClosedError, UnknownIndexError, UnknownSourceError
+from .histogram import HistogramSpec, IndexDefinition, IndexFunc
+from .hybridlog import HybridLog, NULL_ADDRESS
+from .record import HEADER_SIZE, Record, decode_header, encode_record
+from .storage import open_storage
+from .summary import ChunkSummary
+from .timestamp_index import TimestampIndex
+
+
+@dataclass
+class SourceState:
+    """Writer-side state for one defined source."""
+
+    source_id: int
+    #: Address of the most recent record (chain head), NULL if none yet.
+    last_addr: int = NULL_ADDRESS
+    #: Chain head as of the last watermark publication; what readers use.
+    published_head: int = NULL_ADDRESS
+    record_count: int = 0
+    bytes_ingested: int = 0
+    first_timestamp: int = 0
+    last_timestamp: int = 0
+    closed: bool = False
+    #: Indexes currently active on this source.
+    index_ids: List[int] = field(default_factory=list)
+
+
+class RecordLog:
+    """The record log plus both index logs, driven by one writer.
+
+    This class owns all three hybrid logs and the schema state (sources and
+    indexes).  :class:`repro.core.loom.Loom` wraps it with the public API
+    of paper Figure 9.
+    """
+
+    def __init__(
+        self, config: Optional[LoomConfig] = None, clock: Optional[Clock] = None
+    ) -> None:
+        self.config = config or LoomConfig()
+        self.clock = clock or MonotonicClock()
+        cfg = self.config
+        self.log = HybridLog(
+            storage=open_storage(cfg.record_log_path()),
+            block_size=cfg.record_block_size,
+            threaded_flush=cfg.threaded_flush,
+        )
+        self.chunk_index = ChunkIndex(
+            storage=open_storage(cfg.chunk_index_path()),
+            block_size=cfg.index_block_size,
+            threaded_flush=cfg.threaded_flush,
+        )
+        self.timestamp_index = TimestampIndex(
+            storage=open_storage(cfg.timestamp_index_path()),
+            block_size=cfg.timestamp_block_size,
+            record_interval=cfg.timestamp_interval,
+            threaded_flush=cfg.threaded_flush,
+        )
+        self.chunk_size = cfg.chunk_size
+        self._sources: Dict[int, SourceState] = {}
+        self._indexes: Dict[int, IndexDefinition] = {}
+        self._next_index_id = 1
+        self._active_summary = ChunkSummary(chunk_id=0, start_addr=0, end_addr=0)
+        self._records_since_publish = 0
+        self._closed = False
+        self.total_records = 0
+        #: Read-side counter: records decoded by any query since creation.
+        #: Benchmarks diff this around a query to report records touched.
+        self.records_decoded = 0
+
+    # ------------------------------------------------------------------
+    # Schema operations
+    # ------------------------------------------------------------------
+    def define_source(self, source_id: int) -> SourceState:
+        """Register a new source id (paper API ``define_source``)."""
+        if self._closed:
+            raise ClosedError("record log is closed")
+        existing = self._sources.get(source_id)
+        if existing is not None and not existing.closed:
+            raise ValueError(f"source {source_id} already defined")
+        if existing is not None:
+            # Reopening a closed source resumes its chain.
+            existing.closed = False
+            return existing
+        state = SourceState(source_id=source_id)
+        self._sources[source_id] = state
+        return state
+
+    def close_source(self, source_id: int) -> None:
+        """Stop accepting records for a source; its data stays queryable."""
+        state = self._sources.get(source_id)
+        if state is None:
+            raise UnknownSourceError(source_id)
+        state.closed = True
+        for index_id in list(state.index_ids):
+            self.close_index(index_id)
+
+    def define_index(
+        self, source_id: int, index_func: IndexFunc, spec: HistogramSpec
+    ) -> int:
+        """Register a histogram index on a source; returns its index id.
+
+        Indexing starts with the *next* record pushed: older data is not
+        re-indexed (paper section 5.3), so the new index accelerates only
+        queries over data that arrives after this call.
+        """
+        state = self._sources.get(source_id)
+        if state is None or state.closed:
+            raise UnknownSourceError(source_id)
+        index_id = self._next_index_id
+        self._next_index_id += 1
+        definition = IndexDefinition(
+            index_id=index_id, source_id=source_id, index_func=index_func, spec=spec
+        )
+        self._indexes[index_id] = definition
+        state.index_ids.append(index_id)
+        return index_id
+
+    def close_index(self, index_id: int) -> None:
+        """Deactivate an index.  Existing summaries keep its bins; new
+        chunks stop recording them.  Queries may no longer use the id."""
+        definition = self._indexes.pop(index_id, None)
+        if definition is None:
+            raise UnknownIndexError(index_id)
+        state = self._sources.get(definition.source_id)
+        if state is not None and index_id in state.index_ids:
+            state.index_ids.remove(index_id)
+
+    def get_index(self, index_id: int) -> IndexDefinition:
+        definition = self._indexes.get(index_id)
+        if definition is None:
+            raise UnknownIndexError(index_id)
+        return definition
+
+    def get_source(self, source_id: int) -> SourceState:
+        state = self._sources.get(source_id)
+        if state is None:
+            raise UnknownSourceError(source_id)
+        return state
+
+    def source_ids(self) -> List[int]:
+        return list(self._sources.keys())
+
+    # ------------------------------------------------------------------
+    # Ingest (single writer thread)
+    # ------------------------------------------------------------------
+    def push(self, source_id: int, payload: bytes) -> int:
+        """Ingest one record; returns its record-log address.
+
+        This is the paper's ``push(source_id, bytes)`` and implements the
+        full section 5.4 write path described in the module docstring.
+        """
+        if self._closed:
+            raise ClosedError("record log is closed")
+        state = self._sources.get(source_id)
+        if state is None or state.closed:
+            raise UnknownSourceError(source_id)
+
+        timestamp = self.clock.now()
+        framed = encode_record(source_id, timestamp, state.last_addr, payload)
+        address = self.log.append(framed)
+
+        chunk_id = address // self.chunk_size
+        if chunk_id > self._active_summary.chunk_id:
+            self._finalize_active_chunk(timestamp, chunk_id, address)
+
+        summary = self._active_summary
+        summary.add_record(source_id, timestamp, address)
+        for index_id in state.index_ids:
+            definition = self._indexes[index_id]
+            value = definition.index_func(payload)
+            summary.add_indexed_value(
+                source_id, index_id, definition.spec.bin_of(value), value, timestamp
+            )
+
+        self.timestamp_index.maybe_note_record(source_id, timestamp, address)
+
+        state.last_addr = address
+        state.record_count += 1
+        state.bytes_ingested += len(payload)
+        if state.record_count == 1:
+            state.first_timestamp = timestamp
+        state.last_timestamp = timestamp
+        self.total_records += 1
+
+        self._records_since_publish += 1
+        if self._records_since_publish >= self.config.publish_interval:
+            self._publish()
+        return address
+
+    def _finalize_active_chunk(
+        self, timestamp: int, new_chunk_id: int, new_record_addr: int
+    ) -> None:
+        """Seal the active chunk summary and open one for ``new_chunk_id``."""
+        summary = self._active_summary
+        summary.end_addr = new_record_addr
+        if summary.record_count > 0:
+            self.chunk_index.append(summary)
+            self.timestamp_index.note_chunk(timestamp, summary.chunk_id)
+        self._active_summary = ChunkSummary(
+            chunk_id=new_chunk_id, start_addr=new_record_addr, end_addr=new_record_addr
+        )
+
+    def _publish(self) -> None:
+        """Make recent writes queryable: record log, chunk index, then
+        timestamp index (the section 5.4 ordering)."""
+        self.log.publish()
+        self.chunk_index.publish()
+        self.timestamp_index.publish()
+        for state in self._sources.values():
+            state.published_head = state.last_addr
+        self._records_since_publish = 0
+
+    def sync(self, source_id: Optional[int] = None) -> None:
+        """Force queryability of everything ingested so far (paper ``sync``).
+
+        ``source_id`` is accepted for API fidelity; publication is global
+        because the three logs share watermarks.
+        """
+        if source_id is not None:
+            self.get_source(source_id)
+        self._publish()
+
+    def close(self) -> None:
+        """Publish, then close all three logs."""
+        if self._closed:
+            return
+        self._publish()
+        self._closed = True
+        self.log.close()
+        self.chunk_index.close()
+        self.timestamp_index.close()
+
+    # ------------------------------------------------------------------
+    # Read-side primitives (used by operators via snapshots)
+    # ------------------------------------------------------------------
+    #: Speculative read size: header plus a typical small-record payload,
+    #: so decoding a record is one log read in the common case.
+    _INLINE_READ = HEADER_SIZE + 232
+
+    def read_record(self, address: int) -> Record:
+        """Decode the record whose header starts at ``address``."""
+        self.records_decoded += 1
+        data = self.log.read_upto(address, self._INLINE_READ)
+        source_id, timestamp, prev_addr, length = decode_header(data)
+        if HEADER_SIZE + length <= len(data):
+            payload = data[HEADER_SIZE : HEADER_SIZE + length]
+        else:
+            payload = self.log.read(address + HEADER_SIZE, length)
+        return Record(
+            source_id=source_id,
+            timestamp=timestamp,
+            prev_addr=prev_addr,
+            payload=payload,
+            address=address,
+        )
+
+    def iter_records_between(self, start: int, end: int) -> Iterator[Record]:
+        """Sequentially decode records in ``[start, end)``.
+
+        ``start`` must be a record boundary; ``end`` must be a record
+        boundary at or below the watermark (chunk summaries provide such
+        boundaries).  The whole region is fetched with one log read and
+        decoded from the buffer — the chunk-scan fast path (sequential
+        I/O amortized over the chunk, as the paper's design intends).
+        """
+        if end <= start:
+            return
+        buffer = self.log.read(start, end - start)
+        offset = 0
+        size = end - start
+        while offset < size:
+            self.records_decoded += 1
+            source_id, timestamp, prev_addr, length = decode_header(buffer, offset)
+            payload = bytes(buffer[offset + HEADER_SIZE : offset + HEADER_SIZE + length])
+            yield Record(
+                source_id=source_id,
+                timestamp=timestamp,
+                prev_addr=prev_addr,
+                payload=payload,
+                address=start + offset,
+            )
+            offset += HEADER_SIZE + length
+
+    def active_region_start(self, n_finalized_chunks: int) -> int:
+        """Record-log address where unsummarized ("active") data begins,
+        given a pinned count of finalized chunk summaries."""
+        if n_finalized_chunks == 0:
+            return 0
+        return self.chunk_index.get(n_finalized_chunks - 1).end_addr

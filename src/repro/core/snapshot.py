@@ -1,0 +1,130 @@
+"""Query snapshots: Loom's linearization point (paper sections 4.4–4.5).
+
+A query never coordinates with the writer.  Instead it begins by taking a
+:class:`Snapshot` — a cheap, lock-free capture of:
+
+* the record log's high **watermark** (exclusive address bound of
+  queryable data);
+* the number of finalized **chunk summaries** whose data lies entirely
+  below that watermark (under-construction and not-yet-published summaries
+  are invisible, per section 4.2);
+* each source's published **chain head** (most recent queryable record).
+
+All data that arrived before the snapshot is included in the query's view;
+data arriving afterwards is not — this is the consistency guarantee of
+section 4.5.  Reading record bytes through a snapshot goes through the
+hybrid log's seqlock read path, so a block recycled mid-read transparently
+falls back to persistent storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from .hybridlog import NULL_ADDRESS
+from .record import Record
+from .record_log import RecordLog
+from .summary import ChunkSummary
+
+
+@dataclass
+class Snapshot:
+    """An immutable view of a :class:`RecordLog` for one query."""
+
+    record_log: RecordLog
+    watermark: int
+    n_chunks: int
+    heads: Dict[int, int]
+    created_at: int
+
+    @classmethod
+    def capture(cls, record_log: RecordLog) -> "Snapshot":
+        """Take a snapshot (the linearization point of the query)."""
+        watermark = record_log.log.watermark
+        # Pin only summaries whose records are fully below the watermark;
+        # a summary can reach the mirror an instant before the watermark
+        # publication that covers it.
+        n = len(record_log.chunk_index)
+        while n > 0 and record_log.chunk_index.get(n - 1).end_addr > watermark:
+            n -= 1
+        heads = {
+            sid: record_log.get_source(sid).published_head
+            for sid in record_log.source_ids()
+        }
+        return cls(
+            record_log=record_log,
+            watermark=watermark,
+            n_chunks=n,
+            heads=heads,
+            created_at=record_log.clock.now(),
+        )
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def read_record(self, address: int) -> Record:
+        """Read one record; it must start below the snapshot watermark."""
+        return self.record_log.read_record(address)
+
+    def chain_head(self, source_id: int) -> int:
+        """Most recent queryable record address of a source (or NULL)."""
+        return self.heads.get(source_id, NULL_ADDRESS)
+
+    def iter_chain(self, source_id: int, start: Optional[int] = None) -> Iterator[Record]:
+        """Walk a source's back-pointer chain, newest to oldest.
+
+        ``start`` overrides the chain head (e.g. a timestamp-index hint);
+        addresses at or above the watermark are skipped by walking past
+        them until the chain dips below the watermark.
+        """
+        address = self.chain_head(source_id) if start is None else start
+        while address != NULL_ADDRESS and address >= self.watermark:
+            # The hinted record is too new for this snapshot; records are
+            # appended in address order so following the chain moves below
+            # the watermark.
+            record = self.record_log.read_record(address)
+            address = record.prev_addr
+        while address != NULL_ADDRESS:
+            record = self.record_log.read_record(address)
+            yield record
+            address = record.prev_addr
+
+    def iter_region(self, start: int, end: int) -> Iterator[Record]:
+        """Sequentially decode records in ``[start, min(end, watermark))``."""
+        end = min(end, self.watermark)
+        if start >= end:
+            return iter(())
+        return self.record_log.iter_records_between(start, end)
+
+    # ------------------------------------------------------------------
+    # Index access (bounded by the pinned chunk count)
+    # ------------------------------------------------------------------
+    def summaries_in_time_range(self, t_start: int, t_end: int) -> Iterator[ChunkSummary]:
+        return self.record_log.chunk_index.summaries_in_time_range(
+            t_start, t_end, limit=self.n_chunks
+        )
+
+    def all_summaries(self) -> Iterator[ChunkSummary]:
+        """All pinned summaries in chunk order (ablation mode helper)."""
+        for i in range(self.n_chunks):
+            yield self.record_log.chunk_index.get(i)
+
+    def active_region(self) -> Tuple[int, int]:
+        """Address range ``[start, end)`` of queryable but unsummarized data.
+
+        This is the "few megabytes of unindexed, in-memory data" the paper
+        accepts scanning in exchange for coordination-free ingest.
+        """
+        start = self.record_log.active_region_start(self.n_chunks)
+        return start, self.watermark
+
+    def first_record_after(self, source_id: int, timestamp: int):
+        """Timestamp-index seek hint, filtered to this snapshot's view."""
+        hit = self.record_log.timestamp_index.first_record_after(source_id, timestamp)
+        if hit is not None and hit[1] < self.watermark:
+            return hit
+        return None
+
+    def chunk_id_window(self, t_start: int, t_end: int):
+        return self.record_log.timestamp_index.chunk_id_window(t_start, t_end)

@@ -1,0 +1,165 @@
+"""Persistent storage backends for hybrid logs.
+
+A hybrid log (paper section 4.1) stages writes in two fixed-size in-memory
+blocks and evicts full blocks to *persistent storage*.  This module defines
+the storage interface and two implementations:
+
+* :class:`FileStorage` — an append-only file, the production-shaped backend.
+  Flushes are sequential writes of whole blocks, which is exactly the large,
+  amortized I/O pattern the paper relies on for disk efficiency.
+* :class:`MemoryStorage` — an in-process ``bytearray`` backend used by tests
+  and benchmarks that should not touch the filesystem.  It preserves the
+  same address arithmetic and failure surface.
+
+Both backends expose a flat, append-only byte address space: the ``n``-th
+byte ever appended lives at address ``n``.  The hybrid log guarantees blocks
+are flushed in order, so storage holds a prefix ``[0, size)`` of the log's
+logical address space at all times.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import threading
+from typing import Optional
+
+from .errors import AddressError, ClosedError, StorageError
+
+
+class Storage:
+    """Interface: an append-only, randomly readable byte store."""
+
+    def append(self, data: bytes) -> int:
+        """Append ``data``; return the address of its first byte."""
+        raise NotImplementedError
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``.
+
+        Raises :class:`AddressError` if the range is not fully persisted.
+        """
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        """Number of bytes persisted so far (the exclusive upper address)."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Force durability of all appended bytes (no-op where meaningless)."""
+
+    def close(self) -> None:
+        """Release resources; subsequent operations raise :class:`ClosedError`."""
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0:
+            raise AddressError(f"negative address or length: {address}, {length}")
+        if address + length > self.size:
+            raise AddressError(
+                f"read [{address}, {address + length}) beyond persisted size {self.size}"
+            )
+
+
+class MemoryStorage(Storage):
+    """In-memory append-only store backed by a ``bytearray``.
+
+    Thread-safe for one appender plus concurrent readers: appends extend the
+    buffer under a lock, and reads only touch the already-persisted prefix,
+    which is immutable.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def append(self, data: bytes) -> int:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        with self._lock:
+            address = len(self._buf)
+            self._buf += data
+        return address
+
+    def read(self, address: int, length: int) -> bytes:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        self._check_range(address, length)
+        return bytes(self._buf[address : address + length])
+
+    @property
+    def size(self) -> int:
+        return len(self._buf)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class FileStorage(Storage):
+    """Append-only file storage.
+
+    Uses one file descriptor for appends and ``pread``-style reads via a
+    separate handle so concurrent readers never disturb the append offset.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        try:
+            self._write_f = open(path, "ab")
+            self._read_f = open(path, "rb")
+        except OSError as exc:  # pragma: no cover - environment dependent
+            raise StorageError(f"cannot open {path}: {exc}") from exc
+        self._size = os.fstat(self._write_f.fileno()).st_size
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def append(self, data: bytes) -> int:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        with self._lock:
+            address = self._size
+            self._write_f.write(data)
+            self._write_f.flush()
+            self._size += len(data)
+        return address
+
+    def read(self, address: int, length: int) -> bytes:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        self._check_range(address, length)
+        data = os.pread(self._read_f.fileno(), length, address)
+        if len(data) != length:  # pragma: no cover - fs corruption only
+            raise StorageError(
+                f"short read at {address}: wanted {length}, got {len(data)}"
+            )
+        return data
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def sync(self) -> None:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        os.fsync(self._write_f.fileno())
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._write_f.close()
+            self._read_f.close()
+
+
+def open_storage(path: Optional[str]) -> Storage:
+    """Open :class:`FileStorage` at ``path``, or :class:`MemoryStorage` if None."""
+    if path is None:
+        return MemoryStorage()
+    return FileStorage(path)

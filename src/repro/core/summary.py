@@ -1,0 +1,234 @@
+"""Chunk summaries: the entries of the chunk index (paper Figure 8).
+
+While records accumulate in the *active chunk* of the record log, Loom
+incrementally maintains one :class:`ChunkSummary` for it.  When the chunk
+fills and becomes immutable, the summary is appended to the chunk index and
+only then becomes visible to queries (this delayed exposure is what lets
+ingest avoid any coordination with readers).
+
+A summary holds, per ``(source, index)`` pair with records in the chunk,
+one :class:`BinStats` per histogram bin that received at least one value:
+``count``, ``sum``, ``min``, ``max``, plus the arrival-timestamp range of
+the contributing records.  It also tracks, per source, the record count,
+timestamp range, and the address of the source's *last* record in the chunk
+(the entry point for walking the back-pointer chain within the chunk).
+
+Summaries are serialized into the chunk-index hybrid log so the index has
+the same persistence story as the record log; a decoded in-memory mirror of
+the finalized summaries is what queries actually scan, matching the paper's
+observation that a large fraction of the (much smaller) index logs stays in
+memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass
+class BinStats:
+    """Statistics for values of one (source, index) falling into one bin."""
+
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    t_min: int = 0
+    t_max: int = 0
+
+    def update(self, value: float, timestamp: int) -> None:
+        if self.count == 0:
+            self.t_min = timestamp
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.t_max = timestamp
+
+    def merge(self, other: "BinStats") -> None:
+        """Fold another BinStats into this one (used by partial aggregation)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.sum = other.sum
+            self.min = other.min
+            self.max = other.max
+            self.t_min = other.t_min
+            self.t_max = other.t_max
+            return
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        if other.t_min < self.t_min:
+            self.t_min = other.t_min
+        if other.t_max > self.t_max:
+            self.t_max = other.t_max
+
+
+@dataclass
+class SourceChunkInfo:
+    """Per-source bookkeeping inside one chunk."""
+
+    record_count: int = 0
+    t_min: int = 0
+    t_max: int = 0
+    #: Address of this source's most recent record in the chunk; walking the
+    #: back-pointer chain from here visits all of the source's records in
+    #: the chunk (and continues into earlier chunks).
+    last_record_addr: int = 0
+
+    def update(self, timestamp: int, address: int) -> None:
+        if self.record_count == 0:
+            self.t_min = timestamp
+        self.record_count += 1
+        self.t_max = timestamp
+        self.last_record_addr = address
+
+
+@dataclass
+class ChunkSummary:
+    """Summary of one fixed-size chunk of the record log."""
+
+    chunk_id: int
+    start_addr: int
+    end_addr: int  # exclusive
+    t_min: int = 0
+    t_max: int = 0
+    record_count: int = 0
+    sources: Dict[int, SourceChunkInfo] = field(default_factory=dict)
+    #: bins[(source_id, index_id)][bin_idx] -> BinStats
+    bins: Dict[Tuple[int, int], Dict[int, BinStats]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance during ingest
+    # ------------------------------------------------------------------
+    def add_record(self, source_id: int, timestamp: int, address: int) -> None:
+        """Account for a record landing in this chunk (cheap, no indexing)."""
+        if self.record_count == 0:
+            self.t_min = timestamp
+        self.record_count += 1
+        self.t_max = timestamp
+        info = self.sources.get(source_id)
+        if info is None:
+            info = self.sources[source_id] = SourceChunkInfo()
+        info.update(timestamp, address)
+
+    def add_indexed_value(
+        self,
+        source_id: int,
+        index_id: int,
+        bin_idx: int,
+        value: float,
+        timestamp: int,
+    ) -> None:
+        """Account for a record's UDF value in its histogram bin."""
+        key = (source_id, index_id)
+        per_bin = self.bins.get(key)
+        if per_bin is None:
+            per_bin = self.bins[key] = {}
+        stats = per_bin.get(bin_idx)
+        if stats is None:
+            stats = per_bin[bin_idx] = BinStats()
+        stats.update(value, timestamp)
+
+    # ------------------------------------------------------------------
+    # Query-side helpers
+    # ------------------------------------------------------------------
+    def source_info(self, source_id: int) -> Optional[SourceChunkInfo]:
+        return self.sources.get(source_id)
+
+    def bins_for(self, source_id: int, index_id: int) -> Dict[int, BinStats]:
+        return self.bins.get((source_id, index_id), {})
+
+    def overlaps_time(self, t_start: int, t_end: int) -> bool:
+        """Does the chunk's timestamp range intersect [t_start, t_end]?"""
+        return self.record_count > 0 and self.t_min <= t_end and self.t_max >= t_start
+
+    def fully_inside_time(self, t_start: int, t_end: int) -> bool:
+        """Is every record in the chunk within [t_start, t_end]?"""
+        return self.record_count > 0 and t_start <= self.t_min and self.t_max <= t_end
+
+    # ------------------------------------------------------------------
+    # Serialization (for the chunk-index hybrid log)
+    # ------------------------------------------------------------------
+    _HEAD = struct.Struct("<QQQQQIII")
+    _SRC = struct.Struct("<IIQQQ")
+    _BIN = struct.Struct("<IIIIQddddQQ")
+
+    def encode(self) -> bytes:
+        """Serialize to bytes for appending to the chunk-index log."""
+        n_bins = sum(len(v) for v in self.bins.values())
+        out = bytearray(
+            self._HEAD.pack(
+                self.chunk_id,
+                self.start_addr,
+                self.end_addr,
+                self.t_min,
+                self.t_max,
+                self.record_count,
+                len(self.sources),
+                n_bins,
+            )
+        )
+        for sid, info in sorted(self.sources.items()):
+            out += self._SRC.pack(
+                sid, info.record_count, info.t_min, info.t_max, info.last_record_addr
+            )
+        for (sid, iid), per_bin in sorted(self.bins.items()):
+            for bin_idx, st in sorted(per_bin.items()):
+                out += self._BIN.pack(
+                    sid, iid, bin_idx, 0, st.count, st.sum, st.min, st.max, 0.0,
+                    st.t_min, st.t_max,
+                )
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ChunkSummary":
+        """Inverse of :meth:`encode`."""
+        (
+            chunk_id,
+            start_addr,
+            end_addr,
+            t_min,
+            t_max,
+            record_count,
+            n_sources,
+            n_bins,
+        ) = cls._HEAD.unpack_from(data, 0)
+        summary = cls(
+            chunk_id=chunk_id,
+            start_addr=start_addr,
+            end_addr=end_addr,
+            t_min=t_min,
+            t_max=t_max,
+            record_count=record_count,
+        )
+        off = cls._HEAD.size
+        for _ in range(n_sources):
+            sid, cnt, st_min, st_max, last = cls._SRC.unpack_from(data, off)
+            off += cls._SRC.size
+            summary.sources[sid] = SourceChunkInfo(
+                record_count=cnt, t_min=st_min, t_max=st_max, last_record_addr=last
+            )
+        for _ in range(n_bins):
+            sid, iid, bin_idx, _pad, cnt, s, mn, mx, _r, bt_min, bt_max = cls._BIN.unpack_from(
+                data, off
+            )
+            off += cls._BIN.size
+            summary.bins.setdefault((sid, iid), {})[bin_idx] = BinStats(
+                count=cnt, sum=s, min=mn, max=mx, t_min=bt_min, t_max=bt_max
+            )
+        return summary
+
+    @property
+    def encoded_size(self) -> int:
+        n_bins = sum(len(v) for v in self.bins.values())
+        return self._HEAD.size + len(self.sources) * self._SRC.size + n_bins * self._BIN.size

@@ -1,0 +1,183 @@
+"""The timestamp index: a coarse, always-on time index (paper section 4.2).
+
+The timestamp index is the top, coarsest layer of Loom's index hierarchy.
+It is always maintained — sources without a histogram index (or with a
+poorly chosen one) still benefit from it — and it requires no
+specification from the monitoring daemon.
+
+Loom writes an entry for two kinds of events:
+
+* ``RECORD`` entries: periodically (every ``interval`` records per source),
+  recording the arrival timestamp and record-log address of a source's
+  record.  These let time-range queries seek close to the right place in a
+  source's back-pointer chain instead of walking it from the tail.
+* ``CHUNK`` entries: whenever the record log finalizes a chunk, recording
+  the finalization timestamp and the chunk id.  These let queries map a
+  time range to a contiguous window of the chunk index.
+
+Entries are tiny and infrequent, so this log is far smaller than even the
+chunk index (paper: 256 MiB vs. 3 GiB vs. 253 GiB for a 10-minute run).
+As with the chunk index, a decoded in-memory mirror (parallel arrays,
+bisectable by timestamp) serves queries while the serialized entries go to
+a hybrid log for persistence parity with the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .hybridlog import HybridLog
+from .storage import Storage
+
+_ENTRY = struct.Struct("<QBIQ")
+
+KIND_RECORD = 1
+KIND_CHUNK = 2
+
+#: Default number of records between RECORD entries for one source.
+DEFAULT_RECORD_INTERVAL = 64
+
+
+class _SourceEntries:
+    """Parallel arrays of (timestamp, record address) for one source."""
+
+    __slots__ = ("timestamps", "addresses")
+
+    def __init__(self) -> None:
+        self.timestamps: List[int] = []
+        self.addresses: List[int] = []
+
+
+class TimestampIndex:
+    """Append-only coarse index of record and chunk-finalization events."""
+
+    def __init__(
+        self,
+        storage: Optional[Storage] = None,
+        block_size: int = 1 << 16,
+        record_interval: int = DEFAULT_RECORD_INTERVAL,
+        threaded_flush: bool = False,
+    ) -> None:
+        if record_interval < 1:
+            raise ValueError("record_interval must be >= 1")
+        self.log = HybridLog(
+            storage=storage, block_size=block_size, threaded_flush=threaded_flush
+        )
+        self.record_interval = record_interval
+        self._per_source: Dict[int, _SourceEntries] = {}
+        self._since_last_entry: Dict[int, int] = {}
+        # Chunk-finalization events, bisectable by timestamp.
+        self._chunk_timestamps: List[int] = []
+        self._chunk_ids: List[int] = []
+        self.entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Writer API
+    # ------------------------------------------------------------------
+    def maybe_note_record(self, source_id: int, timestamp: int, address: int) -> bool:
+        """Write a RECORD entry if this source's interval has elapsed.
+
+        Called for every ingested record; writes only every
+        ``record_interval``-th call per source (including the first, so a
+        source is locatable as soon as its first record arrives).  Returns
+        True if an entry was written.
+        """
+        seen = self._since_last_entry.get(source_id)
+        if seen is not None and seen + 1 < self.record_interval:
+            self._since_last_entry[source_id] = seen + 1
+            return False
+        self._since_last_entry[source_id] = 0
+        self.log.append(_ENTRY.pack(timestamp, KIND_RECORD, source_id, address))
+        entries = self._per_source.get(source_id)
+        if entries is None:
+            entries = self._per_source[source_id] = _SourceEntries()
+        entries.timestamps.append(timestamp)
+        entries.addresses.append(address)
+        self.entry_count += 1
+        return True
+
+    def note_chunk(self, timestamp: int, chunk_id: int) -> None:
+        """Write a CHUNK entry marking the finalization of ``chunk_id``."""
+        self.log.append(_ENTRY.pack(timestamp, KIND_CHUNK, 0, chunk_id))
+        self._chunk_timestamps.append(timestamp)
+        self._chunk_ids.append(chunk_id)
+        self.entry_count += 1
+
+    def publish(self) -> None:
+        self.log.publish()
+
+    def close(self) -> None:
+        self.log.close()
+
+    # ------------------------------------------------------------------
+    # Reader API
+    # ------------------------------------------------------------------
+    def first_record_after(
+        self, source_id: int, timestamp: int
+    ) -> Optional[Tuple[int, int]]:
+        """First RECORD entry for ``source_id`` with entry time > ``timestamp``.
+
+        Returns ``(entry_timestamp, record_address)`` or ``None``.  The raw
+        scan operator starts its backward walk from this record: everything
+        at or before the queried time is reachable from it via the chain.
+        """
+        entries = self._per_source.get(source_id)
+        if entries is None:
+            return None
+        i = bisect_right(entries.timestamps, timestamp)
+        if i >= len(entries.timestamps):
+            return None
+        return entries.timestamps[i], entries.addresses[i]
+
+    def last_record_before(
+        self, source_id: int, timestamp: int
+    ) -> Optional[Tuple[int, int]]:
+        """Latest RECORD entry for ``source_id`` with entry time <= ``timestamp``."""
+        entries = self._per_source.get(source_id)
+        if entries is None:
+            return None
+        i = bisect_right(entries.timestamps, timestamp) - 1
+        if i < 0:
+            return None
+        return entries.timestamps[i], entries.addresses[i]
+
+    def chunk_id_window(self, t_start: int, t_end: int) -> Optional[Tuple[int, int]]:
+        """Conservative inclusive window of chunk ids covering [t_start, t_end].
+
+        A CHUNK entry is stamped when a chunk *finalizes*, i.e. at roughly
+        the chunk's maximum record timestamp.  The window therefore starts
+        at the last chunk finalized before ``t_start`` (its records may
+        still reach into the range) and ends at the first chunk finalized
+        after ``t_end``.
+        """
+        if not self._chunk_ids or t_end < t_start:
+            return None
+        lo_pos = bisect_left(self._chunk_timestamps, t_start) - 1
+        if lo_pos < 0:
+            lo_pos = 0
+        hi_pos = bisect_right(self._chunk_timestamps, t_end)
+        if hi_pos >= len(self._chunk_ids):
+            hi_pos = len(self._chunk_ids) - 1
+        lo_id = self._chunk_ids[lo_pos]
+        hi_id = self._chunk_ids[hi_pos]
+        if self._chunk_timestamps[lo_pos] > t_end and lo_pos == hi_pos == 0:
+            # All indexed chunks finalized after the range ended; only the
+            # first chunk could contain in-range records.
+            return self._chunk_ids[0], self._chunk_ids[0]
+        return lo_id, hi_id
+
+    def source_ids(self) -> Iterator[int]:
+        return iter(self._per_source.keys())
+
+    # ------------------------------------------------------------------
+    # Recovery / verification
+    # ------------------------------------------------------------------
+    def iter_persisted(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Decode ``(timestamp, kind, source_id, addr)`` entries from the log."""
+        address = 0
+        tail = self.log.tail_address
+        while address < tail:
+            yield _ENTRY.unpack(self.log.read(address, _ENTRY.size))
+            address += _ENTRY.size

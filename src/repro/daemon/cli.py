@@ -1,0 +1,184 @@
+"""A tiny CLI front-end over Loom's query operators (paper §3).
+
+"In practice, engineers will typically use a front-end (e.g., a dashboard
+or CLI) to instantiate query operators with appropriate parameters."
+This module is that front-end: a line-oriented command language that
+parses into the Figure 9 operators, designed for interactive drill-downs
+and for scripting in the examples.
+
+Command language (times accept ``10s`` / ``250ms`` / ``5m`` suffixes and
+are relative to *now*, i.e. ``last 10s``):
+
+=====================================================  ======================
+``sources``                                            list sources
+``count <source> last <dur>``                          record count
+``agg <source> <index> <min|max|mean|sum> last <dur>`` distributive aggregate
+``pct <source> <index> <p> last <dur>``                exact percentile
+``scan <source> last <dur> [limit N]``                 newest-first raw scan
+``where <source> <index> <lo>..<hi> last <dur>``       indexed range scan
+=====================================================  ======================
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..core.errors import LoomError
+from .monitor import MonitoringDaemon
+
+_DURATION = re.compile(r"^(\d+(?:\.\d+)?)(ns|us|ms|s|m|h)$")
+_SCALE = {
+    "ns": 1,
+    "us": 1_000,
+    "ms": 1_000_000,
+    "s": 1_000_000_000,
+    "m": 60 * 1_000_000_000,
+    "h": 3600 * 1_000_000_000,
+}
+
+
+class CliError(LoomError):
+    """A command could not be parsed or executed."""
+
+
+def parse_duration(text: str) -> int:
+    """Parse ``10s`` / ``250ms`` / ``1.5m`` into nanoseconds."""
+    match = _DURATION.match(text)
+    if not match:
+        raise CliError(f"bad duration {text!r} (want e.g. 10s, 250ms, 5m)")
+    return int(float(match.group(1)) * _SCALE[match.group(2)])
+
+
+@dataclass
+class CliResult:
+    """One executed command's outcome."""
+
+    command: str
+    text: str
+    value: object = None
+
+
+class LoomCli:
+    """Parses and executes query commands against a monitoring daemon."""
+
+    def __init__(self, daemon: MonitoringDaemon) -> None:
+        self.daemon = daemon
+
+    # ------------------------------------------------------------------
+    def execute(self, line: str) -> CliResult:
+        tokens = shlex.split(line)
+        if not tokens:
+            raise CliError("empty command")
+        verb = tokens[0]
+        handler: Optional[Callable[[List[str]], CliResult]] = {
+            "sources": self._sources,
+            "count": self._count,
+            "agg": self._agg,
+            "pct": self._pct,
+            "scan": self._scan,
+            "where": self._where,
+        }.get(verb)
+        if handler is None:
+            raise CliError(f"unknown command {verb!r}")
+        return handler(tokens)
+
+    # ------------------------------------------------------------------
+    def _last_range(self, tokens: List[str], at: int) -> Tuple[int, int]:
+        if len(tokens) < at + 2 or tokens[at] != "last":
+            raise CliError("expected: ... last <duration>")
+        now = self.daemon.clock.now()
+        return max(0, now - parse_duration(tokens[at + 1])), now
+
+    def _source_and_index(self, tokens: List[str]) -> Tuple[int, int]:
+        handle = self.daemon.source(tokens[1])
+        index_id = self.daemon.index_id(tokens[1], tokens[2])
+        return handle.source_id, index_id
+
+    def _sources(self, tokens: List[str]) -> CliResult:
+        rows = []
+        for name in self.daemon.source_names():
+            handle = self.daemon.source(name)
+            indexes = ", ".join(handle.indexes) or "-"
+            rows.append(
+                f"{name} (id {handle.source_id}): "
+                f"{handle.records_received:,} records, indexes: {indexes}"
+            )
+        return CliResult("sources", "\n".join(rows) or "(no sources)", rows)
+
+    def _count(self, tokens: List[str]) -> CliResult:
+        if len(tokens) < 4:
+            raise CliError("usage: count <source> last <dur>")
+        handle = self.daemon.source(tokens[1])
+        t_range = self._last_range(tokens, 2)
+        records = self.daemon.loom.raw_scan(handle.source_id, t_range)
+        return CliResult("count", f"{len(records):,} records", len(records))
+
+    def _agg(self, tokens: List[str]) -> CliResult:
+        if len(tokens) < 6:
+            raise CliError("usage: agg <source> <index> <method> last <dur>")
+        method = tokens[3]
+        if method not in ("min", "max", "mean", "sum", "count"):
+            raise CliError(f"bad method {method!r}")
+        source_id, index_id = self._source_and_index(tokens)
+        t_range = self._last_range(tokens, 4)
+        result = self.daemon.loom.indexed_aggregate(
+            source_id, index_id, t_range, method
+        )
+        if result.value is None:
+            return CliResult("agg", "no data", None)
+        return CliResult("agg", f"{method} = {result.value:,.3f}", result.value)
+
+    def _pct(self, tokens: List[str]) -> CliResult:
+        if len(tokens) < 6:
+            raise CliError("usage: pct <source> <index> <p> last <dur>")
+        try:
+            percentile = float(tokens[3])
+        except ValueError:
+            raise CliError(f"bad percentile {tokens[3]!r}")
+        source_id, index_id = self._source_and_index(tokens)
+        t_range = self._last_range(tokens, 4)
+        result = self.daemon.loom.indexed_aggregate(
+            source_id, index_id, t_range, "percentile", percentile=percentile
+        )
+        if result.value is None:
+            return CliResult("pct", "no data", None)
+        return CliResult(
+            "pct", f"p{percentile:g} = {result.value:,.3f}", result.value
+        )
+
+    def _scan(self, tokens: List[str]) -> CliResult:
+        if len(tokens) < 4:
+            raise CliError("usage: scan <source> last <dur> [limit N]")
+        handle = self.daemon.source(tokens[1])
+        t_range = self._last_range(tokens, 2)
+        limit = None
+        if "limit" in tokens:
+            limit = int(tokens[tokens.index("limit") + 1])
+        records = self.daemon.loom.raw_scan(handle.source_id, t_range)
+        if limit is not None:
+            records = records[:limit]
+        lines = [
+            f"t={r.timestamp} {len(r.payload)}B payload" for r in records[:20]
+        ]
+        suffix = "" if len(records) <= 20 else f"\n... {len(records) - 20} more"
+        return CliResult("scan", "\n".join(lines) + suffix, records)
+
+    def _where(self, tokens: List[str]) -> CliResult:
+        if len(tokens) < 6:
+            raise CliError("usage: where <source> <index> <lo>..<hi> last <dur>")
+        bounds = tokens[3].split("..")
+        if len(bounds) != 2:
+            raise CliError("value range must look like 100..500 (or 100..inf)")
+        lo = float(bounds[0]) if bounds[0] else float("-inf")
+        hi = float(bounds[1]) if bounds[1] not in ("", "inf") else float("inf")
+        source_id, index_id = self._source_and_index(tokens)
+        t_range = self._last_range(tokens, 4)
+        records = self.daemon.loom.indexed_scan(
+            source_id, index_id, t_range, (lo, hi)
+        )
+        return CliResult(
+            "where", f"{len(records):,} records in [{lo}, {hi}]", records
+        )

@@ -1,0 +1,171 @@
+"""A multi-node coordinator over per-host Loom instances (paper section 8).
+
+The paper sketches the distributed extension: "a coordinator could execute
+correlations or aggregations on HFT by contacting the Loom instances in
+the relevant hosts ... each node would collect the necessary HFT and
+calculate intermediate results on-host.  The coordinator would then
+aggregate these intermediate results into the final result."
+
+:class:`LoomCoordinator` implements that sketch over in-process
+:class:`~repro.daemon.monitor.MonitoringDaemon` nodes:
+
+* distributive aggregates (count/sum/min/max/mean) merge per-node partial
+  results;
+* global percentiles merge per-node *bin histograms* (every node shares
+  the index's histogram layout) to locate the target bin, then fetch only
+  that bin's values from each node — raw data never leaves a node except
+  for the single target bin;
+* cross-node correlation scans each node's sources around anchor events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import LoomError
+from ..core.operators import bin_histogram, indexed_scan
+from ..core.record import Record
+from .monitor import MonitoringDaemon
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """One participating host."""
+
+    name: str
+    daemon: MonitoringDaemon
+
+
+class LoomCoordinator:
+    """Fans queries out to per-host Loom instances and merges results.
+
+    All nodes must define the queried source/index under the same names
+    with the same histogram layout (the natural deployment: the same
+    collector config rolled out fleet-wide).
+    """
+
+    def __init__(self, nodes: Sequence[NodeRef]) -> None:
+        if not nodes:
+            raise LoomError("coordinator needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise LoomError("node names must be unique")
+        self.nodes = list(nodes)
+
+    # ------------------------------------------------------------------
+    def global_aggregate(
+        self,
+        source_name: str,
+        index_name: str,
+        t_range: Tuple[int, int],
+        method: str,
+    ) -> Optional[float]:
+        """Merge a distributive aggregate across all nodes."""
+        partials: List[Tuple[float, int]] = []
+        for node in self.nodes:
+            handle = node.daemon.source(source_name)
+            index_id = node.daemon.index_id(source_name, index_name)
+            result = node.daemon.loom.indexed_aggregate(
+                handle.source_id, index_id, t_range, method
+            )
+            if result.count:
+                partials.append((result.value, result.count))
+        if not partials:
+            return None
+        if method == "count":
+            return float(sum(v for v, _ in partials))
+        if method == "sum":
+            return float(sum(v for v, _ in partials))
+        if method == "min":
+            return min(v for v, _ in partials)
+        if method == "max":
+            return max(v for v, _ in partials)
+        if method == "mean":
+            total = sum(v * c for v, c in partials)
+            count = sum(c for _, c in partials)
+            return total / count
+        raise LoomError(f"unsupported distributed method: {method!r}")
+
+    # ------------------------------------------------------------------
+    def global_percentile(
+        self,
+        source_name: str,
+        index_name: str,
+        t_range: Tuple[int, int],
+        percentile: float,
+    ) -> Optional[float]:
+        """Exact global percentile with on-host intermediate results.
+
+        Phase 1: every node reports its per-bin counts (tiny).  Phase 2:
+        the coordinator locates the bin containing the global rank and
+        fetches only that bin's values from each node.
+        """
+        if not 0 <= percentile <= 100:
+            raise LoomError("percentile must be in [0, 100]")
+        node_histograms: List[Dict[int, int]] = []
+        spec = None
+        for node in self.nodes:
+            handle = node.daemon.source(source_name)
+            index_id = node.daemon.index_id(source_name, index_name)
+            index = node.daemon.loom.record_log.get_index(index_id)
+            if spec is None:
+                spec = index.spec
+            elif spec.edges != index.spec.edges:
+                raise LoomError("nodes disagree on histogram layout")
+            snapshot = node.daemon.loom.snapshot()
+            node_histograms.append(
+                bin_histogram(
+                    snapshot, handle.source_id, index, t_range[0], t_range[1]
+                )
+            )
+        merged: Dict[int, int] = {}
+        for hist in node_histograms:
+            for bin_idx, count in hist.items():
+                merged[bin_idx] = merged.get(bin_idx, 0) + count
+        total = sum(merged.values())
+        if total == 0:
+            return None
+        rank = max(1, math.ceil(percentile / 100.0 * total))
+        cumulative = 0
+        target_bin = None
+        for bin_idx in sorted(merged):
+            if cumulative + merged[bin_idx] >= rank:
+                target_bin = bin_idx
+                break
+            cumulative += merged[bin_idx]
+        assert target_bin is not None and spec is not None
+
+        lo, hi = spec.bin_range(target_bin)
+        values: List[float] = []
+        for node in self.nodes:
+            handle = node.daemon.source(source_name)
+            index_id = node.daemon.index_id(source_name, index_name)
+            index = node.daemon.loom.record_log.get_index(index_id)
+            snapshot = node.daemon.loom.snapshot()
+            for record in indexed_scan(
+                snapshot, handle.source_id, index, t_range[0], t_range[1],
+                v_min=lo, v_max=hi,
+            ):
+                value = index.index_func(record.payload)
+                # Half-open bin: exclude values equal to the upper edge
+                # (they belong to the next bin).
+                if spec.bin_of(value) == target_bin:
+                    values.append(value)
+        values.sort()
+        k = rank - cumulative
+        return values[k - 1]
+
+    # ------------------------------------------------------------------
+    def fan_out_scan(
+        self,
+        source_name: str,
+        t_range: Tuple[int, int],
+    ) -> Dict[str, List[Record]]:
+        """Raw-scan the same source on every node (cross-node correlation)."""
+        out: Dict[str, List[Record]] = {}
+        for node in self.nodes:
+            handle = node.daemon.source(source_name)
+            out[node.name] = node.daemon.loom.raw_scan(handle.source_id, t_range)
+        return out

@@ -1,0 +1,110 @@
+"""eBPF front-end integration: Loom as a sink (paper §8).
+
+Observability front-ends like BPFTrace and Ply follow a *streaming
+aggregation* model: they summarize events as they occur (histograms,
+counts) and immediately discard the raw events, because nothing they ship
+with can absorb the full event rate.  The paper's closing observation:
+"an engineer cannot further investigate a specific event because the data
+for that event was discarded.  Deploying Loom as a sink for these
+front-ends would solve this problem."
+
+This module reproduces both sides:
+
+* :class:`StreamingAggregator` — the status quo: per-key histograms with
+  the raw events gone forever;
+* :class:`LoomSink` — the same live aggregates *plus* complete raw-event
+  retention in Loom, so any bucket that looks suspicious can be expanded
+  back into its underlying events with an indexed scan.
+
+The test suite demonstrates the payoff: after ingest, only the LoomSink
+can answer "show me the actual events behind that histogram spike".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.histogram import HistogramSpec, IndexFunc
+from ..core.loom import Loom
+from ..core.record import Record
+
+
+@dataclass
+class StreamingAggregator:
+    """What eBPF front-ends do today: aggregate, then discard.
+
+    Maintains a per-bin count histogram exactly like ``bpftrace``'s
+    ``hist()``; the raw events never survive the call.
+    """
+
+    spec: HistogramSpec
+    value_of: IndexFunc
+    counts: Dict[int, int] = field(default_factory=dict)
+    events_seen: int = 0
+
+    def observe(self, payload: bytes) -> None:
+        bin_idx = self.spec.bin_of(self.value_of(payload))
+        self.counts[bin_idx] = self.counts.get(bin_idx, 0) + 1
+        self.events_seen += 1
+        # ... and the event is gone.
+
+    def histogram(self) -> Dict[int, int]:
+        return dict(self.counts)
+
+    def drill_down(self, bin_idx: int) -> List[Record]:
+        """The investigation dead end: the events were discarded."""
+        return []
+
+
+class LoomSink:
+    """A front-end sink that aggregates *and* retains raw events in Loom.
+
+    The front-end keeps its familiar streaming histogram; Loom absorbs the
+    full event stream underneath (it "can absorb high-rate HFT even while
+    the front-end summarizes it").  ``drill_down`` then recovers the raw
+    events behind any histogram bin via an indexed scan.
+    """
+
+    def __init__(
+        self,
+        loom: Loom,
+        source_id: int,
+        value_of: IndexFunc,
+        spec: HistogramSpec,
+    ) -> None:
+        self.loom = loom
+        self.source_id = source_id
+        self.aggregator = StreamingAggregator(spec=spec, value_of=value_of)
+        loom.define_source(source_id)
+        self.index_id = loom.define_index(source_id, value_of, spec)
+
+    def observe(self, payload: bytes) -> None:
+        self.aggregator.observe(payload)
+        self.loom.push(self.source_id, payload)
+
+    def histogram(self) -> Dict[int, int]:
+        return self.aggregator.histogram()
+
+    @property
+    def events_seen(self) -> int:
+        return self.aggregator.events_seen
+
+    def drill_down(
+        self, bin_idx: int, t_range: Optional[Tuple[int, int]] = None
+    ) -> List[Record]:
+        """Expand one histogram bin back into its raw events."""
+        self.loom.sync()
+        if t_range is None:
+            t_range = (0, self.loom.clock.now())
+        spec = self.aggregator.spec
+        lo, hi = spec.bin_range(bin_idx)
+        records = self.loom.indexed_scan(
+            self.source_id, self.index_id, t_range, (lo, hi)
+        )
+        # The bin's range is half-open; drop boundary records binned above.
+        return [
+            r
+            for r in records
+            if spec.bin_of(self.aggregator.value_of(r.payload)) == bin_idx
+        ]

@@ -1,0 +1,180 @@
+"""A monitoring daemon hosting Loom (paper Figure 4).
+
+Loom is a library "intended for use within a monitoring daemon running
+locally on a host" — a collector like the OpenTelemetry Collector or
+FluentD that receives records from HFT sources and manages them through
+Loom's API.  :class:`MonitoringDaemon` is that substrate: it owns a Loom
+instance, maps human-readable source names to ids, manages index
+lifecycles (including the section 5.3 redefinition flow), and replays
+workload streams through a virtual clock so that ingested records carry
+the workload's exact virtual arrival timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.clock import Clock, MonotonicClock, VirtualClock
+from ..core.config import LoomConfig
+from ..core.errors import LoomError
+from ..core.histogram import HistogramSpec, IndexFunc
+from ..core.loom import Loom
+from ..workloads.generator import TimedRecord
+
+
+@dataclass
+class SourceHandle:
+    """Daemon-side bookkeeping for one named source."""
+
+    name: str
+    source_id: int
+    records_received: int = 0
+    #: index name -> index id (active indexes only).
+    indexes: Dict[str, int] = field(default_factory=dict)
+
+
+class MonitoringDaemon:
+    """Receives telemetry records and manages them through Loom's API.
+
+    Args:
+        config: Loom configuration.
+        clock: defaults to a :class:`VirtualClock` so workload replays are
+            deterministic; pass :class:`MonotonicClock` for live use.
+    """
+
+    def __init__(
+        self, config: Optional[LoomConfig] = None, clock: Optional[Clock] = None
+    ) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.loom = Loom(config=config, clock=self.clock)
+        self._by_name: Dict[str, SourceHandle] = {}
+        self._by_id: Dict[int, SourceHandle] = {}
+        self._next_source_id = 1
+
+    # ------------------------------------------------------------------
+    # Source management
+    # ------------------------------------------------------------------
+    def enable_source(
+        self, name: str, source_id: Optional[int] = None
+    ) -> SourceHandle:
+        """Define a source by name; returns its handle."""
+        if name in self._by_name:
+            raise LoomError(f"source {name!r} already enabled")
+        if source_id is None:
+            while self._next_source_id in self._by_id:
+                self._next_source_id += 1
+            source_id = self._next_source_id
+            self._next_source_id += 1
+        self.loom.define_source(source_id)
+        handle = SourceHandle(name=name, source_id=source_id)
+        self._by_name[name] = handle
+        self._by_id[source_id] = handle
+        return handle
+
+    def disable_source(self, name: str) -> None:
+        handle = self.source(name)
+        self.loom.close_source(handle.source_id)
+        del self._by_name[name]
+        del self._by_id[handle.source_id]
+
+    def source(self, name: str) -> SourceHandle:
+        handle = self._by_name.get(name)
+        if handle is None:
+            raise LoomError(f"unknown source {name!r}")
+        return handle
+
+    def source_names(self) -> List[str]:
+        return list(self._by_name.keys())
+
+    # ------------------------------------------------------------------
+    # Index management (section 5.3 lifecycle)
+    # ------------------------------------------------------------------
+    def add_index(
+        self,
+        source_name: str,
+        index_name: str,
+        index_func: IndexFunc,
+        bins: Union[HistogramSpec, Sequence[float]],
+    ) -> int:
+        """Define a named histogram index on a source."""
+        handle = self.source(source_name)
+        if index_name in handle.indexes:
+            raise LoomError(
+                f"index {index_name!r} already defined on {source_name!r}"
+            )
+        index_id = self.loom.define_index(handle.source_id, index_func, bins)
+        handle.indexes[index_name] = index_id
+        return index_id
+
+    def remove_index(self, source_name: str, index_name: str) -> None:
+        handle = self.source(source_name)
+        index_id = handle.indexes.pop(index_name, None)
+        if index_id is None:
+            raise LoomError(f"no index {index_name!r} on {source_name!r}")
+        self.loom.close_index(index_id)
+
+    def redefine_index(
+        self,
+        source_name: str,
+        index_name: str,
+        index_func: IndexFunc,
+        bins: Union[HistogramSpec, Sequence[float]],
+    ) -> int:
+        """React to a changed workload: close the stale index and define a
+        fresh histogram (paper section 5.3).  Older data keeps the old
+        summaries; the new index covers data from now on."""
+        self.remove_index(source_name, index_name)
+        return self.add_index(source_name, index_name, index_func, bins)
+
+    def index_id(self, source_name: str, index_name: str) -> int:
+        handle = self.source(source_name)
+        index_id = handle.indexes.get(index_name)
+        if index_id is None:
+            raise LoomError(f"no index {index_name!r} on {source_name!r}")
+        return index_id
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def receive(self, source_name: str, payload: bytes) -> int:
+        """Ingest one record stamped at the daemon's current clock time."""
+        handle = self.source(source_name)
+        address = self.loom.push(handle.source_id, payload)
+        handle.records_received += 1
+        return address
+
+    def replay(self, records: Iterable[TimedRecord]) -> int:
+        """Replay an arrival-ordered workload stream through Loom.
+
+        Each record's virtual timestamp drives the daemon's clock so
+        Loom's internal timestamps equal the workload's ground truth.
+        Sources are referenced by id and must already be enabled.  Returns
+        the number of records ingested (Loom never drops).
+        """
+        if not isinstance(self.clock, VirtualClock):
+            raise LoomError("replay requires a VirtualClock")
+        count = 0
+        push = self.loom.push
+        clock_set = self.clock.set
+        for timestamp, source_id, payload in records:
+            clock_set(max(timestamp, self.clock.now()))
+            push(source_id, payload)
+            count += 1
+            handle = self._by_id.get(source_id)
+            if handle is not None:
+                handle.records_received += 1
+        self.loom.sync()
+        return count
+
+    def sync(self) -> None:
+        self.loom.sync()
+
+    def close(self) -> None:
+        self.loom.close()
+
+    def __enter__(self) -> "MonitoringDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,167 @@
+"""OpenTelemetry-Collector-style integration (paper §5).
+
+The paper integrates Loom with the OpenTelemetry Collector so it deploys
+"as a drop-in replacement for existing telemetry backends".  This module
+reproduces that adapter shape for the two OTel signal types the case
+studies exercise:
+
+* **spans** — operation name, start time, duration, status.  The exporter
+  maps each span to a latency record on a per-operation Loom source and
+  auto-maintains a duration histogram index, so span-latency percentiles
+  and tail scans work immediately.
+* **metric points** — instrument name + numeric value, mapped to a value
+  record per instrument source.
+
+The adapter is intentionally small: OTel's wire formats are out of scope
+(we have no network), but the *pipeline* shape — receiver objects in,
+Loom API calls out, sources created on first sight — is the integration
+the paper describes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.histogram import exponential_edges
+from ..core.loom import Loom
+from .monitor import MonitoringDaemon
+
+_SPAN = struct.Struct("<QdI")
+_METRIC = struct.Struct("<d")
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+
+@dataclass(frozen=True)
+class OtelSpan:
+    """A minimal OTel span: what the latency analyses need."""
+
+    name: str
+    trace_id: int
+    duration_us: float
+    status: int = STATUS_OK
+
+
+@dataclass(frozen=True)
+class OtelMetricPoint:
+    """A minimal OTel metric data point."""
+
+    instrument: str
+    value: float
+
+
+def encode_span(span: OtelSpan) -> bytes:
+    return _SPAN.pack(span.trace_id, span.duration_us, span.status)
+
+
+def decode_span_payload(payload: bytes) -> Tuple[int, float, int]:
+    return _SPAN.unpack_from(payload)
+
+
+def span_duration(payload: bytes) -> float:
+    """Index UDF: span duration in microseconds."""
+    return _SPAN.unpack_from(payload)[1]
+
+
+def metric_value(payload: bytes) -> float:
+    return _METRIC.unpack_from(payload)[0]
+
+
+class OtelLoomExporter:
+    """Routes OTel-shaped telemetry into a monitoring daemon's Loom.
+
+    Sources are created lazily on first sight of a span name or
+    instrument; span sources automatically get a duration histogram index
+    (exponential bins over ``duration_range_us``), which is the a priori
+    knowledge an SLO provides (paper §4.2).
+    """
+
+    def __init__(
+        self,
+        daemon: MonitoringDaemon,
+        duration_range_us: Tuple[float, float] = (1.0, 1_000_000.0),
+        duration_bins: int = 24,
+    ) -> None:
+        self.daemon = daemon
+        self._duration_edges = exponential_edges(
+            duration_range_us[0], duration_range_us[1], duration_bins
+        )
+        self.spans_exported = 0
+        self.metrics_exported = 0
+
+    # ------------------------------------------------------------------
+    def export_span(self, span: OtelSpan) -> None:
+        source = self._span_source(span.name)
+        self.daemon.receive(source, encode_span(span))
+        self.spans_exported += 1
+
+    def export_spans(self, spans: Sequence[OtelSpan]) -> None:
+        for span in spans:
+            self.export_span(span)
+
+    def export_metric(self, point: OtelMetricPoint) -> None:
+        source = self._metric_source(point.instrument)
+        self.daemon.receive(source, _METRIC.pack(point.value))
+        self.metrics_exported += 1
+
+    # ------------------------------------------------------------------
+    def span_source_name(self, span_name: str) -> str:
+        return f"otel.span.{span_name}"
+
+    def metric_source_name(self, instrument: str) -> str:
+        return f"otel.metric.{instrument}"
+
+    def _span_source(self, span_name: str) -> str:
+        name = self.span_source_name(span_name)
+        if name not in self.daemon.source_names():
+            self.daemon.enable_source(name)
+            self.daemon.add_index(
+                name, "duration", span_duration, self._duration_edges
+            )
+        return name
+
+    def _metric_source(self, instrument: str) -> str:
+        name = self.metric_source_name(instrument)
+        if name not in self.daemon.source_names():
+            self.daemon.enable_source(name)
+            self.daemon.add_index(name, "value", metric_value, self._duration_edges)
+        return name
+
+    # ------------------------------------------------------------------
+    # Query conveniences mirroring common dashboard panels
+    # ------------------------------------------------------------------
+    def span_percentile(
+        self, span_name: str, t_range: Tuple[int, int], percentile: float
+    ) -> Optional[float]:
+        name = self.span_source_name(span_name)
+        handle = self.daemon.source(name)
+        index_id = self.daemon.index_id(name, "duration")
+        result = self.daemon.loom.indexed_aggregate(
+            handle.source_id, index_id, t_range, "percentile", percentile=percentile
+        )
+        return result.value
+
+    def slow_spans(
+        self, span_name: str, t_range: Tuple[int, int], threshold_us: float
+    ) -> List[OtelSpan]:
+        name = self.span_source_name(span_name)
+        handle = self.daemon.source(name)
+        index_id = self.daemon.index_id(name, "duration")
+        records = self.daemon.loom.indexed_scan(
+            handle.source_id, index_id, t_range, (threshold_us, float("inf"))
+        )
+        out = []
+        for record in records:
+            trace_id, duration, status = decode_span_payload(record.payload)
+            out.append(
+                OtelSpan(
+                    name=span_name,
+                    trace_id=trace_id,
+                    duration_us=duration,
+                    status=status,
+                )
+            )
+        return out

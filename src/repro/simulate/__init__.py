@@ -1,0 +1,64 @@
+"""Calibrated host/resource simulation for the hardware-gated results.
+
+A pure-Python build cannot ingest millions of records per second, so the
+results that are *resource arithmetic* rather than algorithms — drop
+fractions (Figures 2, 11), index-maintenance CPU shares (Figure 2), and
+probe effect (Figure 14) — are computed from per-engine cycle cost models
+anchored to the paper's published operating points.  See DESIGN.md
+section 2 and :mod:`repro.simulate.costmodel` for the calibration.
+"""
+
+from .costmodel import (
+    EMIT_CYCLES,
+    IngestCostModel,
+    clickhouse_model,
+    fishstore_model,
+    influxdb_model,
+    loom_model,
+    rawfile_model,
+)
+from .host import FIG2_HOST, PAPER_HOST, HostSpec
+from .ingest import IngestOutcome, phase_drop_fractions, simulate_ingest, sweep_rates
+from .probe import (
+    PROBLEMATIC_PROBE_EFFECT,
+    ProbeOutcome,
+    compare_backends,
+    probe_effect,
+)
+from .structures import (
+    DISK_BANDWIDTH,
+    StructureCostModel,
+    fig15_models,
+    fishstore_structure,
+    lmdb_structure,
+    loom_structure,
+    rocksdb_structure,
+)
+
+__all__ = [
+    "EMIT_CYCLES",
+    "FIG2_HOST",
+    "HostSpec",
+    "IngestCostModel",
+    "IngestOutcome",
+    "PAPER_HOST",
+    "PROBLEMATIC_PROBE_EFFECT",
+    "ProbeOutcome",
+    "DISK_BANDWIDTH",
+    "StructureCostModel",
+    "clickhouse_model",
+    "compare_backends",
+    "fig15_models",
+    "fishstore_model",
+    "fishstore_structure",
+    "lmdb_structure",
+    "loom_structure",
+    "rocksdb_structure",
+    "influxdb_model",
+    "loom_model",
+    "phase_drop_fractions",
+    "probe_effect",
+    "rawfile_model",
+    "simulate_ingest",
+    "sweep_rates",
+]

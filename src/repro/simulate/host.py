@@ -1,0 +1,36 @@
+"""Simulated host machines.
+
+The paper's testbed is a dual-socket server: 2× Intel Xeon Gold 6150
+(36 physical cores / 72 hardware threads at 2.7 GHz), 377 GiB RAM, NVMe
+storage.  Figure 2's CPU accounting is normalized to 16 CPUs.  Since a
+Python reproduction cannot run at native rates, the resource-arithmetic
+experiments (drop fractions, CPU shares, probe effect) run against these
+host models instead; everything algorithmic runs for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """A host's CPU resources for the ingest arithmetic."""
+
+    name: str
+    cores: int
+    hz: float  # cycles per second per core
+
+    @property
+    def total_cycles_per_s(self) -> float:
+        return self.cores * self.hz
+
+    def cores_from_fraction(self, fraction: float) -> float:
+        return fraction * self.cores
+
+
+#: Figure 2's accounting basis: 16 CPUs at 2.7 GHz.
+FIG2_HOST = HostSpec(name="fig2-16cpu", cores=16, hz=2.7e9)
+
+#: The full evaluation testbed (72 hardware threads at 2.7 GHz).
+PAPER_HOST = HostSpec(name="xeon-gold-6150-x2", cores=72, hz=2.7e9)

@@ -1,0 +1,104 @@
+"""Arrival-vs-capacity ingest simulation (Figures 2 and 11).
+
+Given an engine's :class:`~repro.simulate.costmodel.IngestCostModel` and a
+host, compute the steady-state outcome of offering records at a given
+rate: how much CPU goes to index maintenance, how much to I/O and request
+handling, and what fraction of the data the engine must drop once demand
+exceeds supply.
+
+The mechanism mirrors the paper's explanation of Figure 2: the TSDB's
+background indexing grows with the ingest rate until it saturates its
+thread budget; request handling competes for what remains; once the
+arrival rate exceeds the processing capacity, the overflow is dropped, so
+the drop fraction rises sharply while index CPU plateaus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .costmodel import IngestCostModel
+from .host import FIG2_HOST, HostSpec
+
+
+@dataclass(frozen=True)
+class IngestOutcome:
+    """Steady-state result of offering ``offered_rate`` to an engine."""
+
+    engine: str
+    offered_rate: float  # records/second
+    processed_rate: float  # records/second actually ingested
+    drop_fraction: float  # 0..1
+    index_cpu_fraction: float  # of the host's total cycles
+    io_cpu_fraction: float  # of the host's total cycles
+    index_cores: float  # convenience: index CPU in cores
+
+    @property
+    def total_cpu_fraction(self) -> float:
+        return self.index_cpu_fraction + self.io_cpu_fraction
+
+
+def simulate_ingest(
+    model: IngestCostModel, offered_rate: float, host: HostSpec = FIG2_HOST
+) -> IngestOutcome:
+    """Steady-state ingest outcome for one engine at one arrival rate."""
+    if offered_rate < 0:
+        raise ValueError("offered_rate must be >= 0")
+    total = host.total_cycles_per_s
+    if model.cores is not None:
+        total = min(total, model.cores * host.hz)
+
+    idx_per_record = model.index_cycles_at(offered_rate)
+
+    # Index maintenance demanded at the offered rate, clipped by the
+    # engine's background-thread budget (the Figure 2 plateau).
+    idx_demanded = offered_rate * idx_per_record
+    idx_budget = (
+        model.idx_cap_fraction * host.total_cycles_per_s
+        if model.idx_cap_fraction is not None
+        else float("inf")
+    )
+    idx_spent = min(idx_demanded, idx_budget)
+
+    # Whatever is left processes records at io_cycles apiece.
+    io_capacity_cycles = max(0.0, total - idx_spent)
+    max_processed = io_capacity_cycles / model.io_cycles
+    processed = min(offered_rate, max_processed)
+    drop_fraction = 0.0 if offered_rate == 0 else 1.0 - processed / offered_rate
+
+    # Index work only applies to records actually processed; recompute the
+    # spent share when the engine drops (it stops indexing dropped data,
+    # keeping the plateau rather than growing past it).
+    if processed < offered_rate:
+        idx_spent = min(processed * idx_per_record, idx_budget)
+
+    io_spent = processed * model.io_cycles
+    denominator = host.total_cycles_per_s
+    return IngestOutcome(
+        engine=model.name,
+        offered_rate=offered_rate,
+        processed_rate=processed,
+        drop_fraction=max(0.0, drop_fraction),
+        index_cpu_fraction=idx_spent / denominator,
+        io_cpu_fraction=io_spent / denominator,
+        index_cores=idx_spent / host.hz,
+    )
+
+
+def sweep_rates(
+    model: IngestCostModel,
+    rates: Sequence[float],
+    host: HostSpec = FIG2_HOST,
+) -> List[IngestOutcome]:
+    """Figure 2's sweep: one outcome per offered rate."""
+    return [simulate_ingest(model, rate, host) for rate in rates]
+
+
+def phase_drop_fractions(
+    model: IngestCostModel,
+    phase_rates: Sequence[float],
+    host: HostSpec,
+) -> List[IngestOutcome]:
+    """Figure 11: drop fraction for each workload phase's total rate."""
+    return [simulate_ingest(model, rate, host) for rate in phase_rates]

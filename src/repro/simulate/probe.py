@@ -1,0 +1,95 @@
+"""Probe-effect model (Figure 14).
+
+Probe effect is the slowdown telemetry collection inflicts on the
+monitored application.  On a shared host it has two components:
+
+1. **Emission cost**: cycles the *application's own threads* spend handing
+   each event to the monitoring daemon (formatting, shared-memory or
+   socket write).  This is identical across backends.
+2. **Collection cost**: cycles the collector spends per event (appending,
+   hashing, indexing, compacting), which contend with the application for
+   the host's cores.  This is where backends differ: a raw file pays a
+   buffered append; Loom pays its few-hundred-cycle write path; FishStore
+   pays an append plus one UDF evaluation per installed PSF; the TSDB pays
+   its full write path until it saturates and sheds data.
+
+``probe_effect`` charges both against the host's total cycle budget:
+``probe = (R·c_emit + min(R·c_collect, collector budget)) / host cycles``.
+With the calibrated per-engine costs of
+:mod:`repro.simulate.costmodel`, the paper's Figure 14 ordering and
+magnitudes emerge: raw file 4.1% < Loom ≈4.8% < FishStore-N 6.6% <
+FishStore-I 9.9% < InfluxDB 14.1%, with >7% considered problematic in
+industry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .costmodel import EMIT_CYCLES, IngestCostModel
+from .host import PAPER_HOST, HostSpec
+
+#: Industry rule of thumb the paper cites: probe effect above 7% is
+#: considered problematic.
+PROBLEMATIC_PROBE_EFFECT = 0.07
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """Probe effect of one collection backend at one event rate."""
+
+    backend: str
+    event_rate: float
+    probe_fraction: float  # 0..1 slowdown of the monitored application
+    app_throughput: float  # resulting application ops/second
+
+    @property
+    def problematic(self) -> bool:
+        return self.probe_fraction > PROBLEMATIC_PROBE_EFFECT
+
+
+def probe_effect(
+    model: IngestCostModel,
+    event_rate: float,
+    baseline_app_ops: float,
+    host: HostSpec = PAPER_HOST,
+) -> ProbeOutcome:
+    """Probe effect of collecting ``event_rate`` events/s with ``model``.
+
+    ``baseline_app_ops`` is the monitored application's throughput with no
+    telemetry collection at all (the paper's RocksDB does 5.06M ops/s).
+    """
+    if event_rate < 0:
+        raise ValueError("event_rate must be >= 0")
+    emit_cycles = event_rate * EMIT_CYCLES
+
+    if model.probe_collect_cycles is not None:
+        collect_per_record = model.probe_collect_cycles
+    else:
+        collect_per_record = model.io_cycles + model.index_cycles_at(event_rate)
+    collect_budget = (
+        model.cores * host.hz if model.cores is not None else host.total_cycles_per_s
+    )
+    if model.idx_cap_fraction is not None:
+        collect_budget += model.idx_cap_fraction * host.total_cycles_per_s
+    collect_cycles = min(event_rate * collect_per_record, collect_budget)
+
+    probe = (emit_cycles + collect_cycles) / host.total_cycles_per_s
+    probe = min(probe, 0.95)
+    return ProbeOutcome(
+        backend=model.name,
+        event_rate=event_rate,
+        probe_fraction=probe,
+        app_throughput=baseline_app_ops * (1.0 - probe),
+    )
+
+
+def compare_backends(
+    models: Sequence[IngestCostModel],
+    event_rate: float,
+    baseline_app_ops: float,
+    host: HostSpec = PAPER_HOST,
+) -> List[ProbeOutcome]:
+    """Figure 14: probe effect of each backend at the same event rate."""
+    return [probe_effect(m, event_rate, baseline_app_ops, host) for m in models]

@@ -1,0 +1,46 @@
+"""Workload generators for the paper's evaluation (Figure 10 and sweeps).
+
+All generators are deterministic under a seed and emit arrival-ordered
+``(virtual_timestamp_ns, source_id, payload)`` tuples at the paper's rates
+in *virtual time* (scaled counts, exact windows) — see DESIGN.md.
+"""
+
+from . import events
+from .generator import (
+    SourceSpec,
+    TimedRecord,
+    arrival_times,
+    insert_planted,
+    lognormal_latencies,
+    merge_streams,
+)
+from .redis_case import GeneratedPhase, Needle, RedisCaseStudy
+from .rocksdb_case import RocksDbCaseStudy, RocksPhase
+from .sampling import per_source_sample, uniform_sample
+from .synthetic import (
+    FIG15_RECORD_SIZES,
+    fixed_size_records,
+    latency_stream,
+    rate_sweep,
+)
+
+__all__ = [
+    "FIG15_RECORD_SIZES",
+    "GeneratedPhase",
+    "Needle",
+    "RedisCaseStudy",
+    "RocksDbCaseStudy",
+    "RocksPhase",
+    "SourceSpec",
+    "TimedRecord",
+    "arrival_times",
+    "events",
+    "fixed_size_records",
+    "insert_planted",
+    "latency_stream",
+    "lognormal_latencies",
+    "merge_streams",
+    "per_source_sample",
+    "rate_sweep",
+    "uniform_sample",
+]

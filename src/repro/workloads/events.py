@@ -1,0 +1,142 @@
+"""Record schemas for the paper's telemetry sources.
+
+The paper's end-to-end workloads use small fixed-size records: 48 bytes
+for application and syscall latency records, 60 bytes for page-cache
+events, and variable sizes for captured TCP packets (Figure 10).  Those
+sizes *include* Loom's 24-byte record header, so the payload structs here
+are sized to land each record exactly on the paper's footprint:
+
+* latency payload = 24 B  → 48 B on the record log;
+* page-cache payload = 36 B → 60 B;
+* packet payload = 24 B fixed header + variable capture tail.
+
+Each schema has pack/unpack helpers plus the field extractors used as
+Loom ``index_func`` UDFs and FishStore PSF extractors.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+# ----------------------------------------------------------------------
+# Source ids (shared across the workloads and benches)
+# ----------------------------------------------------------------------
+SRC_APP = 1  #: application request latency (Redis / RocksDB requests)
+SRC_SYSCALL = 2  #: OS syscall latency (eBPF tracepoint style)
+SRC_PACKET = 3  #: captured TCP packets
+SRC_PAGECACHE = 4  #: page-cache tracepoint events
+
+SOURCE_NAMES = {
+    SRC_APP: "app",
+    SRC_SYSCALL: "syscall",
+    SRC_PACKET: "packet",
+    SRC_PAGECACHE: "pagecache",
+}
+
+# ----------------------------------------------------------------------
+# Operation / syscall kind codes carried in latency records
+# ----------------------------------------------------------------------
+OP_GET = 1
+OP_SET = 2
+SYS_SENDTO = 44
+SYS_RECVFROM = 45
+SYS_PREAD64 = 17
+SYS_WRITE = 1
+SYS_FUTEX = 202
+
+#: Page-cache event kinds (modelled on Linux tracepoints).
+PC_ADD_TO_PAGE_CACHE = 1  # mm_filemap_add_to_page_cache
+PC_DELETE_FROM_PAGE_CACHE = 2
+PC_WRITEBACK = 3
+
+
+# ----------------------------------------------------------------------
+# Latency records (48 B on the log): app requests and syscalls
+# ----------------------------------------------------------------------
+_LATENCY = struct.Struct("<QdII")
+LATENCY_PAYLOAD_SIZE = _LATENCY.size  # 24
+
+
+def pack_latency(op_id: int, latency_us: float, kind: int, flags: int = 0) -> bytes:
+    """Payload of a latency record: operation id, latency, kind, flags."""
+    return _LATENCY.pack(op_id, latency_us, kind, flags)
+
+
+def unpack_latency(payload: bytes) -> Tuple[int, float, int, int]:
+    return _LATENCY.unpack_from(payload)
+
+
+def latency_value(payload: bytes) -> float:
+    """Index UDF: the latency in microseconds."""
+    return _LATENCY.unpack_from(payload)[1]
+
+
+def latency_kind(payload: bytes) -> int:
+    """Extractor: operation or syscall kind code."""
+    return _LATENCY.unpack_from(payload)[2]
+
+
+def latency_op_id(payload: bytes) -> int:
+    return _LATENCY.unpack_from(payload)[0]
+
+
+# ----------------------------------------------------------------------
+# Packet records (24 B fixed payload header + variable capture bytes)
+# ----------------------------------------------------------------------
+_PACKET = struct.Struct("<HHHHQQ")
+PACKET_FIXED_SIZE = _PACKET.size  # 24
+
+#: The port Redis listens on in the case study; the buggy packet filter
+#: of section 2.1 mangles the destination port of rare packets.
+REDIS_PORT = 6379
+MANGLED_PORT = 1879  # what the buggy eBPF filter rewrote the port to
+
+
+def pack_packet(
+    src_port: int,
+    dst_port: int,
+    length: int,
+    flags: int,
+    seq: int,
+    capture: bytes = b"",
+) -> bytes:
+    """Payload of a captured packet: 5-tuple-ish header + capture tail."""
+    return _PACKET.pack(src_port, dst_port, length, flags, seq, len(capture)) + capture
+
+
+def unpack_packet(payload: bytes) -> Tuple[int, int, int, int, int, bytes]:
+    src_port, dst_port, length, flags, seq, cap_len = _PACKET.unpack_from(payload)
+    capture = payload[PACKET_FIXED_SIZE : PACKET_FIXED_SIZE + cap_len]
+    return src_port, dst_port, length, flags, seq, capture
+
+
+def packet_dst_port(payload: bytes) -> float:
+    """Index UDF: destination port (mangled-packet detection)."""
+    return float(_PACKET.unpack_from(payload)[1])
+
+
+def packet_length(payload: bytes) -> float:
+    return float(_PACKET.unpack_from(payload)[2])
+
+
+# ----------------------------------------------------------------------
+# Page-cache events (36 B payload → 60 B on the log)
+# ----------------------------------------------------------------------
+_PAGECACHE = struct.Struct("<IQQQQ")
+PAGECACHE_PAYLOAD_SIZE = _PAGECACHE.size  # 36
+
+
+def pack_pagecache(kind: int, pfn: int, i_ino: int, index: int, dev: int = 0) -> bytes:
+    """Payload of a page-cache tracepoint event."""
+    return _PAGECACHE.pack(kind, pfn, i_ino, index, dev)
+
+
+def unpack_pagecache(payload: bytes) -> Tuple[int, int, int, int, int]:
+    return _PAGECACHE.unpack_from(payload)
+
+
+def pagecache_kind(payload: bytes) -> float:
+    """Index UDF: event kind (exact-match histogram use)."""
+    return float(_PAGECACHE.unpack_from(payload)[0])

@@ -1,0 +1,284 @@
+"""The Redis case study (paper sections 2.1, 6.1; Figures 3, 10a, 12).
+
+An engineer investigates occasional high Redis request tail latency.  The
+investigation proceeds in three phases, each adding a telemetry source:
+
+====== ============================== ============== ======================
+Phase  Data collected                 Paper rate     Query
+====== ============================== ============== ======================
+P1     application request latency    865k rec/s     99.99th-pct latency records
+P2     + OS syscall latency           +2.7M rec/s    99.99th-pct sendto/recv latency
+P3     + client TCP packets           +3.5M rec/s    packets ±5 s around slow requests
+====== ============================== ============== ======================
+
+The root cause (planted ground truth): a buggy eBPF packet filter mangles
+the destination port of a handful of packets; each mangled packet causes a
+slow ``recvfrom`` syscall which causes a slow Redis request.  Six such
+events occur during Phase 3 — six slow requests out of millions, six
+mangled packets out of tens of millions (paper Figure 3's red ground
+truth).  Finding them requires complete capture: uniform 10% sampling
+catches about one slow request and none of the mangled packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.clock import NANOS_PER_SECOND, millis, micros
+from . import events
+from .generator import (
+    SourceSpec,
+    TimedRecord,
+    arrival_times,
+    insert_planted,
+    lognormal_latencies,
+    merge_streams,
+)
+
+#: Paper-scale per-source rates (records/second).
+APP_RATE = 865_000.0
+SYSCALL_RATE = 2_700_000.0
+PACKET_RATE = 3_500_000.0
+
+#: Planted needles in Phase 3 (paper Figure 3: six slow requests / six
+#: mangled packets over a 10-second window).
+N_NEEDLES = 6
+
+#: Latency profile (µs): healthy requests are ~100 µs; the planted slow
+#: requests take ~50 ms, far beyond the healthy tail.
+HEALTHY_MEDIAN_US = 100.0
+HEALTHY_SIGMA = 0.35
+SLOW_REQUEST_US = 50_000.0
+SLOW_RECV_US = 45_000.0
+HEALTHY_SYSCALL_MEDIAN_US = 8.0
+
+
+@dataclass(frozen=True)
+class Needle:
+    """Ground truth for one planted rare event chain."""
+
+    request_time_ns: int
+    request_op_id: int
+    request_latency_us: float
+    syscall_time_ns: int
+    packet_time_ns: int
+    packet_seq: int
+
+
+@dataclass
+class GeneratedPhase:
+    """One phase's interleaved record stream plus bookkeeping."""
+
+    phase: int
+    t_start_ns: int
+    t_end_ns: int
+    records: List[TimedRecord]
+    needles: List[Needle] = field(default_factory=list)
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records)
+
+    def counts_by_source(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for _, sid, _ in self.records:
+            out[sid] = out.get(sid, 0) + 1
+        return out
+
+
+class RedisCaseStudy:
+    """Deterministic generator for the three-phase Redis workload.
+
+    Args:
+        scale: fraction of the paper's record rates to actually generate
+            (timestamps stay at true virtual time, so a 10-second phase is
+            always 10 virtual seconds regardless of scale).
+        phase_duration_s: virtual seconds per phase.
+        seed: RNG seed; every run with the same parameters produces the
+            identical stream and ground truth.
+    """
+
+    def __init__(
+        self, scale: float = 1e-3, phase_duration_s: float = 10.0, seed: int = 42
+    ) -> None:
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        self.scale = scale
+        self.phase_duration_s = phase_duration_s
+        self.seed = seed
+        self._op_counter = 0
+
+    # ------------------------------------------------------------------
+    def phase_bounds(self, phase: int) -> Tuple[int, int]:
+        """Virtual-time [start, end) of a phase (1-based)."""
+        if phase not in (1, 2, 3):
+            raise ValueError("phase must be 1, 2, or 3")
+        dur = int(self.phase_duration_s * NANOS_PER_SECOND)
+        return (phase - 1) * dur, phase * dur
+
+    def active_rate(self, phase: int) -> float:
+        """Total paper-scale ingest rate during a phase (records/second)."""
+        rate = APP_RATE
+        if phase >= 2:
+            rate += SYSCALL_RATE
+        if phase >= 3:
+            rate += PACKET_RATE
+        return rate
+
+    # ------------------------------------------------------------------
+    def generate_phase(self, phase: int) -> GeneratedPhase:
+        """Generate one phase's arrival-ordered stream."""
+        t_start, t_end = self.phase_bounds(phase)
+        rng = np.random.default_rng(self.seed + phase)
+        streams: List[List[TimedRecord]] = [self._app_stream(rng, t_start)]
+        if phase >= 2:
+            streams.append(self._syscall_stream(rng, t_start))
+        needles: List[Needle] = []
+        if phase >= 3:
+            streams.append(self._packet_stream(rng, t_start))
+        records = list(merge_streams(streams))
+        if phase == 3:
+            planted, needles = self._plant_needles(rng, t_start, t_end)
+            records = insert_planted(records, planted)
+        return GeneratedPhase(
+            phase=phase,
+            t_start_ns=t_start,
+            t_end_ns=t_end,
+            records=records,
+            needles=needles,
+        )
+
+    def generate_all(self) -> List[GeneratedPhase]:
+        return [self.generate_phase(p) for p in (1, 2, 3)]
+
+    # ------------------------------------------------------------------
+    # Per-source streams
+    # ------------------------------------------------------------------
+    def _app_stream(self, rng: np.random.Generator, t_start: int) -> List[TimedRecord]:
+        ts = arrival_times(
+            rng, APP_RATE * self.scale, t_start, self.phase_duration_s
+        )
+        lats = lognormal_latencies(rng, len(ts), HEALTHY_MEDIAN_US, HEALTHY_SIGMA)
+        kinds = rng.choice([events.OP_GET, events.OP_SET], size=len(ts), p=[0.8, 0.2])
+        out = []
+        for i in range(len(ts)):
+            self._op_counter += 1
+            out.append(
+                (
+                    int(ts[i]),
+                    events.SRC_APP,
+                    events.pack_latency(self._op_counter, float(lats[i]), int(kinds[i])),
+                )
+            )
+        return out
+
+    def _syscall_stream(
+        self, rng: np.random.Generator, t_start: int
+    ) -> List[TimedRecord]:
+        ts = arrival_times(
+            rng, SYSCALL_RATE * self.scale, t_start, self.phase_duration_s
+        )
+        lats = lognormal_latencies(rng, len(ts), HEALTHY_SYSCALL_MEDIAN_US, 0.5)
+        kinds = rng.choice(
+            [events.SYS_SENDTO, events.SYS_RECVFROM, events.SYS_FUTEX, events.SYS_WRITE],
+            size=len(ts),
+            p=[0.35, 0.35, 0.15, 0.15],
+        )
+        return [
+            (
+                int(ts[i]),
+                events.SRC_SYSCALL,
+                events.pack_latency(i, float(lats[i]), int(kinds[i])),
+            )
+            for i in range(len(ts))
+        ]
+
+    def _packet_stream(
+        self, rng: np.random.Generator, t_start: int
+    ) -> List[TimedRecord]:
+        ts = arrival_times(
+            rng, PACKET_RATE * self.scale, t_start, self.phase_duration_s
+        )
+        lengths = rng.integers(64, 1500, size=len(ts))
+        src_ports = rng.integers(30000, 60000, size=len(ts))
+        out = []
+        for i in range(len(ts)):
+            capture = bytes(int(lengths[i]) % 40)
+            out.append(
+                (
+                    int(ts[i]),
+                    events.SRC_PACKET,
+                    events.pack_packet(
+                        int(src_ports[i]),
+                        events.REDIS_PORT,
+                        int(lengths[i]),
+                        0x18,  # PSH|ACK
+                        i,
+                        capture,
+                    ),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Needle planting (the ground truth of Figure 3)
+    # ------------------------------------------------------------------
+    def _plant_needles(
+        self, rng: np.random.Generator, t_start: int, t_end: int
+    ) -> Tuple[List[TimedRecord], List[Needle]]:
+        planted: List[TimedRecord] = []
+        needles: List[Needle] = []
+        window = t_end - t_start
+        # Spread the needles across the middle 80% of the phase.
+        anchor_times = np.linspace(
+            t_start + 0.1 * window, t_start + 0.9 * window, N_NEEDLES
+        ).astype(np.int64)
+        for k, anchor in enumerate(anchor_times):
+            anchor = int(anchor)
+            packet_time = anchor - millis(2)  # mangled packet arrives first
+            syscall_time = anchor - micros(500)  # then the slow recvfrom
+            request_time = anchor  # then the slow request completes
+            seq = 0xDEAD_0000 + k
+            self._op_counter += 1
+            op_id = self._op_counter
+            latency_us = SLOW_REQUEST_US * (1.0 + 0.1 * k)
+            planted.append(
+                (
+                    packet_time,
+                    events.SRC_PACKET,
+                    events.pack_packet(
+                        40000 + k, events.MANGLED_PORT, 1448, 0x18, seq
+                    ),
+                )
+            )
+            planted.append(
+                (
+                    syscall_time,
+                    events.SRC_SYSCALL,
+                    events.pack_latency(
+                        1_000_000 + k, SLOW_RECV_US * (1.0 + 0.1 * k),
+                        events.SYS_RECVFROM,
+                    ),
+                )
+            )
+            planted.append(
+                (
+                    request_time,
+                    events.SRC_APP,
+                    events.pack_latency(op_id, latency_us, events.OP_GET),
+                )
+            )
+            needles.append(
+                Needle(
+                    request_time_ns=request_time,
+                    request_op_id=op_id,
+                    request_latency_us=latency_us,
+                    syscall_time_ns=syscall_time,
+                    packet_time_ns=packet_time,
+                    packet_seq=seq,
+                )
+            )
+        return planted, needles

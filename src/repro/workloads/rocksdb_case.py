@@ -1,0 +1,218 @@
+"""The RocksDB case study (paper section 6.1; Figures 10b, 13).
+
+Based on a real Linux performance-debugging example (page-cache hit-ratio
+analysis).  Three phases with *aggregation* queries of increasing
+selectivity:
+
+====== ============================ ============= ==========================
+Phase  Data collected               Paper rate    Query
+====== ============================ ============= ==========================
+P1     RocksDB request latency      4.7M rec/s    max & 99.99th-pct latency
+P2     + OS syscall latency         +3.2M rec/s   max & 99.99th-pct pread64
+                                                  latency (~3% of all data)
+P3     + OS page-cache events       +39k rec/s    count of
+                                                  mm_filemap_add_to_page_cache
+                                                  events (~0.5% of all data)
+====== ============================ ============= ==========================
+
+The syscall stream mixes several syscalls; ``pread64`` records are the
+~3% subset the Phase 2 queries aggregate.  The page-cache stream contains
+several tracepoint kinds; the Phase 3 query counts one of them.  The
+ground truth (exact maxima, percentile values, and event counts) is
+computed from the generated arrays so tests can assert exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.clock import NANOS_PER_SECOND
+from . import events
+from .generator import (
+    TimedRecord,
+    arrival_times,
+    lognormal_latencies,
+    merge_streams,
+)
+
+APP_RATE = 4_700_000.0
+SYSCALL_RATE = 3_200_000.0
+PAGECACHE_RATE = 39_000.0
+
+#: Fraction of the syscall stream that is pread64 (≈3% of total data).
+PREAD_FRACTION = 0.0785  # 3.2M * 0.0785 ≈ 250k/s, ≈3% of 8M total
+
+#: Fraction of page-cache events that are mm_filemap_add_to_page_cache.
+PC_ADD_FRACTION = 0.6
+
+REQUEST_MEDIAN_US = 4.0
+REQUEST_SIGMA = 0.6
+#: pread64 is bimodal: page-cache hits ~3 µs, misses ~120 µs.
+PREAD_HIT_US = 3.0
+PREAD_MISS_US = 120.0
+PREAD_MISS_RATE = 0.09
+OTHER_SYSCALL_MEDIAN_US = 6.0
+
+
+@dataclass
+class RocksPhase:
+    """One generated phase plus its exact ground truth."""
+
+    phase: int
+    t_start_ns: int
+    t_end_ns: int
+    records: List[TimedRecord]
+    #: Exact ground truth for this phase's queries.
+    truth: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records)
+
+
+class RocksDbCaseStudy:
+    """Deterministic generator for the three-phase RocksDB workload."""
+
+    def __init__(
+        self, scale: float = 1e-3, phase_duration_s: float = 10.0, seed: int = 7
+    ) -> None:
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        self.scale = scale
+        self.phase_duration_s = phase_duration_s
+        self.seed = seed
+
+    def phase_bounds(self, phase: int) -> Tuple[int, int]:
+        if phase not in (1, 2, 3):
+            raise ValueError("phase must be 1, 2, or 3")
+        dur = int(self.phase_duration_s * NANOS_PER_SECOND)
+        return (phase - 1) * dur, phase * dur
+
+    def active_rate(self, phase: int) -> float:
+        rate = APP_RATE
+        if phase >= 2:
+            rate += SYSCALL_RATE
+        if phase >= 3:
+            rate += PAGECACHE_RATE
+        return rate
+
+    # ------------------------------------------------------------------
+    def generate_phase(self, phase: int) -> RocksPhase:
+        t_start, t_end = self.phase_bounds(phase)
+        rng = np.random.default_rng(self.seed + phase)
+        truth: Dict[str, float] = {}
+
+        streams: List[List[TimedRecord]] = []
+        app_records, app_lats = self._app_stream(rng, t_start)
+        streams.append(app_records)
+        truth["app_max_us"] = float(app_lats.max())
+        truth["app_p9999_us"] = float(
+            np.percentile(app_lats, 99.99, method="inverted_cdf")
+        )
+
+        if phase >= 2:
+            sys_records, pread_lats = self._syscall_stream(rng, t_start)
+            streams.append(sys_records)
+            truth["pread_count"] = float(len(pread_lats))
+            if len(pread_lats):
+                truth["pread_max_us"] = float(pread_lats.max())
+                truth["pread_p9999_us"] = float(
+                    np.percentile(pread_lats, 99.99, method="inverted_cdf")
+                )
+        if phase >= 3:
+            pc_records, add_count = self._pagecache_stream(rng, t_start)
+            streams.append(pc_records)
+            truth["pagecache_add_count"] = float(add_count)
+
+        return RocksPhase(
+            phase=phase,
+            t_start_ns=t_start,
+            t_end_ns=t_end,
+            records=list(merge_streams(streams)),
+            truth=truth,
+        )
+
+    def generate_all(self) -> List[RocksPhase]:
+        return [self.generate_phase(p) for p in (1, 2, 3)]
+
+    # ------------------------------------------------------------------
+    def _app_stream(
+        self, rng: np.random.Generator, t_start: int
+    ) -> Tuple[List[TimedRecord], np.ndarray]:
+        ts = arrival_times(rng, APP_RATE * self.scale, t_start, self.phase_duration_s)
+        lats = lognormal_latencies(rng, len(ts), REQUEST_MEDIAN_US, REQUEST_SIGMA)
+        kinds = rng.choice([events.OP_GET, events.OP_SET], size=len(ts), p=[0.9, 0.1])
+        records = [
+            (
+                int(ts[i]),
+                events.SRC_APP,
+                events.pack_latency(i, float(lats[i]), int(kinds[i])),
+            )
+            for i in range(len(ts))
+        ]
+        return records, lats
+
+    def _syscall_stream(
+        self, rng: np.random.Generator, t_start: int
+    ) -> Tuple[List[TimedRecord], np.ndarray]:
+        ts = arrival_times(
+            rng, SYSCALL_RATE * self.scale, t_start, self.phase_duration_s
+        )
+        n = len(ts)
+        is_pread = rng.random(n) < PREAD_FRACTION
+        # Bimodal pread64 latency: fast page-cache hits, slow misses.
+        is_miss = rng.random(n) < PREAD_MISS_RATE
+        pread_lat = np.where(
+            is_miss,
+            lognormal_latencies(rng, n, PREAD_MISS_US, 0.4),
+            lognormal_latencies(rng, n, PREAD_HIT_US, 0.3),
+        )
+        other_lat = lognormal_latencies(rng, n, OTHER_SYSCALL_MEDIAN_US, 0.5)
+        other_kinds = rng.choice(
+            [events.SYS_WRITE, events.SYS_FUTEX, events.SYS_SENDTO], size=n
+        )
+        records = []
+        pread_values = []
+        for i in range(n):
+            if is_pread[i]:
+                kind = events.SYS_PREAD64
+                lat = float(pread_lat[i])
+                pread_values.append(lat)
+            else:
+                kind = int(other_kinds[i])
+                lat = float(other_lat[i])
+            records.append(
+                (int(ts[i]), events.SRC_SYSCALL, events.pack_latency(i, lat, kind))
+            )
+        return records, np.asarray(pread_values)
+
+    def _pagecache_stream(
+        self, rng: np.random.Generator, t_start: int
+    ) -> Tuple[List[TimedRecord], int]:
+        ts = arrival_times(
+            rng, PAGECACHE_RATE * self.scale, t_start, self.phase_duration_s
+        )
+        n = len(ts)
+        kinds = rng.choice(
+            [
+                events.PC_ADD_TO_PAGE_CACHE,
+                events.PC_DELETE_FROM_PAGE_CACHE,
+                events.PC_WRITEBACK,
+            ],
+            size=n,
+            p=[PC_ADD_FRACTION, (1 - PC_ADD_FRACTION) / 2, (1 - PC_ADD_FRACTION) / 2],
+        )
+        pfns = rng.integers(0, 1 << 40, size=n)
+        records = [
+            (
+                int(ts[i]),
+                events.SRC_PAGECACHE,
+                events.pack_pagecache(int(kinds[i]), int(pfns[i]), 100 + i % 7, i),
+            )
+            for i in range(n)
+        ]
+        add_count = int((kinds == events.PC_ADD_TO_PAGE_CACHE).sum())
+        return records, add_count

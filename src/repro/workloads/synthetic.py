@@ -1,0 +1,77 @@
+"""Parametric synthetic workloads for the drill-down experiments.
+
+These generators back the non-case-study figures:
+
+* :func:`fixed_size_records` — ingest-only streams of 8–1024-byte records
+  (Figure 15's data-structure scaling experiment);
+* :func:`latency_stream` — a single latency source at a configurable rate
+  and duration (Figure 16/17 lookback sweeps use a long Phase-2-like
+  stream);
+* :func:`rate_sweep` — the arrival-rate ladder of Figure 2.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.clock import NANOS_PER_SECOND
+from . import events
+from .generator import TimedRecord, arrival_times, lognormal_latencies
+
+#: Record sizes (total on-log bytes) used in paper Figure 15.
+FIG15_RECORD_SIZES = (8, 64, 256, 1024)
+
+
+def fixed_size_records(
+    count: int, payload_size: int, seed: int = 0
+) -> List[bytes]:
+    """``count`` opaque payloads of exactly ``payload_size`` bytes.
+
+    Payload contents are pseudo-random so that no storage layer can cheat
+    via trivial deduplication.
+    """
+    if payload_size < 0:
+        raise ValueError("payload_size must be >= 0")
+    rng = np.random.default_rng(seed)
+    blob = rng.integers(0, 256, size=max(1, count * payload_size), dtype=np.uint8)
+    data = blob.tobytes()
+    return [data[i * payload_size : (i + 1) * payload_size] for i in range(count)]
+
+
+def latency_stream(
+    rate_per_s: float,
+    duration_s: float,
+    source_id: int = events.SRC_SYSCALL,
+    kind: int = events.SYS_PREAD64,
+    median_us: float = 10.0,
+    sigma: float = 0.6,
+    t_start_ns: int = 0,
+    seed: int = 0,
+) -> List[TimedRecord]:
+    """A single-source latency stream (48 B records) over virtual time."""
+    rng = np.random.default_rng(seed)
+    ts = arrival_times(rng, rate_per_s, t_start_ns, duration_s)
+    lats = lognormal_latencies(rng, len(ts), median_us, sigma)
+    return [
+        (int(ts[i]), source_id, events.pack_latency(i, float(lats[i]), kind))
+        for i in range(len(ts))
+    ]
+
+
+def rate_sweep(
+    rates_per_s: Sequence[float] = (
+        100_000,
+        250_000,
+        500_000,
+        1_000_000,
+        1_400_000,
+        2_000_000,
+        4_000_000,
+        6_000_000,
+    ),
+) -> List[float]:
+    """The ingest-rate ladder of paper Figure 2 (records/second)."""
+    return list(rates_per_s)

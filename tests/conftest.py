@@ -1,0 +1,75 @@
+"""Shared fixtures for the Loom reproduction test suite."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HistogramSpec,
+    Loom,
+    LoomConfig,
+    VirtualClock,
+    exponential_edges,
+)
+
+VALUE_STRUCT = struct.Struct("<d")
+
+
+def value_payload(value: float) -> bytes:
+    """Minimal test payload: a single little-endian double."""
+    return VALUE_STRUCT.pack(value)
+
+
+def payload_value(payload: bytes) -> float:
+    """Index UDF matching :func:`value_payload`."""
+    return VALUE_STRUCT.unpack_from(payload)[0]
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def small_config() -> LoomConfig:
+    """Tiny chunks/blocks so tests cross many chunk and block boundaries."""
+    return LoomConfig(
+        chunk_size=512,
+        record_block_size=4096,
+        index_block_size=2048,
+        timestamp_block_size=1024,
+        timestamp_interval=8,
+    )
+
+
+@pytest.fixture
+def loom(small_config, clock) -> Loom:
+    instance = Loom(small_config, clock=clock)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def indexed_loom(loom, clock):
+    """A Loom with one source, one value index, and 2,000 known values.
+
+    Returns ``(loom, source_id, index_id, values, timestamps)``; records
+    are spaced 1 µs apart in virtual time starting at t=0.
+    """
+    source_id = 1
+    loom.define_source(source_id)
+    index_id = loom.define_index(
+        source_id, payload_value, HistogramSpec([1.0, 10.0, 100.0, 1000.0])
+    )
+    rng = np.random.default_rng(1234)
+    values = list(rng.lognormal(mean=np.log(20.0), sigma=1.2, size=2000))
+    timestamps = []
+    for value in values:
+        timestamps.append(clock.now())
+        loom.push(source_id, value_payload(value))
+        clock.advance(1000)
+    loom.sync()
+    return loom, source_id, index_id, values, timestamps

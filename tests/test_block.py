@@ -1,0 +1,96 @@
+"""Tests for staging blocks and their seqlock versioning (paper §5.5)."""
+
+import pytest
+
+from repro.core.block import Block
+
+
+class TestBlockWrites:
+    def test_map_and_write(self):
+        block = Block(16)
+        block.map(100)
+        assert block.write(b"abcd") == 4
+        assert block.filled == 4
+        assert block.remaining == 12
+
+    def test_write_clips_to_capacity(self):
+        block = Block(4)
+        block.map(0)
+        written = block.write(b"abcdef")
+        assert written == 4
+        assert block.is_full
+
+    def test_write_unmapped_raises(self):
+        with pytest.raises(RuntimeError):
+            Block(4).write(b"a")
+
+    def test_double_map_raises(self):
+        block = Block(4)
+        block.map(0)
+        with pytest.raises(RuntimeError):
+            block.map(4)
+
+    def test_remap_after_recycle(self):
+        block = Block(4)
+        block.map(0)
+        block.write(b"abcd")
+        block.recycle()
+        block.map(4)
+        assert block.filled == 0
+        assert block.base_address == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Block(0)
+
+    def test_snapshot_bytes(self):
+        block = Block(8)
+        block.map(0)
+        block.write(b"abc")
+        assert block.snapshot_bytes() == b"abc"
+
+
+class TestSeqlockReads:
+    def test_try_copy_within_filled(self):
+        block = Block(16)
+        block.map(100)
+        block.write(b"hello-world")
+        assert block.try_copy(100, 5) == b"hello"
+        assert block.try_copy(106, 5) == b"world"
+
+    def test_try_copy_outside_range_returns_none(self):
+        block = Block(16)
+        block.map(100)
+        block.write(b"abcd")
+        assert block.try_copy(99, 2) is None  # before base
+        assert block.try_copy(103, 2) is None  # past filled
+        assert block.try_copy(200, 1) is None  # other block's range
+
+    def test_try_copy_unmapped_returns_none(self):
+        block = Block(16)
+        assert block.try_copy(0, 1) is None
+
+    def test_version_bumps_by_two_per_recycle(self):
+        block = Block(8)
+        block.map(0)
+        v0 = block.version
+        block.recycle()
+        assert block.version == v0 + 2
+        assert block.version % 2 == 0
+
+    def test_copy_after_recycle_returns_none(self):
+        block = Block(8)
+        block.map(0)
+        block.write(b"abcd")
+        block.recycle()
+        assert block.try_copy(0, 4) is None
+
+    def test_copy_from_remapped_block_sees_new_data(self):
+        block = Block(8)
+        block.map(0)
+        block.write(b"oldd")
+        block.recycle()
+        block.map(8)
+        block.write(b"neww")
+        assert block.try_copy(0, 4) is None  # old address range gone
+        assert block.try_copy(8, 4) == b"neww"

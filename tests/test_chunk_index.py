@@ -1,0 +1,91 @@
+"""Tests for the chunk index log (paper §4.2)."""
+
+import pytest
+
+from repro.core.chunk_index import ChunkIndex
+from repro.core.summary import ChunkSummary
+
+
+def make_summary(chunk_id: int, t_min: int, t_max: int, size: int = 512) -> ChunkSummary:
+    summary = ChunkSummary(
+        chunk_id=chunk_id, start_addr=chunk_id * size, end_addr=(chunk_id + 1) * size
+    )
+    summary.add_record(1, t_min, chunk_id * size)
+    if t_max != t_min:
+        summary.add_record(1, t_max, chunk_id * size + 48)
+    return summary
+
+
+@pytest.fixture
+def index() -> ChunkIndex:
+    idx = ChunkIndex(block_size=256)
+    for i in range(10):
+        idx.append(make_summary(i, t_min=i * 100, t_max=i * 100 + 99))
+    idx.publish()
+    return idx
+
+
+class TestAppendAndLookup:
+    def test_length_and_get(self, index):
+        assert len(index) == 10
+        assert index.get(0).chunk_id == 0
+        assert index.get(9).chunk_id == 9
+        assert index.last().chunk_id == 9
+
+    def test_empty_index(self):
+        idx = ChunkIndex()
+        assert len(idx) == 0
+        assert idx.last() is None
+        assert list(idx.summaries_in_time_range(0, 10**12)) == []
+
+    def test_summary_for_chunk(self, index):
+        assert index.summary_for_chunk(4).chunk_id == 4
+        assert index.summary_for_chunk(99) is None
+
+    def test_summary_for_chunk_respects_limit(self, index):
+        assert index.summary_for_chunk(8, limit=5) is None
+        assert index.summary_for_chunk(3, limit=5).chunk_id == 3
+
+
+class TestTimeRangeLookup:
+    def test_exact_window(self, index):
+        got = [s.chunk_id for s in index.summaries_in_time_range(300, 499)]
+        assert got == [3, 4]
+
+    def test_partial_overlap_at_edges(self, index):
+        got = [s.chunk_id for s in index.summaries_in_time_range(350, 420)]
+        assert got == [3, 4]
+
+    def test_window_before_all_data(self, index):
+        assert list(index.summaries_in_time_range(-100, -1)) == []
+
+    def test_window_after_all_data(self, index):
+        assert list(index.summaries_in_time_range(5000, 6000)) == []
+
+    def test_full_window(self, index):
+        got = [s.chunk_id for s in index.summaries_in_time_range(0, 10**9)]
+        assert got == list(range(10))
+
+    def test_inverted_window(self, index):
+        assert list(index.summaries_in_time_range(500, 400)) == []
+
+    def test_limit_pins_view(self, index):
+        got = [s.chunk_id for s in index.summaries_in_time_range(0, 10**9, limit=4)]
+        assert got == [0, 1, 2, 3]
+
+
+class TestPersistence:
+    def test_persisted_entries_match_mirror(self, index):
+        persisted = list(index.iter_persisted())
+        assert len(persisted) == 10
+        for mirror_pos, summary in enumerate(persisted):
+            mirror = index.get(mirror_pos)
+            assert summary.chunk_id == mirror.chunk_id
+            assert summary.t_min == mirror.t_min
+            assert summary.record_count == mirror.record_count
+
+    def test_index_log_grows_with_appends(self):
+        idx = ChunkIndex()
+        before = idx.log.tail_address
+        idx.append(make_summary(0, 0, 9))
+        assert idx.log.tail_address > before

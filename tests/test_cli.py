@@ -1,0 +1,134 @@
+"""Tests for the CLI front-end (paper §3's dashboard/CLI layer)."""
+
+import numpy as np
+import pytest
+
+from repro.daemon import CliError, LoomCli, MonitoringDaemon, parse_duration
+from repro.workloads import events, latency_stream
+
+
+@pytest.fixture(scope="module")
+def cli():
+    daemon = MonitoringDaemon()
+    daemon.enable_source("syscall", events.SRC_SYSCALL)
+    daemon.add_index(
+        "syscall", "latency", events.latency_value, [5.0, 20.0, 80.0, 320.0]
+    )
+    daemon.replay(latency_stream(2000, 10.0, seed=3))
+    return LoomCli(daemon), daemon
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10s", 10 * 10**9),
+            ("250ms", 250 * 10**6),
+            ("5m", 300 * 10**9),
+            ("1.5s", 1_500_000_000),
+            ("100us", 100_000),
+            ("7ns", 7),
+            ("2h", 7200 * 10**9),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_duration(text) == expected
+
+    @pytest.mark.parametrize("text", ["10", "s", "ten-seconds", "-5s", ""])
+    def test_invalid(self, text):
+        with pytest.raises(CliError):
+            parse_duration(text)
+
+
+class TestCommands:
+    def test_sources(self, cli):
+        c, daemon = cli
+        result = c.execute("sources")
+        assert "syscall" in result.text
+        assert "latency" in result.text
+
+    def test_count(self, cli):
+        c, daemon = cli
+        result = c.execute("count syscall last 10s")
+        assert result.value == 20_000
+
+    def test_count_partial_window(self, cli):
+        c, daemon = cli
+        result = c.execute("count syscall last 1s")
+        assert 1800 <= result.value <= 2200
+
+    def test_agg_max(self, cli):
+        c, daemon = cli
+        result = c.execute("agg syscall latency max last 10s")
+        records = daemon.loom.raw_scan(events.SRC_SYSCALL, (0, daemon.clock.now()))
+        expected = max(events.latency_value(r.payload) for r in records)
+        assert result.value == pytest.approx(expected)
+
+    def test_pct_matches_numpy(self, cli):
+        c, daemon = cli
+        result = c.execute("pct syscall latency 99 last 10s")
+        records = daemon.loom.raw_scan(events.SRC_SYSCALL, (0, daemon.clock.now()))
+        values = [events.latency_value(r.payload) for r in records]
+        assert result.value == float(
+            np.percentile(values, 99, method="inverted_cdf")
+        )
+
+    def test_scan_with_limit(self, cli):
+        c, daemon = cli
+        result = c.execute("scan syscall last 10s limit 5")
+        assert len(result.value) == 5
+
+    def test_where_range(self, cli):
+        c, daemon = cli
+        result = c.execute("where syscall latency 20..80 last 10s")
+        records = daemon.loom.raw_scan(events.SRC_SYSCALL, (0, daemon.clock.now()))
+        expected = sum(
+            1 for r in records if 20.0 <= events.latency_value(r.payload) <= 80.0
+        )
+        assert len(result.value) == expected
+
+    def test_where_open_upper_bound(self, cli):
+        c, daemon = cli
+        result = c.execute("where syscall latency 320..inf last 10s")
+        assert all(
+            events.latency_value(r.payload) >= 320.0 for r in result.value
+        )
+
+
+class TestErrors:
+    def test_empty(self, cli):
+        c, _ = cli
+        with pytest.raises(CliError):
+            c.execute("")
+
+    def test_unknown_verb(self, cli):
+        c, _ = cli
+        with pytest.raises(CliError):
+            c.execute("frobnicate syscall")
+
+    def test_bad_method(self, cli):
+        c, _ = cli
+        with pytest.raises(CliError):
+            c.execute("agg syscall latency median last 10s")
+
+    def test_missing_last(self, cli):
+        c, _ = cli
+        with pytest.raises(CliError):
+            c.execute("count syscall 10s")
+
+    def test_bad_percentile(self, cli):
+        c, _ = cli
+        with pytest.raises(CliError):
+            c.execute("pct syscall latency banana last 10s")
+
+    def test_bad_range(self, cli):
+        c, _ = cli
+        with pytest.raises(CliError):
+            c.execute("where syscall latency 20-80 last 10s")
+
+    def test_unknown_source_propagates(self, cli):
+        c, _ = cli
+        from repro.core.errors import LoomError
+
+        with pytest.raises(LoomError):
+            c.execute("count nosuch last 10s")

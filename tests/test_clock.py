@@ -1,0 +1,68 @@
+"""Tests for the clock abstractions (paper section 5.2 internal timestamps)."""
+
+import pytest
+
+from repro.core.clock import (
+    MonotonicClock,
+    VirtualClock,
+    micros,
+    millis,
+    seconds,
+)
+
+
+class TestMonotonicClock:
+    def test_now_is_positive(self):
+        assert MonotonicClock().now() > 0
+
+    def test_now_is_monotonic(self):
+        clock = MonotonicClock()
+        samples = [clock.now() for _ in range(100)]
+        assert all(a <= b for a, b in zip(samples, samples[1:]))
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(start_ns=5_000).now() == 5_000
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_ns=-1)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(100) == 100
+        assert clock.now() == 100
+        assert clock.advance(0) == 100
+
+    def test_advance_backwards_rejected(self):
+        clock = VirtualClock(start_ns=50)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_set_absolute(self):
+        clock = VirtualClock()
+        clock.set(1_000)
+        assert clock.now() == 1_000
+        clock.set(1_000)  # same time is allowed
+        assert clock.now() == 1_000
+
+    def test_set_backwards_rejected(self):
+        clock = VirtualClock(start_ns=500)
+        with pytest.raises(ValueError):
+            clock.set(499)
+
+
+class TestUnitHelpers:
+    def test_seconds(self):
+        assert seconds(1) == 1_000_000_000
+        assert seconds(0.5) == 500_000_000
+
+    def test_millis(self):
+        assert millis(2) == 2_000_000
+
+    def test_micros(self):
+        assert micros(3) == 3_000

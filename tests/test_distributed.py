@@ -1,0 +1,112 @@
+"""Tests for the distributed coordinator (paper section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import LoomError
+from repro.daemon import LoomCoordinator, MonitoringDaemon, NodeRef
+from repro.workloads import events, latency_stream
+
+
+def make_node(name: str, seed: int, count_rate: float = 1000):
+    daemon = MonitoringDaemon()
+    daemon.enable_source("syscall", events.SRC_SYSCALL)
+    daemon.add_index(
+        "syscall", "latency", events.latency_value, [5.0, 20.0, 80.0, 320.0]
+    )
+    stream = latency_stream(count_rate, 2.0, seed=seed)
+    daemon.replay(stream)
+    values = [events.latency_value(p) for _, _, p in stream]
+    return NodeRef(name, daemon), values
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    nodes, all_values = [], []
+    for i, name in enumerate(("host-a", "host-b", "host-c")):
+        node, values = make_node(name, seed=100 + i, count_rate=700 + 300 * i)
+        nodes.append(node)
+        all_values.extend(values)
+    coordinator = LoomCoordinator(nodes)
+    t_range = (0, max(n.daemon.clock.now() for n in nodes))
+    return coordinator, all_values, t_range
+
+
+class TestConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(LoomError):
+            LoomCoordinator([])
+
+    def test_unique_names(self):
+        daemon = MonitoringDaemon()
+        with pytest.raises(LoomError):
+            LoomCoordinator([NodeRef("x", daemon), NodeRef("x", daemon)])
+
+
+class TestGlobalAggregates:
+    @pytest.mark.parametrize("method", ["count", "sum", "min", "max", "mean"])
+    def test_distributive_matches_reference(self, cluster, method):
+        coordinator, values, t_range = cluster
+        got = coordinator.global_aggregate("syscall", "latency", t_range, method)
+        reference = {
+            "count": float(len(values)),
+            "sum": sum(values),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+        }[method]
+        assert got == pytest.approx(reference)
+
+    def test_unsupported_method(self, cluster):
+        coordinator, _, t_range = cluster
+        with pytest.raises(LoomError):
+            coordinator.global_aggregate("syscall", "latency", t_range, "median")
+
+
+class TestGlobalPercentile:
+    @pytest.mark.parametrize("percentile", [10.0, 50.0, 95.0, 99.9])
+    def test_matches_numpy_over_union(self, cluster, percentile):
+        coordinator, values, t_range = cluster
+        got = coordinator.global_percentile(
+            "syscall", "latency", t_range, percentile
+        )
+        expected = float(np.percentile(values, percentile, method="inverted_cdf"))
+        assert got == expected
+
+    def test_empty_window_returns_none(self, cluster):
+        coordinator, _, t_range = cluster
+        future = t_range[1] + 10**12
+        assert (
+            coordinator.global_percentile(
+                "syscall", "latency", (future, future + 1), 50.0
+            )
+            is None
+        )
+
+    def test_invalid_percentile(self, cluster):
+        coordinator, _, t_range = cluster
+        with pytest.raises(LoomError):
+            coordinator.global_percentile("syscall", "latency", t_range, 101.0)
+
+    def test_mismatched_histograms_rejected(self):
+        a = MonitoringDaemon()
+        a.enable_source("s", 1)
+        a.add_index("s", "v", events.latency_value, [1.0, 2.0])
+        a.receive("s", events.pack_latency(0, 1.0, 0))
+        a.sync()
+        b = MonitoringDaemon()
+        b.enable_source("s", 1)
+        b.add_index("s", "v", events.latency_value, [9.0])
+        b.receive("s", events.pack_latency(0, 1.0, 0))
+        b.sync()
+        coordinator = LoomCoordinator([NodeRef("a", a), NodeRef("b", b)])
+        with pytest.raises(LoomError):
+            coordinator.global_percentile("s", "v", (0, 10**12), 50.0)
+
+
+class TestFanOutScan:
+    def test_returns_per_node_records(self, cluster):
+        coordinator, values, t_range = cluster
+        result = coordinator.fan_out_scan("syscall", t_range)
+        assert set(result) == {"host-a", "host-b", "host-c"}
+        assert sum(len(v) for v in result.values()) == len(values)

@@ -1,0 +1,59 @@
+"""Tests for the FasterLog-style append log."""
+
+import pytest
+
+from repro.baselines.fasterlog import HEADER_SIZE, AppendLog
+
+
+class TestAppendLog:
+    def test_append_and_read(self):
+        log = AppendLog()
+        a = log.append(1, 100, b"first")
+        b = log.append(2, 200, b"second")
+        r = log.read(a)
+        assert (r.source_id, r.timestamp, r.payload) == (1, 100, b"first")
+        r = log.read(b)
+        assert (r.source_id, r.timestamp, r.payload) == (2, 200, b"second")
+
+    def test_addresses_are_byte_offsets(self):
+        log = AppendLog()
+        a = log.append(1, 0, b"xyz")
+        b = log.append(1, 1, b"")
+        assert a == 0
+        assert b == HEADER_SIZE + 3
+
+    def test_extra_header_bytes_roundtrip(self):
+        log = AppendLog()
+        a = log.append(1, 5, b"pay", extra=b"\x01\x02\x03\x04")
+        r = log.read(a, extra_len=4)
+        assert r.extra == b"\x01\x02\x03\x04"
+        assert r.payload == b"pay"
+
+    def test_scan_yields_all_records_in_order(self):
+        log = AppendLog()
+        for i in range(50):
+            log.append(i % 3, i, bytes([i]))
+        got = [(r.source_id, r.timestamp, r.payload) for r in log.scan()]
+        assert got == [(i % 3, i, bytes([i])) for i in range(50)]
+
+    def test_scan_streaming_form(self):
+        log = AppendLog()
+        for i in range(10):
+            log.append(1, i, b"x")
+        seen = []
+        assert log.scan(func=seen.append) is None
+        assert len(seen) == 10
+
+    def test_scan_partial_range(self):
+        log = AppendLog()
+        addresses = [log.append(1, i, b"abc") for i in range(10)]
+        got = list(log.scan(start=addresses[4]))
+        assert len(got) == 6
+        assert got[0].timestamp == 4
+
+    def test_record_count_and_size(self):
+        log = AppendLog()
+        for i in range(7):
+            log.append(1, i, b"12345678")
+        assert log.record_count == 7
+        assert log.size_bytes == 7 * (HEADER_SIZE + 8)

@@ -1,0 +1,143 @@
+"""Tests for the FishStore-style PSF store: subset chains, exact-match
+lookups, and the full-scan fallback the paper critiques."""
+
+import struct
+
+import pytest
+
+from repro.baselines.fishstore import (
+    FishStore,
+    field_equals,
+    field_threshold,
+    source_equals,
+)
+
+VALUE = struct.Struct("<d")
+
+
+def payload(value: float) -> bytes:
+    return VALUE.pack(value)
+
+
+def value_of(record_payload: bytes) -> float:
+    return VALUE.unpack_from(record_payload)[0]
+
+
+class TestPsfRegistration:
+    def test_register_returns_sequential_ids(self):
+        store = FishStore(max_psfs=2)
+        assert store.register_psf("a", source_equals(1)) == 0
+        assert store.register_psf("b", source_equals(2)) == 1
+
+    def test_slot_limit_enforced(self):
+        store = FishStore(max_psfs=1)
+        store.register_psf("a", source_equals(1))
+        with pytest.raises(ValueError):
+            store.register_psf("b", source_equals(2))
+
+    def test_every_record_pays_psf_evaluations(self):
+        """The write-path cost that grows with installed PSFs (Figure 14)."""
+        store = FishStore(max_psfs=3)
+        for name in ("a", "b", "c"):
+            store.register_psf(name, source_equals(1))
+        for i in range(10):
+            store.append(1, i, payload(1.0))
+        assert store.stats.psf_evaluations == 30
+
+
+class TestSubsetChains:
+    def test_psf_scan_returns_only_matching_records(self):
+        store = FishStore(max_psfs=2)
+        hot = store.register_psf(
+            "hot", field_threshold(value_of, 50.0, source_id=1)
+        )
+        expected = 0
+        for i in range(200):
+            v = float(i % 100)
+            if i % 2 == 0:
+                if v >= 50.0:
+                    expected += 1
+                store.append(1, i, payload(v))
+            else:
+                store.append(2, i, payload(v))
+        got = list(store.psf_scan(hot, 1))
+        assert len(got) == expected
+        assert all(value_of(r.payload) >= 50.0 for r in got)
+        assert all(r.source_id == 1 for r in got)
+
+    def test_chain_is_newest_first(self):
+        store = FishStore(max_psfs=1)
+        psf = store.register_psf("all1", source_equals(1))
+        for i in range(10):
+            store.append(1, i * 100, payload(float(i)))
+        timestamps = [r.timestamp for r in store.psf_scan(psf, 1)]
+        assert timestamps == sorted(timestamps, reverse=True)
+
+    def test_time_filtered_chain_scan_stops_at_range_start(self):
+        store = FishStore(max_psfs=1)
+        psf = store.register_psf("all1", source_equals(1))
+        for i in range(100):
+            store.append(1, i * 100, payload(float(i)))
+        store.stats.records_scanned = 0
+        got = list(store.psf_scan(psf, 1, t_start=5000, t_end=6000))
+        assert len(got) == 11
+        # Walks everything newer than t_start plus one (the break record) —
+        # the lookback-proportional cost of Figure 17.
+        assert store.stats.records_scanned == (100 - 50) + 1
+
+    def test_grouping_psf(self):
+        store = FishStore(max_psfs=1)
+        by_kind = store.register_psf(
+            "kind", field_equals(lambda p: int(value_of(p)) % 3, source_id=1)
+        )
+        for i in range(30):
+            store.append(1, i, payload(float(i)))
+        for k in range(3):
+            got = list(store.psf_scan(by_kind, k))
+            assert len(got) == 10
+
+    def test_unmatched_key_yields_nothing(self):
+        store = FishStore(max_psfs=1)
+        psf = store.register_psf("all1", source_equals(1))
+        store.append(2, 0, payload(1.0))  # does not match
+        assert list(store.psf_scan(psf, 1)) == []
+
+    def test_psf_installed_midstream_only_indexes_new_data(self):
+        store = FishStore(max_psfs=1)
+        for i in range(10):
+            store.append(1, i, payload(float(i)))
+        psf = store.register_psf("all1", source_equals(1))
+        for i in range(10, 15):
+            store.append(1, i, payload(float(i)))
+        got = list(store.psf_scan(psf, 1))
+        assert len(got) == 5  # pre-install records unreachable via the chain
+
+
+class TestFullScanFallback:
+    def test_full_scan_touches_every_record(self):
+        """Unindexable queries (arbitrary ranges, percentiles) must scan
+        the whole interleaved log — the cost Figures 12/13 show."""
+        store = FishStore(max_psfs=0)
+        for i in range(300):
+            store.append(1 + i % 3, i, payload(float(i)))
+        store.stats.records_scanned = 0
+        got = list(store.full_scan(predicate=lambda r: r.source_id == 2))
+        assert len(got) == 100
+        assert store.stats.records_scanned == 300
+
+    def test_source_scan_time_window(self):
+        store = FishStore(max_psfs=0)
+        for i in range(100):
+            store.append(1, i * 10, payload(float(i)))
+        got = list(store.source_scan(1, t_start=200, t_end=400))
+        assert [r.timestamp for r in got] == [t for t in range(200, 401, 10)]
+
+    def test_no_data_dropped(self):
+        """FishStore keeps up with ingest: Figure 11's 0% column."""
+        store = FishStore(max_psfs=1)
+        store.register_psf("all1", source_equals(1))
+        n = 5000
+        for i in range(n):
+            store.append(1, i, payload(float(i)))
+        assert store.record_count == n
+        assert sum(1 for _ in store.full_scan()) == n

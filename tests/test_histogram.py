@@ -1,0 +1,134 @@
+"""Tests for histogram index specifications (paper §4.2, Figure 8)."""
+
+import pytest
+
+from repro.core.errors import HistogramSpecError
+from repro.core.histogram import (
+    HistogramSpec,
+    IndexDefinition,
+    exponential_edges,
+    uniform_edges,
+)
+
+
+class TestSpecValidation:
+    def test_needs_at_least_one_edge(self):
+        with pytest.raises(HistogramSpecError):
+            HistogramSpec([])
+
+    def test_edges_must_increase(self):
+        with pytest.raises(HistogramSpecError):
+            HistogramSpec([1.0, 1.0])
+        with pytest.raises(HistogramSpecError):
+            HistogramSpec([2.0, 1.0])
+
+    def test_edges_must_be_finite(self):
+        with pytest.raises(HistogramSpecError):
+            HistogramSpec([float("nan")])
+        with pytest.raises(HistogramSpecError):
+            HistogramSpec([0.0, float("inf")])
+
+    def test_single_edge_allowed(self):
+        """One edge = the exact-match emulation mode of §6.4."""
+        spec = HistogramSpec([50.0])
+        assert spec.num_bins == 2
+
+
+class TestBinning:
+    def test_loom_adds_outlier_bins(self):
+        """Figure 8: the daemon defines interior bins; Loom adds bins
+        below and above."""
+        spec = HistogramSpec([10.0, 20.0, 30.0])
+        assert spec.num_bins == 4
+        assert spec.low_outlier_bin == 0
+        assert spec.high_outlier_bin == 3
+
+    def test_bin_of(self):
+        spec = HistogramSpec([10.0, 20.0])
+        assert spec.bin_of(5.0) == 0  # low outlier
+        assert spec.bin_of(10.0) == 1  # inclusive lower edge
+        assert spec.bin_of(19.999) == 1
+        assert spec.bin_of(20.0) == 2  # exclusive upper edge
+        assert spec.bin_of(1e9) == 2  # high outlier
+
+    def test_bin_range_roundtrip(self):
+        spec = HistogramSpec([10.0, 20.0, 40.0])
+        for bin_idx in range(spec.num_bins):
+            lo, hi = spec.bin_range(bin_idx)
+            if lo != float("-inf"):
+                assert spec.bin_of(lo) == bin_idx
+            if hi != float("inf"):
+                # hi is exclusive: a value just below belongs to this bin.
+                assert spec.bin_of(hi - 1e-9) == bin_idx
+                assert spec.bin_of(hi) == bin_idx + 1
+
+    def test_bin_range_bounds(self):
+        spec = HistogramSpec([1.0])
+        assert spec.bin_range(0) == (float("-inf"), 1.0)
+        assert spec.bin_range(1) == (1.0, float("inf"))
+        with pytest.raises(HistogramSpecError):
+            spec.bin_range(2)
+        with pytest.raises(HistogramSpecError):
+            spec.bin_range(-1)
+
+
+class TestRangeQueries:
+    def test_bins_overlapping(self):
+        spec = HistogramSpec([10.0, 20.0, 30.0])
+        assert spec.bins_overlapping(12.0, 18.0) == [1]
+        assert spec.bins_overlapping(12.0, 25.0) == [1, 2]
+        assert spec.bins_overlapping(0.0, 100.0) == [0, 1, 2, 3]
+        assert spec.bins_overlapping(50.0, 40.0) == []  # inverted range
+
+    def test_bins_overlapping_open_ended(self):
+        spec = HistogramSpec([10.0, 20.0])
+        assert spec.bins_overlapping(15.0, float("inf")) == [1, 2]
+        assert spec.bins_overlapping(float("-inf"), 15.0) == [0, 1]
+
+    def test_bins_fully_inside(self):
+        spec = HistogramSpec([10.0, 20.0, 30.0])
+        assert spec.bins_fully_inside(10.0, 30.0) == [1, 2]
+        assert spec.bins_fully_inside(10.0, 29.0) == [1]
+        assert spec.bins_fully_inside(11.0, 30.0) == [2]
+        assert spec.bins_fully_inside(12.0, 18.0) == []
+
+    def test_outlier_bins_fully_inside_open_query(self):
+        spec = HistogramSpec([10.0, 20.0])
+        assert spec.bins_fully_inside(10.0, float("inf")) == [1, 2]
+        assert spec.bins_fully_inside(float("-inf"), 10.0) == [0]
+
+
+class TestEdgeBuilders:
+    def test_uniform(self):
+        edges = uniform_edges(0.0, 100.0, 4)
+        assert edges == [0.0, 25.0, 50.0, 75.0, 100.0]
+
+    def test_uniform_validation(self):
+        with pytest.raises(HistogramSpecError):
+            uniform_edges(0.0, 100.0, 0)
+        with pytest.raises(HistogramSpecError):
+            uniform_edges(5.0, 5.0, 2)
+
+    def test_exponential(self):
+        edges = exponential_edges(1.0, 16.0, 4)
+        assert edges == pytest.approx([1.0, 2.0, 4.0, 8.0, 16.0])
+
+    def test_exponential_validation(self):
+        with pytest.raises(HistogramSpecError):
+            exponential_edges(0.0, 10.0, 4)
+        with pytest.raises(HistogramSpecError):
+            exponential_edges(10.0, 1.0, 4)
+
+
+class TestIndexDefinition:
+    def test_value_and_bin(self):
+        spec = HistogramSpec([10.0])
+        definition = IndexDefinition(
+            index_id=1,
+            source_id=2,
+            index_func=lambda payload: float(len(payload)),
+            spec=spec,
+        )
+        assert definition.value_of(b"abc") == 3.0
+        assert definition.bin_of(b"abc") == 0
+        assert definition.bin_of(b"x" * 12) == 1

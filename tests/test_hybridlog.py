@@ -1,0 +1,182 @@
+"""Tests for the hybrid log (paper section 4.1): addressing, block
+rotation, flushing, watermark publication, and the lock-free read path."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import AddressError, ClosedError
+from repro.core.hybridlog import HybridLog
+from repro.core.storage import MemoryStorage
+
+
+class TestAddressing:
+    def test_append_returns_logical_offsets(self):
+        log = HybridLog(block_size=64)
+        assert log.append(b"aaa") == 0
+        assert log.append(b"bb") == 3
+        assert log.tail_address == 5
+
+    def test_read_back_in_memory(self):
+        log = HybridLog(block_size=64)
+        log.append(b"hello")
+        log.append(b"world")
+        assert log.read(0, 10) == b"helloworld"
+        assert log.read(5, 5) == b"world"
+
+    def test_read_past_tail_raises(self):
+        log = HybridLog(block_size=64)
+        log.append(b"abc")
+        with pytest.raises(AddressError):
+            log.read(0, 4)
+
+    def test_read_zero_length(self):
+        log = HybridLog(block_size=64)
+        log.append(b"abc")
+        assert log.read(1, 0) == b""
+
+
+class TestBlockRotationAndFlush:
+    def test_filling_block_flushes_to_storage(self):
+        storage = MemoryStorage()
+        log = HybridLog(storage=storage, block_size=8)
+        log.append(b"12345678")  # exactly one block
+        assert storage.size == 8
+        assert log.stats.block_flushes == 1
+
+    def test_append_spanning_blocks(self):
+        log = HybridLog(block_size=8)
+        address = log.append(b"0123456789abcdef0123")  # 20 bytes over 8B blocks
+        assert address == 0
+        assert log.read(0, 20) == b"0123456789abcdef0123"
+        assert log.stats.block_flushes == 2
+
+    def test_append_larger_than_both_blocks(self):
+        log = HybridLog(block_size=4)
+        blob = bytes(range(64))
+        log.append(blob)
+        assert log.read(0, 64) == blob
+
+    def test_data_straddling_storage_and_memory(self):
+        storage = MemoryStorage()
+        log = HybridLog(storage=storage, block_size=8)
+        log.append(b"aaaaaaaa")  # flushed
+        log.append(b"bbbb")  # staged in memory
+        assert storage.size == 8
+        assert log.read(4, 8) == b"aaaabbbb"  # gathers across boundary
+        assert log.in_memory_bytes == 4
+
+    def test_many_small_appends_roundtrip(self):
+        log = HybridLog(block_size=32)
+        pieces = [bytes([i]) * (i % 7 + 1) for i in range(200)]
+        addresses = [log.append(p) for p in pieces]
+        for address, piece in zip(addresses, pieces):
+            assert log.read(address, len(piece)) == piece
+
+    def test_close_flushes_partial_block(self):
+        storage = MemoryStorage()
+        log = HybridLog(storage=storage, block_size=64)
+        log.append(b"partial")
+        log.close()
+        assert storage.size == 7
+        assert log.read(0, 7) == b"partial"
+
+    def test_append_after_close_raises(self):
+        log = HybridLog(block_size=8)
+        log.close()
+        with pytest.raises(ClosedError):
+            log.append(b"x")
+
+    def test_close_is_idempotent(self):
+        log = HybridLog(block_size=8)
+        log.append(b"ab")
+        log.close()
+        log.close()
+
+
+class TestWatermark:
+    def test_watermark_starts_at_zero(self):
+        log = HybridLog(block_size=16)
+        log.append(b"abcd")
+        assert log.watermark == 0
+
+    def test_publish_advances_to_tail(self):
+        log = HybridLog(block_size=16)
+        log.append(b"abcd")
+        assert log.publish() == 4
+        assert log.watermark == 4
+
+    def test_publish_explicit_address(self):
+        log = HybridLog(block_size=16)
+        log.append(b"abcdef")
+        log.publish(3)
+        assert log.watermark == 3
+
+    def test_publish_cannot_regress_or_exceed_tail(self):
+        log = HybridLog(block_size=16)
+        log.append(b"abcd")
+        log.publish(4)
+        with pytest.raises(AddressError):
+            log.publish(2)
+        with pytest.raises(AddressError):
+            log.publish(5)
+
+
+class TestThreadedFlush:
+    def test_threaded_flush_roundtrip(self):
+        log = HybridLog(block_size=64, threaded_flush=True)
+        pieces = [bytes([i % 256]) * 17 for i in range(500)]
+        addresses = [log.append(p) for p in pieces]
+        for address, piece in zip(addresses, pieces):
+            assert log.read(address, len(piece)) == piece
+        log.close()
+        # Everything must have reached storage after close.
+        assert log.persisted_tail == log.tail_address
+
+    def test_concurrent_reader_during_ingest(self):
+        """A reader hammering the log while the writer appends must always
+        see exactly the bytes that were written (seqlock + fallback)."""
+        log = HybridLog(block_size=256, threaded_flush=True)
+        n = 2000
+        payload = b"0123456789abcdef"  # 16 bytes
+        errors = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                watermark = log.watermark
+                if watermark >= 16:
+                    start = (watermark // 16 - 1) * 16
+                    data = log.read(start, 16)
+                    if data != payload:
+                        errors.append((start, data))
+                        return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for _ in range(n):
+            log.append(payload)
+            log.publish()
+        done.set()
+        thread.join()
+        log.close()
+        assert errors == []
+
+    def test_fallback_counter_is_plausible(self):
+        log = HybridLog(block_size=32)
+        for _ in range(10):
+            log.append(b"x" * 16)
+        log.publish()
+        log.read(0, 16 * 10)
+        assert log.stats.reader_storage_fallbacks == 0  # no writer race here
+
+
+class TestStats:
+    def test_counters(self):
+        log = HybridLog(block_size=8)
+        log.append(b"abcd")
+        log.append(b"efgh")
+        assert log.stats.appends == 2
+        assert log.stats.bytes_appended == 8
+        assert log.stats.block_flushes == 1
+        assert log.stats.bytes_flushed == 8

@@ -1,0 +1,132 @@
+"""Tests for the key-value store baselines (LMDB-style B+-tree and
+RocksDB-style LSM tree)."""
+
+import random
+
+import pytest
+
+from repro.baselines.kvstore import BPlusTree, LsmKv
+
+
+class TestBPlusTreeAppendMode:
+    def test_append_and_get(self):
+        tree = BPlusTree(order=8)
+        for i in range(1000):
+            tree.append(i, str(i).encode())
+        assert tree.get(0) == b"0"
+        assert tree.get(999) == b"999"
+        assert tree.get(1000) is None
+        assert len(tree) == 1000
+
+    def test_append_requires_increasing_keys(self):
+        tree = BPlusTree(order=8)
+        tree.append(10, b"a")
+        with pytest.raises(ValueError):
+            tree.append(10, b"b")
+        with pytest.raises(ValueError):
+            tree.append(5, b"c")
+
+    def test_range_scan_via_leaf_links(self):
+        tree = BPlusTree(order=8)
+        for i in range(0, 1000, 2):
+            tree.append(i, str(i).encode())
+        got = [k for k, _ in tree.range(100, 120)]
+        assert got == list(range(100, 121, 2))
+
+    def test_range_outside_data(self):
+        tree = BPlusTree(order=8)
+        for i in range(10):
+            tree.append(i, b"v")
+        assert list(tree.range(100, 200)) == []
+
+    def test_tree_grows_in_height(self):
+        tree = BPlusTree(order=4)
+        for i in range(500):
+            tree.append(i, b"v")
+        assert tree.height >= 3
+        assert tree.page_splits > 0
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=3)
+
+
+class TestBPlusTreeGeneralInserts:
+    def test_random_inserts_sorted_scan(self):
+        tree = BPlusTree(order=8)
+        keys = list(range(2000))
+        random.seed(3)
+        random.shuffle(keys)
+        for k in keys:
+            tree.insert(k, str(k).encode())
+        assert [k for k, _ in tree.range(0, 1999)] == list(range(2000))
+
+    def test_overwrite_existing_key(self):
+        tree = BPlusTree(order=8)
+        tree.insert(5, b"old")
+        tree.insert(7, b"x")
+        tree.insert(5, b"new")
+        assert tree.get(5) == b"new"
+        assert len(tree) == 2
+
+    def test_mixed_append_and_insert(self):
+        tree = BPlusTree(order=8)
+        for i in range(0, 100, 2):
+            tree.insert(i, b"even")
+        for i in range(1, 100, 2):
+            tree.insert(i, b"odd")
+        assert [k for k, _ in tree.range(0, 99)] == list(range(100))
+
+
+class TestLsmKv:
+    def test_put_get_through_flush(self):
+        kv = LsmKv(memtable_entries=100)
+        for i in range(1000):
+            kv.put(i, str(i).encode())
+        for probe in (0, 57, 500, 999):
+            assert kv.get(probe) == str(probe).encode()
+        assert kv.get(5000) is None
+
+    def test_overwrite_newest_wins_across_levels(self):
+        kv = LsmKv(memtable_entries=10)
+        for i in range(100):
+            kv.put(i % 10, f"v{i}".encode())
+        for key in range(10):
+            assert kv.get(key) == f"v{90 + key}".encode()
+
+    def test_range_merges_levels_and_memtable(self):
+        kv = LsmKv(memtable_entries=16)
+        for i in range(200):
+            kv.put(i, str(i).encode())
+        got = kv.range(50, 60)
+        assert [k for k, _ in got] == list(range(50, 61))
+
+    def test_compaction_counters(self):
+        kv = LsmKv(memtable_entries=10, fanout=2)
+        for i in range(500):
+            kv.put(i, b"v")
+        assert kv.stats.memtable_flushes == 50
+        assert kv.stats.compactions > 0
+        assert kv.write_amplification > 0.5
+
+    def test_entry_count_after_dedup(self):
+        kv = LsmKv(memtable_entries=10, fanout=2)
+        for i in range(300):
+            kv.put(i % 30, b"v")
+        kv.flush()
+        # At most 30 distinct keys survive in fully compacted form, plus
+        # duplicates not yet compacted together.
+        assert 30 <= kv.entry_count <= 300
+        assert kv.stats.entries_dropped > 0
+
+    def test_wal_optional(self):
+        from repro.core.storage import MemoryStorage
+
+        wal = MemoryStorage()
+        kv = LsmKv(memtable_entries=100, wal=wal)
+        kv.put(1, b"abc")
+        assert wal.size > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LsmKv(memtable_entries=0)

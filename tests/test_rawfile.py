@@ -1,0 +1,72 @@
+"""Tests for the raw-file capture baseline and its script-style scans."""
+
+import pytest
+
+from repro.baselines.rawfile import RawFileCapture, scan_file
+
+
+class TestRawFileCapture:
+    def test_write_and_scan_memory(self):
+        capture = RawFileCapture()
+        for i in range(100):
+            capture.write(1, i * 10, bytes([i]))
+        records = list(capture.scan())
+        assert len(records) == 100
+        assert records[0].payload == bytes([0])
+        assert records[99].timestamp == 990
+
+    def test_write_and_scan_file(self, tmp_path):
+        capture = RawFileCapture(path=str(tmp_path / "capture.bin"))
+        for i in range(50):
+            capture.write(2, i, b"x" * 24)
+        records = list(capture.scan())
+        assert len(records) == 50
+        capture.close()
+
+    def test_buffering_flushes_at_threshold(self):
+        capture = RawFileCapture(buffer_bytes=128)
+        for i in range(10):
+            capture.write(1, i, b"y" * 24)
+        # Several buffer flushes must have happened before scan().
+        assert capture.size_bytes == 10 * (16 + 24)
+
+    def test_record_count(self):
+        capture = RawFileCapture()
+        for i in range(7):
+            capture.write(1, i, b"")
+        assert capture.record_count == 7
+
+
+class TestScriptScan:
+    @pytest.fixture
+    def capture(self):
+        capture = RawFileCapture()
+        for i in range(200):
+            capture.write(1 + i % 2, i * 100, bytes([i % 256]))
+        return capture
+
+    def test_filter_by_source(self, capture):
+        got = scan_file(capture, source_id=1)
+        assert len(got) == 100
+        assert all(r.source_id == 1 for r in got)
+
+    def test_filter_by_time(self, capture):
+        got = scan_file(capture, t_start=5000, t_end=9900)
+        assert len(got) == 50
+
+    def test_filter_by_predicate(self, capture):
+        got = scan_file(capture, predicate=lambda r: r.payload[0] < 10)
+        assert all(r.payload[0] < 10 for r in got)
+
+    def test_combined_filters(self, capture):
+        got = scan_file(
+            capture,
+            source_id=2,
+            t_start=0,
+            t_end=10_000,
+            predicate=lambda r: r.payload[0] % 2 == 1,
+        )
+        assert all(
+            r.source_id == 2 and r.timestamp <= 10_000 and r.payload[0] % 2 == 1
+            for r in got
+        )

@@ -1,0 +1,53 @@
+"""Tests for record framing (header layout, back-pointer encoding)."""
+
+import pytest
+
+from repro.core.hybridlog import NULL_ADDRESS
+from repro.core.record import (
+    HEADER_SIZE,
+    Record,
+    decode_header,
+    encode_header,
+    encode_record,
+    record_size,
+)
+
+
+class TestEncoding:
+    def test_header_size_is_24(self):
+        """The paper's 48-byte latency records are 24 B header + 24 B payload."""
+        assert HEADER_SIZE == 24
+
+    def test_roundtrip(self):
+        framed = encode_record(7, 123_456, 42, b"payload")
+        source_id, timestamp, prev_addr, length = decode_header(framed)
+        assert (source_id, timestamp, prev_addr, length) == (7, 123_456, 42, 7)
+        assert framed[HEADER_SIZE:] == b"payload"
+
+    def test_null_back_pointer(self):
+        framed = encode_record(1, 0, NULL_ADDRESS, b"")
+        _, _, prev_addr, length = decode_header(framed)
+        assert prev_addr == NULL_ADDRESS
+        assert length == 0
+
+    def test_encode_header_matches_encode_record(self):
+        assert (
+            encode_header(3, 9, 1, 4) == encode_record(3, 9, 1, b"abcd")[:HEADER_SIZE]
+        )
+
+    def test_record_size_helper(self):
+        assert record_size(24) == 48
+        assert record_size(0) == HEADER_SIZE
+
+
+class TestRecordObject:
+    def test_size_and_has_prev(self):
+        record = Record(
+            source_id=1, timestamp=5, prev_addr=NULL_ADDRESS, payload=b"abc", address=0
+        )
+        assert record.size == HEADER_SIZE + 3
+        assert not record.has_prev
+        linked = Record(
+            source_id=1, timestamp=6, prev_addr=0, payload=b"", address=27
+        )
+        assert linked.has_prev

@@ -1,0 +1,249 @@
+"""Tests for the record log write path (paper §5.4): chains, chunk
+finalization, index maintenance, publication ordering, schema ops."""
+
+import pytest
+
+from repro.core import HistogramSpec, LoomConfig, VirtualClock
+from repro.core.errors import ClosedError, UnknownIndexError, UnknownSourceError
+from repro.core.hybridlog import NULL_ADDRESS
+from repro.core.record_log import RecordLog
+
+from conftest import payload_value, value_payload
+
+
+@pytest.fixture
+def record_log(small_config, clock) -> RecordLog:
+    log = RecordLog(config=small_config, clock=clock)
+    yield log
+    log.close()
+
+
+class TestSchemaOperations:
+    def test_define_and_push(self, record_log, clock):
+        record_log.define_source(1)
+        address = record_log.push(1, b"hello")
+        record = record_log.read_record(address)
+        assert record.payload == b"hello"
+        assert record.source_id == 1
+
+    def test_push_to_undefined_source(self, record_log):
+        with pytest.raises(UnknownSourceError):
+            record_log.push(99, b"x")
+
+    def test_double_define_rejected(self, record_log):
+        record_log.define_source(1)
+        with pytest.raises(ValueError):
+            record_log.define_source(1)
+
+    def test_close_source_stops_ingest_keeps_data(self, record_log):
+        record_log.define_source(1)
+        address = record_log.push(1, b"kept")
+        record_log.close_source(1)
+        with pytest.raises(UnknownSourceError):
+            record_log.push(1, b"rejected")
+        assert record_log.read_record(address).payload == b"kept"
+
+    def test_reopen_closed_source_resumes_chain(self, record_log):
+        record_log.define_source(1)
+        first = record_log.push(1, b"a")
+        record_log.close_source(1)
+        record_log.define_source(1)
+        second = record_log.push(1, b"b")
+        assert record_log.read_record(second).prev_addr == first
+
+    def test_close_unknown_source(self, record_log):
+        with pytest.raises(UnknownSourceError):
+            record_log.close_source(42)
+
+    def test_define_index_on_unknown_source(self, record_log):
+        with pytest.raises(UnknownSourceError):
+            record_log.define_index(9, payload_value, HistogramSpec([1.0]))
+
+    def test_close_index(self, record_log):
+        record_log.define_source(1)
+        index_id = record_log.define_index(1, payload_value, HistogramSpec([1.0]))
+        record_log.close_index(index_id)
+        with pytest.raises(UnknownIndexError):
+            record_log.get_index(index_id)
+        with pytest.raises(UnknownIndexError):
+            record_log.close_index(index_id)
+
+    def test_close_source_closes_its_indexes(self, record_log):
+        record_log.define_source(1)
+        index_id = record_log.define_index(1, payload_value, HistogramSpec([1.0]))
+        record_log.close_source(1)
+        with pytest.raises(UnknownIndexError):
+            record_log.get_index(index_id)
+
+    def test_index_ids_are_unique(self, record_log):
+        record_log.define_source(1)
+        record_log.define_source(2)
+        a = record_log.define_index(1, payload_value, HistogramSpec([1.0]))
+        b = record_log.define_index(2, payload_value, HistogramSpec([1.0]))
+        assert a != b
+
+
+class TestChains:
+    def test_back_pointers_link_same_source(self, record_log):
+        record_log.define_source(1)
+        record_log.define_source(2)
+        a1 = record_log.push(1, b"a1")
+        b1 = record_log.push(2, b"b1")
+        a2 = record_log.push(1, b"a2")
+        assert record_log.read_record(a1).prev_addr == NULL_ADDRESS
+        assert record_log.read_record(a2).prev_addr == a1
+        assert record_log.read_record(b1).prev_addr == NULL_ADDRESS
+
+    def test_timestamps_come_from_clock(self, record_log, clock):
+        record_log.define_source(1)
+        clock.set(12345)
+        address = record_log.push(1, b"x")
+        assert record_log.read_record(address).timestamp == 12345
+
+    def test_interleaved_sequential_decode(self, record_log):
+        record_log.define_source(1)
+        record_log.define_source(2)
+        expected = []
+        for i in range(50):
+            sid = 1 if i % 3 else 2
+            record_log.push(sid, bytes([i]))
+            expected.append((sid, bytes([i])))
+        got = [
+            (r.source_id, r.payload)
+            for r in record_log.iter_records_between(0, record_log.log.tail_address)
+        ]
+        assert got == expected
+
+
+class TestChunking:
+    def test_chunks_finalize_as_log_grows(self, record_log):
+        record_log.define_source(1)
+        # 512-byte chunks, 32-byte records -> 16 records per chunk.
+        for i in range(100):
+            record_log.push(1, bytes(8))
+        record_log.sync()
+        assert len(record_log.chunk_index) >= 5
+
+    def test_summaries_tile_the_log(self, record_log):
+        record_log.define_source(1)
+        for i in range(100):
+            record_log.push(1, bytes(8))
+        record_log.sync()
+        index = record_log.chunk_index
+        previous_end = 0
+        for pos in range(len(index)):
+            summary = index.get(pos)
+            assert summary.start_addr == previous_end
+            previous_end = summary.end_addr
+        # Active region starts exactly at the last summary's end.
+        assert record_log.active_region_start(len(index)) == previous_end
+
+    def test_summary_record_counts_total(self, record_log):
+        record_log.define_source(1)
+        record_log.define_source(2)
+        n = 120
+        for i in range(n):
+            record_log.push(1 + i % 2, bytes(8))
+        record_log.sync()
+        summarized = sum(
+            record_log.chunk_index.get(i).record_count
+            for i in range(len(record_log.chunk_index))
+        )
+        active = sum(
+            1
+            for _ in record_log.iter_records_between(
+                record_log.active_region_start(len(record_log.chunk_index)),
+                record_log.log.tail_address,
+            )
+        )
+        assert summarized + active == n
+
+    def test_chunk_timestamps_noted(self, record_log):
+        record_log.define_source(1)
+        for i in range(100):
+            record_log.push(1, bytes(8))
+        record_log.sync()
+        assert len(record_log.timestamp_index._chunk_ids) == len(
+            record_log.chunk_index
+        )
+
+    def test_indexed_values_recorded_in_bins(self, record_log, clock):
+        record_log.define_source(1)
+        index_id = record_log.define_index(
+            1, payload_value, HistogramSpec([10.0, 100.0])
+        )
+        values = [5.0, 50.0, 500.0] * 20
+        for value in values:
+            record_log.push(1, value_payload(value))
+            clock.advance(10)
+        record_log.sync()
+        counts = {0: 0, 1: 0, 2: 0}
+        for pos in range(len(record_log.chunk_index)):
+            for bin_idx, stats in (
+                record_log.chunk_index.get(pos).bins_for(1, index_id).items()
+            ):
+                counts[bin_idx] += stats.count
+        # All summarized records landed in the right bins (the active chunk
+        # holds the remainder).
+        assert counts[0] == counts[1] == counts[2]
+        assert counts[0] > 0
+
+
+class TestPublication:
+    def test_publish_interval_batches_visibility(self, clock):
+        config = LoomConfig(
+            chunk_size=512,
+            record_block_size=4096,
+            publish_interval=10,
+        )
+        log = RecordLog(config=config, clock=clock)
+        log.define_source(1)
+        for _ in range(9):
+            log.push(1, b"12345678")
+        assert log.log.watermark == 0  # nothing published yet
+        log.push(1, b"12345678")
+        assert log.log.watermark == log.log.tail_address
+        log.close()
+
+    def test_sync_forces_publication(self, clock):
+        config = LoomConfig(chunk_size=512, publish_interval=1000)
+        log = RecordLog(config=config, clock=clock)
+        log.define_source(1)
+        log.push(1, b"abc")
+        assert log.log.watermark == 0
+        log.sync(1)
+        assert log.log.watermark == log.log.tail_address
+        log.close()
+
+    def test_sync_unknown_source(self, record_log):
+        with pytest.raises(UnknownSourceError):
+            record_log.sync(77)
+
+    def test_published_head_lags_until_publish(self, clock):
+        config = LoomConfig(chunk_size=512, publish_interval=5)
+        log = RecordLog(config=config, clock=clock)
+        log.define_source(1)
+        address = log.push(1, b"a")
+        state = log.get_source(1)
+        assert state.last_addr == address
+        assert state.published_head == NULL_ADDRESS
+        log.sync()
+        assert state.published_head == address
+        log.close()
+
+
+class TestLifecycle:
+    def test_push_after_close_raises(self, small_config, clock):
+        log = RecordLog(config=small_config, clock=clock)
+        log.define_source(1)
+        log.close()
+        with pytest.raises(ClosedError):
+            log.push(1, b"x")
+
+    def test_close_publishes_everything(self, small_config, clock):
+        log = RecordLog(config=small_config, clock=clock)
+        log.define_source(1)
+        for _ in range(10):
+            log.push(1, b"payload")
+        log.close()
+        assert log.log.watermark == log.log.tail_address

@@ -1,0 +1,185 @@
+"""Tests for the calibrated resource simulation (Figures 2, 11, 14).
+
+These assert that the mechanistic cost models hit the paper's published
+anchor points and produce the qualitative shapes the figures show.
+"""
+
+import pytest
+
+from repro.simulate import (
+    FIG2_HOST,
+    PAPER_HOST,
+    clickhouse_model,
+    compare_backends,
+    fishstore_model,
+    influxdb_model,
+    loom_model,
+    probe_effect,
+    rawfile_model,
+    simulate_ingest,
+    sweep_rates,
+)
+
+
+class TestFig2Anchors:
+    """Paper: '2% of CPU at 100k ... 15% at 500k ... 23% at 1.4M where 9%
+    of data drops ... 77% dropped at 6M'."""
+
+    def test_index_cpu_at_100k(self):
+        outcome = simulate_ingest(influxdb_model(), 100_000)
+        assert outcome.index_cpu_fraction == pytest.approx(0.02, abs=0.005)
+        assert outcome.drop_fraction == 0.0
+
+    def test_index_cpu_at_500k(self):
+        outcome = simulate_ingest(influxdb_model(), 500_000)
+        assert outcome.index_cpu_fraction == pytest.approx(0.15, abs=0.01)
+        assert outcome.drop_fraction == 0.0
+
+    def test_saturation_at_1_4m(self):
+        outcome = simulate_ingest(influxdb_model(), 1_400_000)
+        assert outcome.index_cpu_fraction == pytest.approx(0.23, abs=0.01)
+        assert outcome.drop_fraction == pytest.approx(0.09, abs=0.02)
+        assert outcome.index_cores == pytest.approx(4.0, abs=0.5)  # "about four cores"
+
+    def test_heavy_drops_at_6m(self):
+        outcome = simulate_ingest(influxdb_model(), 6_000_000)
+        assert outcome.drop_fraction == pytest.approx(0.77, abs=0.03)
+
+    def test_index_cpu_plateaus_while_drops_rise(self):
+        outcomes = sweep_rates(
+            influxdb_model(), [1_400_000, 2_000_000, 4_000_000, 6_000_000]
+        )
+        idx = [o.index_cpu_fraction for o in outcomes]
+        drops = [o.drop_fraction for o in outcomes]
+        assert max(idx) - min(idx) < 0.01  # plateau
+        assert drops == sorted(drops)  # monotone increase
+        assert drops[-1] > 0.7
+
+    def test_clickhouse_behaves_like_influx(self):
+        a = simulate_ingest(influxdb_model(), 1_400_000)
+        b = simulate_ingest(clickhouse_model(), 1_400_000)
+        assert b.drop_fraction == pytest.approx(a.drop_fraction, abs=0.1)
+
+
+class TestLoomAndLogCapacity:
+    def test_loom_keeps_up_at_9m_on_one_core(self):
+        """Paper: Loom keeps up with 9M records/second without dropping."""
+        outcome = simulate_ingest(loom_model(), 9_000_000, host=PAPER_HOST)
+        assert outcome.drop_fraction == 0.0
+
+    def test_loom_has_finite_capacity(self):
+        """Section 1's limitations: extremely high rates can overwhelm it."""
+        outcome = simulate_ingest(loom_model(), 20_000_000, host=PAPER_HOST)
+        assert outcome.drop_fraction > 0.0
+
+    def test_fishstore_keeps_up_with_workloads(self):
+        outcome = simulate_ingest(fishstore_model(3), 8_000_000, host=PAPER_HOST)
+        assert outcome.drop_fraction == 0.0
+
+    def test_rawfile_cheapest(self):
+        loom = simulate_ingest(loom_model(), 5_000_000, host=PAPER_HOST)
+        raw = simulate_ingest(rawfile_model(), 5_000_000, host=PAPER_HOST)
+        assert raw.io_cpu_fraction < loom.io_cpu_fraction
+
+
+class TestFig11Drops:
+    """End-to-end drop fractions: InfluxDB 38-93%, Loom/FishStore 0%."""
+
+    PHASES = {
+        "redis": [865_000, 3_565_000, 7_065_000],
+        "rocksdb": [4_700_000, 7_900_000, 7_939_000],
+    }
+    PAPER = {
+        "redis": [0.382, 0.863, 0.901],
+        "rocksdb": [0.879, 0.928, 0.927],
+    }
+
+    @pytest.mark.parametrize("workload", ["redis", "rocksdb"])
+    def test_influx_drop_magnitudes(self, workload):
+        model = influxdb_model(e2e=True)
+        for rate, expected in zip(self.PHASES[workload], self.PAPER[workload]):
+            outcome = simulate_ingest(model, rate)
+            assert outcome.drop_fraction == pytest.approx(expected, abs=0.08)
+
+    @pytest.mark.parametrize("workload", ["redis", "rocksdb"])
+    def test_loom_and_fishstore_drop_nothing(self, workload):
+        for model in (loom_model(), fishstore_model(3)):
+            for rate in self.PHASES[workload]:
+                outcome = simulate_ingest(model, rate, host=PAPER_HOST)
+                assert outcome.drop_fraction == 0.0
+
+
+class TestFig14ProbeEffect:
+    """Paper: raw 4.10%, Loom 4.83%, FishStore-N 6.6%, FishStore-I 9.9%,
+    InfluxDB 14.1% at ~8M events/s against a 5.06M ops/s application."""
+
+    RATE = 8_000_000
+    BASELINE = 5_060_000
+
+    def test_ordering(self):
+        models = [
+            rawfile_model(),
+            loom_model(),
+            fishstore_model(0),
+            fishstore_model(3),
+            influxdb_model(e2e=True),
+        ]
+        outcomes = compare_backends(models, self.RATE, self.BASELINE)
+        probes = [o.probe_fraction for o in outcomes]
+        assert probes == sorted(probes)
+
+    @pytest.mark.parametrize(
+        "factory,expected,tolerance",
+        [
+            (rawfile_model, 0.041, 0.01),
+            (loom_model, 0.0483, 0.01),
+            (lambda: fishstore_model(0), 0.066, 0.01),
+            (lambda: fishstore_model(3), 0.099, 0.01),
+            (lambda: influxdb_model(e2e=True), 0.141, 0.01),
+        ],
+    )
+    def test_magnitudes(self, factory, expected, tolerance):
+        outcome = probe_effect(factory(), self.RATE, self.BASELINE)
+        assert outcome.probe_fraction == pytest.approx(expected, abs=tolerance)
+
+    def test_problematic_threshold(self):
+        ok = probe_effect(loom_model(), self.RATE, self.BASELINE)
+        bad = probe_effect(influxdb_model(e2e=True), self.RATE, self.BASELINE)
+        assert not ok.problematic
+        assert bad.problematic
+
+    def test_loom_close_to_rawfile(self):
+        """The headline claim: Loom's probe effect is on par with writing
+        to a raw, unindexed file."""
+        raw = probe_effect(rawfile_model(), self.RATE, self.BASELINE)
+        loom = probe_effect(loom_model(), self.RATE, self.BASELINE)
+        assert abs(loom.probe_fraction - raw.probe_fraction) < 0.01
+
+    def test_app_throughput_computed(self):
+        outcome = probe_effect(loom_model(), self.RATE, self.BASELINE)
+        assert outcome.app_throughput == pytest.approx(
+            self.BASELINE * (1 - outcome.probe_fraction)
+        )
+
+    def test_probe_scales_with_psf_count(self):
+        probes = [
+            probe_effect(fishstore_model(n), self.RATE, self.BASELINE).probe_fraction
+            for n in range(4)
+        ]
+        assert probes == sorted(probes)
+        deltas = [b - a for a, b in zip(probes, probes[1:])]
+        # Each PSF adds the same marginal cost.
+        assert max(deltas) - min(deltas) < 1e-9
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_ingest(loom_model(), -1)
+        with pytest.raises(ValueError):
+            probe_effect(loom_model(), -1, 1.0)
+
+    def test_zero_rate(self):
+        outcome = simulate_ingest(loom_model(), 0)
+        assert outcome.drop_fraction == 0.0
+        assert outcome.total_cpu_fraction == 0.0

@@ -1,0 +1,90 @@
+"""Tests for the persistent storage backends of the hybrid logs."""
+
+import pytest
+
+from repro.core.errors import AddressError, ClosedError
+from repro.core.storage import FileStorage, MemoryStorage, open_storage
+
+
+@pytest.fixture(params=["memory", "file"])
+def storage(request, tmp_path):
+    if request.param == "memory":
+        store = MemoryStorage()
+    else:
+        store = FileStorage(str(tmp_path / "log.bin"))
+    yield store
+    store.close()
+
+
+class TestStorageContract:
+    def test_append_returns_sequential_addresses(self, storage):
+        assert storage.append(b"abc") == 0
+        assert storage.append(b"defg") == 3
+        assert storage.size == 7
+
+    def test_read_back_exact_bytes(self, storage):
+        storage.append(b"hello")
+        storage.append(b"world")
+        assert storage.read(0, 5) == b"hello"
+        assert storage.read(5, 5) == b"world"
+        assert storage.read(3, 4) == b"lowo"
+
+    def test_read_empty_range(self, storage):
+        storage.append(b"xy")
+        assert storage.read(1, 0) == b""
+
+    def test_read_beyond_size_raises(self, storage):
+        storage.append(b"abc")
+        with pytest.raises(AddressError):
+            storage.read(0, 4)
+        with pytest.raises(AddressError):
+            storage.read(3, 1)
+
+    def test_negative_read_raises(self, storage):
+        with pytest.raises(AddressError):
+            storage.read(-1, 1)
+        with pytest.raises(AddressError):
+            storage.read(0, -1)
+
+    def test_closed_storage_rejects_operations(self, storage):
+        storage.append(b"abc")
+        storage.close()
+        with pytest.raises(ClosedError):
+            storage.append(b"more")
+        with pytest.raises(ClosedError):
+            storage.read(0, 3)
+
+    def test_large_append(self, storage):
+        blob = bytes(range(256)) * 1024  # 256 KiB
+        address = storage.append(blob)
+        assert storage.read(address, len(blob)) == blob
+
+
+class TestFileStorage:
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        store = FileStorage(path)
+        store.append(b"persisted-data")
+        store.sync()
+        store.close()
+        reopened = FileStorage(path)
+        assert reopened.size == len(b"persisted-data")
+        assert reopened.read(0, 9) == b"persisted"
+        reopened.close()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "log.bin")
+        store = FileStorage(path)
+        store.append(b"x")
+        assert store.read(0, 1) == b"x"
+        store.close()
+
+
+class TestOpenStorage:
+    def test_none_gives_memory(self):
+        assert isinstance(open_storage(None), MemoryStorage)
+
+    def test_path_gives_file(self, tmp_path):
+        store = open_storage(str(tmp_path / "s.bin"))
+        assert isinstance(store, FileStorage)
+        store.close()

@@ -1,0 +1,133 @@
+"""Tests for chunk summaries and their serialization (paper Figure 8)."""
+
+import pytest
+
+from repro.core.summary import BinStats, ChunkSummary, SourceChunkInfo
+
+
+class TestBinStats:
+    def test_update_tracks_extremes_and_times(self):
+        stats = BinStats()
+        stats.update(5.0, 100)
+        stats.update(2.0, 200)
+        stats.update(9.0, 300)
+        assert stats.count == 3
+        assert stats.sum == 16.0
+        assert stats.min == 2.0
+        assert stats.max == 9.0
+        assert (stats.t_min, stats.t_max) == (100, 300)
+
+    def test_merge_into_empty(self):
+        a, b = BinStats(), BinStats()
+        b.update(4.0, 50)
+        b.update(6.0, 60)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 4.0 and a.max == 6.0
+        assert (a.t_min, a.t_max) == (50, 60)
+
+    def test_merge_combines(self):
+        a, b = BinStats(), BinStats()
+        a.update(1.0, 10)
+        b.update(100.0, 5)
+        a.merge(b)
+        assert a.count == 2
+        assert a.sum == 101.0
+        assert (a.min, a.max) == (1.0, 100.0)
+        assert (a.t_min, a.t_max) == (5, 10)
+
+    def test_merge_empty_is_noop(self):
+        a = BinStats()
+        a.update(3.0, 30)
+        before = (a.count, a.sum, a.min, a.max, a.t_min, a.t_max)
+        a.merge(BinStats())
+        assert (a.count, a.sum, a.min, a.max, a.t_min, a.t_max) == before
+
+
+class TestChunkSummaryMaintenance:
+    def test_add_record_tracks_sources(self):
+        summary = ChunkSummary(chunk_id=0, start_addr=0, end_addr=0)
+        summary.add_record(1, 100, 0)
+        summary.add_record(2, 150, 48)
+        summary.add_record(1, 200, 96)
+        assert summary.record_count == 3
+        assert (summary.t_min, summary.t_max) == (100, 200)
+        info = summary.source_info(1)
+        assert info.record_count == 2
+        assert info.last_record_addr == 96
+        assert (info.t_min, info.t_max) == (100, 200)
+        assert summary.source_info(3) is None
+
+    def test_add_indexed_value(self):
+        summary = ChunkSummary(chunk_id=0, start_addr=0, end_addr=0)
+        summary.add_indexed_value(1, 10, 2, 42.0, 100)
+        summary.add_indexed_value(1, 10, 2, 44.0, 110)
+        summary.add_indexed_value(1, 10, 0, 1.0, 120)
+        bins = summary.bins_for(1, 10)
+        assert bins[2].count == 2
+        assert bins[2].sum == 86.0
+        assert bins[0].count == 1
+        assert summary.bins_for(9, 9) == {}
+
+    def test_time_overlap_predicates(self):
+        summary = ChunkSummary(chunk_id=0, start_addr=0, end_addr=0)
+        summary.add_record(1, 100, 0)
+        summary.add_record(1, 200, 48)
+        assert summary.overlaps_time(150, 250)
+        assert summary.overlaps_time(200, 300)
+        assert not summary.overlaps_time(201, 300)
+        assert not summary.overlaps_time(0, 99)
+        assert summary.fully_inside_time(100, 200)
+        assert summary.fully_inside_time(50, 250)
+        assert not summary.fully_inside_time(101, 200)
+
+    def test_empty_summary_never_overlaps(self):
+        summary = ChunkSummary(chunk_id=0, start_addr=0, end_addr=0)
+        assert not summary.overlaps_time(0, 10**18)
+        assert not summary.fully_inside_time(0, 10**18)
+
+
+class TestSerialization:
+    def _populated(self) -> ChunkSummary:
+        summary = ChunkSummary(chunk_id=3, start_addr=1536, end_addr=2048)
+        summary.add_record(1, 100, 1536)
+        summary.add_record(2, 110, 1584)
+        summary.add_record(1, 120, 1632)
+        summary.add_indexed_value(1, 5, 0, 3.5, 100)
+        summary.add_indexed_value(1, 5, 2, 77.0, 120)
+        summary.add_indexed_value(2, 6, 1, 12.0, 110)
+        return summary
+
+    def test_roundtrip(self):
+        original = self._populated()
+        decoded = ChunkSummary.decode(original.encode())
+        assert decoded.chunk_id == original.chunk_id
+        assert decoded.start_addr == original.start_addr
+        assert decoded.end_addr == original.end_addr
+        assert decoded.record_count == original.record_count
+        assert (decoded.t_min, decoded.t_max) == (original.t_min, original.t_max)
+        assert set(decoded.sources) == set(original.sources)
+        for sid, info in original.sources.items():
+            got = decoded.sources[sid]
+            assert (got.record_count, got.t_min, got.t_max, got.last_record_addr) == (
+                info.record_count, info.t_min, info.t_max, info.last_record_addr
+            )
+        assert set(decoded.bins) == set(original.bins)
+        for key, per_bin in original.bins.items():
+            for bin_idx, stats in per_bin.items():
+                got = decoded.bins[key][bin_idx]
+                assert got.count == stats.count
+                assert got.sum == pytest.approx(stats.sum)
+                assert got.min == stats.min
+                assert got.max == stats.max
+
+    def test_encoded_size_matches(self):
+        summary = self._populated()
+        assert len(summary.encode()) == summary.encoded_size
+
+    def test_empty_summary_roundtrip(self):
+        summary = ChunkSummary(chunk_id=0, start_addr=0, end_addr=512)
+        decoded = ChunkSummary.decode(summary.encode())
+        assert decoded.record_count == 0
+        assert decoded.sources == {}
+        assert decoded.bins == {}

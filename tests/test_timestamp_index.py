@@ -1,0 +1,116 @@
+"""Tests for the timestamp index (paper §4.2): periodic record entries,
+chunk-finalization entries, and time-based seeks."""
+
+import pytest
+
+from repro.core.timestamp_index import (
+    KIND_CHUNK,
+    KIND_RECORD,
+    TimestampIndex,
+)
+
+
+@pytest.fixture
+def index() -> TimestampIndex:
+    return TimestampIndex(record_interval=4, block_size=256)
+
+
+class TestRecordEntries:
+    def test_first_record_always_noted(self, index):
+        assert index.maybe_note_record(1, 100, 0) is True
+
+    def test_interval_thins_entries(self, index):
+        noted = [index.maybe_note_record(1, 100 + i, i * 48) for i in range(12)]
+        # First record, then every 4th.
+        assert noted == [True, False, False, False] * 3
+        assert index.entry_count == 3
+
+    def test_intervals_are_per_source(self, index):
+        index.maybe_note_record(1, 100, 0)
+        assert index.maybe_note_record(2, 101, 48) is True  # source 2's first
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TimestampIndex(record_interval=0)
+
+
+class TestSeeks:
+    @pytest.fixture
+    def populated(self) -> TimestampIndex:
+        idx = TimestampIndex(record_interval=1)
+        for i in range(10):
+            idx.maybe_note_record(1, 100 * (i + 1), i * 48)  # t = 100..1000
+        return idx
+
+    def test_first_record_after(self, populated):
+        ts, addr = populated.first_record_after(1, 250)
+        assert ts == 300 and addr == 2 * 48
+
+    def test_first_record_after_exact_boundary(self, populated):
+        ts, _ = populated.first_record_after(1, 300)
+        assert ts == 400  # strictly after
+
+    def test_first_record_after_end(self, populated):
+        assert populated.first_record_after(1, 1000) is None
+
+    def test_first_record_after_unknown_source(self, populated):
+        assert populated.first_record_after(9, 0) is None
+
+    def test_last_record_before(self, populated):
+        ts, addr = populated.last_record_before(1, 550)
+        assert ts == 500 and addr == 4 * 48
+
+    def test_last_record_before_start(self, populated):
+        assert populated.last_record_before(1, 99) is None
+
+    def test_last_record_before_exact(self, populated):
+        ts, _ = populated.last_record_before(1, 500)
+        assert ts == 500  # inclusive
+
+
+class TestChunkEntries:
+    @pytest.fixture
+    def populated(self) -> TimestampIndex:
+        idx = TimestampIndex(record_interval=1)
+        # Chunks finalize at t = 100, 200, ..., 1000 with ids 0..9.
+        for i in range(10):
+            idx.note_chunk(100 * (i + 1), i)
+        return idx
+
+    def test_window_inside(self, populated):
+        lo, hi = populated.chunk_id_window(350, 650)
+        # Chunk finalized at 300 (id 2) may hold records up to t=350's
+        # range start; first finalized after 650 is id 6.
+        assert lo == 2
+        assert hi == 6
+
+    def test_window_covers_everything(self, populated):
+        assert populated.chunk_id_window(0, 10**9) == (0, 9)
+
+    def test_window_before_data(self, populated):
+        lo, hi = populated.chunk_id_window(0, 50)
+        assert (lo, hi) == (0, 0)
+
+    def test_window_after_data(self, populated):
+        lo, hi = populated.chunk_id_window(2000, 3000)
+        assert lo == 9 and hi == 9  # only the last chunk could reach there
+
+    def test_empty_index_returns_none(self):
+        assert TimestampIndex().chunk_id_window(0, 100) is None
+
+    def test_inverted_range_returns_none(self, populated):
+        assert populated.chunk_id_window(500, 400) is None
+
+
+class TestPersistence:
+    def test_entries_serialized_in_order(self):
+        idx = TimestampIndex(record_interval=1)
+        idx.maybe_note_record(3, 111, 0)
+        idx.note_chunk(222, 0)
+        idx.maybe_note_record(3, 333, 96)
+        entries = list(idx.iter_persisted())
+        assert entries == [
+            (111, KIND_RECORD, 3, 0),
+            (222, KIND_CHUNK, 0, 0),
+            (333, KIND_RECORD, 3, 96),
+        ]

@@ -1,0 +1,173 @@
+"""Tests for the InfluxDB-style TSDB baseline: WAL, memtable, segments,
+tag index, compaction, and query semantics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tsdb import (
+    InfluxLite,
+    MemTable,
+    Point,
+    Segment,
+    TagIndex,
+    WriteAheadLog,
+    merge_segments,
+)
+
+
+class TestPoint:
+    def test_series_key_is_canonical(self):
+        a = Point.make("lat", {"b": "2", "a": "1"}, 0, 1.0)
+        b = Point.make("lat", {"a": "1", "b": "2"}, 0, 1.0)
+        assert a.series_key == b.series_key == "lat,a=1,b=2"
+
+    def test_tagless_series_key(self):
+        assert Point.make("cpu", {}, 0, 1.0).series_key == "cpu"
+
+
+class TestWal:
+    def test_replay_after_writes(self):
+        wal = WriteAheadLog()
+        wal.append("s1", 100, 1.5)
+        wal.append("s2", 200, 2.5)
+        assert list(wal.replay()) == [("s1", 100, 1.5), ("s2", 200, 2.5)]
+
+    def test_checkpoint_truncates_replay(self):
+        wal = WriteAheadLog()
+        wal.append("s1", 100, 1.5)
+        wal.checkpoint()
+        wal.append("s1", 200, 2.5)
+        assert list(wal.replay()) == [("s1", 200, 2.5)]
+
+
+class TestMemTable:
+    def test_insert_and_query(self):
+        table = MemTable(max_points=100)
+        table.insert("s1", 100, 1.0)
+        table.insert("s1", 50, 2.0)
+        assert table.points_for("s1", 0, 99) == [(50, 2.0)]
+        assert table.points_for("s2", 0, 1000) == []
+
+    def test_is_full_threshold(self):
+        table = MemTable(max_points=3)
+        for i in range(3):
+            assert not table.is_full
+            table.insert("s", i, 0.0)
+        assert table.is_full
+
+    def test_freeze_sorts_and_empties(self):
+        table = MemTable(max_points=100)
+        for t in (300, 100, 200):
+            table.insert("s", t, float(t))
+        frozen = table.freeze()
+        assert frozen["s"] == [(100, 100.0), (200, 200.0), (300, 300.0)]
+        assert table.point_count == 0
+        assert table.points_for("s", 0, 1000) == []
+
+
+class TestSegments:
+    def _segment(self, times):
+        return Segment.from_buffers({"s": [(t, float(t)) for t in sorted(times)]})
+
+    def test_time_bounds_and_overlap(self):
+        seg = self._segment([100, 200, 300])
+        assert (seg.t_min, seg.t_max) == (100, 300)
+        assert seg.overlaps(250, 400)
+        assert not seg.overlaps(301, 400)
+
+    def test_series_points_slice(self):
+        seg = self._segment(range(0, 100, 10))
+        ts, vs = seg.series_points("s", 25, 65)
+        assert list(ts) == [30, 40, 50, 60]
+
+    def test_merge_preserves_order_and_count(self):
+        a = self._segment([10, 30, 50])
+        b = self._segment([20, 40, 60])
+        merged = merge_segments([a, b], level=1)
+        ts, _ = merged.series_points("s", 0, 100)
+        assert list(ts) == [10, 20, 30, 40, 50, 60]
+        assert merged.level == 1
+
+
+class TestTagIndex:
+    def test_lookup_by_tag_conjunction(self):
+        index = TagIndex()
+        index.observe("lat", (("svc", "a"), ("host", "1")), "k1")
+        index.observe("lat", (("svc", "a"), ("host", "2")), "k2")
+        index.observe("lat", (("svc", "b"), ("host", "1")), "k3")
+        assert index.lookup("lat", {"svc": "a"}) == {"k1", "k2"}
+        assert index.lookup("lat", {"svc": "a", "host": "2"}) == {"k2"}
+        assert index.lookup("lat") == {"k1", "k2", "k3"}
+        assert index.lookup("lat", {"svc": "z"}) == set()
+        assert index.lookup("nope") == set()
+
+    def test_series_indexed_once(self):
+        index = TagIndex()
+        assert index.observe("m", (("a", "1"),), "k") is True
+        assert index.observe("m", (("a", "1"),), "k") is False
+        assert index.series_count == 1
+
+
+class TestEngine:
+    @pytest.fixture
+    def engine(self):
+        engine = InfluxLite(memtable_points=500, compaction_fanout=3)
+        rng = np.random.default_rng(5)
+        self.values = {"a": [], "b": []}
+        for i in range(4000):
+            svc = "a" if i % 4 else "b"
+            value = float(rng.random() * 100)
+            self.values[svc].append(value)
+            engine.write(Point.make("lat", {"svc": svc}, i * 1000, value))
+        return engine
+
+    def test_no_points_lost_through_flush_and_compaction(self, engine):
+        ts, vs = engine.select("lat", None, 0, 10**12)
+        assert len(ts) == 4000
+
+    def test_tag_filtered_select(self, engine):
+        ts, vs = engine.select("lat", {"svc": "b"}, 0, 10**12)
+        assert len(ts) == 1000
+        assert sorted(vs) == sorted(self.values["b"])
+
+    def test_time_windowed_select(self, engine):
+        ts, _ = engine.select("lat", None, 1_000_000, 1_999_999)
+        # Records at i*1000 ns for i in [1000, 1999].
+        assert len(ts) == 1000
+
+    def test_aggregates_match_numpy(self, engine):
+        all_values = self.values["a"] + self.values["b"]
+        assert engine.aggregate("lat", None, 0, 10**12, "count") == 4000
+        assert engine.aggregate("lat", None, 0, 10**12, "max") == pytest.approx(
+            max(all_values)
+        )
+        assert engine.aggregate(
+            "lat", None, 0, 10**12, "percentile", 99.0
+        ) == pytest.approx(
+            float(np.percentile(all_values, 99.0, method="inverted_cdf"))
+        )
+
+    def test_aggregate_empty_selection(self, engine):
+        assert engine.aggregate("lat", {"svc": "zzz"}, 0, 10**12, "max") is None
+
+    def test_percentile_requires_argument(self, engine):
+        with pytest.raises(ValueError):
+            engine.aggregate("lat", None, 0, 10**12, "percentile")
+
+    def test_unknown_method(self, engine):
+        with pytest.raises(ValueError):
+            engine.aggregate("lat", None, 0, 10**12, "mode")
+
+    def test_compaction_happened(self, engine):
+        """With a fanout of 3 and 8 flushes, compaction must have merged —
+        the write-amplification work behind Figure 2's index CPU."""
+        assert engine.stats.memtable_flushes >= 8
+        assert engine.segments.stats.compactions > 0
+        assert engine.segments.stats.points_merged > 0
+
+    def test_unflushed_memtable_data_is_queryable(self):
+        engine = InfluxLite(memtable_points=10_000)
+        engine.write(Point.make("lat", {"svc": "a"}, 123, 9.0))
+        ts, vs = engine.select("lat", {"svc": "a"}, 0, 1000)
+        assert list(ts) == [123]
+        assert list(vs) == [9.0]

@@ -1,0 +1,269 @@
+"""Tests for the workload generators: determinism, rates, schemas,
+planted ground truth, and sampling behaviour (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import NANOS_PER_SECOND
+from repro.workloads import (
+    RedisCaseStudy,
+    RocksDbCaseStudy,
+    arrival_times,
+    events,
+    fixed_size_records,
+    latency_stream,
+    lognormal_latencies,
+    merge_streams,
+    per_source_sample,
+    uniform_sample,
+)
+
+
+class TestGeneratorPrimitives:
+    def test_arrival_times_count_is_exact(self):
+        rng = np.random.default_rng(0)
+        ts = arrival_times(rng, rate_per_s=1000, t_start_ns=0, duration_s=2.0)
+        assert len(ts) == 2000
+
+    def test_arrival_times_sorted_and_in_window(self):
+        rng = np.random.default_rng(0)
+        start = 5 * NANOS_PER_SECOND
+        ts = arrival_times(rng, 500, start, 1.0)
+        assert list(ts) == sorted(ts)
+        assert ts[0] >= start - NANOS_PER_SECOND // 500
+        assert ts[-1] <= start + NANOS_PER_SECOND + NANOS_PER_SECOND // 500
+
+    def test_zero_rate(self):
+        rng = np.random.default_rng(0)
+        assert len(arrival_times(rng, 0, 0, 10.0)) == 0
+
+    def test_lognormal_latencies_positive(self):
+        rng = np.random.default_rng(0)
+        lats = lognormal_latencies(rng, 1000, median_us=100.0, sigma=0.5)
+        assert (lats > 0).all()
+        assert 50 < np.median(lats) < 200
+
+    def test_merge_streams_is_time_ordered(self):
+        a = [(1, 1, b"a"), (5, 1, b"a"), (9, 1, b"a")]
+        b = [(2, 2, b"b"), (3, 2, b"b"), (8, 2, b"b")]
+        merged = list(merge_streams([a, b]))
+        assert [t for t, _, _ in merged] == [1, 2, 3, 5, 8, 9]
+
+    def test_fixed_size_records(self):
+        payloads = fixed_size_records(10, 40)
+        assert len(payloads) == 10
+        assert all(len(p) == 40 for p in payloads)
+
+    def test_latency_stream_schema(self):
+        records = latency_stream(1000, 0.5, kind=events.SYS_PREAD64)
+        assert len(records) == 500
+        for _, sid, payload in records[:10]:
+            assert sid == events.SRC_SYSCALL
+            assert events.latency_kind(payload) == events.SYS_PREAD64
+            assert events.latency_value(payload) > 0
+
+
+class TestEventSchemas:
+    def test_latency_record_is_48_bytes_on_log(self):
+        payload = events.pack_latency(1, 2.0, events.OP_GET)
+        assert len(payload) == 24  # + 24-byte Loom header = 48 B (Fig 10)
+
+    def test_pagecache_record_is_60_bytes_on_log(self):
+        payload = events.pack_pagecache(events.PC_ADD_TO_PAGE_CACHE, 1, 2, 3)
+        assert len(payload) == 36  # + 24-byte header = 60 B
+
+    def test_latency_roundtrip(self):
+        payload = events.pack_latency(77, 123.5, events.SYS_SENDTO, flags=3)
+        assert events.unpack_latency(payload) == (77, 123.5, events.SYS_SENDTO, 3)
+        assert events.latency_value(payload) == 123.5
+        assert events.latency_op_id(payload) == 77
+
+    def test_packet_roundtrip_with_capture(self):
+        payload = events.pack_packet(1234, events.REDIS_PORT, 1448, 0x18, 99, b"cap")
+        src, dst, length, flags, seq, capture = events.unpack_packet(payload)
+        assert (src, dst, length, flags, seq, capture) == (
+            1234, events.REDIS_PORT, 1448, 0x18, 99, b"cap"
+        )
+        assert events.packet_dst_port(payload) == float(events.REDIS_PORT)
+
+    def test_pagecache_roundtrip(self):
+        payload = events.pack_pagecache(events.PC_WRITEBACK, 10, 20, 30, 40)
+        assert events.unpack_pagecache(payload) == (
+            events.PC_WRITEBACK, 10, 20, 30, 40
+        )
+
+
+class TestRedisCaseStudy:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return RedisCaseStudy(scale=5e-4, phase_duration_s=5.0, seed=11)
+
+    def test_determinism(self, workload):
+        again = RedisCaseStudy(scale=5e-4, phase_duration_s=5.0, seed=11)
+        a = workload.generate_phase(1).records
+        b = again.generate_phase(1).records
+        assert a == b
+
+    def test_phase_rates_are_additive(self, workload):
+        """Figure 10a: each phase adds a source ('+ N' rates)."""
+        assert workload.active_rate(1) == 865_000
+        assert workload.active_rate(2) == 865_000 + 2_700_000
+        assert workload.active_rate(3) == 865_000 + 2_700_000 + 3_500_000
+
+    def test_phase_record_counts_scale(self, workload):
+        phase = workload.generate_phase(2)
+        expected = (865_000 + 2_700_000) * 5e-4 * 5.0
+        assert phase.record_count == pytest.approx(expected, rel=0.02)
+
+    def test_phases_occupy_disjoint_time_windows(self, workload):
+        p1 = workload.generate_phase(1)
+        p2 = workload.generate_phase(2)
+        assert p1.t_end_ns == p2.t_start_ns
+        assert max(t for t, _, _ in p1.records) <= p2.t_start_ns
+
+    def test_records_are_time_ordered(self, workload):
+        records = workload.generate_phase(3).records
+        ts = [t for t, _, _ in records]
+        assert ts == sorted(ts)
+
+    def test_needles_planted_in_phase3_only(self, workload):
+        assert workload.generate_phase(1).needles == []
+        assert workload.generate_phase(2).needles == []
+        needles = workload.generate_phase(3).needles
+        assert len(needles) == 6
+
+    def test_needle_chain_ordering(self, workload):
+        """Each needle: mangled packet -> slow recvfrom -> slow request."""
+        for needle in workload.generate_phase(3).needles:
+            assert needle.packet_time_ns < needle.syscall_time_ns
+            assert needle.syscall_time_ns < needle.request_time_ns
+
+    def test_needles_are_extreme_outliers(self, workload):
+        phase = workload.generate_phase(3)
+        latencies = [
+            events.latency_value(p)
+            for _, sid, p in phase.records
+            if sid == events.SRC_APP
+        ]
+        needle_lats = sorted(n.request_latency_us for n in phase.needles)
+        background = sorted(latencies)[-len(needle_lats) - 1]
+        assert needle_lats[0] > background  # needles dominate the tail
+
+    def test_mangled_packets_exist_and_are_rare(self, workload):
+        phase = workload.generate_phase(3)
+        mangled = [
+            p
+            for _, sid, p in phase.records
+            if sid == events.SRC_PACKET
+            and events.unpack_packet(p)[1] == events.MANGLED_PORT
+        ]
+        packets = sum(
+            1 for _, sid, _ in phase.records if sid == events.SRC_PACKET
+        )
+        assert len(mangled) == 6
+        assert packets > 1000
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            RedisCaseStudy(scale=0)
+        with pytest.raises(ValueError):
+            RedisCaseStudy(scale=1.5)
+
+    def test_invalid_phase(self, workload):
+        with pytest.raises(ValueError):
+            workload.generate_phase(4)
+
+
+class TestRocksDbCaseStudy:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return RocksDbCaseStudy(scale=5e-4, phase_duration_s=5.0, seed=21)
+
+    def test_truth_matches_generated_data(self, workload):
+        phase = workload.generate_phase(2)
+        app = [
+            events.latency_value(p)
+            for _, sid, p in phase.records
+            if sid == events.SRC_APP
+        ]
+        pread = [
+            events.latency_value(p)
+            for _, sid, p in phase.records
+            if sid == events.SRC_SYSCALL
+            and events.latency_kind(p) == events.SYS_PREAD64
+        ]
+        assert phase.truth["app_max_us"] == pytest.approx(max(app))
+        assert phase.truth["pread_count"] == len(pread)
+        assert phase.truth["pread_max_us"] == pytest.approx(max(pread))
+
+    def test_pread_fraction_near_three_percent(self, workload):
+        """Figure 10b: Phase 2 queries aggregate ~3% of all data."""
+        phase = workload.generate_phase(2)
+        fraction = phase.truth["pread_count"] / phase.record_count
+        assert 0.02 < fraction < 0.045
+
+    def test_pagecache_adds_counted(self, workload):
+        phase = workload.generate_phase(3)
+        adds = sum(
+            1
+            for _, sid, p in phase.records
+            if sid == events.SRC_PAGECACHE
+            and events.unpack_pagecache(p)[0] == events.PC_ADD_TO_PAGE_CACHE
+        )
+        assert adds == phase.truth["pagecache_add_count"]
+
+    def test_pagecache_is_tiny_fraction(self, workload):
+        """Phase 3's query touches ~0.5% of the data."""
+        phase = workload.generate_phase(3)
+        pc = sum(1 for _, sid, _ in phase.records if sid == events.SRC_PAGECACHE)
+        assert pc / phase.record_count < 0.01
+
+    def test_rates(self, workload):
+        assert workload.active_rate(3) == pytest.approx(7_939_000)
+
+
+class TestSampling:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_sample([], 1.5)
+
+    def test_extremes(self):
+        records = [(i, 1, b"") for i in range(100)]
+        assert uniform_sample(records, 1.0) == records
+        assert uniform_sample(records, 0.0) == []
+
+    def test_sampling_keeps_about_fraction(self):
+        records = [(i, 1, b"") for i in range(10_000)]
+        kept = uniform_sample(records, 0.1, seed=1)
+        assert 800 < len(kept) < 1200
+
+    def test_sampling_is_deterministic(self):
+        records = [(i, 1, b"") for i in range(1000)]
+        assert uniform_sample(records, 0.3, seed=9) == uniform_sample(
+            records, 0.3, seed=9
+        )
+
+    def test_sampling_misses_rare_events(self):
+        """Figure 3's mechanism: 10% sampling of six needles in a large
+        stream almost always loses most of them."""
+        workload = RedisCaseStudy(scale=5e-4, phase_duration_s=5.0, seed=11)
+        phase = workload.generate_phase(3)
+        needle_ids = {n.request_op_id for n in phase.needles}
+        total_kept = 0
+        for seed in range(10):
+            kept = uniform_sample(phase.records, 0.1, seed=seed)
+            kept_needles = sum(
+                1
+                for _, sid, p in kept
+                if sid == events.SRC_APP
+                and events.latency_op_id(p) in needle_ids
+            )
+            total_kept += kept_needles
+        # Expectation is 0.6 needles per trial; across 10 trials ~6 of 60.
+        assert total_kept < 20
+
+    def test_biased_per_source_sampling(self):
+        records = [(i, 1 + i % 2, b"") for i in range(10_000)]
+        kept = per_source_sample(records, {1: 1.0, 2: 0.0}, seed=0)
+        assert all(sid == 1 for _, sid, _ in kept)
+        assert len(kept) == 5000
