@@ -26,6 +26,7 @@ from conftest import once, time_query
 from harness import load_redis, tsdb_percentile_rows, tsdb_select_rows
 from repro.analysis import nearest_rank_percentile, records_above_percentile
 from repro.core.clock import seconds
+from repro.core.operators import QueryStats
 from repro.workloads import events
 
 
@@ -37,13 +38,14 @@ def redis():
 # ----------------------------------------------------------------------
 # Query implementations per system
 # ----------------------------------------------------------------------
-def loom_slow_requests(loaded, t_range):
+def loom_slow_requests(loaded, t_range, stats=None):
     threshold, records = records_above_percentile(
         loaded.loom,
         events.SRC_APP,
         loaded.daemon.index_id("app", "latency"),
         t_range,
         99.99,
+        stats=stats,
     )
     return records
 
@@ -71,7 +73,7 @@ def tsdb_slow_requests(loaded, t_range):
     return [r for r in rows if r[1] >= threshold]
 
 
-def loom_slow_sendto(loaded, t_range):
+def loom_slow_sendto(loaded, t_range, stats=None):
     """sendto tail via the sentinel-UDF subset index (see
     repro.analysis.queries): the CDF over bins excludes the sentinel bin,
     so only chunks holding tail sendto records get scanned."""
@@ -79,7 +81,7 @@ def loom_slow_sendto(loaded, t_range):
 
     index_id = loaded.daemon.index_id("syscall", "sendto-latency")
     _, records = subset_tail_records(
-        loaded.loom, events.SRC_SYSCALL, index_id, t_range, 99.99
+        loaded.loom, events.SRC_SYSCALL, index_id, t_range, 99.99, stats=stats
     )
     return records
 
@@ -120,16 +122,16 @@ def tsdb_slow_sendto(loaded, t_range):
     return [r for r in rows if r[1] >= threshold]
 
 
-def loom_max_request(loaded, t_range):
+def loom_max_request(loaded, t_range, stats=None):
     loom = loaded.loom
     snap = loom.snapshot()
     index_id = loaded.daemon.index_id("app", "latency")
     result = loom.indexed_aggregate(
-        events.SRC_APP, index_id, t_range, "max", snapshot=snap
+        events.SRC_APP, index_id, t_range, "max", snapshot=snap, stats=stats
     )
     return loom.indexed_scan(
         events.SRC_APP, index_id, t_range, (result.value, result.value),
-        snapshot=snap,
+        snapshot=snap, stats=stats,
     )
 
 
@@ -150,8 +152,8 @@ def tsdb_max_request(loaded, t_range):
     return [r for r in rows if r[1] >= maximum]
 
 
-def loom_packet_dump(loaded, window):
-    return loaded.loom.raw_scan(events.SRC_PACKET, window)
+def loom_packet_dump(loaded, window, stats=None):
+    return loaded.loom.raw_scan(events.SRC_PACKET, window, stats=stats)
 
 
 def fishstore_packet_dump(loaded, window):
@@ -193,10 +195,11 @@ def test_fig12_query_latency_table(benchmark, report, redis):
 
 def measure(redis, loom_fn, fish_fn, tsdb_fn, t_range):
     """Latency plus records-touched for each system (one query)."""
-    rl = redis.loom.record_log
-    before = rl.records_decoded
-    loom_s = time_query(lambda: loom_fn(redis, t_range))
-    loom_touched = (rl.records_decoded - before) // 3  # 3 timed repeats
+    # Per-query decode accounting lives in QueryStats (the record log
+    # keeps no read-side counters; see repro.core.operators).
+    loom_stats = QueryStats()
+    loom_s = time_query(lambda: loom_fn(redis, t_range, stats=loom_stats))
+    loom_touched = loom_stats.records_decoded // 3  # 3 timed repeats
 
     before = redis.fishstore.stats.records_scanned
     fish_s = time_query(lambda: fish_fn(redis, t_range))

@@ -22,7 +22,7 @@ import pytest
 from conftest import once, time_query
 from harness import load_rocksdb, tsdb_percentile_rows, tsdb_select_rows
 from repro.analysis import nearest_rank_percentile, subset_percentile
-from repro.core.operators import bin_histogram
+from repro.core.operators import QueryStats, bin_histogram
 from repro.workloads import events
 
 
@@ -34,9 +34,10 @@ def rocks():
 # ----------------------------------------------------------------------
 # P1: application max / tail latency
 # ----------------------------------------------------------------------
-def loom_app_max(loaded, t_range):
+def loom_app_max(loaded, t_range, stats=None):
     return loaded.loom.indexed_aggregate(
-        events.SRC_APP, loaded.daemon.index_id("app", "latency"), t_range, "max"
+        events.SRC_APP, loaded.daemon.index_id("app", "latency"), t_range, "max",
+        stats=stats,
     ).value
 
 
@@ -56,13 +57,14 @@ def tsdb_app_max(loaded, t_range):
     return max(v for _, v in rows)
 
 
-def loom_app_tail(loaded, t_range):
+def loom_app_tail(loaded, t_range, stats=None):
     return loaded.loom.indexed_aggregate(
         events.SRC_APP,
         loaded.daemon.index_id("app", "latency"),
         t_range,
         "percentile",
         percentile=99.99,
+        stats=stats,
     ).value
 
 
@@ -84,13 +86,14 @@ def tsdb_app_tail(loaded, t_range):
 # ----------------------------------------------------------------------
 # P2: pread64 max / tail latency (~3% subset)
 # ----------------------------------------------------------------------
-def loom_pread_max(loaded, t_range):
+def loom_pread_max(loaded, t_range, stats=None):
     # The sentinel (-1) for non-pread records never wins a max.
     return loaded.loom.indexed_aggregate(
         events.SRC_SYSCALL,
         loaded.daemon.index_id("syscall", "pread-latency"),
         t_range,
         "max",
+        stats=stats,
     ).value
 
 
@@ -112,13 +115,14 @@ def tsdb_pread_max(loaded, t_range):
     return max(v for _, v in rows)
 
 
-def loom_pread_tail(loaded, t_range):
+def loom_pread_tail(loaded, t_range, stats=None):
     return subset_percentile(
         loaded.loom,
         events.SRC_SYSCALL,
         loaded.daemon.index_id("syscall", "pread-latency"),
         t_range,
         99.99,
+        stats=stats,
     )
 
 
@@ -142,13 +146,15 @@ def tsdb_pread_tail(loaded, t_range):
 # ----------------------------------------------------------------------
 # P3: page cache add-event count (~0.5% subset)
 # ----------------------------------------------------------------------
-def loom_pagecache_count(loaded, t_range):
+def loom_pagecache_count(loaded, t_range, stats=None):
     """Answered from counts stored in chunk summaries (paper: 'Loom uses
     counts stored in chunk summaries to answer the query')."""
     loom = loaded.loom
     snap = loom.snapshot()
     index = loom.record_log.get_index(loaded.daemon.index_id("pagecache", "kind"))
-    counts = bin_histogram(snap, events.SRC_PAGECACHE, index, t_range[0], t_range[1])
+    counts = bin_histogram(
+        snap, events.SRC_PAGECACHE, index, t_range[0], t_range[1], stats=stats
+    )
     # Kind 1 occupies bin 1 exactly (edges at 1, 2, 3, 4).
     return counts.get(1, 0)
 
@@ -187,10 +193,11 @@ def _fig13_table(report, rocks):
     loom_wins = 0
     for phase_label, name, phase, loom_fn, fish_fn, tsdb_fn in QUERIES:
         t_range = rocks.phase_range(phase)
-        rl = rocks.loom.record_log
-        before = rl.records_decoded
-        loom_s = time_query(lambda: loom_fn(rocks, t_range))
-        loom_n = (rl.records_decoded - before) // 3
+        # Per-query decode accounting lives in QueryStats (the record log
+        # keeps no read-side counters; see repro.core.operators).
+        loom_stats = QueryStats()
+        loom_s = time_query(lambda: loom_fn(rocks, t_range, stats=loom_stats))
+        loom_n = loom_stats.records_decoded // 3  # 3 timed repeats
         before = rocks.fishstore.stats.records_scanned
         fish_s = time_query(lambda: fish_fn(rocks, t_range))
         fish_n = (rocks.fishstore.stats.records_scanned - before) // 3

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.loom import Loom
+from ..core.operators import QueryStats
 from ..core.record import Record
 from ..core.snapshot import Snapshot
 
@@ -56,22 +57,25 @@ def records_above_percentile(
     t_range: Tuple[int, int],
     percentile: float,
     snapshot: Optional[Snapshot] = None,
+    stats: Optional[QueryStats] = None,
 ) -> Tuple[Optional[float], List[Record]]:
     """Data-dependent range query: records at/above the p-th percentile.
 
     Composes ``indexed_aggregate`` (find the threshold) with
     ``indexed_scan`` (fetch records at or above it), pinned to one
-    snapshot so the two steps see identical data.
+    snapshot so the two steps see identical data.  A caller-supplied
+    ``stats`` accumulates the work counters of both steps.
     """
     snap = snapshot or loom.snapshot()
     result = loom.indexed_aggregate(
         source_id, index_id, t_range, "percentile", percentile=percentile,
-        snapshot=snap,
+        snapshot=snap, stats=stats,
     )
     if result.value is None:
         return None, []
     records = loom.indexed_scan(
-        source_id, index_id, t_range, (result.value, float("inf")), snapshot=snap
+        source_id, index_id, t_range, (result.value, float("inf")),
+        snapshot=snap, stats=stats,
     )
     return result.value, records
 

@@ -18,7 +18,7 @@ import math
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.loom import Loom
-from ..core.operators import bin_histogram, indexed_scan
+from ..core.operators import QueryStats, bin_histogram, indexed_scan
 from ..core.record import Record
 from ..core.snapshot import Snapshot
 
@@ -35,6 +35,7 @@ def subset_percentile(
     percentile: float,
     sentinel_bins: Sequence[int] = (0,),
     snapshot: Optional[Snapshot] = None,
+    stats: Optional[QueryStats] = None,
 ) -> Optional[float]:
     """Exact percentile over a sentinel-indexed subset of a source.
 
@@ -46,7 +47,9 @@ def subset_percentile(
         raise ValueError("percentile must be in [0, 100]")
     snap = snapshot or loom.snapshot()
     index = loom.record_log.get_index(index_id)
-    counts = bin_histogram(snap, source_id, index, t_range[0], t_range[1])
+    counts = bin_histogram(
+        snap, source_id, index, t_range[0], t_range[1], stats=stats
+    )
     for bin_idx in sentinel_bins:
         counts.pop(bin_idx, None)
     total = sum(counts.values())
@@ -66,7 +69,8 @@ def subset_percentile(
     lo, hi = index.spec.bin_range(target_bin)
     values: List[float] = []
     for record in indexed_scan(
-        snap, source_id, index, t_range[0], t_range[1], v_min=lo, v_max=hi
+        snap, source_id, index, t_range[0], t_range[1], v_min=lo, v_max=hi,
+        stats=stats,
     ):
         value = index.index_func(record.payload)
         if index.spec.bin_of(value) == target_bin:
@@ -82,6 +86,7 @@ def subset_records_above(
     t_range: Tuple[int, int],
     threshold: float,
     snapshot: Optional[Snapshot] = None,
+    stats: Optional[QueryStats] = None,
 ) -> List[Record]:
     """Subset records with indexed value >= threshold (sentinel-safe as
     long as the threshold exceeds the sentinel)."""
@@ -89,7 +94,8 @@ def subset_records_above(
     index = loom.record_log.get_index(index_id)
     return list(
         indexed_scan(
-            snap, source_id, index, t_range[0], t_range[1], v_min=threshold
+            snap, source_id, index, t_range[0], t_range[1], v_min=threshold,
+            stats=stats,
         )
     )
 
@@ -101,15 +107,16 @@ def subset_tail_records(
     t_range: Tuple[int, int],
     percentile: float,
     snapshot: Optional[Snapshot] = None,
+    stats: Optional[QueryStats] = None,
 ) -> Tuple[Optional[float], List[Record]]:
     """The composed data-dependent query over a sentinel-indexed subset:
     find the subset percentile, then fetch subset records at/above it."""
     snap = snapshot or loom.snapshot()
     threshold = subset_percentile(
-        loom, source_id, index_id, t_range, percentile, snapshot=snap
+        loom, source_id, index_id, t_range, percentile, snapshot=snap, stats=stats
     )
     if threshold is None:
         return None, []
     return threshold, subset_records_above(
-        loom, source_id, index_id, t_range, threshold, snapshot=snap
+        loom, source_id, index_id, t_range, threshold, snapshot=snap, stats=stats
     )

@@ -69,11 +69,13 @@ class Block:
     def is_full(self) -> bool:
         return self.filled == self.capacity
 
-    def write(self, data: bytes) -> int:
+    def write(self, data: "bytes | memoryview") -> int:
         """Append up to ``len(data)`` bytes; return the number written.
 
-        The caller (the hybrid log) handles the spill into the next block
-        when the write does not fully fit.
+        Accepts any bytes-like object (the hybrid log passes memoryview
+        slices so batched appends copy each byte exactly once).  The
+        caller handles the spill into the next block when the write does
+        not fully fit.
         """
         if self.base_address is None:
             raise RuntimeError("block is not mapped")

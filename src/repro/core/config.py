@@ -35,6 +35,10 @@ class LoomConfig:
             paper's behaviour) instead of inline.
         data_dir: directory for the three log files, or ``None`` to keep
             all logs in memory (tests, benchmarks).
+        inline_read_size: speculative read size for single-record decodes
+            (record header plus a typical payload).  Deployments with
+            larger records can raise this so point reads stay one log
+            read; must cover at least the 24-byte record header.
     """
 
     chunk_size: int = 16 * 1024
@@ -45,6 +49,7 @@ class LoomConfig:
     publish_interval: int = 1
     threaded_flush: bool = False
     data_dir: Optional[str] = None
+    inline_read_size: int = 256
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -53,6 +58,10 @@ class LoomConfig:
             raise ValueError("publish_interval must be >= 1")
         if self.timestamp_interval < 1:
             raise ValueError("timestamp_interval must be >= 1")
+        # 24 == record header size; config must not import the record
+        # module (layering), so the constant is repeated here.
+        if self.inline_read_size < 24:
+            raise ValueError("inline_read_size must cover the 24-byte header")
 
     def record_log_path(self) -> Optional[str]:
         return self._path("records.log")

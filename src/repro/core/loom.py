@@ -12,6 +12,7 @@ Figure 9:
 ``define_index(source_id, index_func, bins)``                   schema
 ``close_index(index_id)``                                       schema
 ``push(source_id, bytes)``                                      ingest
+``push_many(source_id, payloads)``                              ingest
 ``sync(source_id)``                                             ingest
 ``raw_scan(source_id, t_range, func)``                          query
 ``indexed_scan(source_id, index_id, t_range, v_range, func)``   query
@@ -102,8 +103,29 @@ class Loom:
         """Write one record from a source; returns its log address."""
         return self._record_log.push(source_id, data)
 
+    def push_many(self, source_id: int, payloads: Sequence[bytes]) -> List[int]:
+        """Write a batch of records from one source; returns their addresses.
+
+        The batched fast path: the whole batch is framed into one buffer,
+        landed with one hybrid-log append, folded into the active chunk
+        summary in bulk, and published once.  All records in the batch
+        share a single arrival timestamp (one clock read).  Use this when
+        the daemon already has several records in hand — e.g. it drains an
+        eBPF ring buffer or a socket in bursts; use :meth:`push` when
+        records arrive (and must be timestamped) one at a time.
+        """
+        return self._record_log.push_many(source_id, payloads)
+
     def sync(self, source_id: Optional[int] = None) -> None:
-        """Make all records from a source visible to queriers."""
+        """Force everything ingested so far to be visible to queriers.
+
+        ``source_id`` is validated for API fidelity with the paper's
+        ``sync(source_id)``, but publication is *global*: the three logs
+        share watermarks, so syncing one source makes every source's
+        pending records queryable.  (A per-source sync is impossible here
+        by construction — records of all sources interleave in one record
+        log and a watermark is a single address bound.)
+        """
         self._record_log.sync(source_id)
 
     # ------------------------------------------------------------------
@@ -163,6 +185,7 @@ class Loom:
         method: str,
         percentile: Optional[float] = None,
         snapshot: Optional[Snapshot] = None,
+        stats: Optional[QueryStats] = None,
     ) -> AggregateResult:
         """Aggregate a source in a time range using the specified method.
 
@@ -178,7 +201,7 @@ class Loom:
             )
         return indexed_aggregate(
             snap, source_id, index, t_range[0], t_range[1], method,
-            percentile=percentile,
+            percentile=percentile, stats=stats,
         )
 
     @staticmethod
@@ -206,7 +229,8 @@ class Loom:
     @property
     def total_records(self) -> int:
         """Records ingested since creation.  Loom never drops data, so
-        this equals the number of ``push`` calls."""
+        this equals the number of records pushed (``push`` calls plus
+        the sizes of all ``push_many`` batches)."""
         return self._record_log.total_records
 
     def source_record_count(self, source_id: int) -> int:

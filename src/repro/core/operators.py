@@ -48,6 +48,10 @@ class QueryStats:
 
     records_scanned: int = 0
     records_matched: int = 0
+    #: Records decoded from the log on behalf of this query (chain walks
+    #: plus region scans).  Kept here — not on the record log — because
+    #: queries run on arbitrary threads and a shared counter would race.
+    records_decoded: int = 0
     chunks_scanned: int = 0
     chunks_skipped: int = 0
     summaries_examined: int = 0
@@ -85,7 +89,7 @@ def raw_scan(
             start_hint = hit[1]
         if stats is not None:
             stats.used_time_index = True
-    for record in snapshot.iter_chain(source_id, start=start_hint):
+    for record in snapshot.iter_chain(source_id, start=start_hint, stats=stats):
         if stats is not None:
             stats.records_scanned += 1
         if record.timestamp > t_end:
@@ -111,6 +115,7 @@ def indexed_scan(
     stats: Optional[QueryStats] = None,
     use_time_index: bool = True,
     use_chunk_index: bool = True,
+    copy: bool = True,
 ) -> Iterator[Record]:
     """Yield records of ``source_id`` in the time range whose indexed value
     lies in ``[v_min, v_max]``, in ascending address (= arrival) order.
@@ -119,6 +124,10 @@ def indexed_scan(
     narrows the summary window, summaries filter chunks by bin occupancy,
     and only surviving chunks (plus the unsummarized active region) are
     scanned.
+
+    ``copy=False`` yields records with memoryview payloads aliasing each
+    chunk's scan buffer — cheaper, but only valid while iterating; callers
+    that collect records into a list must keep the copying default.
     """
     if t_end < t_start:
         return
@@ -145,13 +154,13 @@ def indexed_scan(
             stats.chunks_scanned += 1
         yield from _scan_region(
             snapshot, summary.start_addr, summary.end_addr,
-            source_id, index, t_start, t_end, v_min, v_max, stats,
+            source_id, index, t_start, t_end, v_min, v_max, stats, copy=copy,
         )
 
     active_start, active_end = snapshot.active_region()
     yield from _scan_region(
         snapshot, active_start, active_end,
-        source_id, index, t_start, t_end, v_min, v_max, stats,
+        source_id, index, t_start, t_end, v_min, v_max, stats, copy=copy,
     )
 
 
@@ -198,9 +207,15 @@ def _scan_region(
     v_min: float,
     v_max: float,
     stats: Optional[QueryStats],
+    copy: bool = True,
 ) -> Iterator[Record]:
-    """Scan ``[start, end)`` filtering by source, time, and value."""
-    for record in snapshot.iter_region(start, end):
+    """Scan ``[start, end)`` filtering by source, time, and value.
+
+    ``copy=False`` is the zero-copy mode for consumers that never retain
+    payloads past the iteration step (the aggregate operators): records
+    come out with memoryview payloads aliasing the scan buffer.
+    """
+    for record in snapshot.iter_region(start, end, copy=copy, stats=stats):
         if stats is not None:
             stats.records_scanned += 1
         if record.source_id != source_id:
@@ -238,6 +253,7 @@ def indexed_aggregate(
     percentile: Optional[float] = None,
     use_time_index: bool = True,
     use_chunk_index: bool = True,
+    stats: Optional[QueryStats] = None,
 ) -> AggregateResult:
     """Aggregate a source's indexed values over a time range.
 
@@ -247,19 +263,25 @@ def indexed_aggregate(
     range; chunks straddling a range edge are scanned.  Percentiles use the
     bin-counts-as-CDF strategy of section 4.3 and are *exact*: the returned
     value is the same order statistic a full sort would produce.
+
+    A caller-supplied ``stats`` accumulates across calls (useful when one
+    logical query issues several aggregates); otherwise a fresh
+    :class:`QueryStats` is created and returned on the result.
     """
+    if stats is None:
+        stats = QueryStats()
     if method == "percentile":
         if percentile is None or not 0 <= percentile <= 100:
             raise LoomError("percentile method needs percentile in [0, 100]")
         return _aggregate_percentile(
             snapshot, source_id, index, t_start, t_end, percentile,
-            use_time_index, use_chunk_index,
+            use_time_index, use_chunk_index, stats,
         )
     if method not in DISTRIBUTIVE_METHODS:
         raise LoomError(f"unknown aggregation method: {method!r}")
     return _aggregate_distributive(
         snapshot, source_id, index, t_start, t_end, method,
-        use_time_index, use_chunk_index,
+        use_time_index, use_chunk_index, stats,
     )
 
 
@@ -272,8 +294,8 @@ def _aggregate_distributive(
     method: str,
     use_time_index: bool,
     use_chunk_index: bool,
+    stats: QueryStats,
 ) -> AggregateResult:
-    stats = QueryStats()
     total = BinStats()
     for summary, full in _classified_summaries(
         snapshot, source_id, t_start, t_end, use_time_index, stats
@@ -288,12 +310,14 @@ def _aggregate_distributive(
             for record in _scan_region(
                 snapshot, summary.start_addr, summary.end_addr,
                 source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+                copy=False,
             ):
                 total.update(index.index_func(record.payload), record.timestamp)
     active_start, active_end = snapshot.active_region()
     for record in _scan_region(
         snapshot, active_start, active_end,
         source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+        copy=False,
     ):
         total.update(index.index_func(record.payload), record.timestamp)
 
@@ -321,6 +345,7 @@ def _aggregate_percentile(
     percentile: float,
     use_time_index: bool,
     use_chunk_index: bool,
+    stats: QueryStats,
 ) -> AggregateResult:
     """Exact percentile via the CDF-over-bins strategy (section 4.3).
 
@@ -330,7 +355,6 @@ def _aggregate_percentile(
     re-read).  Pass 2 locates the target bin from the cumulative counts and
     scans only the fully-covered chunks that have records in that bin.
     """
-    stats = QueryStats()
     spec = index.spec
     bin_counts: Dict[int, int] = {}
     scanned_bin_values: Dict[int, List[float]] = {}
@@ -350,6 +374,7 @@ def _aggregate_percentile(
             for record in _scan_region(
                 snapshot, summary.start_addr, summary.end_addr,
                 source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+                copy=False,
             ):
                 value = index.index_func(record.payload)
                 b = spec.bin_of(value)
@@ -359,6 +384,7 @@ def _aggregate_percentile(
     for record in _scan_region(
         snapshot, active_start, active_end,
         source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+        copy=False,
     ):
         value = index.index_func(record.payload)
         b = spec.bin_of(value)
@@ -399,6 +425,7 @@ def _aggregate_percentile(
         for record in _scan_region(
             snapshot, summary.start_addr, summary.end_addr,
             source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
+            copy=False,
         ):
             value = index.index_func(record.payload)
             if spec.bin_of(value) == target_bin:
@@ -418,6 +445,7 @@ def bin_histogram(
     t_end: int,
     use_time_index: bool = True,
     use_chunk_index: bool = True,
+    stats: Optional[QueryStats] = None,
 ) -> Dict[int, int]:
     """Per-bin record counts for a source/index over a time range.
 
@@ -427,14 +455,15 @@ def bin_histogram(
     (paper section 8) merges these histograms across nodes to locate a
     global percentile's bin without moving raw data.
     """
-    stats = QueryStats()
+    if stats is None:
+        stats = QueryStats()
     spec = index.spec
     counts: Dict[int, int] = {}
 
     def scan_into(start: int, end: int) -> None:
         for record in _scan_region(
             snapshot, start, end, source_id, index,
-            t_start, t_end, NEG_INF, POS_INF, stats,
+            t_start, t_end, NEG_INF, POS_INF, stats, copy=False,
         ):
             b = spec.bin_of(index.index_func(record.payload))
             counts[b] = counts.get(b, 0) + 1

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from .hybridlog import NULL_ADDRESS
 
@@ -60,6 +61,51 @@ def encode_record(
 ) -> bytes:
     """Frame a full record (header + payload) ready for the record log."""
     return _HEADER.pack(source_id, timestamp, prev_addr, len(payload)) + payload
+
+
+def encode_batch(
+    source_id: int,
+    timestamp: int,
+    prev_addr: int,
+    payloads: Sequence[bytes],
+    base_address: int,
+) -> Tuple[bytearray, List[int]]:
+    """Frame a whole batch of records into one contiguous buffer.
+
+    This is the write-side batching fast path: instead of one
+    ``encode_record`` (pack + concatenate) per record, the batch is framed
+    with a single pre-compiled ``pack_into`` loop over one preallocated
+    buffer.  Because the hybrid log assigns contiguous logical addresses,
+    each record's address — and therefore every back-pointer in the
+    batch's chain — is computed *arithmetically* from ``base_address``
+    (the log tail where the buffer will land) without touching the log.
+
+    All records in the batch share one arrival ``timestamp`` (they arrived
+    together); ``prev_addr`` is the source's chain head before the batch.
+
+    Returns ``(buffer, addresses)`` where ``addresses[i]`` is the logical
+    address record ``i`` will occupy once the buffer is appended at
+    ``base_address``.
+    """
+    n = len(payloads)
+    total = HEADER_SIZE * n + sum(len(p) for p in payloads)
+    buffer = bytearray(total)
+    addresses: List[int] = []
+    append_addr = addresses.append
+    pack_into = _HEADER.pack_into
+    offset = 0
+    address = base_address
+    prev = prev_addr
+    for payload in payloads:
+        length = len(payload)
+        pack_into(buffer, offset, source_id, timestamp, prev, length)
+        offset += HEADER_SIZE
+        buffer[offset : offset + length] = payload
+        offset += length
+        append_addr(address)
+        prev = address
+        address += HEADER_SIZE + length
+    return buffer, addresses
 
 
 def decode_header(data: bytes, offset: int = 0) -> "tuple[int, int, int, int]":

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .chunk_index import ChunkIndex
 from .clock import Clock, MonotonicClock
@@ -37,10 +37,13 @@ from .config import LoomConfig
 from .errors import ClosedError, UnknownIndexError, UnknownSourceError
 from .histogram import HistogramSpec, IndexDefinition, IndexFunc
 from .hybridlog import HybridLog, NULL_ADDRESS
-from .record import HEADER_SIZE, Record, decode_header, encode_record
+from .record import HEADER_SIZE, Record, decode_header, encode_batch, encode_record
 from .storage import open_storage
 from .summary import ChunkSummary
 from .timestamp_index import TimestampIndex
+
+if TYPE_CHECKING:  # typing-only import; avoids a cycle with operators
+    from .operators import QueryStats
 
 
 @dataclass
@@ -99,9 +102,9 @@ class RecordLog:
         self._records_since_publish = 0
         self._closed = False
         self.total_records = 0
-        #: Read-side counter: records decoded by any query since creation.
-        #: Benchmarks diff this around a query to report records touched.
-        self.records_decoded = 0
+        #: Speculative read size (header + typical payload); configurable
+        #: so deployments with larger records keep single-read decodes.
+        self._inline_read = cfg.inline_read_size
 
     # ------------------------------------------------------------------
     # Schema operations
@@ -114,7 +117,13 @@ class RecordLog:
         if existing is not None and not existing.closed:
             raise ValueError(f"source {source_id} already defined")
         if existing is not None:
-            # Reopening a closed source resumes its chain.
+            # Reopening a closed source resumes its chain.  Its indexes
+            # were deactivated by close_source and must not come back:
+            # drop any id no longer registered so a stale ``index_ids``
+            # entry cannot resurrect a closed index.
+            existing.index_ids = [
+                index_id for index_id in existing.index_ids if index_id in self._indexes
+            ]
             existing.closed = False
             return existing
         state = SourceState(source_id=source_id)
@@ -129,6 +138,9 @@ class RecordLog:
         state.closed = True
         for index_id in list(state.index_ids):
             self.close_index(index_id)
+        # close_index removed each id above; clear defensively so a later
+        # define_source reopen always starts with no active indexes.
+        state.index_ids.clear()
 
     def define_index(
         self, source_id: int, index_func: IndexFunc, spec: HistogramSpec
@@ -223,6 +235,98 @@ class RecordLog:
             self._publish()
         return address
 
+    def push_many(self, source_id: int, payloads: Sequence[bytes]) -> List[int]:
+        """Ingest a batch of records for one source; returns their addresses.
+
+        Semantically equivalent to ``[push(source_id, p) for p in payloads]``
+        except that the whole batch shares one arrival timestamp (a single
+        clock read), producing byte-identical log contents, chain
+        back-pointers, chunk summaries, and timestamp-index entries as the
+        per-record loop would under a frozen clock.  The costs the loop
+        pays per record — framing allocation, bounds-checked append, chunk
+        boundary check, summary dict lookups, timestamp-index interval
+        check, watermark publication — are paid once per batch (or once
+        per occupied chunk for the summary work), which is where the
+        batched path's throughput advantage comes from.
+
+        The section 5.4 ordering invariant is preserved: all record bytes
+        land in the record log before any index entry describing them, and
+        publication (step 6) still happens after all bookkeeping, so a
+        reader can never observe an index entry pointing above the record
+        log's watermark.
+        """
+        if self._closed:
+            raise ClosedError("record log is closed")
+        state = self._sources.get(source_id)
+        if state is None or state.closed:
+            raise UnknownSourceError(source_id)
+        n = len(payloads)
+        if n == 0:
+            return []
+
+        timestamp = self.clock.now()
+        base = self.log.tail_address
+        buffer, addresses = encode_batch(
+            source_id, timestamp, state.last_addr, payloads, base
+        )
+        self.log.append_many(buffer, count=n)
+
+        # Index bookkeeping per chunk segment: a batch may span chunk
+        # boundaries, and the per-record path finalizes the active chunk
+        # the moment a record lands in a new one.  Splitting the batch at
+        # those boundaries reproduces the exact same CHUNK-entry-before-
+        # RECORD-entries ordering in the timestamp-index log.
+        chunk_size = self.chunk_size
+        index_defs = [self._indexes[index_id] for index_id in state.index_ids]
+        last_chunk = addresses[-1] // chunk_size
+        seg_start = 0
+        while seg_start < n:
+            seg_chunk = addresses[seg_start] // chunk_size
+            if seg_chunk > self._active_summary.chunk_id:
+                self._finalize_active_chunk(timestamp, seg_chunk, addresses[seg_start])
+            if seg_chunk == last_chunk:
+                seg_end = n
+            else:
+                # Binary search for the first record in a later chunk.
+                lo, hi = seg_start + 1, n
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if addresses[mid] // chunk_size > seg_chunk:
+                        hi = mid
+                    else:
+                        lo = mid + 1
+                seg_end = lo
+            seg_addresses = addresses[seg_start:seg_end]
+            summary = self._active_summary
+            summary.add_records(source_id, timestamp, seg_addresses)
+            for definition in index_defs:
+                func = definition.index_func
+                bin_of = definition.spec.bin_of
+                summary.add_indexed_values(
+                    source_id,
+                    definition.index_id,
+                    (
+                        (bin_of(value), value)
+                        for value in (func(p) for p in payloads[seg_start:seg_end])
+                    ),
+                    timestamp,
+                )
+            self.timestamp_index.note_records(source_id, timestamp, seg_addresses)
+            seg_start = seg_end
+
+        state.last_addr = addresses[-1]
+        if state.record_count == 0:
+            state.first_timestamp = timestamp
+        state.record_count += n
+        state.bytes_ingested += len(buffer) - n * HEADER_SIZE
+        state.last_timestamp = timestamp
+        self.total_records += n
+
+        self._records_since_publish += n
+        if self._records_since_publish >= self.config.publish_interval:
+            self._publish()
+        return addresses
+
     def _finalize_active_chunk(
         self, timestamp: int, new_chunk_id: int, new_record_addr: int
     ) -> None:
@@ -269,14 +373,19 @@ class RecordLog:
     # ------------------------------------------------------------------
     # Read-side primitives (used by operators via snapshots)
     # ------------------------------------------------------------------
-    #: Speculative read size: header plus a typical small-record payload,
-    #: so decoding a record is one log read in the common case.
-    _INLINE_READ = HEADER_SIZE + 232
+    def read_record(
+        self, address: int, stats: "Optional[QueryStats]" = None
+    ) -> Record:
+        """Decode the record whose header starts at ``address``.
 
-    def read_record(self, address: int) -> Record:
-        """Decode the record whose header starts at ``address``."""
-        self.records_decoded += 1
-        data = self.log.read_upto(address, self._INLINE_READ)
+        ``stats``, when given, receives per-query decode accounting; the
+        record log itself keeps no read-side counters because reads run on
+        arbitrary query threads and the writer-owned counters must stay
+        single-threaded.
+        """
+        if stats is not None:
+            stats.records_decoded += 1
+        data = self.log.read_upto(address, self._inline_read)
         source_id, timestamp, prev_addr, length = decode_header(data)
         if HEADER_SIZE + length <= len(data):
             payload = data[HEADER_SIZE : HEADER_SIZE + length]
@@ -290,7 +399,13 @@ class RecordLog:
             address=address,
         )
 
-    def iter_records_between(self, start: int, end: int) -> Iterator[Record]:
+    def iter_records_between(
+        self,
+        start: int,
+        end: int,
+        copy: bool = True,
+        stats: "Optional[QueryStats]" = None,
+    ) -> Iterator[Record]:
         """Sequentially decode records in ``[start, end)``.
 
         ``start`` must be a record boundary; ``end`` must be a record
@@ -298,16 +413,30 @@ class RecordLog:
         boundaries).  The whole region is fetched with one log read and
         decoded from the buffer — the chunk-scan fast path (sequential
         I/O amortized over the chunk, as the paper's design intends).
+
+        With ``copy=False`` each record's payload is a ``memoryview``
+        slice of the region buffer instead of an owned ``bytes`` copy.
+        The buffer is immutable for the lifetime of the views, so this is
+        safe — but callers that retain payloads beyond the scan (or hand
+        them to users) must take the default copying mode.  Aggregation
+        operators, which only feed payloads to index functions, use the
+        zero-copy mode.
         """
         if end <= start:
             return
         buffer = self.log.read(start, end - start)
+        view = memoryview(buffer)
         offset = 0
         size = end - start
         while offset < size:
-            self.records_decoded += 1
+            if stats is not None:
+                stats.records_decoded += 1
             source_id, timestamp, prev_addr, length = decode_header(buffer, offset)
-            payload = bytes(buffer[offset + HEADER_SIZE : offset + HEADER_SIZE + length])
+            payload_start = offset + HEADER_SIZE
+            if copy:
+                payload = buffer[payload_start : payload_start + length]
+            else:
+                payload = view[payload_start : payload_start + length]
             yield Record(
                 source_id=source_id,
                 timestamp=timestamp,

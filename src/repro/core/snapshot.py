@@ -20,12 +20,15 @@ falls back to persistent storage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
 from .hybridlog import NULL_ADDRESS
 from .record import Record
 from .record_log import RecordLog
 from .summary import ChunkSummary
+
+if TYPE_CHECKING:  # typing-only import; avoids a cycle with operators
+    from .operators import QueryStats
 
 
 @dataclass
@@ -63,15 +66,22 @@ class Snapshot:
     # ------------------------------------------------------------------
     # Record access
     # ------------------------------------------------------------------
-    def read_record(self, address: int) -> Record:
+    def read_record(
+        self, address: int, stats: "Optional[QueryStats]" = None
+    ) -> Record:
         """Read one record; it must start below the snapshot watermark."""
-        return self.record_log.read_record(address)
+        return self.record_log.read_record(address, stats=stats)
 
     def chain_head(self, source_id: int) -> int:
         """Most recent queryable record address of a source (or NULL)."""
         return self.heads.get(source_id, NULL_ADDRESS)
 
-    def iter_chain(self, source_id: int, start: Optional[int] = None) -> Iterator[Record]:
+    def iter_chain(
+        self,
+        source_id: int,
+        start: Optional[int] = None,
+        stats: "Optional[QueryStats]" = None,
+    ) -> Iterator[Record]:
         """Walk a source's back-pointer chain, newest to oldest.
 
         ``start`` overrides the chain head (e.g. a timestamp-index hint);
@@ -83,19 +93,30 @@ class Snapshot:
             # The hinted record is too new for this snapshot; records are
             # appended in address order so following the chain moves below
             # the watermark.
-            record = self.record_log.read_record(address)
+            record = self.record_log.read_record(address, stats=stats)
             address = record.prev_addr
         while address != NULL_ADDRESS:
-            record = self.record_log.read_record(address)
+            record = self.record_log.read_record(address, stats=stats)
             yield record
             address = record.prev_addr
 
-    def iter_region(self, start: int, end: int) -> Iterator[Record]:
-        """Sequentially decode records in ``[start, min(end, watermark))``."""
+    def iter_region(
+        self,
+        start: int,
+        end: int,
+        copy: bool = True,
+        stats: "Optional[QueryStats]" = None,
+    ) -> Iterator[Record]:
+        """Sequentially decode records in ``[start, min(end, watermark))``.
+
+        ``copy=False`` yields records whose payloads are memoryview slices
+        of the scan buffer (no per-record copy); see
+        :meth:`RecordLog.iter_records_between` for the aliasing contract.
+        """
         end = min(end, self.watermark)
         if start >= end:
             return iter(())
-        return self.record_log.iter_records_between(start, end)
+        return self.record_log.iter_records_between(start, end, copy=copy, stats=stats)
 
     # ------------------------------------------------------------------
     # Index access (bounded by the pinned chunk count)

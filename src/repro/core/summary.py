@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -121,6 +121,31 @@ class ChunkSummary:
             info = self.sources[source_id] = SourceChunkInfo()
         info.update(timestamp, address)
 
+    def add_records(
+        self, source_id: int, timestamp: int, addresses: Sequence[int]
+    ) -> None:
+        """Batch form of :meth:`add_record` for a run of same-source
+        records sharing one arrival timestamp (the ``push_many`` path).
+
+        Equivalent to calling :meth:`add_record` once per address, but
+        touches the per-source dict once for the whole run.
+        """
+        n = len(addresses)
+        if n == 0:
+            return
+        if self.record_count == 0:
+            self.t_min = timestamp
+        self.record_count += n
+        self.t_max = timestamp
+        info = self.sources.get(source_id)
+        if info is None:
+            info = self.sources[source_id] = SourceChunkInfo()
+        if info.record_count == 0:
+            info.t_min = timestamp
+        info.record_count += n
+        info.t_max = timestamp
+        info.last_record_addr = addresses[-1]
+
     def add_indexed_value(
         self,
         source_id: int,
@@ -138,6 +163,57 @@ class ChunkSummary:
         if stats is None:
             stats = per_bin[bin_idx] = BinStats()
         stats.update(value, timestamp)
+
+    def add_indexed_values(
+        self,
+        source_id: int,
+        index_id: int,
+        binned_values: Iterable[Tuple[int, float]],
+        timestamp: int,
+    ) -> None:
+        """Bulk form of :meth:`add_indexed_value` for one batch segment.
+
+        ``binned_values`` is ``(bin_idx, value)`` pairs in arrival order,
+        all sharing one arrival ``timestamp``.  Values are grouped per bin
+        into local accumulators first, so the nested ``bins`` dicts are
+        touched once per occupied bin instead of once per record.
+
+        Per-bin values are accumulated in arrival order, so for values
+        whose running sums are exactly representable (integers, telemetry
+        counters) the resulting ``BinStats`` are bit-identical to the
+        per-record path; otherwise sums may differ in the last ulp from a
+        differently-batched ingest of the same stream (floating-point
+        addition is not associative).
+        """
+        key = (source_id, index_id)
+        per_bin = self.bins.get(key)
+        if per_bin is None:
+            per_bin = self.bins[key] = {}
+        local: Dict[int, List[float]] = {}
+        for bin_idx, value in binned_values:
+            acc = local.get(bin_idx)
+            if acc is None:
+                local[bin_idx] = [1, value, value, value]
+            else:
+                acc[0] += 1
+                acc[1] += value
+                if value < acc[2]:
+                    acc[2] = value
+                if value > acc[3]:
+                    acc[3] = value
+        for bin_idx, (count, total, low, high) in local.items():
+            stats = per_bin.get(bin_idx)
+            if stats is None:
+                stats = per_bin[bin_idx] = BinStats()
+            if stats.count == 0:
+                stats.t_min = timestamp
+            stats.count += count
+            stats.sum += total
+            if low < stats.min:
+                stats.min = low
+            if high > stats.max:
+                stats.max = high
+            stats.t_max = timestamp
 
     # ------------------------------------------------------------------
     # Query-side helpers

@@ -98,6 +98,52 @@ class TimestampIndex:
         self.entry_count += 1
         return True
 
+    def note_records(
+        self, source_id: int, timestamp: int, addresses: "List[int]"
+    ) -> int:
+        """Batch form of :meth:`maybe_note_record` for a run of consecutive
+        same-source records sharing one arrival timestamp.
+
+        Writes exactly the RECORD entries an equivalent loop of
+        ``maybe_note_record`` calls would — every ``record_interval``-th
+        record per source, including the first ever — but computes the
+        entry positions arithmetically and lands all of them with a single
+        hybrid-log append.  Returns the number of entries written.
+        """
+        n = len(addresses)
+        if n == 0:
+            return 0
+        interval = self.record_interval
+        seen = self._since_last_entry.get(source_id)
+        if seen is None:
+            first = 0
+        else:
+            # Record i (0-based) writes an entry iff seen + i + 1 >= interval.
+            first = interval - 1 - seen
+        if first >= n:
+            self._since_last_entry[source_id] = seen + n
+            return 0
+        if first < 0:
+            first = 0
+        positions = range(first, n, interval)
+        buffer = bytearray(_ENTRY.size * len(positions))
+        pack_into = _ENTRY.pack_into
+        offset = 0
+        entries = self._per_source.get(source_id)
+        if entries is None:
+            entries = self._per_source[source_id] = _SourceEntries()
+        note_t = entries.timestamps.append
+        note_a = entries.addresses.append
+        for i in positions:
+            pack_into(buffer, offset, timestamp, KIND_RECORD, source_id, addresses[i])
+            offset += _ENTRY.size
+            note_t(timestamp)
+            note_a(addresses[i])
+        self.log.append_many(buffer, count=len(positions))
+        self._since_last_entry[source_id] = n - 1 - positions[-1]
+        self.entry_count += len(positions)
+        return len(positions)
+
     def note_chunk(self, timestamp: int, chunk_id: int) -> None:
         """Write a CHUNK entry marking the finalization of ``chunk_id``."""
         self.log.append(_ENTRY.pack(timestamp, KIND_CHUNK, 0, chunk_id))

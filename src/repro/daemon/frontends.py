@@ -23,7 +23,7 @@ can answer "show me the actual events behind that histogram spike".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.histogram import HistogramSpec, IndexFunc
 from ..core.loom import Loom
@@ -82,6 +82,15 @@ class LoomSink:
     def observe(self, payload: bytes) -> None:
         self.aggregator.observe(payload)
         self.loom.push(self.source_id, payload)
+
+    def observe_many(self, payloads: Sequence[bytes]) -> None:
+        """Absorb a drained ring-buffer burst through the batched ingest
+        path (one Loom append for the whole burst); the streaming
+        histogram still sees every event individually."""
+        observe = self.aggregator.observe
+        for payload in payloads:
+            observe(payload)
+        self.loom.push_many(self.source_id, payloads)
 
     def histogram(self) -> Dict[int, int]:
         return self.aggregator.histogram()

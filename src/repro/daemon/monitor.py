@@ -144,6 +144,19 @@ class MonitoringDaemon:
         handle.records_received += 1
         return address
 
+    def receive_batch(
+        self, source_name: str, payloads: Sequence[bytes]
+    ) -> List[int]:
+        """Ingest a burst of records from one source via the batched fast
+        path.  Real collectors drain their transport (eBPF ring buffer,
+        socket, pipe) in bursts, so this is the natural daemon entry point;
+        all records in the burst share one arrival timestamp.
+        """
+        handle = self.source(source_name)
+        addresses = self.loom.push_many(handle.source_id, payloads)
+        handle.records_received += len(addresses)
+        return addresses
+
     def replay(self, records: Iterable[TimedRecord]) -> int:
         """Replay an arrival-ordered workload stream through Loom.
 

@@ -57,6 +57,12 @@ TSDB_E2E_IO_MULTIPLIER = 2.3
 #: Loom's write-path cost ("a few hundred cycles") and single ingest core.
 LOOM_CYCLES = 300.0
 LOOM_CORES = 1
+#: Share of Loom's write-path cycles that are fixed per push call rather
+#: than per byte — clock read, bounds/rotation checks, summary and
+#: timestamp-index dict lookups, watermark publication.  Measured on this
+#: reproduction's ``push_many`` microbenchmark (BENCH_ingest.json): the
+#: batched path amortizes roughly this share of the per-record cost.
+LOOM_BATCH_AMORTIZABLE = 0.7
 
 #: FishStore: log append plus hashing, plus per-PSF evaluation.
 FISHSTORE_APPEND_CYCLES = 800.0
@@ -94,6 +100,11 @@ class IngestCostModel:
             collection cost in the co-located probe experiment; None means
             "use ``io_cycles + idx_cycles``" (correct for engines that keep
             up; engines that shed load under overload need the override).
+        batch_amortizable_fraction: fraction of ``io_cycles`` that is
+            fixed per *request* rather than per record (framing setup,
+            bounds checks, watermark publication, clock reads) and hence
+            amortizes across a batched ingest call.  0 (the default)
+            means batching does not help the engine.
     """
 
     name: str
@@ -102,11 +113,21 @@ class IngestCostModel:
     idx_cap_fraction: Optional[float] = None
     cores: Optional[int] = None
     probe_collect_cycles: Optional[float] = None
+    batch_amortizable_fraction: float = 0.0
 
     def index_cycles_at(self, rate: float) -> float:
         if self.idx_cycles is None:
             return 0.0
         return self.idx_cycles(rate)
+
+    def io_cycles_at(self, batch_size: int = 1) -> float:
+        """Effective per-record I/O cost when records arrive in batches of
+        ``batch_size``: the amortizable share is divided across the batch,
+        the rest is paid per record."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        f = self.batch_amortizable_fraction
+        return self.io_cycles * ((1.0 - f) + f / batch_size)
 
 
 def _tsdb_idx_cycles(rate: float) -> float:
@@ -139,7 +160,12 @@ def clickhouse_model() -> IngestCostModel:
 
 
 def loom_model() -> IngestCostModel:
-    return IngestCostModel(name="Loom", io_cycles=LOOM_CYCLES, cores=LOOM_CORES)
+    return IngestCostModel(
+        name="Loom",
+        io_cycles=LOOM_CYCLES,
+        cores=LOOM_CORES,
+        batch_amortizable_fraction=LOOM_BATCH_AMORTIZABLE,
+    )
 
 
 def fishstore_model(n_psfs: int = 0) -> IngestCostModel:

@@ -75,6 +75,28 @@ class TestSchemaOperations:
         with pytest.raises(UnknownIndexError):
             record_log.get_index(index_id)
 
+    def test_reopened_source_does_not_resurrect_closed_indexes(
+        self, record_log
+    ):
+        """Regression: close_source closes the source's indexes; reopening
+        the source via define_source must start with no active indexes and
+        must not leave stale ids in ``index_ids`` (a stale id would make
+        the write path look up an unregistered index and crash)."""
+        record_log.define_source(1)
+        index_id = record_log.define_index(1, payload_value, HistogramSpec([1.0]))
+        record_log.close_source(1)
+        state = record_log.define_source(1)
+        assert state.index_ids == []
+        with pytest.raises(UnknownIndexError):
+            record_log.get_index(index_id)
+        # The write path must not touch the closed index.
+        record_log.push(1, value_payload(5.0))
+        record_log.sync()
+        # A fresh index can be defined and gets a new id.
+        new_id = record_log.define_index(1, payload_value, HistogramSpec([1.0]))
+        assert new_id != index_id
+        assert state.index_ids == [new_id]
+
     def test_index_ids_are_unique(self, record_log):
         record_log.define_source(1)
         record_log.define_source(2)
@@ -218,6 +240,24 @@ class TestPublication:
     def test_sync_unknown_source(self, record_log):
         with pytest.raises(UnknownSourceError):
             record_log.sync(77)
+
+    def test_sync_one_source_publishes_globally(self, clock):
+        """Publication is global: the three logs share watermarks, so
+        ``sync(source_id)`` makes *every* source's pending records
+        queryable, not just the named one (pinned API semantics)."""
+        config = LoomConfig(chunk_size=512, publish_interval=1000)
+        log = RecordLog(config=config, clock=clock)
+        log.define_source(1)
+        log.define_source(2)
+        a = log.push(1, b"from-1")
+        b = log.push(2, b"from-2")
+        assert log.log.watermark == 0
+        log.sync(1)  # names source 1 only...
+        assert log.log.watermark == log.log.tail_address
+        # ...but source 2's record is published too.
+        assert log.get_source(2).published_head == b
+        assert log.get_source(1).published_head == a
+        log.close()
 
     def test_published_head_lags_until_publish(self, clock):
         config = LoomConfig(chunk_size=512, publish_interval=5)
