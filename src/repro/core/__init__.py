@@ -10,6 +10,7 @@ from .config import LoomConfig, PAPER_CONFIG
 from .errors import (
     AddressError,
     ClosedError,
+    CorruptionError,
     HistogramSpecError,
     LoomError,
     SnapshotConflictError,
@@ -17,13 +18,14 @@ from .errors import (
     UnknownIndexError,
     UnknownSourceError,
 )
+from .faults import FaultInjectingStorage, corrupt_byte
 from .histogram import (
     HistogramSpec,
     IndexDefinition,
     exponential_edges,
     uniform_edges,
 )
-from .hybridlog import NULL_ADDRESS, HybridLog, LogStats
+from .hybridlog import NULL_ADDRESS, Health, HybridLog, LogStats
 from .loom import Loom
 from .operators import (
     AggregateResult,
@@ -36,10 +38,12 @@ from .record import HEADER_SIZE, Record
 from .recovery import (
     RecoveredSource,
     RecoveredState,
+    fsck,
     recover,
     scan_persisted_records,
     scan_persisted_summaries,
     scan_persisted_timestamps,
+    verify_frames,
 )
 from .record_log import RecordLog, SourceState
 from .snapshot import Snapshot
@@ -54,8 +58,11 @@ __all__ = [
     "ChunkSummary",
     "Clock",
     "ClosedError",
+    "CorruptionError",
+    "FaultInjectingStorage",
     "FileStorage",
     "HEADER_SIZE",
+    "Health",
     "HistogramSpec",
     "HistogramSpecError",
     "HybridLog",
@@ -83,7 +90,9 @@ __all__ = [
     "UnknownIndexError",
     "UnknownSourceError",
     "VirtualClock",
+    "corrupt_byte",
     "exponential_edges",
+    "fsck",
     "indexed_aggregate",
     "indexed_scan",
     "micros",
@@ -95,4 +104,5 @@ __all__ = [
     "scan_persisted_timestamps",
     "seconds",
     "uniform_edges",
+    "verify_frames",
 ]

@@ -37,7 +37,15 @@ class Block:
         filled: number of valid bytes currently in the block.
     """
 
-    __slots__ = ("capacity", "base_address", "filled", "_buf", "_version", "_lock")
+    __slots__ = (
+        "capacity",
+        "base_address",
+        "filled",
+        "recycle_event",
+        "_buf",
+        "_version",
+        "_lock",
+    )
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -45,6 +53,10 @@ class Block:
         self.capacity = capacity
         self.base_address: Optional[int] = None
         self.filled = 0
+        #: Optional event the owning log shares across its blocks; recycle()
+        #: signals it so a writer waiting for a free block sleeps instead of
+        #: spinning.
+        self.recycle_event: Optional[threading.Event] = None
         self._buf = bytearray(capacity)
         # Even = stable, odd = mid-recycle. Starts at 0 (stable, unmapped).
         self._version = 0
@@ -100,6 +112,8 @@ class Block:
             self.base_address = None
             self.filled = 0
             self._version += 1  # even again: stable
+        if self.recycle_event is not None:
+            self.recycle_event.set()
 
     # ------------------------------------------------------------------
     # Reader-side operations (any thread)

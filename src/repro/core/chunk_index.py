@@ -39,9 +39,17 @@ class ChunkIndex:
         storage: Optional[Storage] = None,
         block_size: int = 1 << 18,
         threaded_flush: bool = False,
+        frame_journal: Optional[Storage] = None,
+        flush_retries: int = 3,
+        flush_backoff: float = 0.001,
     ) -> None:
         self.log = HybridLog(
-            storage=storage, block_size=block_size, threaded_flush=threaded_flush
+            storage=storage,
+            block_size=block_size,
+            threaded_flush=threaded_flush,
+            frame_journal=frame_journal,
+            flush_retries=flush_retries,
+            flush_backoff=flush_backoff,
         )
         # Decoded mirror of finalized summaries, in chunk order.  Guarded by
         # a lock only for structural append vs. concurrent len() snapshots;
@@ -126,6 +134,18 @@ class ChunkIndex:
     # ------------------------------------------------------------------
     # Recovery / verification helpers
     # ------------------------------------------------------------------
+    def restore(self, summaries: List[ChunkSummary]) -> None:
+        """Adopt already-persisted summaries into the in-memory mirror.
+
+        Used by warm restart: the serialized summaries are already in the
+        underlying log (the hybrid log resumed at the persisted tail), so
+        this rebuilds only the decoded mirror without re-appending.
+        """
+        with self._append_lock:
+            self._summaries = list(summaries)
+            self._t_mins = [s.t_min for s in summaries]
+            self._chunk_ids = [s.chunk_id for s in summaries]
+
     def iter_persisted(self) -> Iterator[ChunkSummary]:
         """Decode summaries straight from the underlying log bytes.
 

@@ -38,7 +38,19 @@ class LoomConfig:
         inline_read_size: speculative read size for single-record decodes
             (record header plus a typical payload).  Deployments with
             larger records can raise this so point reads stay one log
-            read; must cover at least the 24-byte record header.
+            read; must cover at least the 28-byte record header.
+        checksum_frames: maintain a sidecar frame journal (``<log>.crc``)
+            per persisted log, checksumming every flushed extent so
+            recovery can detect bulk bit-rot without decoding records.
+        verify_on_read: CRC-check every record as it is decoded from the
+            persisted log (reads of corrupt records raise
+            :class:`~repro.core.errors.CorruptionError`).  Off by default —
+            record CRCs are always *written*; this knob governs paying the
+            verification cost on the hot read path.
+        flush_retries: times a failed block flush is retried (with
+            exponential backoff) before the log enters the FAILED state.
+        flush_backoff: base backoff in seconds between flush retries
+            (doubles per attempt).
     """
 
     chunk_size: int = 16 * 1024
@@ -50,6 +62,10 @@ class LoomConfig:
     threaded_flush: bool = False
     data_dir: Optional[str] = None
     inline_read_size: int = 256
+    checksum_frames: bool = True
+    verify_on_read: bool = False
+    flush_retries: int = 3
+    flush_backoff: float = 0.001
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -58,10 +74,15 @@ class LoomConfig:
             raise ValueError("publish_interval must be >= 1")
         if self.timestamp_interval < 1:
             raise ValueError("timestamp_interval must be >= 1")
-        # 24 == record header size; config must not import the record
-        # module (layering), so the constant is repeated here.
-        if self.inline_read_size < 24:
-            raise ValueError("inline_read_size must cover the 24-byte header")
+        # 28 == record header size (24-byte body + 4-byte CRC); config must
+        # not import the record module (layering), so the constant is
+        # repeated here.
+        if self.inline_read_size < 28:
+            raise ValueError("inline_read_size must cover the 28-byte header")
+        if self.flush_retries < 0:
+            raise ValueError("flush_retries must be >= 0")
+        if self.flush_backoff < 0:
+            raise ValueError("flush_backoff must be >= 0")
 
     def record_log_path(self) -> Optional[str]:
         return self._path("records.log")
@@ -71,6 +92,20 @@ class LoomConfig:
 
     def timestamp_index_path(self) -> Optional[str]:
         return self._path("timestamps.idx")
+
+    def record_log_journal_path(self) -> Optional[str]:
+        return self._journal_path(self.record_log_path())
+
+    def chunk_index_journal_path(self) -> Optional[str]:
+        return self._journal_path(self.chunk_index_path())
+
+    def timestamp_index_journal_path(self) -> Optional[str]:
+        return self._journal_path(self.timestamp_index_path())
+
+    def _journal_path(self, log_path: Optional[str]) -> Optional[str]:
+        if log_path is None or not self.checksum_frames:
+            return None
+        return log_path + ".crc"
 
     def _path(self, name: str) -> Optional[str]:
         if self.data_dir is None:

@@ -53,3 +53,19 @@ class HistogramSpecError(LoomError, ValueError):
 
 class StorageError(LoomError, IOError):
     """The persistent storage backend failed."""
+
+
+class CorruptionError(LoomError, ValueError):
+    """Persisted bytes failed an integrity check (checksum or framing).
+
+    Raised by recovery scans and the optional verify-on-read mode when a
+    record's CRC does not match its bytes, a flush-frame checksum fails,
+    or a cross-log reference points past the valid data.  ``address`` is
+    the logical log address of the offending frame, when known, so the
+    operator can locate (and ``recover --repair`` can truncate at) the
+    first bad byte.
+    """
+
+    def __init__(self, message: str, address: "int | None" = None) -> None:
+        super().__init__(message)
+        self.address = address

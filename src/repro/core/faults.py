@@ -1,0 +1,178 @@
+"""Composable fault injection for storage backends.
+
+Promoted from test-only code so benchmarks, examples, and operational
+drills can exercise Loom's failure surface the same way the test suite
+does.  :class:`FaultInjectingStorage` wraps any
+:class:`~repro.core.storage.Storage` and injects faults on the append
+path (the path the hybrid log's flusher drives):
+
+* **fail-N** — the next ``n`` append attempts raise :class:`StorageError`;
+* **fail-once** — convenience for ``fail-N(1)``;
+* **flaky** — every ``period``-th append attempt fails.  With
+  ``period=2`` and phase 0, each flush fails on its first attempt and
+  succeeds when the hybrid log's retry path re-drives it — the classic
+  transient-fault shape;
+* **torn writes** — a failing append first persists a prefix of the data
+  (default: half), modelling a power cut mid-write.  The hybrid log's
+  retry path must truncate the torn extent before re-appending.
+
+Reads can fail too (``fail_next_reads``), and :meth:`corrupt_byte` flips
+bits in already-persisted data to simulate bit-rot for recovery tests.
+All counters are public so tests can assert exactly how many faults were
+exercised.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .errors import StorageError
+from .storage import FileStorage, MemoryStorage, Storage
+
+
+class FaultInjectingStorage(Storage):
+    """A storage wrapper that injects configurable faults.
+
+    Composable: the wrapped backend can be any :class:`Storage`, including
+    another wrapper.  With no faults armed it is a transparent proxy.
+    """
+
+    def __init__(self, inner: Optional[Storage] = None) -> None:
+        self._inner = inner if inner is not None else MemoryStorage()
+        #: Appends remaining to fail (fail-N mode).
+        self._fail_appends = 0
+        #: Every ``period``-th append attempt fails (flaky mode); None = off.
+        self._flaky_period: Optional[int] = None
+        self._flaky_phase = 0
+        #: When an append fails, persist this fraction of the data first
+        #: (torn-write mode); None = fail cleanly without writing.
+        self._torn_fraction: Optional[float] = None
+        self._fail_reads = 0
+        #: Total append attempts seen (including failed ones).
+        self.append_attempts = 0
+        self.faults_injected = 0
+
+    # ------------------------------------------------------------------
+    # Fault arming
+    # ------------------------------------------------------------------
+    def fail_next_appends(self, n: int) -> "FaultInjectingStorage":
+        """Arm the next ``n`` append attempts to fail."""
+        self._fail_appends = n
+        return self
+
+    def fail_once(self) -> "FaultInjectingStorage":
+        """Arm exactly the next append attempt to fail."""
+        return self.fail_next_appends(1)
+
+    def make_flaky(self, period: int = 2, phase: int = 0) -> "FaultInjectingStorage":
+        """Fail every ``period``-th append attempt, starting at ``phase``.
+
+        ``period=2, phase=0`` makes each flush fail once and succeed on
+        the immediate retry.
+        """
+        if period < 2:
+            raise ValueError("flaky period must be >= 2 (1 would always fail)")
+        self._flaky_period = period
+        self._flaky_phase = phase % period
+        return self
+
+    def make_reliable(self) -> "FaultInjectingStorage":
+        """Disarm all append faults."""
+        self._fail_appends = 0
+        self._flaky_period = None
+        return self
+
+    def tear_writes(self, fraction: float = 0.5) -> "FaultInjectingStorage":
+        """Make failing appends torn: persist ``fraction`` of the data,
+        then raise."""
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("torn fraction must be in [0, 1)")
+        self._torn_fraction = fraction
+        return self
+
+    def fail_next_reads(self, n: int) -> "FaultInjectingStorage":
+        self._fail_reads = n
+        return self
+
+    # ------------------------------------------------------------------
+    # Corruption (bit-rot simulation)
+    # ------------------------------------------------------------------
+    def corrupt_byte(self, address: int, mask: int = 0x01) -> None:
+        """XOR the persisted byte at ``address`` with ``mask``."""
+        corrupt_byte(self._inner, address, mask)
+
+    # ------------------------------------------------------------------
+    # Storage interface
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> Storage:
+        return self._inner
+
+    def append(self, data: bytes) -> int:
+        self.append_attempts += 1
+        fail = False
+        if self._fail_appends > 0:
+            self._fail_appends -= 1
+            fail = True
+        elif (
+            self._flaky_period is not None
+            and (self.append_attempts - 1) % self._flaky_period == self._flaky_phase
+        ):
+            fail = True
+        if fail:
+            self.faults_injected += 1
+            if self._torn_fraction is not None and len(data) > 0:
+                torn = int(len(data) * self._torn_fraction)
+                if torn:
+                    self._inner.append(data[:torn])
+                raise StorageError(
+                    f"injected torn write: {torn}/{len(data)} bytes persisted"
+                )
+            raise StorageError("injected append fault")
+        return self._inner.append(data)
+
+    def read(self, address: int, length: int) -> bytes:
+        if self._fail_reads > 0:
+            self._fail_reads -= 1
+            self.faults_injected += 1
+            raise StorageError("injected read fault")
+        return self._inner.read(address, length)
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    def sync(self) -> None:
+        self._inner.sync()
+
+    def truncate(self, size: int) -> None:
+        self._inner.truncate(size)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def corrupt_byte(storage: Storage, address: int, mask: int = 0x01) -> None:
+    """XOR one persisted byte in a concrete backend (bit-rot simulation).
+
+    Supports :class:`MemoryStorage` and :class:`FileStorage` (and wrappers
+    exposing ``inner``).  Persisted logs are append-only, so this is the
+    only mutation path — deliberately confined to the faults module.
+    """
+    while isinstance(storage, FaultInjectingStorage):
+        storage = storage.inner
+    if isinstance(storage, MemoryStorage):
+        storage._buf[address] ^= mask
+    elif isinstance(storage, FileStorage):
+        with open(storage.path, "r+b") as f:
+            f.seek(address)
+            byte = f.read(1)
+            if len(byte) != 1:
+                raise StorageError(f"no persisted byte at {address}")
+            f.seek(address)
+            f.write(bytes((byte[0] ^ mask,)))
+            f.flush()
+            os.fsync(f.fileno())
+    else:
+        raise StorageError(f"cannot corrupt {type(storage).__name__}")

@@ -28,19 +28,49 @@ queries with ingest (section 4.5).
 
 from __future__ import annotations
 
+import enum
 import queue
+import struct
 import threading
+import time
+from binascii import crc32
 from dataclasses import dataclass, field
 from typing import Optional
 
 from .block import Block
-from .errors import AddressError, ClosedError
+from .errors import AddressError, ClosedError, StorageError
 from .storage import MemoryStorage, Storage
 
 #: Sentinel address meaning "no previous record" in back-pointer chains.
 NULL_ADDRESS = 0xFFFF_FFFF_FFFF_FFFF
 
 _READ_RETRIES = 16
+
+#: One frame-journal entry per flushed extent: ``(address, length, crc32)``.
+#: The journal is a sidecar log (e.g. ``records.log.crc``) so the data
+#: file's flat logical address space is untouched; recovery verifies each
+#: journaled extent's checksum to detect bit-rot in bulk.
+FRAME_ENTRY = struct.Struct("<QII")
+
+
+class Health(enum.Enum):
+    """Flush-path health of a hybrid log (and, aggregated, of a Loom).
+
+    ``HEALTHY``  — flushes are succeeding.
+    ``DEGRADED`` — the last flush attempt failed with a transient
+                   :class:`StorageError`; the retry/backoff path is active.
+    ``FAILED``   — retries were exhausted.  Ingest raises on every append,
+                   but reads over already-published data keep working
+                   (graceful read-only degradation).
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+    @property
+    def severity(self) -> int:
+        return (Health.HEALTHY, Health.DEGRADED, Health.FAILED).index(self)
 
 
 @dataclass
@@ -51,6 +81,7 @@ class LogStats:
     bytes_appended: int = 0
     block_flushes: int = 0
     bytes_flushed: int = 0
+    flush_retries: int = 0
     reader_storage_fallbacks: int = 0
     _fallback_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -73,6 +104,14 @@ class HybridLog:
         threaded_flush: if True, full blocks are flushed by a background
             thread (the paper's behaviour); if False, flushes happen inline,
             which is deterministic and is the default for tests.
+        frame_journal: optional sidecar storage receiving one
+            :data:`FRAME_ENTRY` trailer per flushed extent, checksumming the
+            flushed bytes.  Recovery uses it to detect bit-rot without
+            decoding the data log.
+        flush_retries: how many times a failed flush is retried (with
+            exponential backoff) before the log enters the FAILED state.
+        flush_backoff: base backoff in seconds; attempt ``i`` sleeps
+            ``flush_backoff * 2**i``.
     """
 
     def __init__(
@@ -80,9 +119,14 @@ class HybridLog:
         storage: Optional[Storage] = None,
         block_size: int = 1 << 20,
         threaded_flush: bool = False,
+        frame_journal: Optional[Storage] = None,
+        flush_retries: int = 3,
+        flush_backoff: float = 0.001,
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
+        if flush_retries < 0:
+            raise ValueError("flush_retries must be >= 0")
         self._storage = storage if storage is not None else MemoryStorage()
         self.block_size = block_size
         self._blocks = (Block(block_size), Block(block_size))
@@ -93,9 +137,17 @@ class HybridLog:
         self._closed = False
         self.stats = LogStats()
 
+        self._journal = frame_journal
+        self._flush_retries = flush_retries
+        self._flush_backoff = flush_backoff
+        self._health = Health.HEALTHY
+
         self._threaded = threaded_flush
         self._flush_queue: "queue.Queue[Optional[Block]]" = queue.Queue(maxsize=2)
         self._flush_error: Optional[BaseException] = None
+        self._recycled = threading.Event()
+        for block in self._blocks:
+            block.recycle_event = self._recycled
         self._flusher: Optional[threading.Thread] = None
         if threaded_flush:
             self._flusher = threading.Thread(
@@ -127,8 +179,7 @@ class HybridLog:
         """
         if self._closed:
             raise ClosedError("log is closed")
-        if self._flush_error is not None:  # pragma: no cover - io failure
-            raise self._flush_error
+        self._raise_if_failed()
         address = self._tail
         view = memoryview(data)
         while len(view):
@@ -147,28 +198,88 @@ class HybridLog:
         if self._threaded:
             self._flush_queue.put(full_block)  # blocks if both flushes pending
         else:
-            self._flush_block(full_block)
+            self._flush_with_retry(full_block)
         nxt = self._blocks[1 - self._active]
         self._wait_unmapped(nxt)
         nxt.map(self._tail)
         self._active = 1 - self._active
 
     def _wait_unmapped(self, block: Block) -> None:
-        """Wait for an in-flight flush of ``block`` to complete (threaded mode)."""
+        """Wait for an in-flight flush of ``block`` to complete (threaded mode).
+
+        Sleeps on the shared recycle event (signaled by
+        :meth:`Block.recycle`) instead of spinning, with a timeout so a
+        flusher that parks an error is still noticed promptly.
+        """
         while block.base_address is not None:
-            if self._flush_error is not None:  # pragma: no cover - io failure
-                raise self._flush_error
-            threading.Event().wait(0.0005)
+            self._raise_if_failed()
+            self._recycled.clear()
+            if block.base_address is None:
+                break
+            self._recycled.wait(0.05)
+
+    def _raise_if_failed(self) -> None:
+        """Raise a *fresh* wrapped error if the flush path has failed.
+
+        The original exception (with its original traceback) is chained as
+        ``__cause__``; re-raising the same exception object on every append
+        would grow its traceback forever and misattribute the failure site.
+        """
+        parked = self._flush_error
+        if parked is not None:
+            raise StorageError(
+                f"hybrid log is {self._health.value}: flush failed permanently "
+                f"({parked}); ingest is disabled, reads of published data "
+                f"still work"
+            ) from parked
 
     def _flush_block(self, block: Block) -> None:
+        """One flush attempt.  Idempotent: a retry after a torn write (or a
+        failed journal append) first truncates storage back to the block's
+        base address so the extent is never duplicated or misaligned."""
+        base = block.base_address
+        if self._storage.size > base:
+            # A previous attempt tore: part of this block (or all of it,
+            # if only the journal append failed) is already on storage.
+            self._storage.truncate(base)
         data = block.snapshot_bytes()
         got = self._storage.append(data)
-        assert got == block.base_address, "blocks must flush in address order"
+        assert got == base, "blocks must flush in address order"
+        if self._journal is not None:
+            jsize = self._journal.size
+            if jsize % FRAME_ENTRY.size:
+                self._journal.truncate(jsize - jsize % FRAME_ENTRY.size)
+            self._journal.append(FRAME_ENTRY.pack(base, len(data), crc32(data)))
         self.stats.block_flushes += 1
         self.stats.bytes_flushed += len(data)
         # Recycle only *after* the bytes are readable from storage, so
         # readers that lose the seqlock race always find the data there.
         block.recycle()
+
+    def _flush_with_retry(self, block: Block) -> None:
+        """Flush ``block``, retrying transient :class:`StorageError`s with
+        bounded exponential backoff.
+
+        While retrying the log is DEGRADED; a success returns it to
+        HEALTHY.  When retries are exhausted the log transitions to FAILED,
+        the original error is parked (appends surface it wrapped, with a
+        fresh traceback), and the error is raised.
+        """
+        last_exc: Optional[StorageError] = None
+        for attempt in range(self._flush_retries + 1):
+            try:
+                self._flush_block(block)
+                self._health = Health.HEALTHY
+                return
+            except StorageError as exc:
+                last_exc = exc
+                self._health = Health.DEGRADED
+                self.stats.flush_retries += 1
+                if attempt < self._flush_retries:
+                    time.sleep(self._flush_backoff * (2 ** attempt))
+        self._health = Health.FAILED
+        self._flush_error = last_exc
+        raise last_exc
 
     def _flush_loop(self) -> None:
         while True:
@@ -176,9 +287,11 @@ class HybridLog:
             if block is None:
                 return
             try:
-                self._flush_block(block)
-            except BaseException as exc:  # pragma: no cover - io failure
-                self._flush_error = exc
+                self._flush_with_retry(block)
+            except BaseException as exc:
+                if self._flush_error is None:
+                    self._flush_error = exc
+                    self._health = Health.FAILED
                 return
 
     def publish(self, address: Optional[int] = None) -> int:
@@ -198,10 +311,13 @@ class HybridLog:
         return target
 
     def close(self) -> None:
-        """Flush everything (including the partial active block) and close.
+        """Flush everything (including the partial active block), fsync,
+        and close.
 
         After ``close()`` the log is immutable; reads keep working against
-        persistent storage.
+        persistent storage.  ``close()`` calls :meth:`Storage.sync` so a
+        returned close implies the log is durable on backends with a real
+        fsync (:class:`~repro.core.storage.FileStorage`).
         """
         if self._closed:
             return
@@ -209,15 +325,15 @@ class HybridLog:
         if self._threaded and self._flusher is not None:
             self._flush_queue.put(None)
             self._flusher.join()
-            if self._flush_error is not None:  # pragma: no cover
-                raise self._flush_error
+            self._raise_if_failed()
         active = self._blocks[self._active]
         if active.base_address is not None and active.filled:
-            data = active.snapshot_bytes()
-            self._storage.append(data)
-            self.stats.block_flushes += 1
-            self.stats.bytes_flushed += len(data)
-        active.recycle()
+            self._flush_with_retry(active)
+        else:
+            active.recycle()
+        self._storage.sync()
+        if self._journal is not None:
+            self._journal.sync()
         self._watermark = self._tail
 
     # ------------------------------------------------------------------
@@ -237,6 +353,16 @@ class HybridLog:
     def persisted_tail(self) -> int:
         """Exclusive upper bound of bytes already in persistent storage."""
         return self._storage.size
+
+    @property
+    def health(self) -> Health:
+        """Current flush-path health (HEALTHY / DEGRADED / FAILED)."""
+        return self._health
+
+    @property
+    def frame_journal(self) -> Optional[Storage]:
+        """The sidecar frame-checksum journal, if one is attached."""
+        return self._journal
 
     @property
     def storage(self) -> Storage:

@@ -31,6 +31,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 from .clock import Clock, MonotonicClock
 from .config import LoomConfig
 from .errors import LoomError
+from .hybridlog import Health
 from .histogram import HistogramSpec, IndexFunc
 from .operators import (
     AggregateResult,
@@ -65,6 +66,40 @@ class Loom:
         self, config: Optional[LoomConfig] = None, clock: Optional[Clock] = None
     ) -> None:
         self._record_log = RecordLog(config=config, clock=clock or MonotonicClock())
+
+    @classmethod
+    def open(
+        cls,
+        config: Optional[LoomConfig] = None,
+        clock: Optional[Clock] = None,
+        repair: bool = True,
+        verify: bool = True,
+    ) -> "Loom":
+        """Warm-restart a persisted instance from ``config.data_dir``.
+
+        Rebuilds all live state — per-source record chains, counts, and
+        both index mirrors — from the three persisted logs, then resumes
+        appending at the persisted tail: records pushed after ``open``
+        chain onto records pushed before the previous process died.
+
+        With ``repair=True`` (the default), torn tails left by a crash
+        (partial frames from an interrupted flush) are truncated away;
+        genuine corruption below the tail still raises
+        :class:`~repro.core.errors.CorruptionError`.  Records that were
+        only in the in-memory staging blocks at crash time are lost —
+        Loom persists to bound memory, not as a commit protocol
+        (section 4.5) — but everything below the persisted watermark
+        survives.
+
+        Sources come back *closed*: call :meth:`define_source` for each
+        source still in use to resume its chain.  Histogram indexes are
+        user code and must be re-defined; they apply to new records only.
+        """
+        loom = cls.__new__(cls)
+        loom._record_log = RecordLog.reopen(
+            config=config, clock=clock, repair=repair, verify=verify
+        )
+        return loom
 
     # ------------------------------------------------------------------
     # Schema operators
@@ -235,6 +270,16 @@ class Loom:
 
     def source_record_count(self, source_id: int) -> int:
         return self._record_log.get_source(source_id).record_count
+
+    def health(self) -> "Health":
+        """Aggregate flush-path health: HEALTHY, DEGRADED, or FAILED.
+
+        DEGRADED means a flush recently failed and the retry path is
+        active; FAILED means retries were exhausted — ``push`` raises
+        :class:`~repro.core.errors.StorageError`, while queries over
+        already-published data keep working.
+        """
+        return self._record_log.health()
 
     def footprint(self) -> dict:
         """Approximate resource footprint: log sizes and staged bytes."""

@@ -27,23 +27,41 @@ record log's watermark.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .chunk_index import ChunkIndex
-from .clock import Clock, MonotonicClock
+from .clock import Clock, MonotonicClock, VirtualClock
 from .config import LoomConfig
-from .errors import ClosedError, UnknownIndexError, UnknownSourceError
+from .errors import (
+    ClosedError,
+    CorruptionError,
+    LoomError,
+    UnknownIndexError,
+    UnknownSourceError,
+)
 from .histogram import HistogramSpec, IndexDefinition, IndexFunc
-from .hybridlog import HybridLog, NULL_ADDRESS
-from .record import HEADER_SIZE, Record, decode_header, encode_batch, encode_record
+from .hybridlog import Health, HybridLog, NULL_ADDRESS
+from .record import (
+    BODY_SIZE,
+    HEADER_SIZE,
+    Record,
+    decode_header,
+    decode_header_crc,
+    encode_batch,
+    encode_record,
+    record_crc,
+    verify_record_bytes,
+)
 from .storage import open_storage
 from .summary import ChunkSummary
-from .timestamp_index import TimestampIndex
+from .timestamp_index import KIND_CHUNK, TimestampIndex
 
-if TYPE_CHECKING:  # typing-only import; avoids a cycle with operators
+if TYPE_CHECKING:  # typing-only imports; avoid cycles with operators/recovery
     from .operators import QueryStats
+    from .recovery import RecoveredState
 
 
 @dataclass
@@ -78,21 +96,36 @@ class RecordLog:
         self.config = config or LoomConfig()
         self.clock = clock or MonotonicClock()
         cfg = self.config
+
+        def _journal(path: Optional[str]):
+            if not cfg.checksum_frames:
+                return None
+            return open_storage(path)
+
         self.log = HybridLog(
             storage=open_storage(cfg.record_log_path()),
             block_size=cfg.record_block_size,
             threaded_flush=cfg.threaded_flush,
+            frame_journal=_journal(cfg.record_log_journal_path()),
+            flush_retries=cfg.flush_retries,
+            flush_backoff=cfg.flush_backoff,
         )
         self.chunk_index = ChunkIndex(
             storage=open_storage(cfg.chunk_index_path()),
             block_size=cfg.index_block_size,
             threaded_flush=cfg.threaded_flush,
+            frame_journal=_journal(cfg.chunk_index_journal_path()),
+            flush_retries=cfg.flush_retries,
+            flush_backoff=cfg.flush_backoff,
         )
         self.timestamp_index = TimestampIndex(
             storage=open_storage(cfg.timestamp_index_path()),
             block_size=cfg.timestamp_block_size,
             record_interval=cfg.timestamp_interval,
             threaded_flush=cfg.threaded_flush,
+            frame_journal=_journal(cfg.timestamp_index_journal_path()),
+            flush_retries=cfg.flush_retries,
+            flush_backoff=cfg.flush_backoff,
         )
         self.chunk_size = cfg.chunk_size
         self._sources: Dict[int, SourceState] = {}
@@ -105,6 +138,8 @@ class RecordLog:
         #: Speculative read size (header + typical payload); configurable
         #: so deployments with larger records keep single-read decodes.
         self._inline_read = cfg.inline_read_size
+        #: CRC-check records as they are decoded from the log.
+        self._verify_on_read = cfg.verify_on_read
 
     # ------------------------------------------------------------------
     # Schema operations
@@ -360,8 +395,24 @@ class RecordLog:
             self.get_source(source_id)
         self._publish()
 
+    def health(self) -> Health:
+        """Aggregate flush-path health across the three hybrid logs.
+
+        The worst individual state wins: one FAILED log makes the whole
+        instance FAILED (ingest touches all three logs, so it cannot make
+        progress), while reads over published data keep working.
+        """
+        return max(
+            (
+                self.log.health,
+                self.chunk_index.log.health,
+                self.timestamp_index.log.health,
+            ),
+            key=lambda h: h.severity,
+        )
+
     def close(self) -> None:
-        """Publish, then close all three logs."""
+        """Publish, then close all three logs (each fsyncs its storage)."""
         if self._closed:
             return
         self._publish()
@@ -369,6 +420,164 @@ class RecordLog:
         self.log.close()
         self.chunk_index.close()
         self.timestamp_index.close()
+
+    # ------------------------------------------------------------------
+    # Warm restart
+    # ------------------------------------------------------------------
+    @classmethod
+    def reopen(
+        cls,
+        config: Optional[LoomConfig] = None,
+        clock: Optional[Clock] = None,
+        repair: bool = True,
+        verify: bool = True,
+    ) -> "RecordLog":
+        """Reopen a persisted instance and resume appending at its tail.
+
+        Runs :func:`~repro.core.recovery.recover` over the persisted logs
+        (with ``repair=True`` — the default — torn tails left by a crash
+        are truncated to the last complete frame; corruption below the
+        tail still raises :class:`CorruptionError`), then rebuilds all
+        writer-side state: per-source chains and counts, the chunk-index
+        and timestamp-index mirrors, and the active chunk summary.  The
+        hybrid logs map their staging blocks at the persisted tail, so the
+        next ``push`` appends exactly where the previous process stopped
+        and back-pointer chains span the restart.
+
+        Index *definitions* (UDFs) are code, not data — they cannot be
+        recovered and must be re-defined by the daemon after reopen; they
+        index records pushed from then on, as always (section 5.3).
+        """
+        from .recovery import recover  # local import; recovery imports config
+
+        cfg = config or LoomConfig()
+        if cfg.data_dir is None:
+            raise LoomError("reopen requires a data_dir (persistent logs)")
+        record_path = cfg.record_log_path()
+        if record_path is None or not os.path.exists(record_path):
+            raise LoomError(f"no record log to reopen at {record_path!r}")
+
+        def _open_existing(path: Optional[str]):
+            if path is not None and os.path.exists(path):
+                return open_storage(path)
+            return None
+
+        # Pass 1: verify/repair the raw files before any hybrid log maps
+        # its staging blocks at the persisted tail.
+        storages = [
+            open_storage(record_path),
+            _open_existing(cfg.chunk_index_path()),
+            _open_existing(cfg.timestamp_index_path()),
+            _open_existing(cfg.record_log_journal_path()),
+            _open_existing(cfg.chunk_index_journal_path()),
+            _open_existing(cfg.timestamp_index_journal_path()),
+        ]
+        try:
+            state = recover(
+                storages[0],
+                chunk_storage=storages[1],
+                timestamp_storage=storages[2],
+                verify=verify,
+                repair=repair,
+                record_journal=storages[3],
+                chunk_journal=storages[4],
+                timestamp_journal=storages[5],
+            )
+        finally:
+            for storage in storages:
+                if storage is not None:
+                    storage.close()
+
+        log = cls(config=cfg, clock=clock)
+        log._restore(state)
+        return log
+
+    def _restore(self, state: "RecoveredState") -> None:
+        """Adopt a :class:`RecoveredState` into this (fresh) instance."""
+        # Timestamps must keep increasing across the restart so the sorted
+        # index mirrors stay bisectable.  A monotonic clock on the same
+        # boot already guarantees this; a virtual clock is fast-forwarded.
+        max_ts = 0
+        for source in state.sources.values():
+            if source.last_timestamp > max_ts:
+                max_ts = source.last_timestamp
+        if isinstance(self.clock, VirtualClock) and self.clock.now() < max_ts:
+            self.clock.set(max_ts)
+
+        for sid, rec in state.sources.items():
+            self._sources[sid] = SourceState(
+                source_id=sid,
+                last_addr=rec.last_addr,
+                published_head=rec.last_addr,
+                record_count=rec.record_count,
+                bytes_ingested=rec.bytes_ingested,
+                first_timestamp=rec.first_timestamp,
+                last_timestamp=rec.last_timestamp,
+                # Restored sources start closed: the daemon re-defines the
+                # ones it still uses, and define_source resumes the chain.
+                closed=True,
+            )
+        self.total_records = state.total_records
+
+        self.chunk_index.restore(state.summaries)
+        self.timestamp_index.restore(
+            state.timestamp_entries, state.records_since_ts_entry
+        )
+        # Old histogram-index ids live on inside persisted summaries; new
+        # definitions must not collide with them.
+        max_index_id = 0
+        for summary in state.summaries:
+            for _sid, iid in summary.bins:
+                if iid > max_index_id:
+                    max_index_id = iid
+        self._next_index_id = max_index_id + 1
+
+        # Heal timestamp-index CHUNK entries lost with an unflushed block:
+        # entries are appended in chunk order, so the missing ones are
+        # exactly the suffix of summaries past the restored entry count.
+        chunk_events = sum(
+            1 for _, kind, _, _ in state.timestamp_entries if kind == KIND_CHUNK
+        )
+        for summary in state.summaries[chunk_events:]:
+            self.timestamp_index.note_chunk(summary.t_max, summary.chunk_id)
+
+        # Re-finalize chunks whose summaries were lost in memory: group the
+        # unsummarized tail by chunk id; every group except the last is a
+        # complete chunk (its successor's first record proves it ended).
+        # Re-built summaries carry per-source info but no histogram bins —
+        # the UDFs are gone, matching define_index's forward-only contract.
+        tail = state.unsummarized_tail
+        groups: List[List[Tuple[int, int, int]]] = []
+        for addr, sid, ts in tail:
+            cid = addr // self.chunk_size
+            if not groups or groups[-1][0][0] // self.chunk_size != cid:
+                groups.append([])
+            groups[-1].append((addr, sid, ts))
+        for i, group in enumerate(groups[:-1]):
+            start = group[0][0]
+            end = groups[i + 1][0][0]
+            summary = ChunkSummary(
+                chunk_id=start // self.chunk_size, start_addr=start, end_addr=end
+            )
+            for addr, sid, ts in group:
+                summary.add_record(sid, ts, addr)
+            self.chunk_index.append(summary)
+            self.timestamp_index.note_chunk(summary.t_max, summary.chunk_id)
+
+        if groups:
+            active = groups[-1]
+            start = active[0][0]
+            self._active_summary = ChunkSummary(
+                chunk_id=start // self.chunk_size, start_addr=start, end_addr=start
+            )
+            for addr, sid, ts in active:
+                self._active_summary.add_record(sid, ts, addr)
+        else:
+            start = state.covered_addr
+            self._active_summary = ChunkSummary(
+                chunk_id=start // self.chunk_size, start_addr=start, end_addr=start
+            )
+        self._publish()
 
     # ------------------------------------------------------------------
     # Read-side primitives (used by operators via snapshots)
@@ -391,6 +600,14 @@ class RecordLog:
             payload = data[HEADER_SIZE : HEADER_SIZE + length]
         else:
             payload = self.log.read(address + HEADER_SIZE, length)
+        if self._verify_on_read and (
+            record_crc(data[:BODY_SIZE], payload) != decode_header_crc(data)
+        ):
+            raise CorruptionError(
+                f"record at address {address} fails its CRC on read "
+                f"(source_id={source_id}, length={length})",
+                address=address,
+            )
         return Record(
             source_id=source_id,
             timestamp=timestamp,
@@ -428,10 +645,17 @@ class RecordLog:
         view = memoryview(buffer)
         offset = 0
         size = end - start
+        verify = self._verify_on_read
         while offset < size:
             if stats is not None:
                 stats.records_decoded += 1
             source_id, timestamp, prev_addr, length = decode_header(buffer, offset)
+            if verify and not verify_record_bytes(buffer, offset, length):
+                raise CorruptionError(
+                    f"record at address {start + offset} fails its CRC on "
+                    f"read (source_id={source_id}, length={length})",
+                    address=start + offset,
+                )
             payload_start = offset + HEADER_SIZE
             if copy:
                 payload = buffer[payload_start : payload_start + length]

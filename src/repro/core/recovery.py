@@ -4,34 +4,54 @@ Loom's durability story (paper §4.5) is deliberate: the hybrid log flushes
 blocks to persistent storage to *bound memory*, not to guarantee
 durability of the freshest data — a crash loses at most the active
 in-memory block.  Everything that did reach storage, however, is fully
-self-describing: the record log carries framed records, the chunk index
-carries serialized summaries, and the timestamp index carries fixed-size
-entries.
+self-describing: the record log carries CRC-framed records, the chunk
+index carries serialized summaries, and the timestamp index carries
+fixed-size entries.  Sidecar *frame journals* additionally checksum every
+flushed extent, so bulk bit-rot is detectable without decoding a byte.
 
 This module rebuilds a queryable view from those persisted bytes:
 
-* :func:`scan_persisted_records` — decode every record in a persisted
-  record log (the crash-forensics primitive: "use Loom to diagnose the
-  crash using data it received", §4.5).
-* :func:`recover` — reconstruct a full :class:`RecoveredState`: per-source
-  chains and counts, decoded chunk summaries, and timestamp entries, with
-  a consistency cross-check between the three logs.
+* :func:`scan_persisted_records` — decode (and CRC-verify) every record in
+  a persisted record log (the crash-forensics primitive: "use Loom to
+  diagnose the crash using data it received", §4.5).
+* :func:`verify_frames` — check every journaled flush extent's checksum.
+* :func:`recover` — reconstruct a full :class:`RecoveredState` in a
+  *single pass* over the record log: per-source chains and counts, decoded
+  chunk summaries, timestamp entries, the unsummarized tail (everything
+  warm restart needs), with consistency cross-checks between the three
+  logs.  With ``repair=True`` it *truncates* each log at the first torn or
+  corrupt frame (and trims cross-log references past the cut) instead of
+  raising, leaving clean prefixes a reopened instance can append to.
+* :func:`fsck` — offline integrity check of a whole data directory,
+  driving the ``fsck`` / ``recover`` CLI subcommands.
 
-Recovery is read-only: it never mutates the persisted logs, so it can run
-against a live instance's files (e.g. from a second process post-mortem).
+Without ``repair``, recovery is read-only: it never mutates the persisted
+logs, so it can run against a live instance's files (e.g. from a second
+process post-mortem).  Corruption raises :class:`CorruptionError` naming
+the offending address.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .hybridlog import NULL_ADDRESS
-from .record import HEADER_SIZE, Record, decode_header
-from .storage import Storage
+from .config import LoomConfig
+from .errors import CorruptionError, LoomError
+from .hybridlog import FRAME_ENTRY, NULL_ADDRESS
+from .record import (
+    HEADER_SIZE,
+    Record,
+    decode_header,
+    verify_record_bytes,
+)
+from .storage import FileStorage, Storage
 from .summary import ChunkSummary
 from .timestamp_index import KIND_CHUNK, KIND_RECORD
+
+from binascii import crc32
 
 _LEN = struct.Struct("<I")
 _TS_ENTRY = struct.Struct("<QBIQ")
@@ -47,11 +67,20 @@ class RecoveredSource:
     last_timestamp: int = 0
     #: Address of the newest persisted record (chain head).
     last_addr: int = NULL_ADDRESS
+    #: Total payload bytes this source ingested (headers excluded).
+    bytes_ingested: int = 0
 
 
 @dataclass
 class RecoveredState:
-    """A reconstructed, queryable view of persisted Loom state."""
+    """A reconstructed, queryable view of persisted Loom state.
+
+    Beyond the post-mortem fields, this carries everything
+    :meth:`~repro.core.record_log.RecordLog.reopen` needs to resume a
+    *writable* instance: the unsummarized tail records, the address where
+    summary coverage ends, and each source's position in the
+    timestamp-index sampling interval.
+    """
 
     sources: Dict[int, RecoveredSource] = field(default_factory=dict)
     summaries: List[ChunkSummary] = field(default_factory=list)
@@ -59,29 +88,51 @@ class RecoveredState:
     total_records: int = 0
     record_bytes: int = 0
     #: Records seen in the record log but not covered by any finalized
-    #: summary (they were in the active chunk when the instance stopped).
+    #: summary (they were in the active chunk(s) when the instance stopped).
     unsummarized_records: int = 0
+    #: ``(address, source_id, timestamp)`` of each unsummarized record, in
+    #: address order — warm restart refolds these into chunk summaries.
+    unsummarized_tail: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Record-log address where finalized-summary coverage ends.
+    covered_addr: int = 0
+    #: Per source: records ingested since its last timestamp-index RECORD
+    #: entry (restores the sampling interval's phase on reopen).
+    records_since_ts_entry: Dict[int, int] = field(default_factory=dict)
+    #: Human-readable description of every repair action taken.
+    repairs: List[str] = field(default_factory=list)
 
     def chain(self, source_id: int) -> Optional[int]:
         source = self.sources.get(source_id)
         return source.last_addr if source else None
 
 
-def scan_persisted_records(storage: Storage) -> Iterator[Record]:
+def scan_persisted_records(
+    storage: Storage, verify_crc: bool = True
+) -> Iterator[Record]:
     """Decode every fully persisted record in a record-log storage.
 
     A crash can leave a torn record at the very end of storage (part of
     the active block flushed by ``close``, or a partial block write); the
     scan stops cleanly at the first frame that does not fully fit.
+
+    With ``verify_crc`` (default), each record's header checksum is
+    validated against its bytes; a mismatch raises
+    :class:`CorruptionError` carrying the record's address.
     """
     address = 0
     end = storage.size
     while address + HEADER_SIZE <= end:
-        header = storage.read(address, HEADER_SIZE)
-        source_id, timestamp, prev_addr, length = decode_header(header)
+        frame = storage.read(address, HEADER_SIZE)
+        source_id, timestamp, prev_addr, length = decode_header(frame)
         if address + HEADER_SIZE + length > end:
             return  # torn tail record
         payload = storage.read(address + HEADER_SIZE, length)
+        if verify_crc and not verify_record_bytes(frame + payload, 0, length):
+            raise CorruptionError(
+                f"record at address {address} fails its CRC "
+                f"(source_id={source_id}, length={length})",
+                address=address,
+            )
         yield Record(
             source_id=source_id,
             timestamp=timestamp,
@@ -94,13 +145,20 @@ def scan_persisted_records(storage: Storage) -> Iterator[Record]:
 
 def scan_persisted_summaries(storage: Storage) -> Iterator[ChunkSummary]:
     """Decode every fully persisted chunk summary in a chunk-index storage."""
+    for _offset, summary in _scan_summaries_with_offsets(storage):
+        yield summary
+
+
+def _scan_summaries_with_offsets(
+    storage: Storage,
+) -> Iterator[Tuple[int, ChunkSummary]]:
     address = 0
     end = storage.size
     while address + _LEN.size <= end:
         (length,) = _LEN.unpack(storage.read(address, _LEN.size))
         if address + _LEN.size + length > end:
             return
-        yield ChunkSummary.decode(storage.read(address + _LEN.size, length))
+        yield address, ChunkSummary.decode(storage.read(address + _LEN.size, length))
         address += _LEN.size + length
 
 
@@ -113,77 +171,406 @@ def scan_persisted_timestamps(storage: Storage) -> Iterator[Tuple[int, int, int,
         address += _TS_ENTRY.size
 
 
+def verify_frames(storage: Storage, journal: Storage, label: str = "log") -> int:
+    """CRC-check every flush extent recorded in a frame journal.
+
+    Frames must tile the data log contiguously from address 0; bytes past
+    the last journaled frame are tolerated (they are covered by record
+    CRCs, or are a torn flush a record-level scan will truncate).  Returns
+    the number of frames verified; raises :class:`CorruptionError` on the
+    first mismatch.
+    """
+    frames = 0
+    expected = 0
+    offset = 0
+    jsize = journal.size
+    while offset + FRAME_ENTRY.size <= jsize:
+        address, length, stored = FRAME_ENTRY.unpack(
+            journal.read(offset, FRAME_ENTRY.size)
+        )
+        if address != expected:
+            raise CorruptionError(
+                f"{label}: frame journal entry {frames} covers address "
+                f"{address}, expected {expected} (frames must tile the log)",
+                address=expected,
+            )
+        if address + length > storage.size:
+            raise CorruptionError(
+                f"{label}: frame at {address} (+{length}) extends past "
+                f"persisted size {storage.size}",
+                address=address,
+            )
+        if crc32(storage.read(address, length)) != stored:
+            raise CorruptionError(
+                f"{label}: flushed extent [{address}, {address + length}) "
+                f"fails its frame CRC",
+                address=address,
+            )
+        frames += 1
+        expected = address + length
+        offset += FRAME_ENTRY.size
+    return frames
+
+
+def _repair_frames(
+    storage: Storage, journal: Storage, label: str, repairs: List[str]
+) -> None:
+    """Repair-mode frame verification.
+
+    Distinguishes two failure shapes:
+
+    * a frame extending *past* the persisted size is a torn tail — the
+      crash cut the data file short.  Only the journal is trimmed; the
+      surviving data bytes stay, because the per-record scan (with its
+      own CRCs) is the authority on where valid data ends.
+    * a frame whose bytes fail their CRC (or a contiguity gap) is genuine
+      corruption — the data log is truncated at the frame start and the
+      journal trimmed to match.
+    """
+    jsize = journal.size
+    if jsize % FRAME_ENTRY.size:
+        journal.truncate(jsize - jsize % FRAME_ENTRY.size)
+        repairs.append(f"{label}: dropped torn frame-journal tail entry")
+    expected = 0
+    offset = 0
+    while offset + FRAME_ENTRY.size <= journal.size:
+        address, length, stored = FRAME_ENTRY.unpack(
+            journal.read(offset, FRAME_ENTRY.size)
+        )
+        if address + length > storage.size:
+            # Torn data tail: drop this and all later journal entries.
+            journal.truncate(offset)
+            repairs.append(
+                f"{label}: dropped frame entries past persisted size "
+                f"{storage.size} (torn tail)"
+            )
+            return
+        if address != expected or crc32(storage.read(address, length)) != stored:
+            cut = min(expected, address)
+            storage.truncate(cut)
+            journal.truncate(offset)
+            repairs.append(f"{label}: truncated at corrupt frame (address {cut})")
+            return
+        expected = address + length
+        offset += FRAME_ENTRY.size
+
+
+def _trim_journal(journal: Optional[Storage], data_size: int) -> None:
+    """Drop journal entries describing extents past ``data_size``."""
+    if journal is None:
+        return
+    keep = 0
+    offset = 0
+    while offset + FRAME_ENTRY.size <= journal.size:
+        address, length, _ = FRAME_ENTRY.unpack(journal.read(offset, FRAME_ENTRY.size))
+        if address + length > data_size:
+            break
+        keep = offset + FRAME_ENTRY.size
+        offset += FRAME_ENTRY.size
+    if keep < journal.size:
+        journal.truncate(keep)
+
+
 def recover(
     record_storage: Storage,
     chunk_storage: Optional[Storage] = None,
     timestamp_storage: Optional[Storage] = None,
     verify: bool = True,
+    repair: bool = False,
+    record_journal: Optional[Storage] = None,
+    chunk_journal: Optional[Storage] = None,
+    timestamp_journal: Optional[Storage] = None,
 ) -> RecoveredState:
-    """Rebuild state from persisted logs; optionally cross-check them.
+    """Rebuild state from persisted logs; optionally cross-check and repair.
 
-    With ``verify=True`` (default), recovery checks that every finalized
-    summary's per-source record counts match a recount from the record
-    log over the summary's address range — corruption or log mismatch
-    raises ``ValueError`` rather than returning silently wrong state.
+    With ``verify=True`` (default), recovery CRC-checks every record (and
+    every journaled flush frame, when a journal is given), checks that
+    every finalized summary's per-source record counts match a recount
+    from the record log over the summary's address range, and checks the
+    cross-log references (summaries within the record log, timestamp
+    entries pointing at real records).  Corruption raises
+    :class:`CorruptionError` naming the offending address rather than
+    returning silently wrong state.
+
+    With ``repair=True``, instead of raising, each log is *truncated* at
+    its first torn or corrupt frame and cross-log references past the cut
+    are trimmed, so the surviving prefix is internally consistent and a
+    reopened instance can append to it.  Every action is recorded in
+    :attr:`RecoveredState.repairs`.
+
+    The record log is scanned exactly **once**; recounts, the
+    unsummarized tail, and timestamp-interval phases all fold into that
+    single pass.
     """
     state = RecoveredState()
-    for record in scan_persisted_records(record_storage):
-        source = state.sources.get(record.source_id)
+    repairs = state.repairs
+
+    # ------------------------------------------------------------------
+    # 0. Frame journals: bulk bit-rot check per log (cheap, no decoding).
+    # ------------------------------------------------------------------
+    for storage, journal, label in (
+        (record_storage, record_journal, "record log"),
+        (chunk_storage, chunk_journal, "chunk index"),
+        (timestamp_storage, timestamp_journal, "timestamp index"),
+    ):
+        if storage is None or journal is None:
+            continue
+        if repair:
+            _repair_frames(storage, journal, label, repairs)
+        elif verify:
+            verify_frames(storage, journal, label=label)
+
+    # ------------------------------------------------------------------
+    # 1. Timestamp entries (with offsets, for potential truncation).
+    # ------------------------------------------------------------------
+    ts_entries: List[Tuple[int, int, int, int]] = []
+    if timestamp_storage is not None:
+        ts_entries = list(scan_persisted_timestamps(timestamp_storage))
+        torn = timestamp_storage.size - len(ts_entries) * _TS_ENTRY.size
+        if torn and repair:
+            timestamp_storage.truncate(len(ts_entries) * _TS_ENTRY.size)
+            _trim_journal(timestamp_journal, timestamp_storage.size)
+            repairs.append(f"timestamp index: dropped {torn}-byte torn tail")
+
+    # ------------------------------------------------------------------
+    # 2. Chunk summaries (with offsets, for potential truncation).
+    # ------------------------------------------------------------------
+    summary_offsets: List[int] = []
+    summaries: List[ChunkSummary] = []
+    if chunk_storage is not None:
+        for offset, summary in _scan_summaries_with_offsets(chunk_storage):
+            summary_offsets.append(offset)
+            summaries.append(summary)
+        scanned_end = (
+            summary_offsets[-1]
+            + _LEN.size
+            + summaries[-1].encoded_size
+            if summaries
+            else 0
+        )
+        if repair and scanned_end < chunk_storage.size:
+            chunk_storage.truncate(scanned_end)
+            _trim_journal(chunk_journal, chunk_storage.size)
+            repairs.append("chunk index: dropped torn tail summary")
+
+    # ------------------------------------------------------------------
+    # 3. THE single pass over the record log: collect light per-record
+    #    tuples; everything downstream derives from this list in memory.
+    # ------------------------------------------------------------------
+    records: List[Tuple[int, int, int, int]] = []  # (addr, sid, ts, payload_len)
+    valid_end = 0
+    try:
+        for record in scan_persisted_records(record_storage, verify_crc=verify):
+            records.append(
+                (record.address, record.source_id, record.timestamp, len(record.payload))
+            )
+            valid_end = record.address + record.size
+    except CorruptionError as exc:
+        if not repair:
+            raise
+        repairs.append(
+            f"record log: truncated at corrupt record (address {exc.address})"
+        )
+    if repair and valid_end < record_storage.size:
+        if valid_end == 0 or records:
+            torn = record_storage.size - valid_end
+            record_storage.truncate(valid_end)
+            _trim_journal(record_journal, valid_end)
+            if not any(r.startswith("record log: truncated") for r in repairs):
+                repairs.append(f"record log: dropped {torn}-byte torn tail")
+
+    for address, source_id, timestamp, payload_len in records:
+        source = state.sources.get(source_id)
         if source is None:
-            source = state.sources[record.source_id] = RecoveredSource(
-                source_id=record.source_id, first_timestamp=record.timestamp
+            source = state.sources[source_id] = RecoveredSource(
+                source_id=source_id, first_timestamp=timestamp
             )
         source.record_count += 1
-        source.last_timestamp = record.timestamp
-        source.last_addr = record.address
+        source.last_timestamp = timestamp
+        source.last_addr = address
+        source.bytes_ingested += payload_len
         state.total_records += 1
-        state.record_bytes = record.address + record.size
+    state.record_bytes = valid_end
 
+    # ------------------------------------------------------------------
+    # 4. Cross-check summaries against the (possibly truncated) record
+    #    log, then recount per summary range from the in-memory list.
+    # ------------------------------------------------------------------
     if chunk_storage is not None:
-        state.summaries = list(scan_persisted_summaries(chunk_storage))
-        covered = state.summaries[-1].end_addr if state.summaries else 0
-        state.unsummarized_records = sum(
-            1
-            for record in scan_persisted_records(record_storage)
-            if record.address >= covered
-        )
+        kept = len(summaries)
+        for i, summary in enumerate(summaries):
+            if summary.end_addr > valid_end:
+                kept = i
+                break
+        if kept < len(summaries):
+            if repair:
+                chunk_storage.truncate(summary_offsets[kept])
+                _trim_journal(chunk_journal, chunk_storage.size)
+                repairs.append(
+                    f"chunk index: dropped {len(summaries) - kept} summaries "
+                    f"past record-log end {valid_end}"
+                )
+                summaries = summaries[:kept]
+            elif verify:
+                bad = summaries[kept]
+                raise CorruptionError(
+                    f"summary for chunk {bad.chunk_id} covers up to address "
+                    f"{bad.end_addr} but the record log ends at {valid_end}",
+                    address=bad.end_addr,
+                )
+            else:
+                summaries = summaries[:kept]
+        state.summaries = summaries
+        state.covered_addr = summaries[-1].end_addr if summaries else 0
+        state.unsummarized_tail = [
+            (addr, sid, ts)
+            for addr, sid, ts, _len in records
+            if addr >= state.covered_addr
+        ]
+        state.unsummarized_records = len(state.unsummarized_tail)
         if verify:
-            _verify_summaries(record_storage, state.summaries)
+            _verify_summaries(records, summaries)
 
+    # ------------------------------------------------------------------
+    # 5. Timestamp-index cross-checks and interval phases.
+    # ------------------------------------------------------------------
     if timestamp_storage is not None:
-        state.timestamp_entries = list(scan_persisted_timestamps(timestamp_storage))
-        if verify and state.summaries:
+        kept_entries = len(ts_entries)
+        for i, (_ts, kind, _sid, addr) in enumerate(ts_entries):
+            if kind == KIND_RECORD and addr >= valid_end:
+                kept_entries = i
+                break
+        if kept_entries < len(ts_entries):
+            if repair:
+                timestamp_storage.truncate(kept_entries * _TS_ENTRY.size)
+                _trim_journal(timestamp_journal, timestamp_storage.size)
+                repairs.append(
+                    f"timestamp index: dropped {len(ts_entries) - kept_entries} "
+                    f"entries past record-log end {valid_end}"
+                )
+                ts_entries = ts_entries[:kept_entries]
+            elif verify:
+                _ts, _k, sid, addr = ts_entries[kept_entries]
+                raise CorruptionError(
+                    f"timestamp index RECORD entry for source {sid} points at "
+                    f"address {addr} but the record log ends at {valid_end}",
+                    address=addr,
+                )
+            else:
+                ts_entries = ts_entries[:kept_entries]
+        state.timestamp_entries = ts_entries
+        if chunk_storage is not None:
             chunk_events = sum(
-                1 for _, kind, _, _ in state.timestamp_entries if kind == KIND_CHUNK
+                1 for _, kind, _, _ in ts_entries if kind == KIND_CHUNK
             )
             # Every finalized summary wrote exactly one CHUNK event; the
             # timestamp log may trail by in-memory entries lost in a crash.
             if chunk_events > len(state.summaries):
-                raise ValueError(
-                    f"timestamp index records {chunk_events} chunk events but "
-                    f"only {len(state.summaries)} summaries were persisted"
-                )
+                if repair:
+                    seen = 0
+                    cut = len(ts_entries)
+                    for i, (_ts, kind, _sid, _addr) in enumerate(ts_entries):
+                        if kind == KIND_CHUNK:
+                            seen += 1
+                            if seen > len(state.summaries):
+                                cut = i
+                                break
+                    timestamp_storage.truncate(cut * _TS_ENTRY.size)
+                    _trim_journal(timestamp_journal, timestamp_storage.size)
+                    repairs.append(
+                        f"timestamp index: dropped {len(ts_entries) - cut} "
+                        f"entries (chunk events without summaries)"
+                    )
+                    ts_entries = ts_entries[:cut]
+                    state.timestamp_entries = ts_entries
+                elif verify:
+                    raise CorruptionError(
+                        f"timestamp index records {chunk_events} chunk events "
+                        f"but only {len(state.summaries)} summaries were "
+                        f"persisted"
+                    )
+        # Per-source sampling phase: records since the last RECORD entry.
+        last_entry_addr: Dict[int, int] = {}
+        for _ts, kind, sid, addr in ts_entries:
+            if kind == KIND_RECORD:
+                last_entry_addr[sid] = addr
+        since: Dict[int, int] = {}
+        for addr, sid, _ts, _len in records:
+            last = last_entry_addr.get(sid)
+            if last is not None and addr > last:
+                since[sid] = since.get(sid, 0) + 1
+        for sid in last_entry_addr:
+            since.setdefault(sid, 0)
+        state.records_since_ts_entry = since
+
     return state
 
 
-def _verify_summaries(record_storage: Storage, summaries: List[ChunkSummary]) -> None:
-    """Recount records per summary range and compare with summary claims."""
+def _verify_summaries(
+    records: List[Tuple[int, int, int, int]], summaries: List[ChunkSummary]
+) -> None:
+    """Recount records per summary range (from the already-scanned list)
+    and compare with summary claims."""
     counts: Dict[Tuple[int, int], int] = {}
     bounds = [(s.start_addr, s.end_addr) for s in summaries]
     i = 0
-    for record in scan_persisted_records(record_storage):
-        while i < len(bounds) and record.address >= bounds[i][1]:
+    for address, source_id, _ts, _len in records:
+        while i < len(bounds) and address >= bounds[i][1]:
             i += 1
         if i >= len(bounds):
             break
-        if record.address >= bounds[i][0]:
-            counts[(i, record.source_id)] = counts.get((i, record.source_id), 0) + 1
+        if address >= bounds[i][0]:
+            counts[(i, source_id)] = counts.get((i, source_id), 0) + 1
     for pos, summary in enumerate(summaries):
         for source_id, info in summary.sources.items():
             actual = counts.get((pos, source_id), 0)
             if actual != info.record_count:
-                raise ValueError(
+                raise CorruptionError(
                     f"summary for chunk {summary.chunk_id} claims "
                     f"{info.record_count} records of source {source_id}, "
-                    f"record log holds {actual}"
+                    f"record log holds {actual}",
+                    address=summary.start_addr,
                 )
+
+
+def fsck(data_dir: str, repair: bool = False) -> RecoveredState:
+    """Offline integrity check (and optional repair) of a data directory.
+
+    Opens the three log files (and their ``.crc`` frame journals, when
+    present) under ``data_dir`` and runs :func:`recover` with full
+    verification.  This is the implementation behind the CLI's ``fsck``
+    and ``recover`` subcommands.
+    """
+    cfg = LoomConfig(data_dir=data_dir)
+    record_path = cfg.record_log_path()
+    if record_path is None or not os.path.exists(record_path):
+        raise LoomError(f"no record log at {record_path!r}")
+
+    def _open(path: Optional[str]) -> Optional[Storage]:
+        if path is not None and os.path.exists(path):
+            return FileStorage(path)
+        return None
+
+    storages = [
+        FileStorage(record_path),
+        _open(cfg.chunk_index_path()),
+        _open(cfg.timestamp_index_path()),
+        _open(cfg.record_log_journal_path()),
+        _open(cfg.chunk_index_journal_path()),
+        _open(cfg.timestamp_index_journal_path()),
+    ]
+    try:
+        return recover(
+            storages[0],
+            chunk_storage=storages[1],
+            timestamp_storage=storages[2],
+            verify=True,
+            repair=repair,
+            record_journal=storages[3],
+            chunk_journal=storages[4],
+            timestamp_journal=storages[5],
+        )
+    finally:
+        for storage in storages:
+            if storage is not None:
+                storage.close()

@@ -49,6 +49,16 @@ class Storage:
     def sync(self) -> None:
         """Force durability of all appended bytes (no-op where meaningless)."""
 
+    def truncate(self, size: int) -> None:
+        """Discard all bytes at addresses >= ``size``.
+
+        Used by crash repair (drop a torn or corrupt tail so the log is a
+        clean prefix again) and by the flush retry path (undo a torn block
+        write before re-appending it).  ``size`` must not exceed the
+        current :attr:`size`.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release resources; subsequent operations raise :class:`ClosedError`."""
 
@@ -91,6 +101,16 @@ class MemoryStorage(Storage):
     @property
     def size(self) -> int:
         return len(self._buf)
+
+    def truncate(self, size: int) -> None:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        with self._lock:
+            if size < 0 or size > len(self._buf):
+                raise AddressError(
+                    f"truncate to {size} outside [0, {len(self._buf)}]"
+                )
+            del self._buf[size:]
 
     def close(self) -> None:
         self._closed = True
@@ -150,6 +170,18 @@ class FileStorage(Storage):
         if self._closed:
             raise ClosedError("storage is closed")
         os.fsync(self._write_f.fileno())
+
+    def truncate(self, size: int) -> None:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        with self._lock:
+            if size < 0 or size > self._size:
+                raise AddressError(f"truncate to {size} outside [0, {self._size}]")
+            self._write_f.flush()
+            # The append handle is O_APPEND, so later writes land at the
+            # new end of file regardless of any cached offset.
+            os.ftruncate(self._write_f.fileno(), size)
+            self._size = size
 
     def close(self) -> None:
         if not self._closed:

@@ -59,11 +59,19 @@ class TimestampIndex:
         block_size: int = 1 << 16,
         record_interval: int = DEFAULT_RECORD_INTERVAL,
         threaded_flush: bool = False,
+        frame_journal: Optional[Storage] = None,
+        flush_retries: int = 3,
+        flush_backoff: float = 0.001,
     ) -> None:
         if record_interval < 1:
             raise ValueError("record_interval must be >= 1")
         self.log = HybridLog(
-            storage=storage, block_size=block_size, threaded_flush=threaded_flush
+            storage=storage,
+            block_size=block_size,
+            threaded_flush=threaded_flush,
+            frame_journal=frame_journal,
+            flush_retries=flush_retries,
+            flush_backoff=flush_backoff,
         )
         self.record_interval = record_interval
         self._per_source: Dict[int, _SourceEntries] = {}
@@ -220,6 +228,33 @@ class TimestampIndex:
     # ------------------------------------------------------------------
     # Recovery / verification
     # ------------------------------------------------------------------
+    def restore(
+        self,
+        entries: "List[Tuple[int, int, int, int]]",
+        since_last_entry: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Rebuild the in-memory mirror from already-persisted entries.
+
+        Used by warm restart: the serialized entries are already in the
+        underlying log, so this only repopulates the bisectable arrays.
+        ``since_last_entry`` restores each source's position within the
+        sampling interval so entry spacing is preserved across a restart.
+        """
+        for timestamp, kind, source_id, addr in entries:
+            if kind == KIND_RECORD:
+                per = self._per_source.get(source_id)
+                if per is None:
+                    per = self._per_source[source_id] = _SourceEntries()
+                per.timestamps.append(timestamp)
+                per.addresses.append(addr)
+            elif kind == KIND_CHUNK:
+                # CHUNK entries carry the chunk id in the address field.
+                self._chunk_timestamps.append(timestamp)
+                self._chunk_ids.append(addr)
+        self.entry_count = len(entries)
+        if since_last_entry is not None:
+            self._since_last_entry = dict(since_last_entry)
+
     def iter_persisted(self) -> Iterator[Tuple[int, int, int, int]]:
         """Decode ``(timestamp, kind, source_id, addr)`` entries from the log."""
         address = 0

@@ -16,7 +16,15 @@ are relative to *now*, i.e. ``last 10s``):
 ``pct <source> <index> <p> last <dur>``                exact percentile
 ``scan <source> last <dur> [limit N]``                 newest-first raw scan
 ``where <source> <index> <lo>..<hi> last <dur>``       indexed range scan
+``health``                                             flush-path health
+``fsck <data_dir>``                                    offline integrity check
+``recover <data_dir>``                                 fsck + repair torn tails
 =====================================================  ======================
+
+``fsck`` and ``recover`` operate on a persisted data directory (not the
+live daemon): ``fsck`` is read-only and reports what a warm restart would
+recover; ``recover`` additionally truncates torn or corrupt tails so the
+directory is clean for :meth:`~repro.core.loom.Loom.open`.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..core.errors import LoomError
+from ..core.recovery import fsck
 from .monitor import MonitoringDaemon
 
 _DURATION = re.compile(r"^(\d+(?:\.\d+)?)(ns|us|ms|s|m|h)$")
@@ -80,6 +89,9 @@ class LoomCli:
             "pct": self._pct,
             "scan": self._scan,
             "where": self._where,
+            "health": self._health,
+            "fsck": self._fsck,
+            "recover": self._recover,
         }.get(verb)
         if handler is None:
             raise CliError(f"unknown command {verb!r}")
@@ -165,6 +177,33 @@ class LoomCli:
         ]
         suffix = "" if len(records) <= 20 else f"\n... {len(records) - 20} more"
         return CliResult("scan", "\n".join(lines) + suffix, records)
+
+    def _health(self, tokens: List[str]) -> CliResult:
+        health = self.daemon.health()
+        return CliResult("health", health.value, health)
+
+    def _fsck(self, tokens: List[str]) -> CliResult:
+        if len(tokens) < 2:
+            raise CliError("usage: fsck <data_dir>")
+        state = fsck(tokens[1], repair=False)
+        text = (
+            f"ok: {state.total_records:,} records "
+            f"({len(state.sources)} sources), "
+            f"{len(state.summaries)} chunk summaries, "
+            f"{len(state.timestamp_entries)} timestamp entries"
+        )
+        return CliResult("fsck", text, state)
+
+    def _recover(self, tokens: List[str]) -> CliResult:
+        if len(tokens) < 2:
+            raise CliError("usage: recover <data_dir>")
+        state = fsck(tokens[1], repair=True)
+        lines = list(state.repairs) or ["no repairs needed"]
+        lines.append(
+            f"recovered {state.total_records:,} records "
+            f"({len(state.sources)} sources)"
+        )
+        return CliResult("recover", "\n".join(lines), state)
 
     def _where(self, tokens: List[str]) -> CliResult:
         if len(tokens) < 6:

@@ -52,6 +52,45 @@ class MonitoringDaemon:
         self._by_id: Dict[int, SourceHandle] = {}
         self._next_source_id = 1
 
+    @classmethod
+    def reopen(
+        cls,
+        config: Optional[LoomConfig] = None,
+        clock: Optional[Clock] = None,
+        repair: bool = True,
+        sources: Optional[Dict[str, int]] = None,
+    ) -> "MonitoringDaemon":
+        """Warm-restart a daemon over a persisted data directory.
+
+        Opens Loom with :meth:`Loom.open` (rebuilding chains, counts, and
+        index mirrors from the persisted logs) and re-enables the given
+        ``name -> source_id`` mapping — source *names* live in the daemon,
+        not in Loom's logs, so the daemon supplies them on restart, the
+        same way it re-defines index UDFs.  Recovered sources not named in
+        ``sources`` stay closed; their data remains queryable by id via
+        ``loom``.
+        """
+        daemon = cls.__new__(cls)
+        daemon.clock = clock if clock is not None else VirtualClock()
+        daemon.loom = Loom.open(config=config, clock=daemon.clock, repair=repair)
+        daemon._by_name = {}
+        daemon._by_id = {}
+        recovered = daemon.loom.record_log.source_ids()
+        daemon._next_source_id = max(recovered, default=0) + 1
+        if sources:
+            for name, source_id in sources.items():
+                handle = daemon.enable_source(name, source_id)
+                handle.records_received = daemon.loom.source_record_count(source_id)
+        return daemon
+
+    def health(self):
+        """Aggregate flush-path health of the underlying Loom instance."""
+        return self.loom.health()
+
+    def recovered_source_ids(self) -> List[int]:
+        """Source ids known to Loom (including recovered, unnamed ones)."""
+        return self.loom.record_log.source_ids()
+
     # ------------------------------------------------------------------
     # Source management
     # ------------------------------------------------------------------

@@ -14,6 +14,8 @@ from repro.core.errors import LoomError, StorageError
 from repro.core.hybridlog import HybridLog
 from repro.core.storage import MemoryStorage, Storage
 
+pytestmark = pytest.mark.faults
+
 
 class FailingStorage(Storage):
     """MemoryStorage that starts failing after ``fail_after`` bytes."""

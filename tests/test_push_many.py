@@ -238,7 +238,7 @@ class TestZeroCopyScans:
         assert not hasattr(loaded, "records_decoded")
 
     def test_inline_read_size_is_configurable(self, clock):
-        config = LoomConfig(chunk_size=512, inline_read_size=24)
+        config = LoomConfig(chunk_size=512, inline_read_size=28)
         log = RecordLog(config=config, clock=clock)
         log.define_source(1)
         address = log.push(1, bytes(range(200)))  # payload exceeds inline read

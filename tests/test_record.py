@@ -4,19 +4,24 @@ import pytest
 
 from repro.core.hybridlog import NULL_ADDRESS
 from repro.core.record import (
+    BODY_SIZE,
     HEADER_SIZE,
     Record,
     decode_header,
+    decode_header_crc,
     encode_header,
     encode_record,
+    record_crc,
     record_size,
+    verify_record_bytes,
 )
 
 
 class TestEncoding:
-    def test_header_size_is_24(self):
-        """The paper's 48-byte latency records are 24 B header + 24 B payload."""
-        assert HEADER_SIZE == 24
+    def test_header_size_is_28(self):
+        """24-byte body (the paper's header) plus the 4-byte CRC extension."""
+        assert BODY_SIZE == 24
+        assert HEADER_SIZE == 28
 
     def test_roundtrip(self):
         framed = encode_record(7, 123_456, 42, b"payload")
@@ -32,12 +37,23 @@ class TestEncoding:
 
     def test_encode_header_matches_encode_record(self):
         assert (
-            encode_header(3, 9, 1, 4) == encode_record(3, 9, 1, b"abcd")[:HEADER_SIZE]
+            encode_header(3, 9, 1, b"abcd")
+            == encode_record(3, 9, 1, b"abcd")[:HEADER_SIZE]
         )
 
     def test_record_size_helper(self):
-        assert record_size(24) == 48
+        assert record_size(24) == 24 + HEADER_SIZE
         assert record_size(0) == HEADER_SIZE
+
+    def test_crc_covers_header_body_and_payload(self):
+        framed = bytearray(encode_record(7, 123, 42, b"payload"))
+        assert verify_record_bytes(framed, 0, 7)
+        assert decode_header_crc(framed) == record_crc(framed[:BODY_SIZE], b"payload")
+        framed[HEADER_SIZE] ^= 0x01  # flip one payload bit
+        assert not verify_record_bytes(framed, 0, 7)
+        framed[HEADER_SIZE] ^= 0x01
+        framed[4] ^= 0x01  # flip one timestamp bit
+        assert not verify_record_bytes(framed, 0, 7)
 
 
 class TestRecordObject:

@@ -14,6 +14,8 @@ from repro.core.storage import FileStorage, MemoryStorage
 
 from conftest import payload_value, value_payload
 
+pytestmark = pytest.mark.faults
+
 
 def build_instance(tmp_path, n_records=500, close=True):
     config = LoomConfig(
