@@ -1,0 +1,563 @@
+"""Tests for the loomlint concurrency-invariant linter.
+
+Each test builds a tiny synthetic ``repro/core`` package in a temp
+directory and runs the linter over it, so rule behaviour is pinned
+independently of the real source tree.  The final tests run loomlint
+over the actual repo ``src/`` and assert it is clean modulo the
+checked-in baseline — the same gate CI applies.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+# The tools package lives at the repo root (not under src/); tests run
+# from a checkout, so resolve it relative to this file.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from tools.loomlint import run  # noqa: E402
+from tools.loomlint.config import RULES  # noqa: E402
+
+
+def make_core(tmp_path, **modules):
+    """Create repro/core/<name>.py files and return the package root."""
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (core / "__init__.py").write_text("")
+    for name, source in modules.items():
+        (core / (name + ".py")).write_text(source)
+    return tmp_path / "repro"
+
+
+def lint(tmp_path, **modules):
+    root = make_core(tmp_path, **modules)
+    result = run([str(root)], root=str(tmp_path), baseline_path=None)
+    return result
+
+
+def codes(result):
+    return sorted(v.rule for v in result.violations)
+
+
+# ----------------------------------------------------------------------
+# LOOM101: reader-path blocking
+# ----------------------------------------------------------------------
+def test_lock_on_reader_path_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        snapshot="""
+class Snapshot:
+    def capture(self):
+        "Linearization point."
+        with self._lock:
+            return 1
+""",
+    )
+    assert codes(result) == ["LOOM101"]
+    (v,) = result.violations
+    assert "lock" in v.message
+    assert v.symbol == "repro.core.snapshot.Snapshot.capture"
+
+
+def test_blocking_reached_through_typed_attribute(tmp_path):
+    """self._storage.sync() resolves via ATTR_TYPES to Storage.sync."""
+    result = lint(
+        tmp_path,
+        storage="""
+import os
+
+
+class Storage:
+    def sync(self):
+        os.fsync(1)
+""",
+        snapshot="""
+class Snapshot:
+    def capture(self):
+        "Linearization point."
+        self._storage.sync()
+""",
+    )
+    assert codes(result) == ["LOOM101"]
+    (v,) = result.violations
+    assert "os.fsync" in v.message
+    assert v.symbol == "repro.core.storage.Storage.sync"
+    assert "reachable via" in v.message
+
+
+def test_sleep_on_writer_path_not_flagged(tmp_path):
+    """time.sleep is fine off the reader closure (flush retry backoff)."""
+    result = lint(
+        tmp_path,
+        writer="""
+import time
+
+
+class HybridLog:
+    def _flush_with_retry(self):
+        time.sleep(0.01)
+""",
+    )
+    assert result.violations == []
+
+
+def test_subclass_override_included_in_closure(tmp_path):
+    """A Storage subclass's blocking override is reachable via the base."""
+    result = lint(
+        tmp_path,
+        storage="""
+import os
+
+
+class Storage:
+    def sync(self):
+        pass
+
+
+class FileStorage(Storage):
+    def sync(self):
+        os.fsync(1)
+""",
+        snapshot="""
+class Snapshot:
+    def capture(self):
+        "Linearization point."
+        self._storage.sync()
+""",
+    )
+    assert codes(result) == ["LOOM101"]
+    assert result.violations[0].symbol == "repro.core.storage.FileStorage.sync"
+
+
+# ----------------------------------------------------------------------
+# LOOM102: version parity
+# ----------------------------------------------------------------------
+def test_unbalanced_version_bump_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def half_recycle(self):
+        self._version += 1
+        self.filled = 0
+""",
+    )
+    assert codes(result) == ["LOOM102"]
+
+
+def test_return_between_bumps_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def recycle(self, fast):
+        self._version += 1
+        if fast:
+            return
+        self._version += 1
+""",
+    )
+    assert codes(result) == ["LOOM102"]
+    assert "return/raise between version bumps" in result.violations[0].message
+
+
+def test_direct_version_store_flagged_outside_init(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def __init__(self):
+        self._version = 0
+
+    def reset(self):
+        self._version = 0
+""",
+    )
+    assert codes(result) == ["LOOM102"]
+    assert result.violations[0].symbol == "repro.core.blk.Block.reset"
+
+
+def test_balanced_bumps_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def recycle(self):
+        self._version += 1
+        self.filled = 0
+        self._version += 1
+""",
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# LOOM103: publish order
+# ----------------------------------------------------------------------
+def test_payload_store_after_publish_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        rlog="""
+class RecordLog:
+    def push(self, summary):
+        self._watermark = 10
+        self.chunk_index.append(summary)
+""",
+    )
+    assert codes(result) == ["LOOM103"]
+
+
+def test_payload_before_publish_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        rlog="""
+class RecordLog:
+    def push(self, summary):
+        self.chunk_index.append(summary)
+        self._watermark = 10
+""",
+    )
+    assert result.violations == []
+
+
+def test_list_append_not_a_payload_store(tmp_path):
+    """Plain list.append after publish is not an index mutation."""
+    result = lint(
+        tmp_path,
+        rlog="""
+class RecordLog:
+    def push(self, out):
+        self._watermark = 10
+        out.append(1)
+""",
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# LOOM104: nondeterminism in core
+# ----------------------------------------------------------------------
+def test_wall_clock_in_core_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        rlog="""
+import time
+
+
+def now():
+    return time.time()
+""",
+    )
+    assert codes(result) == ["LOOM104"]
+
+
+def test_random_in_core_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        summary="""
+import random
+
+
+def jitter():
+    return random.random()
+""",
+    )
+    assert codes(result) == ["LOOM104"]
+
+
+def test_clock_module_exempt(tmp_path):
+    result = lint(
+        tmp_path,
+        clock="""
+import time
+
+
+class Clock:
+    def now(self):
+        return time.time()
+""",
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# LOOM105: exception hygiene
+# ----------------------------------------------------------------------
+def test_bare_except_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        summary="""
+def f():
+    try:
+        pass
+    except:
+        pass
+""",
+    )
+    assert codes(result) == ["LOOM105"]
+
+
+def test_swallowed_storage_error_in_flush_module_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        recovery="""
+def flush():
+    try:
+        pass
+    except StorageError:
+        pass
+""",
+    )
+    assert codes(result) == ["LOOM105"]
+    assert "discards the error" in result.violations[0].message
+
+
+def test_handler_that_reraises_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        recovery="""
+def flush():
+    try:
+        pass
+    except StorageError:
+        raise
+""",
+    )
+    assert result.violations == []
+
+
+def test_handler_that_uses_error_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        recovery="""
+def flush(self):
+    try:
+        pass
+    except StorageError as exc:
+        self.park(exc)
+""",
+    )
+    assert result.violations == []
+
+
+def test_swallow_outside_flush_modules_allowed(tmp_path):
+    result = lint(
+        tmp_path,
+        summary="""
+def tidy():
+    try:
+        pass
+    except ValueError:
+        pass
+""",
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# LOOM106: contract docstrings
+# ----------------------------------------------------------------------
+def test_contract_docstring_missing_keyword_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        block="""
+class Block:
+    def try_copy(self, address, length):
+        "Copy bytes."
+
+    def read_range(self, address, length):
+        "Seqlock-validated read; raises SnapshotRetry when torn."
+
+    def recycle(self):
+        "Bump version odd, clear, bump even."
+        self._version += 1
+        self._version += 1
+""",
+        hybridlog="""
+class HybridLog:
+    def read(self, address, length):
+        "Seqlock fast path."
+
+    def publish(self, target):
+        "Advance the watermark."
+""",
+        record_log="""
+class RecordLog:
+    def _publish(self):
+        "Publication order: log, chunk index, timestamp index, head."
+""",
+        snapshot="""
+class Snapshot:
+    @classmethod
+    def capture(cls, record_log):
+        "Linearization point for queries."
+""",
+    )
+    # Only try_copy lacks its keyword ("seqlock").
+    assert codes(result) == ["LOOM106"]
+    assert result.violations[0].symbol == "repro.core.block.Block.try_copy"
+
+
+def test_contract_function_deleted_flagged(tmp_path):
+    """Analyzing block.py without read_range reports the missing contract."""
+    result = lint(
+        tmp_path,
+        block="""
+class Block:
+    def try_copy(self, address, length):
+        "Seqlock-validated copy."
+
+    def recycle(self):
+        "Version goes odd, then even."
+        self._version += 1
+        self._version += 1
+""",
+    )
+    missing = [v for v in result.violations if "is missing" in v.message]
+    assert len(missing) == 1
+    assert missing[0].symbol == "repro.core.block.Block.read_range"
+
+
+# ----------------------------------------------------------------------
+# Suppressions and baseline
+# ----------------------------------------------------------------------
+def test_line_suppression_by_code_and_slug(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def a(self):
+        self._version += 1  # loomlint: disable=LOOM102
+
+    def b(self):
+        self._version += 1  # loomlint: disable=version-parity
+""",
+    )
+    assert result.violations == []
+    assert len(result.suppressed) == 2
+
+
+def test_def_line_suppression_covers_function(tmp_path):
+    result = lint(
+        tmp_path,
+        snapshot="""
+class Snapshot:
+    def capture(self):  # loomlint: disable=LOOM101
+        "Linearization point."
+        with self._lock:
+            return 1
+""",
+    )
+    assert result.violations == []
+    assert len(result.suppressed) == 1
+
+
+def test_suppression_does_not_leak_to_other_rules(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def a(self):
+        self._version += 1  # loomlint: disable=LOOM101
+""",
+    )
+    assert codes(result) == ["LOOM102"]
+
+
+def test_baseline_filters_known_violations(tmp_path):
+    root = make_core(
+        tmp_path,
+        blk="""
+class Block:
+    def a(self):
+        self._version += 1
+""",
+    )
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(
+            [
+                {
+                    "rule": "LOOM102",
+                    "path": "repro/core/blk.py",
+                    "symbol": "repro.core.blk.Block.a",
+                }
+            ]
+        )
+    )
+    result = run([str(root)], root=str(tmp_path), baseline_path=str(baseline))
+    assert result.violations == []
+    assert len(result.baselined) == 1
+
+
+# ----------------------------------------------------------------------
+# The real tree and the CLI
+# ----------------------------------------------------------------------
+def test_repo_src_is_clean_modulo_baseline():
+    baseline = os.path.join(_REPO_ROOT, "tools", "loomlint", "baseline.json")
+    result = run(
+        [os.path.join(_REPO_ROOT, "src")],
+        root=_REPO_ROOT,
+        baseline_path=baseline,
+    )
+    rendered = "\n".join(v.render() for v in result.violations)
+    assert result.clean, f"new loomlint violations:\n{rendered}"
+
+
+def test_cli_exit_codes(tmp_path):
+    make_core(
+        tmp_path,
+        blk="""
+class Block:
+    def a(self):
+        self._version += 1
+""",
+    )
+    env = dict(os.environ, PYTHONPATH=_REPO_ROOT)
+    bad = subprocess.run(
+        [sys.executable, "-m", "tools.loomlint", "repro/", "--no-baseline"],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert bad.returncode == 1
+    assert "LOOM102" in bad.stdout
+
+    clean = subprocess.run(
+        [sys.executable, "-m", "tools.loomlint", "repro/core/__init__.py"],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert clean.returncode == 0, clean.stderr
+
+    missing = subprocess.run(
+        [sys.executable, "-m", "tools.loomlint", "no/such/dir"],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert missing.returncode == 2
+
+
+def test_list_rules_covers_registry(tmp_path):
+    env = dict(os.environ, PYTHONPATH=_REPO_ROOT)
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.loomlint", "--list-rules"],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    for code in RULES:
+        assert code in proc.stdout

@@ -1,0 +1,6 @@
+"""Repository tooling (static analysis, CI helpers).
+
+Not part of the installable ``repro`` package: these modules run from a
+repository checkout (``python -m tools.loomlint src/``) and may assume the
+source layout of this repo.
+"""

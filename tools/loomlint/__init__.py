@@ -1,0 +1,10 @@
+"""loomlint: Loom-specific concurrency invariant linter.
+
+Run as ``python -m tools.loomlint src/`` from the repository root.
+See :mod:`tools.loomlint.config` for the rule registry and
+:mod:`tools.loomlint.linter` for the analysis machinery.
+"""
+
+from .linter import LintResult, Violation, run
+
+__all__ = ["LintResult", "Violation", "run"]

@@ -1,0 +1,89 @@
+"""CLI entry point: ``python -m tools.loomlint [paths...]``.
+
+Exit status: 0 when clean (every violation suppressed or baselined),
+1 when new violations exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .config import RULES
+from .linter import run
+
+_DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.loomlint",
+        description="Loom concurrency-invariant linter (AST rules LOOM101-106).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/"],
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=_DEFAULT_BASELINE,
+        help="baseline JSON of accepted pre-existing violations",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every violation",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show suppressed and baselined violations",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, (slug, description) in sorted(RULES.items()):
+            print(f"{code} [{slug}]")
+            print(f"    {description}")
+        return 0
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"loomlint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline_path = None if args.no_baseline else args.baseline
+    result = run(args.paths, root=os.getcwd(), baseline_path=baseline_path)
+
+    for violation in result.violations:
+        print(violation.render())
+    if args.verbose:
+        for violation in result.baselined:
+            print(f"[baselined] {violation.render()}")
+        for violation in result.suppressed:
+            print(f"[suppressed] {violation.render()}")
+
+    n = len(result.violations)
+    if n:
+        print(
+            f"loomlint: {n} violation(s) "
+            f"({len(result.baselined)} baselined, {len(result.suppressed)} suppressed)",
+            file=sys.stderr,
+        )
+        return 1
+    summary = f"loomlint: clean ({len(result.baselined)} baselined, {len(result.suppressed)} suppressed)"
+    print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""Loom-specific knowledge the lint rules consult.
+
+Everything here encodes an invariant stated in the paper (sections cited
+per constant) or a structural fact about this codebase (which attribute
+names hold which classes).  The linter itself (:mod:`tools.loomlint.linter`)
+is generic AST machinery; this module is the part a Loom maintainer edits
+when the architecture grows.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Rule registry: code -> (slug, one-line description).
+# Both the code and the slug are accepted in suppression comments:
+#     # loomlint: disable=LOOM101
+#     # loomlint: disable=reader-blocking
+# ----------------------------------------------------------------------
+RULES = {
+    "LOOM101": (
+        "reader-blocking",
+        "no blocking primitive (lock, sleep, fsync, queue, IO) may be "
+        "reachable from a reader/snapshot path (paper sections 4.4-4.5: "
+        "queries never coordinate with ingest)",
+    ),
+    "LOOM102": (
+        "version-parity",
+        "seqlock version bumps (`self._version += 1`) must appear in "
+        "balanced odd/even pairs within one function, with no return "
+        "between them (section 5.5: odd while mutating, even when stable)",
+    ),
+    "LOOM103": (
+        "publish-order",
+        "watermark/publication stores must come after all payload stores "
+        "in a function (section 5.4: readers may only see index entries "
+        "for bytes already below the record log's watermark)",
+    ),
+    "LOOM104": (
+        "nondeterminism",
+        "no wall-clock or randomness source in repro.core outside "
+        "clock.py (section 5.2: all timestamps flow through the Clock "
+        "abstraction so replay and recovery stay deterministic)",
+    ),
+    "LOOM105": (
+        "exception-hygiene",
+        "no bare `except`, and no silently swallowed StorageError/"
+        "CorruptionError in flush or recovery code (a dropped flush error "
+        "would un-park the FAILED health state and lose data silently)",
+    ),
+    "LOOM106": (
+        "seqlock-docstring",
+        "functions implementing the seqlock/watermark contract must keep "
+        "a docstring naming the contract (the convention is the spec; "
+        "losing the docstring is how the invariant regresses)",
+    ),
+}
+
+# ----------------------------------------------------------------------
+# LOOM101: reader-path roots.
+#
+# Functions any query thread may execute concurrently with the single
+# writer.  Reachability closure from these roots must contain no blocking
+# primitive.  ``*`` matches every method of a class.
+# ----------------------------------------------------------------------
+READER_ROOTS = (
+    "repro.core.block.Block.try_copy",
+    "repro.core.block.Block.read_range",
+    "repro.core.block.Block.version",
+    "repro.core.hybridlog.HybridLog.read",
+    "repro.core.hybridlog.HybridLog.read_upto",
+    "repro.core.hybridlog.HybridLog._copy_from_blocks",
+    "repro.core.snapshot.Snapshot.*",
+    "repro.core.record_log.RecordLog.read_record",
+    "repro.core.record_log.RecordLog.iter_records_between",
+    "repro.core.record_log.RecordLog.active_region_start",
+    "repro.core.chunk_index.ChunkIndex.summaries_in_time_range",
+    "repro.core.chunk_index.ChunkIndex.summary_for_chunk",
+    "repro.core.chunk_index.ChunkIndex.get",
+    "repro.core.chunk_index.ChunkIndex.last",
+    "repro.core.timestamp_index.TimestampIndex.first_record_after",
+    "repro.core.timestamp_index.TimestampIndex.last_record_before",
+    "repro.core.timestamp_index.TimestampIndex.chunk_id_window",
+    "repro.core.operators.raw_scan",
+    "repro.core.operators.indexed_scan",
+    "repro.core.operators.indexed_aggregate",
+    "repro.core.operators.bin_histogram",
+)
+
+# Attribute name -> class name(s): how the call-graph builder resolves
+# ``something.attr.method()`` when ``attr`` is one of these well-known
+# component attributes.  Subclasses of the named class are included
+# automatically (e.g. Storage covers FileStorage / MemoryStorage /
+# FaultInjectingStorage).
+ATTR_TYPES = {
+    "_storage": ("Storage",),
+    "storage": ("Storage",),
+    "_journal": ("Storage",),
+    "journal": ("Storage",),
+    "_inner": ("Storage",),
+    "inner": ("Storage",),
+    "log": ("HybridLog",),
+    "record_log": ("RecordLog",),
+    "_record_log": ("RecordLog",),
+    "chunk_index": ("ChunkIndex",),
+    "timestamp_index": ("TimestampIndex",),
+    "stats": ("LogStats", "QueryStats"),
+    "clock": ("Clock",),
+    "snapshot": ("Snapshot",),
+    "snap": ("Snapshot",),
+    "_blocks": ("Block",),
+    "block": ("Block",),
+}
+
+# Local variable names resolved the same way (a deliberately tiny list:
+# only names whose meaning is unambiguous across the codebase).
+LOCAL_TYPES = {
+    "block": ("Block",),
+    "summary": ("ChunkSummary",),
+    "record": ("Record",),
+}
+
+# Method names too generic to resolve by name match against *arbitrary*
+# classes; they resolve only through the typed maps above.  (``append`` on
+# a bare local is a list append, not ChunkIndex.append.)
+GENERIC_METHOD_NAMES = frozenset(
+    {
+        "append",
+        "get",
+        "read",
+        "write",
+        "close",
+        "update",
+        "add",
+        "pop",
+        "clear",
+        "keys",
+        "values",
+        "items",
+        "set",
+        "sort",
+        "extend",
+        "copy",
+        "encode",
+        "decode",
+        "restore",
+        "size",
+        "sync",
+    }
+)
+
+# ----------------------------------------------------------------------
+# LOOM103: publish-order vocabulary.
+#
+# A *publish event* makes data visible to readers; a *payload store*
+# appends or mutates the data/index bytes being published.  Within one
+# function, every payload store must precede every publish event.
+# ----------------------------------------------------------------------
+PUBLISH_CALL_NAMES = frozenset({"publish", "_publish"})
+PUBLISH_STORE_ATTRS = frozenset({"_watermark", "published_head"})
+
+PAYLOAD_CALL_NAMES = frozenset(
+    {
+        "append",
+        "append_many",
+        "write",
+        "note_chunk",
+        "note_records",
+        "maybe_note_record",
+        "add_record",
+        "add_records",
+        "add_indexed_value",
+        "add_indexed_values",
+    }
+)
+# Receivers through which the payload calls above count as data stores
+# (filters out list.append and friends).
+PAYLOAD_RECEIVER_ATTRS = frozenset(
+    {
+        "log",
+        "chunk_index",
+        "timestamp_index",
+        "_storage",
+        "storage",
+        "_journal",
+        "_active_summary",
+        "summary",
+        "self",
+    }
+)
+PAYLOAD_STORE_ATTRS = frozenset({"last_addr", "_tail", "filled"})
+
+# ----------------------------------------------------------------------
+# LOOM104: nondeterminism sources banned from repro.core outside clock.py.
+# ----------------------------------------------------------------------
+NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+NONDETERMINISTIC_MODULES = frozenset({"random", "secrets"})
+CLOCK_EXEMPT_SUFFIXES = ("repro/core/clock.py",)
+CORE_PATH_FRAGMENT = "repro/core/"
+
+# ----------------------------------------------------------------------
+# LOOM105: flush/recovery-critical modules (silently swallowing a
+# StorageError here converts data loss into silence).
+# ----------------------------------------------------------------------
+FLUSH_CRITICAL_MODULES = frozenset(
+    {
+        "repro.core.hybridlog",
+        "repro.core.storage",
+        "repro.core.recovery",
+        "repro.core.record_log",
+        "repro.core.loom",
+        "repro.core.block",
+        "repro.core.faults",
+    }
+)
+SWALLOWABLE_EXCEPTIONS = frozenset(
+    {
+        "StorageError",
+        "CorruptionError",
+        "LoomError",
+        "OSError",
+        "IOError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+# ----------------------------------------------------------------------
+# LOOM106: contract functions and the keyword(s) at least one of which
+# their docstring must mention (case-insensitive).  A missing function is
+# itself a violation: renaming a contract function away silently drops
+# its documented obligation.
+# ----------------------------------------------------------------------
+CONTRACT_DOCSTRINGS = {
+    "repro.core.block.Block.try_copy": ("seqlock",),
+    "repro.core.block.Block.read_range": ("seqlock", "SnapshotRetry"),
+    "repro.core.block.Block.recycle": ("version",),
+    "repro.core.hybridlog.HybridLog.read": ("seqlock",),
+    "repro.core.hybridlog.HybridLog.publish": ("watermark",),
+    "repro.core.record_log.RecordLog._publish": ("order",),
+    "repro.core.snapshot.Snapshot.capture": ("linearization",),
+}

@@ -1,0 +1,845 @@
+"""loomlint: AST lint rules for Loom's concurrency invariants.
+
+Plain-``ast`` implementation, no plugin framework.  The linter parses
+every Python file it is pointed at, builds a project-wide index of
+classes and functions, approximates a call graph (good enough for this
+codebase's idioms: ``self.method()``, module functions, and calls through
+well-known component attributes such as ``self.log`` / ``self._storage``
+— see :mod:`tools.loomlint.config`), and then runs six Loom-specific
+rules over it.  Each rule enforces an invariant from the paper; the rule
+docstrings in :data:`tools.loomlint.config.RULES` cite the sections.
+
+The analysis is deliberately conservative and *approximate*: it resolves
+calls by structure and by the typed attribute map, never by whole-program
+type inference.  Anything it cannot resolve it ignores, so false
+positives stay rare; the cost is that exotic indirection (callables in
+dicts, dynamic dispatch through untyped attributes) is invisible to it.
+That trade-off suits an invariant checker that runs on every CI push.
+
+Suppression: append ``# loomlint: disable=LOOM101`` (or the rule slug,
+``# loomlint: disable=reader-blocking``) to the offending line, or to the
+``def`` line to suppress for a whole function.  Pre-existing accepted
+violations live in ``tools/loomlint/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .config import (
+    ATTR_TYPES,
+    CLOCK_EXEMPT_SUFFIXES,
+    CONTRACT_DOCSTRINGS,
+    CORE_PATH_FRAGMENT,
+    FLUSH_CRITICAL_MODULES,
+    GENERIC_METHOD_NAMES,
+    LOCAL_TYPES,
+    NONDETERMINISTIC_CALLS,
+    NONDETERMINISTIC_MODULES,
+    PAYLOAD_CALL_NAMES,
+    PAYLOAD_RECEIVER_ATTRS,
+    PAYLOAD_STORE_ATTRS,
+    PUBLISH_CALL_NAMES,
+    PUBLISH_STORE_ATTRS,
+    READER_ROOTS,
+    RULES,
+    SWALLOWABLE_EXCEPTIONS,
+)
+
+_SLUG_TO_CODE = {slug: code for code, (slug, _) in RULES.items()}
+_SUPPRESS_RE = re.compile(r"#\s*loomlint:\s*disable=([A-Za-z0-9_,\-]+)")
+
+#: Direct calls that block or touch durable IO (reader paths must not).
+_BLOCKING_DOTTED = frozenset({"time.sleep", "os.fsync"})
+_BLOCKING_METHODS = frozenset({"acquire", "wait"})
+_QUEUE_METHODS = frozenset({"get", "put", "get_nowait", "put_nowait"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str  # repo-relative, forward slashes
+    line: int
+    rule: str  # e.g. "LOOM101"
+    symbol: str  # qualname of the function/module blamed
+    message: str
+
+    def render(self) -> str:
+        slug = RULES[self.rule][0]
+        return f"{self.path}:{self.line}: {self.rule} [{slug}] {self.message}"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the analyzed tree."""
+
+    qualname: str  # module.Class.name or module.name
+    module: str
+    class_name: Optional[str]
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    path: str
+    #: (lineno, description) blocking facts found directly in the body.
+    blocking: List[Tuple[int, str]] = field(default_factory=list)
+    #: Resolved callee qualnames.
+    edges: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    name: str
+    base_names: List[str]
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative
+    module: str
+    tree: ast.Module
+    lines: List[str]
+    #: lineno -> set of suppressed rule codes on that line.
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Codes suppressed for the entire file (header comment).
+    file_suppressions: Set[str] = field(default_factory=set)
+
+
+class ProjectIndex:
+    """Parsed files plus class/function/call-graph indexes."""
+
+    def __init__(self) -> None:
+        self.files: List[SourceFile] = []
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: simple class name -> ClassInfos (a name may recur across modules)
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        #: function simple name -> FunctionInfos (for last-resort matching)
+        self.functions_by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, paths: Sequence[str], root: str) -> "ProjectIndex":
+        index = cls()
+        for file_path in _iter_python_files(paths):
+            index._add_file(file_path, root)
+        index._resolve_edges()
+        return index
+
+    def _add_file(self, file_path: str, root: str) -> None:
+        with open(file_path, "r", encoding="utf-8") as f:
+            source = f.read()
+        rel = os.path.relpath(os.path.abspath(file_path), root).replace(os.sep, "/")
+        tree = ast.parse(source, filename=rel)
+        sf = SourceFile(
+            path=rel,
+            module=_module_name(file_path),
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        _collect_suppressions(sf)
+        self.files.append(sf)
+        self._collect_defs(sf)
+
+    def _collect_defs(self, sf: SourceFile) -> None:
+        for node in sf.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(sf, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    qualname=f"{sf.module}.{node.name}",
+                    module=sf.module,
+                    name=node.name,
+                    base_names=[_base_name(b) for b in node.bases],
+                )
+                self.classes[info.qualname] = info
+                self.classes_by_name.setdefault(node.name, []).append(info)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = self._add_function(sf, item, class_name=node.name)
+                        info.methods[item.name] = fn
+
+    def _add_function(
+        self,
+        sf: SourceFile,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        class_name: Optional[str],
+    ) -> FunctionInfo:
+        if class_name is None:
+            qualname = f"{sf.module}.{node.name}"
+        else:
+            qualname = f"{sf.module}.{class_name}.{node.name}"
+        fn = FunctionInfo(
+            qualname=qualname,
+            module=sf.module,
+            class_name=class_name,
+            name=node.name,
+            node=node,
+            path=sf.path,
+        )
+        self.functions[qualname] = fn
+        self.functions_by_name.setdefault(node.name, []).append(fn)
+        return fn
+
+    # ------------------------------------------------------------------
+    # Call-graph approximation
+    # ------------------------------------------------------------------
+    def _resolve_edges(self) -> None:
+        for fn in self.functions.values():
+            visitor = _CallVisitor(self, fn)
+            visitor.visit(fn.node)
+
+    def subclasses_of(self, class_name: str) -> List[ClassInfo]:
+        """The classes named ``class_name`` plus all project subclasses."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        frontier = [class_name]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for info in self.classes_by_name.get(name, ()):
+                out.append(info)
+            for info in self.classes.values():
+                if name in info.base_names and info.name not in seen:
+                    frontier.append(info.name)
+        return out
+
+    def resolve_method(self, class_names: Iterable[str], method: str) -> List[FunctionInfo]:
+        """All definitions ``method`` could dispatch to for these classes."""
+        found: List[FunctionInfo] = []
+        for class_name in class_names:
+            for info in self.subclasses_of(class_name):
+                fn = self._lookup_in_class(info, method)
+                if fn is not None and fn not in found:
+                    found.append(fn)
+        return found
+
+    def _lookup_in_class(
+        self, info: ClassInfo, method: str, depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        if method in info.methods:
+            return info.methods[method]
+        if depth > 8:
+            return None
+        for base in info.base_names:
+            for base_info in self.classes_by_name.get(base, ()):
+                fn = self._lookup_in_class(base_info, method, depth + 1)
+                if fn is not None:
+                    return fn
+        return None
+
+    def function_file(self, fn: FunctionInfo) -> Optional[SourceFile]:
+        for sf in self.files:
+            if sf.path == fn.path:
+                return sf
+        return None
+
+
+class _CallVisitor(ast.NodeVisitor):
+    """Collects blocking facts and resolved call edges for one function."""
+
+    def __init__(self, index: ProjectIndex, fn: FunctionInfo) -> None:
+        self.index = index
+        self.fn = fn
+
+    # Nested defs belong to the enclosing function's behaviour (closures
+    # run on the same thread), so we do NOT skip them.
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            expr = item.context_expr
+            name = _terminal_name(expr)
+            if name is not None and "lock" in name.lower():
+                self.fn.blocking.append(
+                    (expr.lineno, f"acquires lock `{_render(expr)}`")
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        dotted = _dotted_name(func)
+        if dotted in _BLOCKING_DOTTED:
+            self.fn.blocking.append((node.lineno, f"calls {dotted}()"))
+        elif isinstance(func, ast.Name):
+            if func.id == "open":
+                self.fn.blocking.append((node.lineno, "opens a file"))
+            self._edge_for_name(func.id)
+        elif isinstance(func, ast.Attribute):
+            method = func.attr
+            receiver = _terminal_name(func.value)
+            if method in _BLOCKING_METHODS:
+                self.fn.blocking.append(
+                    (node.lineno, f"calls blocking `{_render(func)}()`")
+                )
+            elif (
+                method in _QUEUE_METHODS
+                and receiver is not None
+                and "queue" in receiver.lower()
+            ):
+                self.fn.blocking.append(
+                    (node.lineno, f"blocking queue op `{_render(func)}()`")
+                )
+            self._edge_for_attribute(func, receiver)
+        self.generic_visit(node)
+
+    # -- edge resolution ------------------------------------------------
+    def _edge_for_name(self, name: str) -> None:
+        qual = f"{self.fn.module}.{name}"
+        if qual in self.index.functions:
+            self.fn.edges.add(qual)
+            return
+        # Constructor call of a project class: edge to its __init__.
+        for info in self.index.classes_by_name.get(name, ()):
+            init = info.methods.get("__init__")
+            if init is not None:
+                self.fn.edges.add(init.qualname)
+
+    def _edge_for_attribute(self, func: ast.Attribute, receiver: Optional[str]) -> None:
+        method = func.attr
+        targets: List[FunctionInfo] = []
+        if receiver in ("self", "cls") and self.fn.class_name is not None:
+            targets = self.index.resolve_method([self.fn.class_name], method)
+        elif receiver is not None:
+            types = LOCAL_TYPES.get(receiver) or ATTR_TYPES.get(receiver)
+            if types:
+                targets = self.index.resolve_method(types, method)
+            elif method not in GENERIC_METHOD_NAMES:
+                # Last resort: unique-name match across the project.
+                targets = [
+                    fn
+                    for fn in self.index.functions_by_name.get(method, ())
+                    if fn.class_name is not None or fn.module == self.fn.module
+                ]
+        for target in targets:
+            self.fn.edges.add(target.qualname)
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path) and path.endswith(".py"):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+
+
+def _module_name(file_path: str) -> str:
+    """Dotted module name, derived by walking up through __init__.py dirs."""
+    abs_path = os.path.abspath(file_path)
+    parts = [os.path.splitext(os.path.basename(abs_path))[0]]
+    directory = os.path.dirname(abs_path)
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    if parts[0] == "__init__":
+        parts = parts[1:]
+    return ".".join(reversed(parts))
+
+
+def _base_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """`a.b.c` -> "a.b.c" for pure Name/Attribute chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _render(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse of exotic nodes
+        return "<expr>"
+
+
+def _collect_suppressions(sf: SourceFile) -> None:
+    for i, line in enumerate(sf.lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes: Set[str] = set()
+        for token in match.group(1).split(","):
+            token = token.strip()
+            code = _SLUG_TO_CODE.get(token, token.upper())
+            if code in RULES:
+                codes.add(code)
+        if not codes:
+            continue
+        stripped = line.strip()
+        if stripped.startswith("#") and i <= 5:
+            sf.file_suppressions |= codes
+        sf.suppressions.setdefault(i, set()).update(codes)
+
+
+def _function_body_linenos(fn: FunctionInfo) -> Tuple[int, int]:
+    node = fn.node
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    end = getattr(node, "end_lineno", node.lineno) or node.lineno
+    return node.lineno, end
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _match_roots(index: ProjectIndex) -> List[FunctionInfo]:
+    roots: List[FunctionInfo] = []
+    for pattern in READER_ROOTS:
+        if pattern.endswith(".*"):
+            prefix = pattern[:-1]  # keep the trailing dot
+            for qualname, fn in index.functions.items():
+                if qualname.startswith(prefix) and fn not in roots:
+                    roots.append(fn)
+        else:
+            fn = index.functions.get(pattern)
+            if fn is not None and fn not in roots:
+                roots.append(fn)
+    return roots
+
+
+def rule_reader_blocking(index: ProjectIndex) -> List[Violation]:
+    """LOOM101: no blocking primitive reachable from reader roots."""
+    violations: List[Violation] = []
+    roots = _match_roots(index)
+    parent: Dict[str, Optional[str]] = {}
+    frontier: List[str] = []
+    for root in roots:
+        if root.qualname not in parent:
+            parent[root.qualname] = None
+            frontier.append(root.qualname)
+    while frontier:
+        qualname = frontier.pop()
+        fn = index.functions.get(qualname)
+        if fn is None:
+            continue
+        for callee in sorted(fn.edges):
+            if callee not in parent:
+                parent[callee] = qualname
+                frontier.append(callee)
+    for qualname in sorted(parent):
+        fn = index.functions.get(qualname)
+        if fn is None or not fn.blocking:
+            continue
+        chain: List[str] = []
+        cursor: Optional[str] = qualname
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = parent[cursor]
+        chain.reverse()
+        via = " <- reachable via ".join([chain[0]] if len(chain) == 1 else [chain[-1], chain[0]])
+        for lineno, description in fn.blocking:
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=lineno,
+                    rule="LOOM101",
+                    symbol=fn.qualname,
+                    message=(
+                        f"{description} on a reader path ({via}); readers "
+                        f"must stay lock-free (paper sections 4.4-4.5)"
+                    ),
+                )
+            )
+    return violations
+
+
+def rule_version_parity(index: ProjectIndex) -> List[Violation]:
+    """LOOM102: `_version += 1` bumps pair up within each function."""
+    violations: List[Violation] = []
+    for fn in sorted(index.functions.values(), key=lambda f: (f.path, f.qualname)):
+        node = fn.node
+        bumps: List[int] = []
+        assigns: List[int] = []
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.AugAssign)
+                and isinstance(sub.target, ast.Attribute)
+                and sub.target.attr == "_version"
+            ):
+                if isinstance(sub.op, ast.Add) and (
+                    isinstance(sub.value, ast.Constant) and sub.value.value == 1
+                ):
+                    bumps.append(sub.lineno)
+                else:
+                    assigns.append(sub.lineno)
+            elif isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and target.attr == "_version":
+                        assigns.append(sub.lineno)
+        if fn.name != "__init__":
+            for lineno in assigns:
+                violations.append(
+                    Violation(
+                        path=fn.path,
+                        line=lineno,
+                        rule="LOOM102",
+                        symbol=fn.qualname,
+                        message=(
+                            "seqlock version must only move via "
+                            "`self._version += 1` (outside __init__); "
+                            "arbitrary stores can skip the odd state"
+                        ),
+                    )
+                )
+        if not bumps:
+            continue
+        if len(bumps) % 2 != 0:
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=bumps[0],
+                    rule="LOOM102",
+                    symbol=fn.qualname,
+                    message=(
+                        f"{len(bumps)} version bump(s) in one function: bumps "
+                        f"must pair up (odd while mutating, back to even) "
+                        f"within the same function"
+                    ),
+                )
+            )
+        first, last = min(bumps), max(bumps)
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Return, ast.Raise)) and first < sub.lineno < last:
+                violations.append(
+                    Violation(
+                        path=fn.path,
+                        line=sub.lineno,
+                        rule="LOOM102",
+                        symbol=fn.qualname,
+                        message=(
+                            "return/raise between version bumps could leave "
+                            "the seqlock odd (mid-recycle) forever"
+                        ),
+                    )
+                )
+    return violations
+
+
+def rule_publish_order(index: ProjectIndex) -> List[Violation]:
+    """LOOM103: payload stores must precede publication in a function."""
+    violations: List[Violation] = []
+    for fn in sorted(index.functions.values(), key=lambda f: (f.path, f.qualname)):
+        if CORE_PATH_FRAGMENT not in fn.path:
+            continue
+        publish_events: List[Tuple[int, str]] = []
+        payload_stores: List[Tuple[int, str]] = []
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Call):
+                name = _terminal_name(sub.func)
+                if name in PUBLISH_CALL_NAMES:
+                    publish_events.append((sub.lineno, f"{name}()"))
+                elif name in PAYLOAD_CALL_NAMES and isinstance(sub.func, ast.Attribute):
+                    receiver = _terminal_name(sub.func.value)
+                    if receiver in PAYLOAD_RECEIVER_ATTRS:
+                        payload_stores.append((sub.lineno, f"{receiver}.{name}()"))
+            elif isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    if target.attr in PUBLISH_STORE_ATTRS:
+                        publish_events.append((sub.lineno, f"store {target.attr}"))
+                    elif target.attr in PAYLOAD_STORE_ATTRS:
+                        payload_stores.append((sub.lineno, f"store {target.attr}"))
+        if not publish_events or not payload_stores:
+            continue
+        first_publish = min(publish_events)
+        for lineno, description in payload_stores:
+            if lineno > first_publish[0]:
+                violations.append(
+                    Violation(
+                        path=fn.path,
+                        line=lineno,
+                        rule="LOOM103",
+                        symbol=fn.qualname,
+                        message=(
+                            f"payload store {description} after publication "
+                            f"event {first_publish[1]} (line "
+                            f"{first_publish[0]}); section 5.4 requires all "
+                            f"data/index stores before the watermark moves"
+                        ),
+                    )
+                )
+    return violations
+
+
+def rule_nondeterminism(index: ProjectIndex) -> List[Violation]:
+    """LOOM104: wall-clock/randomness banned in core outside clock.py."""
+    violations: List[Violation] = []
+    for sf in index.files:
+        if CORE_PATH_FRAGMENT not in sf.path:
+            continue
+        if any(sf.path.endswith(suffix) for suffix in CLOCK_EXEMPT_SUFFIXES):
+            continue
+        for node in ast.walk(sf.tree):
+            dotted = None
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            head = dotted.split(".", 1)[0]
+            if dotted in NONDETERMINISTIC_CALLS or head in NONDETERMINISTIC_MODULES:
+                violations.append(
+                    Violation(
+                        path=sf.path,
+                        line=node.lineno,
+                        rule="LOOM104",
+                        symbol=_enclosing_symbol(index, sf, node.lineno),
+                        message=(
+                            f"nondeterministic call `{dotted}` in core; all "
+                            f"time flows through repro.core.clock so replay "
+                            f"and recovery are reproducible (section 5.2)"
+                        ),
+                    )
+                )
+    return violations
+
+
+def rule_exception_hygiene(index: ProjectIndex) -> List[Violation]:
+    """LOOM105: no bare except; no swallowed storage errors in flush code."""
+    violations: List[Violation] = []
+    for sf in index.files:
+        critical = sf.module in FLUSH_CRITICAL_MODULES
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            symbol = _enclosing_symbol(index, sf, node.lineno)
+            if node.type is None:
+                violations.append(
+                    Violation(
+                        path=sf.path,
+                        line=node.lineno,
+                        rule="LOOM105",
+                        symbol=symbol,
+                        message="bare `except:` hides StorageError and "
+                        "KeyboardInterrupt alike; name the exception",
+                    )
+                )
+                continue
+            if not critical:
+                continue
+            caught = _caught_names(node.type)
+            if not caught & SWALLOWABLE_EXCEPTIONS:
+                continue
+            if _handler_swallows(node):
+                violations.append(
+                    Violation(
+                        path=sf.path,
+                        line=node.lineno,
+                        rule="LOOM105",
+                        symbol=symbol,
+                        message=(
+                            f"handler for {'/'.join(sorted(caught))} in "
+                            f"flush/recovery code discards the error; "
+                            f"re-raise it, park it, or record a repair"
+                        ),
+                    )
+                )
+    return violations
+
+
+def _caught_names(node: ast.expr) -> Set[str]:
+    names: Set[str] = set()
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    for expr in exprs:
+        name = _terminal_name(expr)
+        if name is not None:
+            names.add(name)
+    return names
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True if the handler neither re-raises nor uses the caught error."""
+    for sub in ast.walk(handler):
+        if isinstance(sub, ast.Raise):
+            return False
+        if (
+            handler.name is not None
+            and isinstance(sub, ast.Name)
+            and sub.id == handler.name
+        ):
+            return False
+    return True
+
+
+def rule_contract_docstrings(index: ProjectIndex) -> List[Violation]:
+    """LOOM106: contract functions keep docstrings naming the contract."""
+    violations: List[Violation] = []
+    for qualname, keywords in sorted(CONTRACT_DOCSTRINGS.items()):
+        fn = index.functions.get(qualname)
+        if fn is None:
+            # Only complain if the module itself was analyzed (running
+            # loomlint on a subtree should not demand the whole project).
+            module = qualname.rsplit(".", 2)[0]
+            anchor = next((sf for sf in index.files if sf.module == module), None)
+            if anchor is not None:
+                violations.append(
+                    Violation(
+                        path=anchor.path,
+                        line=1,
+                        rule="LOOM106",
+                        symbol=qualname,
+                        message=(
+                            f"contract function {qualname} is missing; "
+                            f"renaming or deleting it silently drops a "
+                            f"documented seqlock/watermark obligation"
+                        ),
+                    )
+                )
+            continue
+        node = fn.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        doc = ast.get_docstring(node) or ""
+        lowered = doc.lower()
+        if not doc or not any(k.lower() in lowered for k in keywords):
+            want = " or ".join(f"'{k}'" for k in keywords)
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=node.lineno,
+                    rule="LOOM106",
+                    symbol=fn.qualname,
+                    message=(
+                        f"docstring must document the concurrency contract "
+                        f"(mention {want}); the docstring is the spec the "
+                        f"schedule explorer and reviewers check against"
+                    ),
+                )
+            )
+    return violations
+
+
+def _enclosing_symbol(index: ProjectIndex, sf: SourceFile, lineno: int) -> str:
+    best: Optional[FunctionInfo] = None
+    best_start = -1
+    for fn in index.functions.values():
+        if fn.path != sf.path:
+            continue
+        start, end = _function_body_linenos(fn)
+        if start <= lineno <= end and start > best_start:
+            best = fn
+            best_start = start
+    return best.qualname if best is not None else sf.module
+
+
+ALL_RULES = (
+    rule_reader_blocking,
+    rule_version_parity,
+    rule_publish_order,
+    rule_nondeterminism,
+    rule_exception_hygiene,
+    rule_contract_docstrings,
+)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    violations: List[Violation]
+    suppressed: List[Violation]
+    baselined: List[Violation]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def _suppressed(index: ProjectIndex, violation: Violation) -> bool:
+    sf = next((s for s in index.files if s.path == violation.path), None)
+    if sf is None:
+        return False
+    if violation.rule in sf.file_suppressions:
+        return True
+    if violation.rule in sf.suppressions.get(violation.line, set()):
+        return True
+    fn = index.functions.get(violation.symbol)
+    if fn is not None and fn.path == violation.path:
+        def_line = fn.node.lineno
+        if violation.rule in sf.suppressions.get(def_line, set()):
+            return True
+    return False
+
+
+def load_baseline(path: Optional[str]) -> Set[Tuple[str, str, str]]:
+    if path is None or not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    return {
+        (entry["rule"], entry["path"], entry["symbol"])
+        for entry in entries
+    }
+
+
+def run(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+) -> LintResult:
+    """Analyze ``paths`` and return categorized violations."""
+    root = root or os.getcwd()
+    index = ProjectIndex.build(paths, root)
+    baseline = load_baseline(baseline_path)
+    violations: List[Violation] = []
+    suppressed: List[Violation] = []
+    baselined: List[Violation] = []
+    for rule in ALL_RULES:
+        for violation in rule(index):
+            if _suppressed(index, violation):
+                suppressed.append(violation)
+            elif violation.baseline_key() in baseline:
+                baselined.append(violation)
+            else:
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return LintResult(violations=violations, suppressed=suppressed, baselined=baselined)
