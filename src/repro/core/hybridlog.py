@@ -34,7 +34,7 @@ import struct
 import threading
 import time
 from binascii import crc32
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .block import Block
@@ -83,13 +83,14 @@ class LogStats:
     bytes_flushed: int = 0
     flush_retries: int = 0
     reader_storage_fallbacks: int = 0
-    _fallback_lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
 
     def note_fallback(self) -> None:
-        with self._fallback_lock:
-            self.reader_storage_fallbacks += 1
+        # Called from reader threads, which must never block (paper
+        # sections 4.4-4.5), so no lock here.  The unsynchronized
+        # read-modify-write can drop an increment when two readers race,
+        # which is fine: the counter is advisory telemetry, and a rare
+        # undercount is acceptable where a blocked reader is not.
+        self.reader_storage_fallbacks += 1
 
 
 class HybridLog:

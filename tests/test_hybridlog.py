@@ -170,6 +170,25 @@ class TestThreadedFlush:
         log.read(0, 16 * 10)
         assert log.stats.reader_storage_fallbacks == 0  # no writer race here
 
+    def test_note_fallback_holds_no_lock(self):
+        """Regression: note_fallback runs on reader paths and must never
+        block (LOOM101).  It used to guard the counter with a Lock; now
+        it must work, and stay lock-free, even while another thread sits
+        in the middle of the stats object's methods."""
+        import inspect
+
+        from repro.core.hybridlog import LogStats
+
+        stats = LogStats()
+        stats.note_fallback()
+        stats.note_fallback()
+        assert stats.reader_storage_fallbacks == 2
+        # No lock attribute survives on the dataclass, and the method
+        # source acquires nothing.
+        assert not any(name.endswith("_lock") for name in vars(stats))
+        source = inspect.getsource(LogStats.note_fallback)
+        assert "acquire" not in source and "with self._" not in source
+
 
 class TestStats:
     def test_counters(self):
