@@ -14,6 +14,7 @@ from .errors import (
     HistogramSpecError,
     LoomError,
     SnapshotConflictError,
+    SnapshotRetry,
     StorageError,
     UnknownIndexError,
     UnknownSourceError,
@@ -82,6 +83,7 @@ __all__ = [
     "RecordLog",
     "Snapshot",
     "SnapshotConflictError",
+    "SnapshotRetry",
     "SourceChunkInfo",
     "SourceState",
     "Storage",

@@ -26,6 +26,13 @@ from __future__ import annotations
 import threading
 from typing import Optional
 
+from .errors import SnapshotRetry
+
+#: Default attempt budget for :meth:`Block.read_range`.  Torn copies are
+#: resolved by the recycle completing, so a handful of attempts either
+#: succeeds or proves the range has left the block for good.
+DEFAULT_READ_RANGE_RETRIES = 4
+
 
 class Block:
     """One fixed-size staging block of a hybrid log.
@@ -97,7 +104,13 @@ class Block:
         return n
 
     def snapshot_bytes(self) -> bytes:
-        """Writer-side copy of the filled prefix (used when flushing)."""
+        """Writer-side copy of the filled prefix (used when flushing).
+
+        Writer-thread only: it takes no seqlock validation because the
+        single writer never races itself.  Reader threads must use
+        :meth:`read_range` (explicit retry contract) or
+        :meth:`try_copy` instead.
+        """
         return bytes(self._buf[: self.filled])
 
     def recycle(self) -> None:
@@ -143,3 +156,43 @@ class Block:
         if v1 != v2:
             return None
         return data
+
+    def read_range(
+        self,
+        address: int,
+        length: int,
+        retries: int = DEFAULT_READ_RANGE_RETRIES,
+    ) -> bytes:
+        """Seqlock-validated copy with a bounded, explicit retry contract.
+
+        Like :meth:`try_copy`, but instead of silently returning ``None``
+        on a lost race it retries up to ``retries`` times and then raises
+        :class:`SnapshotRetry`.  The seqlock contract: each attempt reads
+        the version (must be even), copies, and re-reads the version
+        (must be unchanged); a torn copy is retried only while the block
+        still covers ``[address, address + length)`` — once the range has
+        been recycled away, the bytes are durable in persistent storage
+        by construction and retrying the block cannot succeed, so the
+        method raises immediately.
+
+        Raises:
+            SnapshotRetry: the copy kept tearing (``attempts`` ==
+                ``retries``) or the block no longer covers the range;
+                the caller must read persistent storage instead.
+        """
+        attempts = 0
+        for attempts in range(1, max(1, retries) + 1):
+            data = self.try_copy(address, length)
+            if data is not None:
+                return data
+            base = self.base_address
+            if base is None or address < base or address + length > base + self.filled:
+                # The range is gone from this block (recycled or never
+                # here): no number of retries will bring it back.
+                break
+        raise SnapshotRetry(
+            f"block copy of [{address}, {address + length}) failed after "
+            f"{attempts} attempt(s); range now lives in persistent storage",
+            address=address,
+            attempts=attempts,
+        )

@@ -47,6 +47,35 @@ class SnapshotConflictError(LoomError):
     """
 
 
+class SnapshotRetry(SnapshotConflictError):
+    """A bounded seqlock read kept tearing and must be retried elsewhere.
+
+    Raised by :meth:`repro.core.block.Block.read_range` when every
+    attempt raced a recycle (odd version, changed version, or the block
+    no longer covers the range), and by
+    :meth:`repro.core.hybridlog.HybridLog.read` when its overall retry
+    budget is exhausted.  Unlike the ``None`` that
+    :meth:`~repro.core.block.Block.try_copy` returns, this signal is
+    explicit: the caller must decide to fall back to persistent storage
+    (where recycled bytes live, by construction — paper section 5.5)
+    or surface the failure.
+
+    Attributes:
+        address: first logical log address of the failed read, if known.
+        attempts: how many copy attempts were made before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        address: "int | None" = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.address = address
+        self.attempts = attempts
+
+
 class HistogramSpecError(LoomError, ValueError):
     """A histogram index specification is invalid (e.g. unsorted edges)."""
 

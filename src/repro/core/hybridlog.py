@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .block import Block
-from .errors import AddressError, ClosedError, StorageError
+from .errors import AddressError, ClosedError, SnapshotRetry, StorageError
 from .storage import MemoryStorage, Storage
 
 #: Sentinel address meaning "no previous record" in back-pointer chains.
@@ -399,15 +399,23 @@ class HybridLog:
                 out += self._storage.read(pos, n)
                 pos += n
                 continue
-            piece = self._copy_from_blocks(pos, end)
+            try:
+                piece = self._copy_from_blocks(pos, end)
+            except SnapshotRetry:
+                # Explicit torn-copy signal: the covering block recycled
+                # mid-copy, so the bytes are now (or will momentarily be)
+                # in persistent storage.  Fall back by re-entering the
+                # loop, which re-reads the storage size.
+                piece = None
             if piece is None:
-                # Lost the seqlock race: the block recycled, so the bytes
-                # are now (or will momentarily be) in persistent storage.
                 self.stats.note_fallback()
                 retries += 1
                 if retries > _READ_RETRIES:  # pragma: no cover - defensive
-                    raise AddressError(
-                        f"unable to read address {pos} after {retries} retries"
+                    raise SnapshotRetry(
+                        f"unable to read address {pos} after {retries} "
+                        f"torn-copy retries",
+                        address=pos,
+                        attempts=retries,
                     )
                 continue
             out += piece
@@ -429,7 +437,12 @@ class HybridLog:
         return self.read(address, length)
 
     def _copy_from_blocks(self, pos: int, end: int) -> Optional[bytes]:
-        """Copy as much of ``[pos, end)`` as one staging block covers."""
+        """Copy as much of ``[pos, end)`` as one staging block covers.
+
+        Returns ``None`` when no mapped block covers ``pos`` (the bytes
+        are in storage); raises :class:`SnapshotRetry` when a covering
+        block's seqlock copy tore, so the caller falls back explicitly.
+        """
         for block in self._blocks:
             base = block.base_address
             if base is None:
@@ -437,7 +450,5 @@ class HybridLog:
             filled_end = base + block.filled
             if base <= pos < filled_end:
                 n = min(end, filled_end) - pos
-                data = block.try_copy(pos, n)
-                if data is not None:
-                    return data
+                return block.read_range(pos, n, retries=1)
         return None

@@ -94,3 +94,75 @@ class TestSeqlockReads:
         block.write(b"neww")
         assert block.try_copy(0, 4) is None  # old address range gone
         assert block.try_copy(8, 4) == b"neww"
+
+
+class TestReadRange:
+    """Block.read_range: the explicit bounded-retry seqlock contract."""
+
+    def test_read_range_returns_covered_bytes(self):
+        block = Block(16)
+        block.map(0)
+        block.write(b"abcdefgh")
+        assert block.read_range(2, 4) == b"cdef"
+
+    def test_read_range_unmapped_raises_snapshot_retry(self):
+        from repro.core.errors import SnapshotRetry
+
+        block = Block(16)
+        with pytest.raises(SnapshotRetry) as excinfo:
+            block.read_range(0, 4)
+        assert excinfo.value.address == 0
+        assert excinfo.value.attempts >= 1
+
+    def test_read_range_after_recycle_raises_immediately(self):
+        """A range recycled away cannot come back: one attempt, no spin."""
+        from repro.core.errors import SnapshotRetry
+
+        block = Block(16)
+        block.map(0)
+        block.write(b"abcdefgh")
+        block.recycle()
+        with pytest.raises(SnapshotRetry) as excinfo:
+            block.read_range(0, 4, retries=64)
+        assert excinfo.value.attempts == 1
+
+    def test_read_range_out_of_bounds_raises(self):
+        from repro.core.errors import SnapshotRetry
+
+        block = Block(16)
+        block.map(0)
+        block.write(b"abcd")
+        with pytest.raises(SnapshotRetry):
+            block.read_range(0, 8)  # beyond filled
+
+    def test_read_range_retries_through_torn_copy(self):
+        """A copy torn by a racing recycle retries and then succeeds."""
+
+        class FlakyBlock(Block):
+            """First try_copy tears (as if a recycle raced it), later
+            attempts succeed while the block still covers the range."""
+
+            __slots__ = ("calls",)
+
+            def __init__(self, capacity):
+                super().__init__(capacity)
+                self.calls = 0
+
+            def try_copy(self, address, length):
+                self.calls += 1
+                if self.calls == 1:
+                    return None
+                return super().try_copy(address, length)
+
+        block = FlakyBlock(16)
+        block.map(0)
+        block.write(b"abcdefgh")
+        assert block.read_range(0, 4) == b"abcd"
+        assert block.calls == 2
+
+    def test_snapshot_retry_is_a_snapshot_conflict(self):
+        """Catching the old SnapshotConflictError still catches the new
+        explicit signal (hierarchy compatibility)."""
+        from repro.core.errors import SnapshotConflictError, SnapshotRetry
+
+        assert issubclass(SnapshotRetry, SnapshotConflictError)
