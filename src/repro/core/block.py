@@ -26,6 +26,7 @@ from __future__ import annotations
 import threading
 from typing import Optional
 
+from . import yieldpoints
 from .errors import SnapshotRetry
 
 #: Default attempt budget for :meth:`Block.read_range`.  Torn copies are
@@ -78,6 +79,7 @@ class Block:
             raise RuntimeError("block already mapped; recycle() it first")
         self.base_address = base_address
         self.filled = 0
+        yieldpoints.hit("block.map")
 
     @property
     def remaining(self) -> int:
@@ -100,6 +102,7 @@ class Block:
             raise RuntimeError("block is not mapped")
         n = min(len(data), self.remaining)
         self._buf[self.filled : self.filled + n] = data[:n]
+        yieldpoints.hit("block.write.stored")
         self.filled += n
         return n
 
@@ -121,9 +124,12 @@ class Block:
         back to storage.
         """
         with self._lock:
+            yieldpoints.hit("block.recycle.begin")
             self._version += 1  # now odd: mid-recycle
+            yieldpoints.hit("block.recycle.odd")
             self.base_address = None
             self.filled = 0
+            yieldpoints.hit("block.recycle.cleared")
             self._version += 1  # even again: stable
         if self.recycle_event is not None:
             self.recycle_event.set()
@@ -144,14 +150,17 @@ class Block:
         storage.
         """
         v1 = self._version
+        yieldpoints.hit("block.try_copy.version1")
         if v1 & 1:
             return None
         base = self.base_address
         filled = self.filled
+        yieldpoints.hit("block.try_copy.bounds")
         if base is None or address < base or address + length > base + filled:
             return None
         off = address - base
         data = bytes(self._buf[off : off + length])
+        yieldpoints.hit("block.try_copy.copied")
         v2 = self._version
         if v1 != v2:
             return None

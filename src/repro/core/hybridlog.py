@@ -37,6 +37,7 @@ from binascii import crc32
 from dataclasses import dataclass
 from typing import Optional
 
+from . import yieldpoints
 from .block import Block
 from .errors import AddressError, ClosedError, SnapshotRetry, StorageError
 from .storage import MemoryStorage, Storage
@@ -200,6 +201,7 @@ class HybridLog:
             self._flush_queue.put(full_block)  # blocks if both flushes pending
         else:
             self._flush_with_retry(full_block)
+        yieldpoints.hit("hybridlog.rotate.flushed")
         nxt = self._blocks[1 - self._active]
         self._wait_unmapped(nxt)
         nxt.map(self._tail)
@@ -308,6 +310,7 @@ class HybridLog:
             raise AddressError(
                 f"watermark {target} outside [{self._watermark}, {self._tail}]"
             )
+        yieldpoints.hit("hybridlog.publish.before_store")
         self._watermark = target
         return target
 
@@ -408,6 +411,7 @@ class HybridLog:
                 # loop, which re-reads the storage size.
                 piece = None
             if piece is None:
+                yieldpoints.hit("hybridlog.read.fallback")
                 self.stats.note_fallback()
                 retries += 1
                 if retries > _READ_RETRIES:  # pragma: no cover - defensive

@@ -1,0 +1,308 @@
+"""Deterministic exploration of thread interleavings (model-checker style).
+
+Loom's seqlock correctness argument (paper section 5.5) is about *all*
+interleavings of a recycling writer and a copying reader, but classic
+race tests only sample a few OS-chosen schedules per run.  This module
+makes the schedule a first-class, enumerable object:
+
+* Scenario threads run as real Python threads, but every one of them is
+  gated on a semaphore and advances only when the scheduler grants it a
+  step.  A step runs the thread up to its next yield point — the
+  :func:`repro.core.yieldpoints.hit` call sites inside ``Block`` and
+  ``HybridLog`` — or to completion.
+* :class:`InterleavingExplorer` drives an exhaustive bounded
+  depth-first search over every sequence of grants (every interleaving
+  of the scenario's yield-point alphabet), re-running the scenario from
+  a fresh state for each schedule.
+* Each completed run is validated by the scenario's ``check`` callback;
+  failing schedules are recorded, not raised, so a scenario can count
+  and later :meth:`~InterleavingExplorer.replay` them exactly.
+
+Everything is deterministic: threads are granted in a fixed order, the
+DFS visits schedules in lexicographic order, and no wall-clock value
+enters any decision, so two explorations of the same scenario produce
+byte-identical results.  The semaphore parking happens only inside the
+test-installed yield-point hook; production readers never block (the
+hook is ``None`` and yield points are a load-and-compare).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import yieldpoints
+
+#: Registry mapping a controlled thread's ident to its controller, so the
+#: globally-installed yield-point hook can find who just yielded.
+#: Threads not in the registry (e.g. the scheduler itself) pass through.
+_controllers: Dict[int, "_ThreadController"] = {}
+
+
+def _dispatch_hook(label: str) -> None:
+    controller = _controllers.get(threading.get_ident())
+    if controller is not None:
+        controller.at_yield(label)
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """One scenario thread: a name and a zero-argument callable."""
+
+    name: str
+    fn: Callable[[], object]
+
+
+@dataclass
+class Scenario:
+    """A schedulable concurrency scenario.
+
+    ``threads`` run under the explorer's control from a fresh state (the
+    factory that builds the Scenario must create new objects each call).
+    After all threads finish, ``check`` receives ``{name: return value}``
+    and raises ``AssertionError`` for an inconsistent outcome.
+    """
+
+    threads: List[ThreadSpec]
+    check: Callable[[Dict[str, object]], None]
+
+
+@dataclass(frozen=True)
+class ScheduleFailure:
+    """One schedule whose outcome violated the scenario's check."""
+
+    schedule: Tuple[int, ...]
+    error: str
+    trace: Tuple[str, ...]
+
+
+@dataclass
+class ExplorationResult:
+    """Everything an exhaustive exploration observed."""
+
+    schedules: List[Tuple[int, ...]] = field(default_factory=list)
+    failures: List[ScheduleFailure] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.failures
+
+
+class _ThreadController:
+    """Gates one scenario thread on semaphores.
+
+    The thread holds ``gate`` permits; the scheduler holds ``reached``
+    permits.  One grant (``step``) releases the gate once and waits for
+    the thread to either hit the next yield point or finish.
+    """
+
+    def __init__(self, spec: ThreadSpec) -> None:
+        self.spec = spec
+        self.gate = threading.Semaphore(0)
+        self.reached = threading.Semaphore(0)
+        self.finished = False
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self.trace: List[str] = []
+        self.thread = threading.Thread(
+            target=self._main, name=f"explore-{spec.name}", daemon=True
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def _main(self) -> None:
+        _controllers[threading.get_ident()] = self
+        self.gate.acquire()
+        try:
+            self.result = self.spec.fn()
+        except BaseException as exc:  # noqa: B036 - recorded, not hidden
+            self.error = exc
+        finally:
+            _controllers.pop(threading.get_ident(), None)
+            self.finished = True
+            self.reached.release()
+
+    def at_yield(self, label: str) -> None:
+        self.trace.append(label)
+        self.reached.release()
+        self.gate.acquire()
+
+    def step(self, timeout: float) -> None:
+        self.gate.release()
+        if not self.reached.acquire(timeout=timeout):
+            raise RuntimeError(
+                f"schedule explorer timed out waiting for thread "
+                f"{self.spec.name!r}; a yield point is blocked on something "
+                f"the scheduler does not control"
+            )
+
+
+class InterleavingExplorer:
+    """Exhaustive bounded DFS over the interleavings of a scenario.
+
+    Args:
+        factory: builds a fresh :class:`Scenario` per run.  It must
+            create new state every call — schedules are only comparable
+            if each starts from the same initial conditions.
+        max_schedules: safety bound on the number of distinct schedules;
+            exceeding it raises rather than silently truncating, because
+            a partial exploration would claim coverage it does not have.
+        max_steps: per-run bound on scheduler grants (guards against a
+            thread spinning through unbounded yield points).
+        step_timeout: seconds to wait for a granted thread to reach its
+            next yield point before declaring the scenario deadlocked.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Scenario],
+        max_schedules: int = 20_000,
+        max_steps: int = 500,
+        step_timeout: float = 10.0,
+    ) -> None:
+        self._factory = factory
+        self._max_schedules = max_schedules
+        self._max_steps = max_steps
+        self._step_timeout = step_timeout
+
+    # ------------------------------------------------------------------
+    # One run
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        rank_prefix: Sequence[int],
+        index_schedule: Optional[Sequence[int]] = None,
+    ) -> Tuple[Tuple[int, ...], List[int], List[int], Tuple[str, ...], Optional[str]]:
+        """Run the scenario once under a forced schedule (prefix).
+
+        ``rank_prefix`` forces the first decisions by *rank within the
+        runnable set* (the DFS's representation); ``index_schedule``
+        instead forces decisions by absolute thread index (for replays).
+        Beyond the forced prefix the scheduler always picks rank 0, which
+        makes un-forced suffixes deterministic.
+
+        Returns ``(schedule, ranks, branch_counts, trace, failure)``
+        where ``schedule`` is the granted thread indices, ``ranks`` /
+        ``branch_counts`` describe each decision point for the DFS,
+        ``trace`` is the merged yield-point trace, and ``failure`` is an
+        error description or ``None``.
+        """
+        scenario = self._factory()
+        controllers = [_ThreadController(spec) for spec in scenario.threads]
+        yieldpoints.set_hook(_dispatch_hook)
+        try:
+            for controller in controllers:
+                controller.start()
+            schedule: List[int] = []
+            ranks: List[int] = []
+            counts: List[int] = []
+            trace: List[str] = []
+            while True:
+                runnable = [
+                    i for i, c in enumerate(controllers) if not c.finished
+                ]
+                if not runnable:
+                    break
+                if len(schedule) >= self._max_steps:
+                    raise RuntimeError(
+                        f"scenario exceeded {self._max_steps} steps; "
+                        f"yield points may be unbounded"
+                    )
+                step_no = len(schedule)
+                if index_schedule is not None and step_no < len(index_schedule):
+                    forced = index_schedule[step_no]
+                    if forced not in runnable:
+                        raise RuntimeError(
+                            f"replay schedule grants thread {forced} at step "
+                            f"{step_no}, but it is not runnable (finished "
+                            f"early); the schedule does not match the scenario"
+                        )
+                    rank = runnable.index(forced)
+                elif step_no < len(rank_prefix):
+                    rank = rank_prefix[step_no]
+                else:
+                    rank = 0
+                idx = runnable[rank]
+                controller = controllers[idx]
+                before = len(controller.trace)
+                controller.step(self._step_timeout)
+                trace.extend(
+                    f"{controller.spec.name}:{label}"
+                    for label in controller.trace[before:]
+                )
+                schedule.append(idx)
+                ranks.append(rank)
+                counts.append(len(runnable))
+            failure = self._outcome(scenario, controllers)
+            return tuple(schedule), ranks, counts, tuple(trace), failure
+        finally:
+            yieldpoints.clear_hook()
+
+    def _outcome(
+        self, scenario: Scenario, controllers: List[_ThreadController]
+    ) -> Optional[str]:
+        for controller in controllers:
+            if controller.error is not None:
+                return (
+                    f"thread {controller.spec.name!r} raised "
+                    f"{controller.error!r}"
+                )
+        results = {c.spec.name: c.result for c in controllers}
+        try:
+            scenario.check(results)
+        except AssertionError as exc:
+            return f"check failed: {exc}"
+        return None
+
+    # ------------------------------------------------------------------
+    # Exhaustive DFS
+    # ------------------------------------------------------------------
+    def explore(self) -> ExplorationResult:
+        """Run every schedule of the scenario; return what was observed.
+
+        Schedules are visited in lexicographic rank order.  Each run
+        re-executes the scenario from scratch, so the union of runs is
+        an exhaustive enumeration of the bounded schedule tree (the
+        bound being the scenario's own yield-point count per thread).
+        """
+        result = ExplorationResult()
+        prefix: List[int] = []
+        while True:
+            schedule, ranks, counts, trace, failure = self._execute(prefix)
+            result.schedules.append(schedule)
+            if failure is not None:
+                result.failures.append(
+                    ScheduleFailure(schedule=schedule, error=failure, trace=trace)
+                )
+            if len(result.schedules) > self._max_schedules:
+                raise RuntimeError(
+                    f"exceeded max_schedules={self._max_schedules}; "
+                    f"reduce the scenario's yield points or raise the bound"
+                )
+            # Backtrack: deepest decision with an untried sibling.
+            pos = len(ranks) - 1
+            while pos >= 0 and ranks[pos] + 1 >= counts[pos]:
+                pos -= 1
+            if pos < 0:
+                return result
+            prefix = ranks[:pos] + [ranks[pos] + 1]
+
+    def replay(self, schedule: Sequence[int]) -> Optional[ScheduleFailure]:
+        """Re-run one exact schedule (by thread index); return its failure.
+
+        This is the reproduction path: feed it a schedule recorded by
+        :meth:`explore` (e.g. from a CI failure report) and it will drive
+        the scenario through the identical interleaving, returning the
+        same :class:`ScheduleFailure` (or ``None`` if the outcome is
+        consistent).
+        """
+        run_schedule, _, _, trace, failure = self._execute(
+            rank_prefix=(), index_schedule=schedule
+        )
+        if failure is None:
+            return None
+        return ScheduleFailure(
+            schedule=run_schedule, error=failure, trace=trace
+        )

@@ -1,0 +1,42 @@
+"""Named yield points for deterministic schedule exploration.
+
+The seqlock protocol in :mod:`repro.core.block` and the flush/publish
+machinery in :mod:`repro.core.hybridlog` mark the instants where a
+concurrent interleaving can change the outcome by calling :func:`hit`
+with a stable label.  In production no hook is installed and ``hit`` is
+a global load plus a ``None`` check — readers stay lock-free and the
+writer's hot path stays branch-predictable.
+
+The interleaving explorer (:mod:`repro.core.schedule`) installs a hook
+that parks the calling thread until the scheduler grants it the next
+step, turning these call sites into the alphabet of explorable
+schedules.  Labels are part of that contract: renaming one invalidates
+recorded schedules, so treat them like a wire format.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+Hook = Callable[[str], None]
+
+_hook: Optional[Hook] = None
+
+
+def set_hook(hook: Hook) -> None:
+    """Install ``hook`` to be called with each yield-point label."""
+    global _hook
+    _hook = hook
+
+
+def clear_hook() -> None:
+    """Remove the installed hook (production mode: yield points no-op)."""
+    global _hook
+    _hook = None
+
+
+def hit(label: str) -> None:
+    """Announce a yield point.  No-op unless a hook is installed."""
+    hook = _hook
+    if hook is not None:
+        hook(label)
