@@ -18,7 +18,7 @@ These helpers compose Loom's operators into that workflow:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.loom import Loom
 from ..core.operators import QueryStats

@@ -11,7 +11,7 @@ suite asserts.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 
 def nearest_rank_percentile(values: Sequence[float], percentile: float) -> float:

@@ -27,7 +27,7 @@ per PSF, mirroring FishStore's record layout.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from ..fasterlog import AppendLog, LogRecord

@@ -25,7 +25,7 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ...core.storage import MemoryStorage, Storage
+from ...core.storage import Storage
 
 
 @dataclass

@@ -9,7 +9,7 @@ workloads use (one numeric value per point, e.g. a latency).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from typing import Mapping, Tuple
 
 
 @dataclass(frozen=True)

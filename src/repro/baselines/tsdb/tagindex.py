@@ -13,7 +13,7 @@ latency query takes 380 seconds in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, Mapping, Optional, Set, Tuple
 
 
 class TagIndex:

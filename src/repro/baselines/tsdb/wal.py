@@ -10,7 +10,7 @@ log append.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Tuple
+from typing import Iterator, Tuple
 
 from ...core.storage import MemoryStorage, Storage
 

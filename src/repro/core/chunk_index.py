@@ -22,7 +22,7 @@ from __future__ import annotations
 import struct
 import threading
 from bisect import bisect_left, bisect_right
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 from .hybridlog import HybridLog
 from .storage import Storage

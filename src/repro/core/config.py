@@ -11,7 +11,7 @@ harness picks sizes appropriate to each experiment.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -241,6 +241,7 @@ class HybridLog:
         failed journal append) first truncates storage back to the block's
         base address so the extent is never duplicated or misaligned."""
         base = block.base_address
+        assert base is not None, "flushing an unmapped block"
         if self._storage.size > base:
             # A previous attempt tore: part of this block (or all of it,
             # if only the journal append failed) is already on storage.
@@ -282,6 +283,7 @@ class HybridLog:
                     time.sleep(self._flush_backoff * (2 ** attempt))
         self._health = Health.FAILED
         self._flush_error = last_exc
+        assert last_exc is not None  # the loop body ran at least once
         raise last_exc
 
     def _flush_loop(self) -> None:

@@ -26,7 +26,8 @@ sequence can pin a single consistent view across several operator calls.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from types import TracebackType
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 from .clock import Clock, MonotonicClock
 from .config import LoomConfig
@@ -281,7 +282,7 @@ class Loom:
         """
         return self._record_log.health()
 
-    def footprint(self) -> dict:
+    def footprint(self) -> Dict[str, int]:
         """Approximate resource footprint: log sizes and staged bytes."""
         rl, ci, ti = (
             self._record_log.log,
@@ -304,5 +305,10 @@ class Loom:
     def __enter__(self) -> "Loom":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()

@@ -55,7 +55,7 @@ class Record:
     source_id: int
     timestamp: int
     prev_addr: int
-    payload: bytes
+    payload: "bytes | memoryview"
     address: int
 
     @property

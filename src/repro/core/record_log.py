@@ -28,9 +28,8 @@ record log's watermark.
 from __future__ import annotations
 
 import os
-import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .chunk_index import ChunkIndex
 from .clock import Clock, MonotonicClock, VirtualClock
@@ -55,7 +54,7 @@ from .record import (
     record_crc,
     verify_record_bytes,
 )
-from .storage import open_storage
+from .storage import Storage, open_storage
 from .summary import ChunkSummary
 from .timestamp_index import KIND_CHUNK, TimestampIndex
 
@@ -97,7 +96,7 @@ class RecordLog:
         self.clock = clock or MonotonicClock()
         cfg = self.config
 
-        def _journal(path: Optional[str]):
+        def _journal(path: Optional[str]) -> Optional[Storage]:
             if not cfg.checksum_frames:
                 return None
             return open_storage(path)
@@ -457,7 +456,7 @@ class RecordLog:
         if record_path is None or not os.path.exists(record_path):
             raise LoomError(f"no record log to reopen at {record_path!r}")
 
-        def _open_existing(path: Optional[str]):
+        def _open_existing(path: Optional[str]) -> Optional[Storage]:
             if path is not None and os.path.exists(path):
                 return open_storage(path)
             return None

@@ -19,7 +19,7 @@ falls back to persistent storage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
 from .hybridlog import NULL_ADDRESS
@@ -140,12 +140,14 @@ class Snapshot:
         start = self.record_log.active_region_start(self.n_chunks)
         return start, self.watermark
 
-    def first_record_after(self, source_id: int, timestamp: int):
+    def first_record_after(
+        self, source_id: int, timestamp: int
+    ) -> Optional[Tuple[int, int]]:
         """Timestamp-index seek hint, filtered to this snapshot's view."""
         hit = self.record_log.timestamp_index.first_record_after(source_id, timestamp)
         if hit is not None and hit[1] < self.watermark:
             return hit
         return None
 
-    def chunk_id_window(self, t_start: int, t_end: int):
+    def chunk_id_window(self, t_start: int, t_end: int) -> Optional[Tuple[int, int]]:
         return self.record_log.timestamp_index.chunk_id_window(t_start, t_end)

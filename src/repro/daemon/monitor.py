@@ -13,7 +13,7 @@ the workload's exact virtual arrival timestamps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.clock import Clock, MonotonicClock, VirtualClock
 from ..core.config import LoomConfig

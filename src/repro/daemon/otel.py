@@ -21,8 +21,8 @@ the paper describes.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.histogram import exponential_edges
 from ..core.loom import Loom

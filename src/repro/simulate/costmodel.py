@@ -37,7 +37,6 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from .host import FIG2_HOST, HostSpec
 
 # ----------------------------------------------------------------------
 # Calibrated constants (cycles per record unless stated otherwise)

@@ -16,7 +16,7 @@ the drop fraction rises sharply while index CPU plateaus.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from .costmodel import IngestCostModel
 from .host import FIG2_HOST, HostSpec

@@ -36,9 +36,8 @@ real on this repository's implementations by the Figure 15 benchmark.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import List
 
 from .host import HostSpec, PAPER_HOST
 

@@ -23,14 +23,13 @@ catches about one slow request and none of the mangled packets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..core.clock import NANOS_PER_SECOND, millis, micros
 from . import events
 from .generator import (
-    SourceSpec,
     TimedRecord,
     arrival_times,
     insert_planted,

@@ -25,7 +25,7 @@ computed from the generated arrays so tests can assert exactness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

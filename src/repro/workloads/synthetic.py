@@ -13,11 +13,10 @@ These generators back the non-case-study figures:
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
-from ..core.clock import NANOS_PER_SECOND
 from . import events
 from .generator import TimedRecord, arrival_times, lognormal_latencies
 

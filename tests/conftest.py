@@ -12,7 +12,6 @@ from repro.core import (
     Loom,
     LoomConfig,
     VirtualClock,
-    exponential_edges,
 )
 
 VALUE_STRUCT = struct.Struct("<d")

@@ -16,7 +16,7 @@ from repro.analysis import (
     summarize,
 )
 
-from conftest import payload_value, value_payload
+from conftest import payload_value
 
 
 class TestStats:

@@ -9,7 +9,6 @@ from repro.core import (
     Loom,
     LoomConfig,
     QueryStats,
-    VirtualClock,
 )
 from repro.core.errors import AddressError
 from repro.core.hybridlog import HybridLog

@@ -9,8 +9,8 @@ is the one thing Loom promises not to do.
 
 import pytest
 
-from repro.core import Loom, LoomConfig, VirtualClock
-from repro.core.errors import LoomError, StorageError
+from repro.core import Loom, LoomConfig
+from repro.core.errors import StorageError
 from repro.core.hybridlog import HybridLog
 from repro.core.storage import MemoryStorage, Storage
 

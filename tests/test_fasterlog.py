@@ -1,6 +1,5 @@
 """Tests for the FasterLog-style append log."""
 
-import pytest
 
 from repro.baselines.fasterlog import HEADER_SIZE, AppendLog
 

@@ -8,7 +8,7 @@ the page-cache event count over ~0.5% of the data (P3).
 
 import pytest
 
-from repro.core.histogram import HistogramSpec, exponential_edges
+from repro.core.histogram import exponential_edges
 from repro.daemon import MonitoringDaemon
 from repro.workloads import RocksDbCaseStudy, events
 

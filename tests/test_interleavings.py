@@ -13,7 +13,6 @@ from repro.core import yieldpoints
 from repro.core.block import Block
 from repro.core.errors import SnapshotRetry
 from repro.core.schedule import (
-    ExplorationResult,
     InterleavingExplorer,
     Scenario,
     ThreadSpec,

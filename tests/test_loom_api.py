@@ -1,6 +1,5 @@
 """Tests for the Loom facade: the Figure 9 API surface and lifecycle."""
 
-import struct
 
 import pytest
 
@@ -8,10 +7,7 @@ from repro.core import (
     HistogramSpec,
     Loom,
     LoomConfig,
-    MonotonicClock,
-    VirtualClock,
 )
-from repro.core.errors import LoomError, UnknownSourceError
 
 from conftest import payload_value, value_payload
 

@@ -12,7 +12,6 @@ import os
 import subprocess
 import sys
 
-import pytest
 
 # The tools package lives at the repo root (not under src/); tests run
 # from a checkout, so resolve it relative to this file.

@@ -1,12 +1,10 @@
 """Tests for indexed_aggregate (paper §4.3): distributive aggregates from
 bin statistics and exact holistic percentiles via the CDF-over-bins walk."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.core import QueryStats
 from repro.core.errors import LoomError
 from repro.core.operators import bin_histogram, indexed_aggregate
 

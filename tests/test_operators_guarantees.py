@@ -4,12 +4,10 @@ contracts exercised through realistic multi-phase usage."""
 import numpy as np
 import pytest
 
-from repro.core import HistogramSpec, Loom, LoomConfig, VirtualClock
 from repro.core.clock import seconds
 from repro.daemon import MonitoringDaemon
-from repro.workloads import RedisCaseStudy, events, merge_streams, latency_stream
+from repro.workloads import RedisCaseStudy, events, latency_stream
 
-from conftest import payload_value, value_payload
 
 
 class TestQueryEquivalence:

@@ -10,7 +10,7 @@ from repro.daemon import (
     OtelMetricPoint,
     OtelSpan,
 )
-from repro.daemon.otel import STATUS_ERROR, STATUS_OK, decode_span_payload
+from repro.daemon.otel import STATUS_ERROR, decode_span_payload
 
 
 @pytest.fixture

@@ -11,7 +11,6 @@ These pin down the contracts everything else relies on:
   inverted CDF).
 """
 
-import struct
 
 import numpy as np
 from hypothesis import given, settings, strategies as st

@@ -1,7 +1,6 @@
 """System-level property tests: recovery faithfulness and snapshot
 isolation under randomized operation interleavings."""
 
-import struct
 
 from hypothesis import given, settings, strategies as st
 

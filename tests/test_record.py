@@ -1,6 +1,5 @@
 """Tests for record framing (header layout, back-pointer encoding)."""
 
-import pytest
 
 from repro.core.hybridlog import NULL_ADDRESS
 from repro.core.record import (

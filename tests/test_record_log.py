@@ -3,7 +3,7 @@ finalization, index maintenance, publication ordering, schema ops."""
 
 import pytest
 
-from repro.core import HistogramSpec, LoomConfig, VirtualClock
+from repro.core import HistogramSpec, LoomConfig
 from repro.core.errors import ClosedError, UnknownIndexError, UnknownSourceError
 from repro.core.hybridlog import NULL_ADDRESS
 from repro.core.record_log import RecordLog

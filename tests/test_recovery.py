@@ -79,7 +79,7 @@ class TestScanPersisted:
 
 class TestRecover:
     def test_full_recovery_after_clean_close(self, tmp_path):
-        loom = build_instance(tmp_path, 400)
+        build_instance(tmp_path, 400)
         state = recover(
             FileStorage(str(tmp_path / "records.log")),
             FileStorage(str(tmp_path / "chunks.idx")),

@@ -7,7 +7,6 @@ anchor points and produce the qualitative shapes the figures show.
 import pytest
 
 from repro.simulate import (
-    FIG2_HOST,
     PAPER_HOST,
     clickhouse_model,
     compare_backends,

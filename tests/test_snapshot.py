@@ -1,9 +1,8 @@
 """Tests for query snapshots (paper §4.4–4.5): linearization, pinning,
 and the consistency guarantee that post-snapshot data is invisible."""
 
-import pytest
 
-from repro.core import HistogramSpec, Loom, LoomConfig, VirtualClock
+from repro.core import Loom, LoomConfig
 from repro.core.hybridlog import NULL_ADDRESS
 from repro.core.snapshot import Snapshot
 

@@ -1,0 +1,49 @@
+"""Gated static-analysis tier: mypy --strict and ruff.
+
+These tools are CI dependencies, not runtime dependencies; the tests
+skip when the binaries are absent so a bare checkout still runs the full
+tier-1 suite.  CI installs both (see the lint job in
+.github/workflows/ci.yml), where a skip here would mask a regression —
+hence the asserts that the binaries behave when present.
+"""
+
+import os
+import shutil
+import subprocess
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_MYPY = shutil.which("mypy")
+_RUFF = shutil.which("ruff")
+
+
+@pytest.mark.skipif(_MYPY is None, reason="mypy not installed (CI-only tier)")
+def test_mypy_strict_on_core():
+    proc = subprocess.run(
+        [_MYPY, "--strict", "src/repro/core"],
+        cwd=_REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"mypy --strict failed:\n{proc.stdout}{proc.stderr}"
+
+
+@pytest.mark.skipif(_RUFF is None, reason="ruff not installed (CI-only tier)")
+def test_ruff_clean():
+    proc = subprocess.run(
+        [_RUFF, "check", "src", "tools", "tests"],
+        cwd=_REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"ruff check failed:\n{proc.stdout}{proc.stderr}"
+
+
+def test_mypy_config_present():
+    """The strict contract is pinned in pyproject, not ad-hoc CLI flags."""
+    with open(os.path.join(_REPO_ROOT, "pyproject.toml")) as f:
+        content = f.read()
+    assert "[tool.mypy]" in content
+    assert "strict = true" in content
+    assert "[tool.ruff]" in content

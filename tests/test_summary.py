@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.summary import BinStats, ChunkSummary, SourceChunkInfo
+from repro.core.summary import BinStats, ChunkSummary
 
 
 class TestBinStats:
