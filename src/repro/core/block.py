@@ -79,7 +79,7 @@ class Block:
             raise RuntimeError("block already mapped; recycle() it first")
         self.base_address = base_address
         self.filled = 0
-        yieldpoints.hit("block.map")
+        yieldpoints.hit("block.map", block=self, base=base_address)
 
     @property
     def remaining(self) -> int:
@@ -102,7 +102,10 @@ class Block:
             raise RuntimeError("block is not mapped")
         n = min(len(data), self.remaining)
         self._buf[self.filled : self.filled + n] = data[:n]
-        yieldpoints.hit("block.write.stored")
+        if yieldpoints.active:
+            yieldpoints.hit(
+                "block.write.stored", block=self, offset=self.filled, length=n
+            )
         self.filled += n
         return n
 
@@ -124,13 +127,16 @@ class Block:
         back to storage.
         """
         with self._lock:
-            yieldpoints.hit("block.recycle.begin")
+            yieldpoints.hit("block.recycle.begin", block=self)
             self._version += 1  # now odd: mid-recycle
-            yieldpoints.hit("block.recycle.odd")
+            yieldpoints.hit("block.recycle.odd", block=self, version=self._version)
             self.base_address = None
             self.filled = 0
-            yieldpoints.hit("block.recycle.cleared")
+            yieldpoints.hit("block.recycle.cleared", block=self)
             self._version += 1  # even again: stable
+            yieldpoints.note(
+                "block.recycle.done", block=self, version=self._version
+            )
         if self.recycle_event is not None:
             self.recycle_event.set()
 
@@ -149,21 +155,46 @@ class Block:
         was recycled mid-copy and the requested bytes are now in persistent
         storage.
         """
+        live = yieldpoints.active
         v1 = self._version
-        yieldpoints.hit("block.try_copy.version1")
+        if live:
+            yieldpoints.hit("block.try_copy.version1", block=self, version=v1)
         if v1 & 1:
             return None
         base = self.base_address
         filled = self.filled
-        yieldpoints.hit("block.try_copy.bounds")
+        if live:
+            yieldpoints.hit(
+                "block.try_copy.bounds", block=self, base=base, filled=filled
+            )
         if base is None or address < base or address + length > base + filled:
             return None
         off = address - base
         data = bytes(self._buf[off : off + length])
-        yieldpoints.hit("block.try_copy.copied")
+        if live:
+            yieldpoints.hit(
+                "block.try_copy.copied",
+                block=self,
+                address=address,
+                length=length,
+                base=base,
+            )
         v2 = self._version
         if v1 != v2:
+            if live:
+                yieldpoints.note(
+                    "block.try_copy.invalid", block=self, v1=v1, v2=v2
+                )
             return None
+        if live:
+            yieldpoints.note(
+                "block.try_copy.validated",
+                block=self,
+                address=address,
+                length=length,
+                base=base,
+                version=v1,
+            )
         return data
 
     def read_range(

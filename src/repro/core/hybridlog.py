@@ -201,7 +201,7 @@ class HybridLog:
             self._flush_queue.put(full_block)  # blocks if both flushes pending
         else:
             self._flush_with_retry(full_block)
-        yieldpoints.hit("hybridlog.rotate.flushed")
+        yieldpoints.hit("hybridlog.rotate.flushed", log=self)
         nxt = self._blocks[1 - self._active]
         self._wait_unmapped(nxt)
         nxt.map(self._tail)
@@ -312,8 +312,9 @@ class HybridLog:
             raise AddressError(
                 f"watermark {target} outside [{self._watermark}, {self._tail}]"
             )
-        yieldpoints.hit("hybridlog.publish.before_store")
+        yieldpoints.hit("hybridlog.publish.before_store", log=self, watermark=target)
         self._watermark = target
+        yieldpoints.note("hybridlog.publish.stored", log=self, watermark=target)
         return target
 
     def close(self) -> None:
@@ -393,6 +394,10 @@ class HybridLog:
             raise AddressError(
                 f"read [{address}, {address + length}) beyond tail {self._tail}"
             )
+        if yieldpoints.active:
+            yieldpoints.note(
+                "hybridlog.read.begin", log=self, address=address, length=length
+            )
         out = bytearray()
         pos = address
         end = address + length
@@ -413,7 +418,7 @@ class HybridLog:
                 # loop, which re-reads the storage size.
                 piece = None
             if piece is None:
-                yieldpoints.hit("hybridlog.read.fallback")
+                yieldpoints.hit("hybridlog.read.fallback", log=self, address=pos)
                 self.stats.note_fallback()
                 retries += 1
                 if retries > _READ_RETRIES:  # pragma: no cover - defensive

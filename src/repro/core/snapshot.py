@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
+from . import yieldpoints
 from .hybridlog import NULL_ADDRESS
 from .record import Record
 from .record_log import RecordLog
@@ -45,6 +46,12 @@ class Snapshot:
     def capture(cls, record_log: RecordLog) -> "Snapshot":
         """Take a snapshot (the linearization point of the query)."""
         watermark = record_log.log.watermark
+        if yieldpoints.active:
+            # Acquire edge for the happens-before model: a snapshot's view
+            # is bounded by the watermark it loaded here.
+            yieldpoints.note(
+                "snapshot.capture", log=record_log.log, watermark=watermark
+            )
         # Pin only summaries whose records are fully below the watermark;
         # a summary can reach the mirror an instant before the watermark
         # publication that covers it.

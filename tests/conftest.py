@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import struct
 
 import numpy as np
@@ -13,6 +14,14 @@ from repro.core import (
     LoomConfig,
     VirtualClock,
 )
+
+if os.environ.get("LOOMSAN") == "1":
+    # Sanitized mode: every RecordLog in the whole suite runs against a
+    # trivially-correct shadow model, with differential oracles at each
+    # sync (cheap) and close (full).  See DESIGN.md section 9.
+    from repro.core.sanitizer import install as _loomsan_install
+
+    _loomsan_install()
 
 VALUE_STRUCT = struct.Struct("<d")
 

@@ -13,9 +13,14 @@ from repro.core import yieldpoints
 from repro.core.block import Block
 from repro.core.errors import SnapshotRetry
 from repro.core.schedule import (
+    HookTeardownError,
     InterleavingExplorer,
     Scenario,
+    ScheduleFuzzer,
     ThreadSpec,
+    _abort_parked,
+    _dispatch_hook,
+    _ThreadController,
 )
 
 
@@ -161,6 +166,73 @@ class TestExplorerMechanics:
         InterleavingExplorer(lambda: counting_scenario(1)).explore()
         assert yieldpoints._hook is None
 
+    def test_observers_removed_after_exploration(self):
+        class Recorder:
+            def on_event(self, label, info):
+                pass
+
+            def finish(self):
+                return None
+
+        def factory():
+            scenario = counting_scenario(1)
+            scenario.observers = [Recorder()]
+            return scenario
+
+        InterleavingExplorer(factory).explore()
+        assert yieldpoints._observers == ()
+        assert not yieldpoints.active
+
+
+class TestHookTeardown:
+    """Regression: clear_hook must not strand threads parked at a yield.
+
+    Before the teardown callback existed, tearing down the hook while a
+    scenario thread was parked on its gate semaphore left that (daemon)
+    thread blocked forever — leaking a thread per timed-out run.
+    """
+
+    def test_clear_hook_invokes_teardown_after_unhooking(self):
+        observed = []
+        yieldpoints.set_hook(
+            lambda label: None,
+            teardown=lambda: observed.append(yieldpoints._hook),
+        )
+        yieldpoints.clear_hook()
+        # The teardown ran exactly once, *after* the hook was unset, so
+        # threads it wakes cannot re-enter the dispatch path.
+        assert observed == [None]
+
+    def test_clear_hook_releases_a_parked_thread(self):
+        parked = ThreadSpec("parked", lambda: yieldpoints.hit("park.here"))
+        controller = _ThreadController(parked)
+        yieldpoints.set_hook(_dispatch_hook, teardown=_abort_parked)
+        try:
+            controller.start()
+            controller.step(timeout=5.0)  # runs up to the yield and parks
+            assert not controller.finished
+        finally:
+            yieldpoints.clear_hook()
+        controller.thread.join(timeout=5.0)
+        assert not controller.thread.is_alive(), (
+            "clear_hook left the scenario thread parked on its gate"
+        )
+        assert controller.finished
+        assert isinstance(controller.error, HookTeardownError)
+
+    def test_clear_hook_fails_fast_a_never_granted_thread(self):
+        spec = ThreadSpec("waiting", lambda: "ran")
+        controller = _ThreadController(spec)
+        yieldpoints.set_hook(_dispatch_hook, teardown=_abort_parked)
+        try:
+            controller.start()
+        finally:
+            yieldpoints.clear_hook()
+        controller.thread.join(timeout=5.0)
+        assert not controller.thread.is_alive()
+        assert isinstance(controller.error, HookTeardownError)
+        assert controller.result is None  # fn never ran
+
 
 def scenario_copy(scenario):
     # Scenarios here are stateless; reuse is safe for this test only.
@@ -228,6 +300,40 @@ class TestSeqlockInterleavings:
         )
         result = explorer.explore()
         assert explorer.replay(result.schedules[0]) is None
+
+    def test_fuzzer_finds_the_seeded_mutant(self):
+        """The randomized sampler, not just DFS, catches the torn read.
+
+        Same seed and budget as CI's seeded fuzz pass: the PCT-style
+        priority sampler must land on an inconsistent interleaving of
+        the unversioned mutant well within the budget, and the recorded
+        schedule must replay to the identical verdict without the RNG.
+        """
+        fuzzer = ScheduleFuzzer(
+            lambda: recycle_vs_reader_scenario(UnversionedBlock),
+            seed=20250806,
+        )
+        result = fuzzer.run(500, stop_on_failure=True)
+        assert result.failures, (
+            "500 seeded randomized schedules never produced a torn read "
+            "on the unversioned mutant; the fuzzer is not sampling the "
+            "racy region"
+        )
+        recorded = result.failures[0]
+        assert "BB" in recorded.error
+        replayed = fuzzer.replay(recorded)
+        assert replayed is not None
+        assert replayed.steps == recorded.steps
+        assert replayed.trace == recorded.trace
+        assert replayed.error == recorded.error
+
+    def test_fuzzer_real_block_is_clean(self):
+        fuzzer = ScheduleFuzzer(
+            lambda: recycle_vs_reader_scenario(Block), seed=20250806
+        )
+        result = fuzzer.run(200)
+        assert result.consistent, result.failures[:3]
+        assert result.distinct > 10
 
     def test_traces_cover_the_seqlock_alphabet(self):
         """The exploration actually visits the instrumented yield points."""

@@ -144,7 +144,7 @@ def test_unbalanced_version_bump_flagged(tmp_path):
 class Block:
     def half_recycle(self):
         self._version += 1
-        self.filled = 0
+        self.closed = True
 """,
     )
     assert codes(result) == ["LOOM102"]
@@ -424,6 +424,287 @@ class Block:
 
 
 # ----------------------------------------------------------------------
+# LOOM107: seqlock-state mutation visibility
+# ----------------------------------------------------------------------
+def test_unmarked_seqlock_store_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def silently_unmap(self):
+        self.base_address = None
+""",
+    )
+    assert codes(result) == ["LOOM107"]
+    assert "base_address" in result.violations[0].message
+
+
+def test_seqlock_store_with_yield_marker_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def map(self, base):
+        self.base_address = base
+        self.filled = 0
+        yieldpoints.hit("block.map", block=self)
+""",
+    )
+    assert result.violations == []
+
+
+def test_seqlock_store_inside_version_bracket_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def recycle(self):
+        self._version += 1
+        self.base_address = None
+        self.filled = 0
+        self._version += 1
+""",
+    )
+    assert result.violations == []
+
+
+def test_seqlock_store_outside_bracket_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def recycle(self):
+        self._version += 1
+        self.base_address = None
+        self._version += 1
+        self.filled = 0
+""",
+    )
+    assert codes(result) == ["LOOM107"]
+    assert "filled" in result.violations[0].message
+
+
+def test_init_exempt_from_seqlock_visibility(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def __init__(self):
+        self.base_address = None
+        self.filled = 0
+""",
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# LOOM108: sanitizer isolation
+# ----------------------------------------------------------------------
+def test_module_scope_sanitizer_import_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        hot="""
+from . import sanitizer
+""",
+    )
+    assert codes(result) == ["LOOM108"]
+
+
+def test_env_guarded_sanitizer_import_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        hot="""
+import os
+
+if os.environ.get("LOOMSAN") == "1":
+    from repro.core.sanitizer import install
+
+    install()
+""",
+    )
+    assert result.violations == []
+
+
+def test_function_scope_sanitizer_import_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        hot="""
+def enable():
+    from repro.core import sanitizer
+
+    sanitizer.install()
+""",
+    )
+    assert result.violations == []
+
+
+def test_sanitizer_module_itself_exempt(tmp_path):
+    result = lint(
+        tmp_path,
+        sanitizer="""
+import repro.core.sanitizer
+""",
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# LOOM109: shadow totality
+# ----------------------------------------------------------------------
+_RECORD_LOG_SRC = """
+class RecordLog:
+    def _publish(self):
+        "Publication order: payload stores before the watermark."
+
+    def define_source(self): pass
+    def close_source(self): pass
+    def define_index(self): pass
+    def close_index(self): pass
+    def push(self): pass
+    def push_many(self): pass
+    def sync(self): pass
+    def close(self): pass
+    def reopen(self): pass
+"""
+
+_SHADOW_MIRRORS = [
+    "define_source",
+    "close_source",
+    "define_index",
+    "close_index",
+    "push",
+    "push_many",
+    "sync",
+    "close",
+    "reopen",
+]
+
+
+def _shadow_src(mirrors, extra=()):
+    lines = ["class ShadowLog:"]
+    for name in mirrors:
+        lines.append(f"    def on_{name}(self): pass")
+    for name in extra:
+        lines.append(f"    def on_{name}(self): pass")
+    return "\n".join(lines) + "\n"
+
+
+def test_complete_shadow_surface_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        record_log=_RECORD_LOG_SRC,
+        sanitizer=_shadow_src(_SHADOW_MIRRORS),
+    )
+    assert result.violations == []
+
+
+def test_missing_shadow_mirror_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        record_log=_RECORD_LOG_SRC,
+        sanitizer=_shadow_src([m for m in _SHADOW_MIRRORS if m != "push_many"]),
+    )
+    assert codes(result) == ["LOOM109"]
+    assert "on_push_many" in result.violations[0].message
+
+
+def test_unmapped_shadow_mirror_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        record_log=_RECORD_LOG_SRC,
+        sanitizer=_shadow_src(_SHADOW_MIRRORS, extra=["truncate"]),
+    )
+    assert codes(result) == ["LOOM109"]
+    assert "on_truncate" in result.violations[0].message
+
+
+def test_shadow_rule_inert_without_both_classes(tmp_path):
+    result = lint(tmp_path, record_log=_RECORD_LOG_SRC)
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# LOOM110: stable schedule alphabet
+# ----------------------------------------------------------------------
+def test_computed_yield_label_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def poke(self, name):
+        yieldpoints.note(f"dyn.{name}")
+""",
+    )
+    assert codes(result) == ["LOOM110"]
+    assert "computed" in result.violations[0].message
+
+
+def test_nonconforming_literal_label_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def poke(self):
+        yieldpoints.hit("Block Recycled!")
+""",
+    )
+    assert codes(result) == ["LOOM110"]
+    assert "alphabet" in result.violations[0].message
+
+
+def test_dotted_literal_label_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        blk="""
+class Block:
+    def poke(self):
+        yieldpoints.hit("block.recycle.begin", block=self)
+        yieldpoints.note("block.try_copy.version1", version=2)
+""",
+    )
+    assert result.violations == []
+
+
+def test_foreign_wire_format_key_flagged(tmp_path):
+    result = lint(
+        tmp_path,
+        schedule="""
+class FuzzSchedule:
+    def to_json(self):
+        payload = {
+            "version": 1,
+            "seed": self.seed,
+            "steps": list(self.steps),
+            "trace": list(self.trace),
+            "error": self.error,
+            "recorded_at": self.wall_clock,
+        }
+        return payload
+""",
+    )
+    assert codes(result) == ["LOOM110"]
+    assert "recorded_at" in result.violations[0].message
+
+
+def test_declared_wire_format_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        schedule="""
+class FuzzSchedule:
+    def to_json(self):
+        return {
+            "version": 1,
+            "seed": self.seed,
+            "steps": list(self.steps),
+            "trace": list(self.trace),
+            "error": self.error,
+        }
+""",
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions and baseline
 # ----------------------------------------------------------------------
 def test_line_suppression_by_code_and_slug(tmp_path):
@@ -546,6 +827,104 @@ class Block:
         text=True,
     )
     assert missing.returncode == 2
+
+
+def test_update_baseline_verb_round_trips(tmp_path):
+    make_core(
+        tmp_path,
+        blk="""
+class Block:
+    def a(self):
+        self._version += 1
+""",
+    )
+    env = dict(os.environ, PYTHONPATH=_REPO_ROOT)
+    baseline = tmp_path / "accepted.json"
+
+    update = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.loomlint",
+            "repro/",
+            "--baseline",
+            str(baseline),
+            "--update-baseline",
+        ],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert update.returncode == 0, update.stderr
+    entries = json.loads(baseline.read_text())
+    assert entries == [
+        {
+            "rule": "LOOM102",
+            "path": "repro/core/blk.py",
+            "symbol": "repro.core.blk.Block.a",
+        }
+    ]
+
+    # The same tree now lints clean against the written baseline...
+    clean = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.loomlint",
+            "repro/",
+            "--baseline",
+            str(baseline),
+        ],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    assert "1 baselined" in clean.stdout
+
+    # ...and re-updating after the fix empties the baseline instead of
+    # accumulating stale entries.
+    (tmp_path / "repro" / "core" / "blk.py").write_text(
+        "class Block:\n    pass\n"
+    )
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.loomlint",
+            "repro/",
+            "--baseline",
+            str(baseline),
+            "--update-baseline",
+        ],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert json.loads(baseline.read_text()) == []
+
+
+def test_update_baseline_conflicts_with_no_baseline(tmp_path):
+    env = dict(os.environ, PYTHONPATH=_REPO_ROOT)
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "tools.loomlint",
+            "--update-baseline",
+            "--no-baseline",
+        ],
+        cwd=str(tmp_path),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 2
+    assert "mutually exclusive" in proc.stderr
 
 
 def test_list_rules_covers_registry(tmp_path):

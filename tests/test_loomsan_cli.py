@@ -1,0 +1,79 @@
+"""End-to-end tests for the ``loomsan`` CLI (tools/loomsan).
+
+Each verb is exercised as a subprocess, pinning the documented exit
+codes: 0 success (clean, or --mutant self-test caught the seeded bug,
+or a replay reproduced), 1 failure, 2 usage error.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_loomsan(*args, cwd=None):
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.pathsep.join(
+            [_REPO_ROOT, os.path.join(_REPO_ROOT, "src")]
+        ),
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "tools.loomsan", *args],
+        cwd=str(cwd or _REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_fuzz_mutant_self_test_records_replayable_schedule(tmp_path):
+    out_dir = tmp_path / "schedules"
+    fuzz = run_loomsan(
+        "fuzz",
+        "--mutant",
+        "--stop-on-failure",
+        "--seed",
+        "20250806",
+        "--out",
+        str(out_dir),
+    )
+    assert fuzz.returncode == 0, fuzz.stdout + fuzz.stderr
+    assert "self-test passed" in fuzz.stdout
+    recorded = sorted(out_dir.glob("schedule-*.json"))
+    assert recorded, "no failing schedule was written"
+    payload = json.loads(recorded[0].read_text())
+    assert payload["version"] == 1
+    assert set(payload) == {"version", "seed", "steps", "trace", "error"}
+
+    replay = run_loomsan("replay", str(recorded[0]), "--mutant")
+    assert replay.returncode == 0, replay.stdout + replay.stderr
+    assert "identical trace and verdict" in replay.stdout
+
+
+def test_fuzz_real_block_is_clean():
+    proc = run_loomsan("fuzz", "--budget", "50")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "zero findings" in proc.stdout
+
+
+def test_dfs_mutant_self_test_passes():
+    proc = run_loomsan("dfs", "--mutant")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "flagged under DFS" in proc.stdout
+
+
+def test_shadow_verb_runs_oracles():
+    proc = run_loomsan("shadow", "--records", "100")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 divergence(s)" in proc.stdout
+
+
+def test_usage_errors_exit_2(tmp_path):
+    no_verb = run_loomsan()
+    assert no_verb.returncode == 2
+
+    missing = run_loomsan("replay", str(tmp_path / "nope.json"))
+    assert missing.returncode == 2

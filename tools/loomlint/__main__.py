@@ -1,7 +1,11 @@
-"""CLI entry point: ``python -m tools.loomlint [paths...]``.
+"""CLI entry point: ``python -m tools.loomlint [paths...]`` (or ``loomlint``).
 
-Exit status: 0 when clean (every violation suppressed or baselined),
-1 when new violations exist, 2 on usage errors.
+Exit status (stable, scripts may rely on it):
+
+* ``0`` — clean: every violation was suppressed or baselined, or
+  ``--update-baseline`` rewrote the baseline successfully.
+* ``1`` — new (un-baselined, un-suppressed) violations exist.
+* ``2`` — usage error: unknown paths, bad flag combinations.
 """
 
 from __future__ import annotations
@@ -12,15 +16,15 @@ import sys
 from typing import List, Optional
 
 from .config import RULES
-from .linter import run
+from .linter import run, save_baseline
 
 _DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m tools.loomlint",
-        description="Loom concurrency-invariant linter (AST rules LOOM101-106).",
+        prog="loomlint",
+        description="Loom concurrency-invariant linter (AST rules LOOM101-110).",
     )
     parser.add_argument(
         "paths",
@@ -37,6 +41,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-baseline",
         action="store_true",
         help="ignore the baseline file; report every violation",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file to accept every current violation "
+            "(suppressed lines stay suppressed, not baselined) and exit 0"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -56,10 +68,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"    {description}")
         return 0
 
+    if args.update_baseline and args.no_baseline:
+        print(
+            "loomlint: --update-baseline and --no-baseline are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
+
     missing = [p for p in args.paths if not os.path.exists(p)]
     if missing:
         print(f"loomlint: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
+
+    if args.update_baseline:
+        # Lint without the old baseline so accepted-but-fixed entries
+        # drop out instead of accumulating forever.
+        result = run(args.paths, root=os.getcwd(), baseline_path=None)
+        count = save_baseline(args.baseline, result.violations)
+        print(
+            f"loomlint: baseline updated with {count} entr"
+            f"{'y' if count == 1 else 'ies'} -> {args.baseline}"
+        )
+        return 0
 
     baseline_path = None if args.no_baseline else args.baseline
     result = run(args.paths, root=os.getcwd(), baseline_path=baseline_path)

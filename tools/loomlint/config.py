@@ -52,6 +52,36 @@ RULES = {
         "a docstring naming the contract (the convention is the spec; "
         "losing the docstring is how the invariant regresses)",
     ),
+    "LOOM107": (
+        "seqlock-mutation-visibility",
+        "every store to seqlock-guarded block state (base_address, "
+        "filled) must sit inside a version bracket or in a function that "
+        "carries a yield-point marker, so the sanitizer's race detector "
+        "observes every mutation it is asked to order (section 5.5)",
+    ),
+    "LOOM108": (
+        "sanitizer-isolation",
+        "production modules (src/repro) must not import the sanitizer "
+        "at module scope unless the import is guarded by the LOOMSAN "
+        "environment check or deferred into a function; the shadow "
+        "model must stay out of unsanitized processes",
+    ),
+    "LOOM109": (
+        "shadow-totality",
+        "the shadow model must stay total over the public ingest "
+        "surface: every RecordLog ingest/lifecycle method has an "
+        "on_<name> mirror on ShadowLog, and every mirror corresponds "
+        "to a declared surface method (drift in either direction means "
+        "the differential oracles silently stop covering an operation)",
+    ),
+    "LOOM110": (
+        "stable-schedule-alphabet",
+        "fuzzer schedules serialize only through the stable label "
+        "alphabet: yield-point labels in core are literal dotted "
+        "identifiers (never computed), and the FuzzSchedule wire format "
+        "contains only its declared fields (object identities or "
+        "ephemeral values would break cross-process replay)",
+    ),
 }
 
 # ----------------------------------------------------------------------
@@ -238,6 +268,55 @@ SWALLOWABLE_EXCEPTIONS = frozenset(
         "BaseException",
     }
 )
+
+# ----------------------------------------------------------------------
+# LOOM107: seqlock-guarded block state.  Stores to these attributes are
+# the mutations the race detector must be able to observe: either they
+# happen inside a version bracket (between paired `_version += 1` bumps)
+# or the mutating function carries a yield-point marker
+# (`yieldpoints.hit` / `yieldpoints.note`).  ``__init__`` is exempt —
+# construction precedes sharing.
+# ----------------------------------------------------------------------
+SEQLOCK_STATE_ATTRS = frozenset({"base_address", "filled"})
+
+# ----------------------------------------------------------------------
+# LOOM108: the sanitizer module and the tokens that mark a legitimate
+# environment guard around its import.
+# ----------------------------------------------------------------------
+SANITIZER_MODULE_NAMES = frozenset({"sanitizer", "repro.core.sanitizer"})
+SANITIZER_SELF_SUFFIX = "repro/core/sanitizer.py"
+ENV_GUARD_TOKENS = ("LOOMSAN", "environ", "getenv")
+
+# ----------------------------------------------------------------------
+# LOOM109: the public ingest/lifecycle surface of RecordLog that the
+# shadow model mirrors.  Each name here must exist as
+# ``RecordLog.<name>`` and as ``ShadowLog.on_<name>``; conversely every
+# ``ShadowLog.on_*`` method must appear here.  Growing the ingest
+# surface therefore forces a matching shadow mirror (totality).
+# ----------------------------------------------------------------------
+SHADOW_SURFACE = (
+    "define_source",
+    "close_source",
+    "define_index",
+    "close_index",
+    "push",
+    "push_many",
+    "sync",
+    "close",
+    "reopen",
+)
+RECORD_LOG_QUALNAME = "repro.core.record_log.RecordLog"
+SHADOW_LOG_QUALNAME = "repro.core.sanitizer.ShadowLog"
+
+# ----------------------------------------------------------------------
+# LOOM110: the stable schedule-serialization alphabet.  Yield-point
+# labels must be literal strings matching the dotted-identifier shape
+# below, and the FuzzSchedule JSON payload may contain only these keys.
+# ----------------------------------------------------------------------
+YIELD_LABEL_PATTERN = r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$"
+YIELD_CALL_NAMES = frozenset({"hit", "note"})
+FUZZ_SCHEDULE_FIELDS = frozenset({"version", "seed", "steps", "trace", "error"})
+FUZZ_SCHEDULE_QUALNAME = "repro.core.schedule.FuzzSchedule"
 
 # ----------------------------------------------------------------------
 # LOOM106: contract functions and the keyword(s) at least one of which

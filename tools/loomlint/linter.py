@@ -36,7 +36,10 @@ from .config import (
     CLOCK_EXEMPT_SUFFIXES,
     CONTRACT_DOCSTRINGS,
     CORE_PATH_FRAGMENT,
+    ENV_GUARD_TOKENS,
     FLUSH_CRITICAL_MODULES,
+    FUZZ_SCHEDULE_FIELDS,
+    FUZZ_SCHEDULE_QUALNAME,
     GENERIC_METHOD_NAMES,
     LOCAL_TYPES,
     NONDETERMINISTIC_CALLS,
@@ -47,8 +50,16 @@ from .config import (
     PUBLISH_CALL_NAMES,
     PUBLISH_STORE_ATTRS,
     READER_ROOTS,
+    RECORD_LOG_QUALNAME,
     RULES,
+    SANITIZER_MODULE_NAMES,
+    SANITIZER_SELF_SUFFIX,
+    SEQLOCK_STATE_ATTRS,
+    SHADOW_LOG_QUALNAME,
+    SHADOW_SURFACE,
     SWALLOWABLE_EXCEPTIONS,
+    YIELD_CALL_NAMES,
+    YIELD_LABEL_PATTERN,
 )
 
 _SLUG_TO_CODE = {slug: code for code, (slug, _) in RULES.items()}
@@ -757,6 +768,284 @@ def rule_contract_docstrings(index: ProjectIndex) -> List[Violation]:
     return violations
 
 
+def rule_seqlock_mutation_visibility(index: ProjectIndex) -> List[Violation]:
+    """LOOM107: seqlock-state stores are bracketed or carry a marker."""
+    violations: List[Violation] = []
+    for fn in sorted(index.functions.values(), key=lambda f: (f.path, f.qualname)):
+        if CORE_PATH_FRAGMENT not in fn.path or fn.name == "__init__":
+            continue
+        stores: List[Tuple[int, str]] = []
+        bumps: List[int] = []
+        has_marker = False
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in SEQLOCK_STATE_ATTRS
+                    ):
+                        stores.append((sub.lineno, target.attr))
+                if (
+                    isinstance(sub, ast.AugAssign)
+                    and isinstance(sub.target, ast.Attribute)
+                    and sub.target.attr == "_version"
+                ):
+                    bumps.append(sub.lineno)
+            elif isinstance(sub, ast.Call):
+                dotted = _dotted_name(sub.func)
+                if dotted is not None and dotted.startswith("yieldpoints."):
+                    if dotted.split(".", 1)[1] in YIELD_CALL_NAMES:
+                        has_marker = True
+        if not stores or has_marker:
+            continue
+        bracket = (min(bumps), max(bumps)) if len(bumps) >= 2 else None
+        for lineno, attr in stores:
+            if bracket is not None and bracket[0] < lineno < bracket[1]:
+                continue
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=lineno,
+                    rule="LOOM107",
+                    symbol=fn.qualname,
+                    message=(
+                        f"store to seqlock-guarded `{attr}` is neither "
+                        f"inside a version bracket nor in a function with "
+                        f"a yield-point marker; the race detector cannot "
+                        f"order a mutation it never observes"
+                    ),
+                )
+            )
+    return violations
+
+
+def rule_sanitizer_isolation(index: ProjectIndex) -> List[Violation]:
+    """LOOM108: production code imports the sanitizer only behind a guard."""
+    violations: List[Violation] = []
+    for sf in index.files:
+        if "src/repro/" not in sf.path and not sf.module.startswith("repro."):
+            continue
+        if sf.path.endswith(SANITIZER_SELF_SUFFIX):
+            continue
+        guarded_spans = _env_guarded_spans(sf.tree)
+        function_spans = [
+            _node_span(node)
+            for node in ast.walk(sf.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for node in ast.walk(sf.tree):
+            target: Optional[str] = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in SANITIZER_MODULE_NAMES:
+                        target = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module in SANITIZER_MODULE_NAMES or module.endswith(
+                    ".sanitizer"
+                ):
+                    target = module
+                elif any(a.name == "sanitizer" for a in node.names):
+                    target = f"{module}.sanitizer" if module else "sanitizer"
+            if target is None:
+                continue
+            line = node.lineno
+            if any(start <= line <= end for start, end in guarded_spans):
+                continue
+            if any(start <= line <= end for start, end in function_spans):
+                continue
+            violations.append(
+                Violation(
+                    path=sf.path,
+                    line=line,
+                    rule="LOOM108",
+                    symbol=sf.module,
+                    message=(
+                        f"module-scope import of `{target}` in production "
+                        f"code without a LOOMSAN environment guard; the "
+                        f"shadow model must not load into unsanitized "
+                        f"processes"
+                    ),
+                )
+            )
+    return violations
+
+
+def _env_guarded_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Line spans of `if` bodies whose test consults the environment."""
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        rendered = _render(node.test)
+        if any(token in rendered for token in ENV_GUARD_TOKENS):
+            spans.append(_node_span(node))
+    return spans
+
+
+def _node_span(node: ast.AST) -> Tuple[int, int]:
+    lineno = getattr(node, "lineno", 1)
+    end = getattr(node, "end_lineno", lineno) or lineno
+    return lineno, end
+
+
+def rule_shadow_totality(index: ProjectIndex) -> List[Violation]:
+    """LOOM109: ShadowLog mirrors exactly the declared ingest surface."""
+    violations: List[Violation] = []
+    record_log = index.classes.get(RECORD_LOG_QUALNAME)
+    shadow = index.classes.get(SHADOW_LOG_QUALNAME)
+    if record_log is None or shadow is None:
+        # Only meaningful when both sides were analyzed; linting a
+        # subtree must not demand the whole project.
+        return violations
+    shadow_sf = next(
+        (sf for sf in index.files if sf.module == shadow.module), None
+    )
+    shadow_path = shadow_sf.path if shadow_sf is not None else "src"
+    for name in SHADOW_SURFACE:
+        if name not in record_log.methods:
+            violations.append(
+                Violation(
+                    path=shadow_path,
+                    line=1,
+                    rule="LOOM109",
+                    symbol=f"{RECORD_LOG_QUALNAME}.{name}",
+                    message=(
+                        f"ingest-surface method RecordLog.{name} is "
+                        f"declared in SHADOW_SURFACE but missing from "
+                        f"RecordLog; prune the surface list or restore "
+                        f"the method"
+                    ),
+                )
+            )
+        if f"on_{name}" not in shadow.methods:
+            violations.append(
+                Violation(
+                    path=shadow_path,
+                    line=1,
+                    rule="LOOM109",
+                    symbol=f"{SHADOW_LOG_QUALNAME}.on_{name}",
+                    message=(
+                        f"shadow model is missing `on_{name}`: the "
+                        f"differential oracles no longer cover "
+                        f"RecordLog.{name}; the shadow API must stay "
+                        f"total over the ingest surface"
+                    ),
+                )
+            )
+    surface = set(SHADOW_SURFACE)
+    for method_name, fn in sorted(shadow.methods.items()):
+        if not method_name.startswith("on_") or method_name == "on_event":
+            continue
+        if method_name[3:] not in surface:
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=fn.node.lineno,
+                    rule="LOOM109",
+                    symbol=fn.qualname,
+                    message=(
+                        f"shadow mirror `{method_name}` has no "
+                        f"corresponding entry in SHADOW_SURFACE; declare "
+                        f"the surface method so the mapping stays total "
+                        f"in both directions"
+                    ),
+                )
+            )
+    return violations
+
+
+_YIELD_LABEL_RE = re.compile(YIELD_LABEL_PATTERN)
+
+
+def rule_stable_schedule_alphabet(index: ProjectIndex) -> List[Violation]:
+    """LOOM110: literal yield labels; FuzzSchedule serializes only its fields."""
+    violations: List[Violation] = []
+    for sf in index.files:
+        if CORE_PATH_FRAGMENT not in sf.path:
+            continue
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None or not dotted.startswith("yieldpoints."):
+                continue
+            if dotted.split(".", 1)[1] not in YIELD_CALL_NAMES:
+                continue
+            symbol = _enclosing_symbol(index, sf, node.lineno)
+            if not node.args:
+                continue
+            label = node.args[0]
+            if not (isinstance(label, ast.Constant) and isinstance(label.value, str)):
+                violations.append(
+                    Violation(
+                        path=sf.path,
+                        line=node.lineno,
+                        rule="LOOM110",
+                        symbol=symbol,
+                        message=(
+                            f"yield-point label `{_render(label)}` is "
+                            f"computed, not a string literal; recorded "
+                            f"schedules can only replay against a stable "
+                            f"label alphabet"
+                        ),
+                    )
+                )
+            elif not _YIELD_LABEL_RE.match(label.value):
+                violations.append(
+                    Violation(
+                        path=sf.path,
+                        line=node.lineno,
+                        rule="LOOM110",
+                        symbol=symbol,
+                        message=(
+                            f"yield-point label {label.value!r} does not "
+                            f"match the dotted-identifier alphabet "
+                            f"({YIELD_LABEL_PATTERN}); keep labels "
+                            f"machine-stable"
+                        ),
+                    )
+                )
+    fuzz = index.classes.get(FUZZ_SCHEDULE_QUALNAME)
+    if fuzz is not None:
+        for method_name in ("to_json", "from_json"):
+            fn = fuzz.methods.get(method_name)
+            if fn is None:
+                continue
+            for sub in ast.walk(fn.node):
+                if not isinstance(sub, ast.Dict):
+                    continue
+                for key in sub.keys:
+                    if key is None:
+                        rendered = "**<dynamic>"
+                    elif isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        if key.value in FUZZ_SCHEDULE_FIELDS:
+                            continue
+                        rendered = repr(key.value)
+                    else:
+                        rendered = _render(key)
+                    violations.append(
+                        Violation(
+                            path=fn.path,
+                            line=sub.lineno,
+                            rule="LOOM110",
+                            symbol=fn.qualname,
+                            message=(
+                                f"FuzzSchedule wire format contains "
+                                f"undeclared key {rendered}; the format "
+                                f"is an API — extend FUZZ_SCHEDULE_FIELDS "
+                                f"and bump FORMAT_VERSION instead"
+                            ),
+                        )
+                    )
+    return violations
+
+
 def _enclosing_symbol(index: ProjectIndex, sf: SourceFile, lineno: int) -> str:
     best: Optional[FunctionInfo] = None
     best_start = -1
@@ -777,6 +1066,10 @@ ALL_RULES = (
     rule_nondeterminism,
     rule_exception_hygiene,
     rule_contract_docstrings,
+    rule_seqlock_mutation_visibility,
+    rule_sanitizer_isolation,
+    rule_shadow_totality,
+    rule_stable_schedule_alphabet,
 )
 
 
@@ -819,6 +1112,24 @@ def load_baseline(path: Optional[str]) -> Set[Tuple[str, str, str]]:
         (entry["rule"], entry["path"], entry["symbol"])
         for entry in entries
     }
+
+
+def save_baseline(path: str, violations: Sequence[Violation]) -> int:
+    """Write ``violations`` as the new accepted baseline; return the count.
+
+    Entries are keyed like :meth:`Violation.baseline_key` — (rule, path,
+    symbol), deliberately *not* line numbers, so unrelated edits that
+    shift code do not invalidate the baseline.
+    """
+    keys = sorted({v.baseline_key() for v in violations})
+    payload = [
+        {"rule": rule, "path": rel_path, "symbol": symbol}
+        for rule, rel_path, symbol in keys
+    ]
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    return len(payload)
 
 
 def run(
