@@ -185,7 +185,7 @@ def _publish_interval_sweep(report):
             loom.push(1, payload)
         ingest_s = time.perf_counter() - start
         # Recency: how many pushed records are visible *before* a sync?
-        visible = len(loom.raw_scan(1, (0, 2**63 - 1)))
+        visible = len(loom.scan(1, (0, 2**63 - 1)).records or [])
         rows.append(
             [
                 publish_interval,

@@ -126,13 +126,17 @@ def loom_max_request(loaded, t_range, stats=None):
     loom = loaded.loom
     snap = loom.snapshot()
     index_id = loaded.daemon.index_id("app", "latency")
-    result = loom.indexed_aggregate(
-        events.SRC_APP, index_id, t_range, "max", snapshot=snap, stats=stats
+    agg = loom.aggregate(
+        events.SRC_APP, index_id, t_range, "max", snapshot=snap
     )
-    return loom.indexed_scan(
-        events.SRC_APP, index_id, t_range, (result.value, result.value),
-        snapshot=snap, stats=stats,
+    scan = loom.scan_indexed(
+        events.SRC_APP, index_id, t_range, (agg.value, agg.value),
+        snapshot=snap,
     )
+    if stats is not None:
+        stats.merge(agg.stats)
+        stats.merge(scan.stats)
+    return scan.records or []
 
 
 def fishstore_max_request(loaded, t_range):
@@ -153,7 +157,10 @@ def tsdb_max_request(loaded, t_range):
 
 
 def loom_packet_dump(loaded, window, stats=None):
-    return loaded.loom.raw_scan(events.SRC_PACKET, window, stats=stats)
+    result = loaded.loom.scan(events.SRC_PACKET, window)
+    if stats is not None:
+        stats.merge(result.stats)
+    return result.records or []
 
 
 def fishstore_packet_dump(loaded, window):

@@ -35,10 +35,10 @@ def rocks():
 # P1: application max / tail latency
 # ----------------------------------------------------------------------
 def loom_app_max(loaded, t_range, stats=None):
-    return loaded.loom.indexed_aggregate(
-        events.SRC_APP, loaded.daemon.index_id("app", "latency"), t_range, "max",
-        stats=stats,
-    ).value
+    result = loaded.daemon.aggregate("app", "latency", t_range, "max")
+    if stats is not None:
+        stats.merge(result.stats)
+    return result.value
 
 
 def fishstore_app_max(loaded, t_range):
@@ -58,14 +58,12 @@ def tsdb_app_max(loaded, t_range):
 
 
 def loom_app_tail(loaded, t_range, stats=None):
-    return loaded.loom.indexed_aggregate(
-        events.SRC_APP,
-        loaded.daemon.index_id("app", "latency"),
-        t_range,
-        "percentile",
-        percentile=99.99,
-        stats=stats,
-    ).value
+    result = loaded.daemon.aggregate(
+        "app", "latency", t_range, "percentile", percentile=99.99
+    )
+    if stats is not None:
+        stats.merge(result.stats)
+    return result.value
 
 
 def fishstore_app_tail(loaded, t_range):
@@ -88,13 +86,10 @@ def tsdb_app_tail(loaded, t_range):
 # ----------------------------------------------------------------------
 def loom_pread_max(loaded, t_range, stats=None):
     # The sentinel (-1) for non-pread records never wins a max.
-    return loaded.loom.indexed_aggregate(
-        events.SRC_SYSCALL,
-        loaded.daemon.index_id("syscall", "pread-latency"),
-        t_range,
-        "max",
-        stats=stats,
-    ).value
+    result = loaded.daemon.aggregate("syscall", "pread-latency", t_range, "max")
+    if stats is not None:
+        stats.merge(result.stats)
+    return result.value
 
 
 def fishstore_pread_max(loaded, t_range):

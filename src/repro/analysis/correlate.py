@@ -6,10 +6,10 @@ querying each source *around the timestamps* of anomalies in another.
 These helpers compose Loom's operators into that workflow:
 
 * :func:`records_above_percentile` — the data-dependent value-range query
-  ("requests above the 99.99th percentile"): an ``indexed_aggregate``
-  percentile followed by an ``indexed_scan`` above the result.
+  ("requests above the 99.99th percentile"): a percentile ``aggregate``
+  followed by a ``scan_indexed`` above the result.
 * :func:`correlate_windows` — for each anchor record, fetch records of
-  another source within a ± window (``raw_scan`` per anchor).
+  another source within a ± window (one ``scan`` per anchor).
 * :class:`CorrelationReport` — pairs every anchor with its correlates and
   counts coverage, which is how the tests assert that Loom finds all six
   needles while a sampled store cannot.
@@ -61,23 +61,28 @@ def records_above_percentile(
 ) -> Tuple[Optional[float], List[Record]]:
     """Data-dependent range query: records at/above the p-th percentile.
 
-    Composes ``indexed_aggregate`` (find the threshold) with
-    ``indexed_scan`` (fetch records at or above it), pinned to one
-    snapshot so the two steps see identical data.  A caller-supplied
-    ``stats`` accumulates the work counters of both steps.
+    Composes ``aggregate`` (find the threshold) with ``scan_indexed``
+    (fetch records at or above it), pinned to one snapshot so the two
+    steps see identical data.  A caller-supplied ``stats`` accumulates
+    the work counters of both steps (merged from each
+    :class:`~repro.core.operators.QueryResult`).
     """
     snap = snapshot or loom.snapshot()
-    result = loom.indexed_aggregate(
+    result = loom.aggregate(
         source_id, index_id, t_range, "percentile", percentile=percentile,
-        snapshot=snap, stats=stats,
+        snapshot=snap,
     )
+    if stats is not None:
+        stats.merge(result.stats)
     if result.value is None:
         return None, []
-    records = loom.indexed_scan(
+    scan = loom.scan_indexed(
         source_id, index_id, t_range, (result.value, float("inf")),
-        snapshot=snap, stats=stats,
+        snapshot=snap,
     )
-    return result.value, records
+    if stats is not None:
+        stats.merge(scan.stats)
+    return result.value, scan.records or []
 
 
 def correlate_windows(
@@ -103,7 +108,7 @@ def correlate_windows(
             anchor.timestamp - window_before_ns,
             anchor.timestamp + window_after_ns,
         )
-        found = loom.raw_scan(target_source_id, t_range, snapshot=snap)
+        found = loom.scan(target_source_id, t_range, snapshot=snap).records or []
         if predicate is not None:
             found = [r for r in found if predicate(r)]
         report.matches.append((anchor, found))

@@ -27,10 +27,23 @@ from .histogram import (
     uniform_edges,
 )
 from .hybridlog import NULL_ADDRESS, Health, HybridLog, LogStats
-from .loom import Loom
+from .loom import Introspection, Loom, SourceIntrospection
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    LATENCY_EDGES_NS,
+    MetricValue,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
 from .operators import (
     AggregateResult,
+    QueryResult,
     QueryStats,
+    QueryTrace,
+    TraceEvent,
     indexed_aggregate,
     indexed_scan,
     raw_scan,
@@ -60,24 +73,35 @@ __all__ = [
     "Clock",
     "ClosedError",
     "CorruptionError",
+    "Counter",
     "FaultInjectingStorage",
     "FileStorage",
+    "Gauge",
     "HEADER_SIZE",
     "Health",
+    "Histogram",
+    "HistogramSnapshot",
     "HistogramSpec",
     "HistogramSpecError",
     "HybridLog",
     "IndexDefinition",
+    "Introspection",
+    "LATENCY_EDGES_NS",
     "LogStats",
     "Loom",
     "LoomConfig",
     "LoomError",
     "MemoryStorage",
+    "MetricValue",
+    "MetricsRegistry",
     "MonotonicClock",
     "NULL_ADDRESS",
     "PAPER_CONFIG",
+    "QueryResult",
     "QueryStats",
+    "QueryTrace",
     "Record",
+    "RegistrySnapshot",
     "RecoveredSource",
     "RecoveredState",
     "RecordLog",
@@ -85,8 +109,10 @@ __all__ = [
     "SnapshotConflictError",
     "SnapshotRetry",
     "SourceChunkInfo",
+    "SourceIntrospection",
     "SourceState",
     "Storage",
+    "TraceEvent",
     "StorageError",
     "TimestampIndex",
     "UnknownIndexError",

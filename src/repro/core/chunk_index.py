@@ -25,6 +25,7 @@ from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional
 
 from .hybridlog import HybridLog
+from .metrics import LogScope
 from .storage import Storage
 from .summary import ChunkSummary
 
@@ -42,6 +43,7 @@ class ChunkIndex:
         frame_journal: Optional[Storage] = None,
         flush_retries: int = 3,
         flush_backoff: float = 0.001,
+        scope: Optional["LogScope"] = None,
     ) -> None:
         self.log = HybridLog(
             storage=storage,
@@ -50,6 +52,7 @@ class ChunkIndex:
             frame_journal=frame_journal,
             flush_retries=flush_retries,
             flush_backoff=flush_backoff,
+            scope=scope,
         )
         # Decoded mirror of finalized summaries, in chunk order.  Guarded by
         # a lock only for structural append vs. concurrent len() snapshots;

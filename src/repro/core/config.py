@@ -51,6 +51,11 @@ class LoomConfig:
             exponential backoff) before the log enters the FAILED state.
         flush_backoff: base backoff in seconds between flush retries
             (doubles per attempt).
+        metrics_enabled: maintain the loomscope self-observation
+            registry (ingest counters, flush-latency histograms, reader
+            fallback counters — see :mod:`repro.core.metrics`).  On by
+            default; the observability overhead benchmark uses the off
+            mode as its uninstrumented baseline.
     """
 
     chunk_size: int = 16 * 1024
@@ -66,6 +71,7 @@ class LoomConfig:
     verify_on_read: bool = False
     flush_retries: int = 3
     flush_backoff: float = 0.001
+    metrics_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:

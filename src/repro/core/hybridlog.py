@@ -40,6 +40,7 @@ from typing import Optional
 from . import yieldpoints
 from .block import Block
 from .errors import AddressError, ClosedError, SnapshotRetry, StorageError
+from .metrics import LogScope
 from .storage import MemoryStorage, Storage
 
 #: Sentinel address meaning "no previous record" in back-pointer chains.
@@ -114,6 +115,10 @@ class HybridLog:
             exponential backoff) before the log enters the FAILED state.
         flush_backoff: base backoff in seconds; attempt ``i`` sleeps
             ``flush_backoff * 2**i``.
+        scope: optional loomscope instrument bundle.  Flush instruments
+            are written only by the thread running the flush; the
+            reader-side counters are advisory (see
+            :class:`~repro.core.metrics.LogScope`).
     """
 
     def __init__(
@@ -124,6 +129,7 @@ class HybridLog:
         frame_journal: Optional[Storage] = None,
         flush_retries: int = 3,
         flush_backoff: float = 0.001,
+        scope: Optional[LogScope] = None,
     ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
@@ -143,6 +149,7 @@ class HybridLog:
         self._flush_retries = flush_retries
         self._flush_backoff = flush_backoff
         self._health = Health.HEALTHY
+        self._scope = scope
 
         self._threaded = threaded_flush
         self._flush_queue: "queue.Queue[Optional[Block]]" = queue.Queue(maxsize=2)
@@ -256,6 +263,10 @@ class HybridLog:
             self._journal.append(FRAME_ENTRY.pack(base, len(data), crc32(data)))
         self.stats.block_flushes += 1
         self.stats.bytes_flushed += len(data)
+        scope = self._scope
+        if scope is not None:
+            scope.flushes.inc()
+            scope.flushed_bytes.inc(len(data))
         # Recycle only *after* the bytes are readable from storage, so
         # readers that lose the seqlock race always find the data there.
         block.recycle()
@@ -269,20 +280,28 @@ class HybridLog:
         the original error is parked (appends surface it wrapped, with a
         fresh traceback), and the error is raised.
         """
+        scope = self._scope
         last_exc: Optional[StorageError] = None
         for attempt in range(self._flush_retries + 1):
             try:
+                started = scope.clock.now() if scope is not None else 0
                 self._flush_block(block)
+                if scope is not None:
+                    scope.flush_latency.observe(float(scope.clock.now() - started))
                 self._health = Health.HEALTHY
                 return
             except StorageError as exc:
                 last_exc = exc
                 self._health = Health.DEGRADED
                 self.stats.flush_retries += 1
+                if scope is not None:
+                    scope.flush_retries.inc()
                 if attempt < self._flush_retries:
                     time.sleep(self._flush_backoff * (2 ** attempt))
         self._health = Health.FAILED
         self._flush_error = last_exc
+        if scope is not None:
+            scope.flush_failures.inc()
         assert last_exc is not None  # the loop body ran at least once
         raise last_exc
 
@@ -417,9 +436,15 @@ class HybridLog:
                 # in persistent storage.  Fall back by re-entering the
                 # loop, which re-reads the storage size.
                 piece = None
+                if self._scope is not None:
+                    # Advisory, reader-thread counter: same dropped-
+                    # increment tolerance as note_fallback below.
+                    self._scope.snapshot_retries.inc()
             if piece is None:
                 yieldpoints.hit("hybridlog.read.fallback", log=self, address=pos)
                 self.stats.note_fallback()
+                if self._scope is not None:
+                    self._scope.reader_fallbacks.inc()
                 retries += 1
                 if retries > _READ_RETRIES:  # pragma: no cover - defensive
                     raise SnapshotRetry(

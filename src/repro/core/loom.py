@@ -26,19 +26,24 @@ sequence can pin a single consistent view across several operator calls.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from types import TracebackType
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 from .clock import Clock, MonotonicClock
 from .config import LoomConfig
 from .errors import LoomError
+from .histogram import HistogramSpec, IndexDefinition, IndexFunc
 from .hybridlog import Health
-from .histogram import HistogramSpec, IndexFunc
+from .metrics import Counter, MetricsRegistry, RegistrySnapshot
 from .operators import (
     AggregateResult,
     NEG_INF,
     POS_INF,
+    QueryResult,
     QueryStats,
+    QueryTrace,
     indexed_aggregate,
     indexed_scan,
     raw_scan,
@@ -50,6 +55,38 @@ from .snapshot import Snapshot
 TimeRange = Tuple[int, int]
 ValueRange = Tuple[float, float]
 RecordFunc = Callable[[Record], None]
+
+
+@dataclass(frozen=True)
+class SourceIntrospection:
+    """One source's state in an :class:`Introspection` snapshot."""
+
+    source_id: int
+    record_count: int
+    bytes_ingested: int
+    first_timestamp: int
+    last_timestamp: int
+    closed: bool
+    index_ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Introspection:
+    """One consistent view of a Loom instance's own state.
+
+    This is the unified introspection surface: the legacy accessors
+    (:meth:`Loom.health`, :meth:`Loom.footprint`,
+    :attr:`Loom.total_records`) are shorthands for individual fields of
+    this snapshot.  ``metrics`` carries the full loomscope registry
+    snapshot (per-instrument consistency; see
+    :mod:`repro.core.metrics`).
+    """
+
+    health: Health
+    total_records: int
+    footprint: Dict[str, int]
+    sources: Tuple[SourceIntrospection, ...]
+    metrics: RegistrySnapshot
 
 
 class Loom:
@@ -67,6 +104,7 @@ class Loom:
         self, config: Optional[LoomConfig] = None, clock: Optional[Clock] = None
     ) -> None:
         self._record_log = RecordLog(config=config, clock=clock or MonotonicClock())
+        self._query_counters: Dict[str, Counter] = {}
 
     @classmethod
     def open(
@@ -100,6 +138,7 @@ class Loom:
         loom._record_log = RecordLog.reopen(
             config=config, clock=clock, repair=repair, verify=verify
         )
+        loom._query_counters = {}
         return loom
 
     # ------------------------------------------------------------------
@@ -165,12 +204,109 @@ class Loom:
         self._record_log.sync(source_id)
 
     # ------------------------------------------------------------------
-    # Query operators
+    # Query operators (QueryResult API)
     # ------------------------------------------------------------------
     def snapshot(self) -> Snapshot:
         """Capture an explicit query snapshot (linearization point)."""
         return Snapshot.capture(self._record_log)
 
+    def scan(
+        self,
+        source_id: int,
+        t_range: TimeRange,
+        func: Optional[RecordFunc] = None,
+        snapshot: Optional[Snapshot] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Scan a source in a time range, newest record first.
+
+        With ``func`` given, applies it to each record and leaves
+        ``result.records`` as ``None`` (the paper's streaming UDF form);
+        otherwise the matching records are collected on the result.
+        ``trace=True`` attaches a per-stage :class:`QueryTrace`.
+        """
+        snap = snapshot or self.snapshot()
+        stats = QueryStats()
+        qtrace = QueryTrace() if trace else None
+        self._note_query("scan")
+        it = raw_scan(
+            snap, source_id, t_range[0], t_range[1], stats=stats, trace=qtrace
+        )
+        records = self._drive(it, func)
+        return QueryResult(
+            stats=stats,
+            records=records,
+            count=stats.records_matched,
+            trace=qtrace,
+            source=str(source_id),
+        )
+
+    def scan_indexed(
+        self,
+        source_id: int,
+        index_id: int,
+        t_range: TimeRange,
+        v_range: ValueRange = (NEG_INF, POS_INF),
+        func: Optional[RecordFunc] = None,
+        snapshot: Optional[Snapshot] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Scan a source in a time and value range using an index."""
+        snap = snapshot or self.snapshot()
+        index = self._check_index(source_id, index_id)
+        stats = QueryStats()
+        qtrace = QueryTrace() if trace else None
+        self._note_query("scan_indexed")
+        it = indexed_scan(
+            snap, source_id, index, t_range[0], t_range[1],
+            v_range[0], v_range[1], stats=stats, trace=qtrace,
+        )
+        records = self._drive(it, func)
+        return QueryResult(
+            stats=stats,
+            records=records,
+            count=stats.records_matched,
+            trace=qtrace,
+            source=str(source_id),
+        )
+
+    def aggregate(
+        self,
+        source_id: int,
+        index_id: int,
+        t_range: TimeRange,
+        method: str,
+        percentile: Optional[float] = None,
+        snapshot: Optional[Snapshot] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Aggregate a source in a time range using the specified method.
+
+        ``method``: count/sum/min/max/mean, or ``percentile`` with the
+        ``percentile`` argument in [0, 100] (exact, per section 4.3).
+        The aggregate lands on ``result.value``; ``result.count`` is the
+        number of records it covers.
+        """
+        snap = snapshot or self.snapshot()
+        index = self._check_index(source_id, index_id)
+        stats = QueryStats()
+        qtrace = QueryTrace() if trace else None
+        self._note_query("aggregate")
+        agg = indexed_aggregate(
+            snap, source_id, index, t_range[0], t_range[1], method,
+            percentile=percentile, stats=stats, trace=qtrace,
+        )
+        return QueryResult(
+            stats=agg.stats,
+            value=agg.value,
+            count=agg.count,
+            trace=qtrace,
+            source=str(source_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Deprecated query shims (pre-QueryResult signatures)
+    # ------------------------------------------------------------------
     def raw_scan(
         self,
         source_id: int,
@@ -179,15 +315,23 @@ class Loom:
         snapshot: Optional[Snapshot] = None,
         stats: Optional[QueryStats] = None,
     ) -> Optional[List[Record]]:
-        """Scan a source in a time range, newest record first.
+        """Deprecated: use :meth:`scan`, which returns a
+        :class:`~repro.core.operators.QueryResult`.
 
-        With ``func`` given, applies it to each record and returns ``None``
-        (the paper's streaming UDF form); otherwise returns the matching
-        records as a list.
+        Behaviour is unchanged — the record list (or ``None`` under the
+        streaming ``func`` form), with work counters merged into a
+        caller-supplied ``stats``.
         """
-        snap = snapshot or self.snapshot()
-        it = raw_scan(snap, source_id, t_range[0], t_range[1], stats=stats)
-        return self._drive(it, func)
+        warnings.warn(
+            "Loom.raw_scan() is deprecated; use Loom.scan(), which returns "
+            "a QueryResult carrying the records and the QueryStats",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.scan(source_id, t_range, func=func, snapshot=snapshot)
+        if stats is not None:
+            stats.merge(result.stats)
+        return result.records
 
     def indexed_scan(
         self,
@@ -199,19 +343,20 @@ class Loom:
         snapshot: Optional[Snapshot] = None,
         stats: Optional[QueryStats] = None,
     ) -> Optional[List[Record]]:
-        """Scan a source in a time and value range using an index."""
-        snap = snapshot or self.snapshot()
-        index = self._record_log.get_index(index_id)
-        if index.source_id != source_id:
-            raise LoomError(
-                f"index {index_id} is defined on source {index.source_id}, "
-                f"not {source_id}"
-            )
-        it = indexed_scan(
-            snap, source_id, index, t_range[0], t_range[1],
-            v_range[0], v_range[1], stats=stats,
+        """Deprecated: use :meth:`scan_indexed` (returns a QueryResult)."""
+        warnings.warn(
+            "Loom.indexed_scan() is deprecated; use Loom.scan_indexed(), "
+            "which returns a QueryResult carrying the records and the "
+            "QueryStats",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return self._drive(it, func)
+        result = self.scan_indexed(
+            source_id, index_id, t_range, v_range, func=func, snapshot=snapshot
+        )
+        if stats is not None:
+            stats.merge(result.stats)
+        return result.records
 
     def indexed_aggregate(
         self,
@@ -223,22 +368,52 @@ class Loom:
         snapshot: Optional[Snapshot] = None,
         stats: Optional[QueryStats] = None,
     ) -> AggregateResult:
-        """Aggregate a source in a time range using the specified method.
+        """Deprecated: use :meth:`aggregate` (returns a QueryResult)."""
+        warnings.warn(
+            "Loom.indexed_aggregate() is deprecated; use Loom.aggregate(), "
+            "which returns a QueryResult carrying the value and the "
+            "QueryStats",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.aggregate(
+            source_id, index_id, t_range, method,
+            percentile=percentile, snapshot=snapshot,
+        )
+        if stats is not None:
+            stats.merge(result.stats)
+            return AggregateResult(
+                value=result.value, count=result.count, stats=stats
+            )
+        return AggregateResult(
+            value=result.value, count=result.count, stats=result.stats
+        )
 
-        ``method``: count/sum/min/max/mean, or ``percentile`` with the
-        ``percentile`` argument in [0, 100] (exact, per section 4.3).
-        """
-        snap = snapshot or self.snapshot()
+    def _check_index(self, source_id: int, index_id: int) -> IndexDefinition:
         index = self._record_log.get_index(index_id)
         if index.source_id != source_id:
             raise LoomError(
                 f"index {index_id} is defined on source {index.source_id}, "
                 f"not {source_id}"
             )
-        return indexed_aggregate(
-            snap, source_id, index, t_range[0], t_range[1], method,
-            percentile=percentile, stats=stats,
+        return index
+
+    def _note_query(self, verb: str) -> None:
+        """Count a query by verb (advisory: queries run on any thread)."""
+        if not self._record_log.config.metrics_enabled:
+            return
+        # setdefault on __dict__ keeps this working for instances built
+        # around a bare ``__new__`` (tests graft a record log directly).
+        counters: Dict[str, Counter] = self.__dict__.setdefault(
+            "_query_counters", {}
         )
+        counter = counters.get(verb)
+        if counter is None:
+            counter = self._record_log.metrics.counter(
+                "loom.query.total", "queries executed", labels={"verb": verb}
+            )
+            counters[verb] = counter
+        counter.inc()
 
     @staticmethod
     def _drive(
@@ -272,6 +447,43 @@ class Loom:
     def source_record_count(self, source_id: int) -> int:
         return self._record_log.get_source(source_id).record_count
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The loomscope self-observation registry (always present; hot
+        paths feed it only when ``config.metrics_enabled``)."""
+        return self._record_log.metrics
+
+    def introspect(self) -> Introspection:
+        """One typed snapshot of this instance's own state.
+
+        Unifies what used to be separate accessors — :meth:`health`,
+        :meth:`footprint`, :attr:`total_records`, per-source counters —
+        and adds the full metrics-registry snapshot, so daemons and CLIs
+        read a single consistent object instead of poking N surfaces.
+        """
+        sources = tuple(
+            SourceIntrospection(
+                source_id=state.source_id,
+                record_count=state.record_count,
+                bytes_ingested=state.bytes_ingested,
+                first_timestamp=state.first_timestamp,
+                last_timestamp=state.last_timestamp,
+                closed=state.closed,
+                index_ids=tuple(state.index_ids),
+            )
+            for state in (
+                self._record_log.get_source(sid)
+                for sid in self._record_log.source_ids()
+            )
+        )
+        return Introspection(
+            health=self._record_log.health(),
+            total_records=self._record_log.total_records,
+            footprint=self.footprint(),
+            sources=sources,
+            metrics=self._record_log.metrics.snapshot(),
+        )
+
     def health(self) -> "Health":
         """Aggregate flush-path health: HEALTHY, DEGRADED, or FAILED.
 
@@ -279,6 +491,8 @@ class Loom:
         active; FAILED means retries were exhausted — ``push`` raises
         :class:`~repro.core.errors.StorageError`, while queries over
         already-published data keep working.
+
+        Shorthand for ``introspect().health``.
         """
         return self._record_log.health()
 

@@ -1,0 +1,502 @@
+"""loomscope: Loom's writer-lock-free self-observation registry.
+
+The paper's flagship case study (§6) is Loom observing an observability
+pipeline; this module is what lets the reproduction observe *itself*.
+It provides three instrument kinds — :class:`Counter`, :class:`Gauge`,
+and fixed-bin :class:`Histogram` (reusing the
+:class:`~repro.core.histogram.HistogramSpec` bin layout that backs the
+query indexes) — collected in a :class:`MetricsRegistry` that every hot
+path updates and every introspection surface reads.
+
+Memory model (DESIGN.md §10)
+----------------------------
+
+The registry follows the same single-writer discipline as the hybrid
+log itself:
+
+* **Writers never take locks.**  Each instrument is updated by the
+  thread that owns the code path it measures (ingest counters by the
+  writer thread, flush instruments by the flusher thread, reader
+  fallbacks by query threads).  An update is a handful of plain stores;
+  instruments updated from several threads at once (the advisory
+  reader-side counters) tolerate a dropped increment exactly like
+  :meth:`~repro.core.hybridlog.LogStats.note_fallback` does — an
+  undercount is acceptable where a blocked reader is not.
+* **Readers get per-instrument snapshot consistency** via the same
+  seqlock idiom as :class:`~repro.core.block.Block`: a histogram bumps
+  its ``_version`` to odd before a multi-field update and back to even
+  after, and :meth:`Histogram.snapshot` retries a bounded number of
+  times until it reads a stable even version.  Counters and gauges are
+  single fields and need no versioning.
+* **Cross-instrument reads are uncoordinated.**  A registry snapshot
+  reads each instrument once, in registration order, with no global
+  freeze — two instruments in one snapshot may straddle an update.
+  This is deliberate: a global seqlock would put a shared write on
+  every hot path.
+
+Timestamps come exclusively from :mod:`repro.core.clock` (loomlint
+LOOM111 enforces this for the whole metrics layer), so sanitized and
+replayed schedules stay deterministic.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from types import TracebackType
+from typing import (
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
+
+from .clock import Clock, MonotonicClock
+from .errors import LoomError
+from .histogram import HistogramSpec, exponential_edges
+
+#: Normalized label set: sorted ``(key, value)`` pairs.
+Labels = Tuple[Tuple[str, str], ...]
+
+_I = TypeVar("_I", bound="Instrument")
+
+_SNAPSHOT_RETRIES = 16
+
+#: Default latency bin layout: 1 µs .. 10 s in nanoseconds, geometric.
+#: Latency distributions are heavy-tailed, so exponential bins give
+#: roughly constant relative resolution (same rationale as §4.2).
+LATENCY_EDGES_NS: Tuple[float, ...] = tuple(
+    exponential_edges(1_000.0, 10_000_000_000.0, 28)
+)
+
+
+def _normalize_labels(labels: Optional[Mapping[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Base class: a named, optionally labelled metric."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: Labels, help: str) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    @property
+    def key(self) -> Tuple[str, Labels]:
+        return (self.name, self.labels)
+
+
+class Counter(Instrument):
+    """A monotonically increasing count.
+
+    ``inc`` is a single in-place add — cheap enough for per-record hot
+    paths.  When called from multiple threads the counter is advisory
+    (a racing increment may be dropped); every writer-thread-owned
+    counter in Loom is exact.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge(Instrument):
+    """A point-in-time value (a single interpreter-atomic store)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """A consistent point-in-time read of one histogram."""
+
+    count: int
+    sum: float
+    min: float
+    max: float
+    #: Per-bin counts, index-aligned with ``spec`` bins (outliers included).
+    bin_counts: Tuple[int, ...]
+    spec: HistogramSpec
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.sum / self.count
+
+
+class Histogram(Instrument):
+    """A fixed-bin histogram with seqlock-consistent snapshots.
+
+    The observe path is a version bump, a few stores, and a version
+    bump — the same odd/even seqlock protocol as the staging blocks
+    (section 5.5), so readers can detect a torn multi-field read and
+    retry without ever making the writer wait.
+
+    ``sample_window > 0`` additionally retains the most recent raw
+    observations in a bounded ring; :meth:`drain_samples` hands them to
+    a single consumer (the selfscope publisher, which feeds them back
+    into a Loom source so percentile queries over Loom's own latencies
+    are exact, not bin-approximated).  ``deque`` append/popleft are
+    interpreter-atomic, keeping the writer lock-free.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        spec: HistogramSpec,
+        labels: Labels = (),
+        help: str = "",
+        sample_window: int = 0,
+    ) -> None:
+        super().__init__(name, labels, help)
+        self.spec = spec
+        self._version = 0
+        self._counts = [0] * spec.num_bins
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._samples: Optional[Deque[float]] = (
+            deque(maxlen=sample_window) if sample_window > 0 else None
+        )
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seqlock version bracket around the
+        multi-field update, odd while mutating, even when stable)."""
+        self._version += 1
+        self._counts[self.spec.bin_of(value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._version += 1
+        samples = self._samples
+        if samples is not None:
+            samples.append(value)
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Read a consistent view (seqlock validate-and-retry, bounded).
+
+        After the retry budget the last read is returned as-is: the
+        registry is advisory telemetry and a rare torn read beats a
+        reader stall (the same trade the read fallback counter makes).
+        """
+        for _ in range(_SNAPSHOT_RETRIES):
+            before = self._version
+            counts = tuple(self._counts)
+            count = self._count
+            total = self._sum
+            lo = self._min
+            hi = self._max
+            if before % 2 == 0 and self._version == before:
+                break
+        return HistogramSnapshot(
+            count=count, sum=total, min=lo, max=hi, bin_counts=counts,
+            spec=self.spec,
+        )
+
+    def drain_samples(self) -> List[float]:
+        """Pop and return retained raw samples (single consumer)."""
+        samples = self._samples
+        if samples is None:
+            return []
+        out: List[float] = []
+        while True:
+            try:
+                out.append(samples.popleft())
+            except IndexError:
+                return out
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+@dataclass(frozen=True)
+class MetricValue:
+    """One metric in a registry snapshot."""
+
+    name: str
+    kind: str
+    labels: Labels
+    value: Union[int, float]
+    help: str = ""
+    histogram: Optional[HistogramSnapshot] = None
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """All metrics of a registry, read once, stamped by the clock."""
+
+    captured_at: int
+    metrics: Tuple[MetricValue, ...]
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[MetricValue]:
+        want = _normalize_labels(labels)
+        for metric in self.metrics:
+            if metric.name == name and (not want or metric.labels == want):
+                return metric
+        return None
+
+    def value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[Union[int, float]]:
+        metric = self.get(name, labels)
+        return None if metric is None else metric.value
+
+
+#: Live registries, tracked weakly so CI failure hooks can dump the
+#: state of every Loom in the failing process (see tests/conftest.py).
+_LIVE_REGISTRIES: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create semantics.
+
+    Instrument creation (``counter()`` / ``gauge()`` / ``histogram()``)
+    happens at setup time and is dict-guarded; hot paths hold direct
+    references to the returned instruments so the steady-state cost of
+    an update never includes a registry lookup.
+
+    Args:
+        clock: stamp source for snapshots and phase timings.  Defaults
+            to the monotonic clock; anything satisfying
+            :class:`~repro.core.clock.Clock` works (loomlint LOOM111
+            keeps raw ``time.*`` calls out of this layer).
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock or MonotonicClock()
+        self._instruments: Dict[Tuple[str, Labels], Instrument] = {}
+        _LIVE_REGISTRIES.add(self)
+
+    # ------------------------------------------------------------------
+    # Instrument creation (setup time, get-or-create)
+    # ------------------------------------------------------------------
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        return self._get_or_create(
+            Counter, Counter(name, _normalize_labels(labels), help)
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        return self._get_or_create(
+            Gauge, Gauge(name, _normalize_labels(labels), help)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        bins: Union[HistogramSpec, Sequence[float]] = LATENCY_EDGES_NS,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        sample_window: int = 0,
+    ) -> Histogram:
+        spec = bins if isinstance(bins, HistogramSpec) else HistogramSpec(bins)
+        return self._get_or_create(
+            Histogram,
+            Histogram(
+                name,
+                spec,
+                _normalize_labels(labels),
+                help,
+                sample_window=sample_window,
+            ),
+        )
+
+    def _get_or_create(self, kind: Type["_I"], fresh: "_I") -> "_I":
+        existing = self._instruments.get(fresh.key)
+        if existing is None:
+            self._instruments[fresh.key] = fresh
+            return fresh
+        if not isinstance(existing, kind):
+            raise LoomError(
+                f"metric {fresh.name!r} already registered as "
+                f"{existing.kind}, not {fresh.kind}"
+            )
+        return existing
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def instruments(self) -> Iterator[Instrument]:
+        """Iterate registered instruments in registration order."""
+        return iter(list(self._instruments.values()))
+
+    def snapshot(self) -> RegistrySnapshot:
+        """Read every instrument once (per-instrument consistency; see
+        the module docstring for the cross-instrument contract)."""
+        metrics: List[MetricValue] = []
+        for instrument in self.instruments():
+            if isinstance(instrument, Histogram):
+                hist = instrument.snapshot()
+                metrics.append(
+                    MetricValue(
+                        name=instrument.name,
+                        kind=instrument.kind,
+                        labels=instrument.labels,
+                        value=hist.count,
+                        help=instrument.help,
+                        histogram=hist,
+                    )
+                )
+            elif isinstance(instrument, (Counter, Gauge)):
+                metrics.append(
+                    MetricValue(
+                        name=instrument.name,
+                        kind=instrument.kind,
+                        labels=instrument.labels,
+                        value=instrument.value,
+                        help=instrument.help,
+                    )
+                )
+        return RegistrySnapshot(
+            captured_at=self.clock.now(), metrics=tuple(metrics)
+        )
+
+    def phase(self, gauge_name: str, labels: Optional[Mapping[str, str]] = None) -> "PhaseTimer":
+        """Time a code phase into a ``<gauge_name>`` duration gauge (ns)."""
+        return PhaseTimer(
+            self.gauge(gauge_name, labels=labels, help="phase duration in ns"),
+            self.clock,
+        )
+
+
+class PhaseTimer:
+    """Context manager setting a duration gauge from the registry clock."""
+
+    def __init__(self, gauge: Gauge, clock: Clock) -> None:
+        self._gauge = gauge
+        self._clock = clock
+        self._start = 0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = self._clock.now()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._gauge.set(float(self._clock.now() - self._start))
+
+
+class LogScope:
+    """Instrument bundle for one hybrid log's flush/recycle/read paths.
+
+    Built by the record log for each of its three hybrid logs, labelled
+    with the log's *name* (``record`` / ``chunk_index`` /
+    ``timestamp_index``) — labels carry names, never bare ids.
+
+    Thread ownership: the flush instruments are written only by
+    whichever thread runs the flush (writer thread inline, or the
+    flusher thread); the reader-side counters are advisory and may be
+    written by any query thread concurrently.
+    """
+
+    def __init__(self, registry: MetricsRegistry, log_name: str) -> None:
+        labels = {"log": log_name}
+        self.registry = registry
+        self.clock = registry.clock
+        self.flush_latency = registry.histogram(
+            "loom.log.flush_latency_ns",
+            LATENCY_EDGES_NS,
+            help="wall time of one successful block flush",
+            labels=labels,
+            sample_window=256,
+        )
+        self.flushes = registry.counter(
+            "loom.log.flushes_total", "successful block flushes", labels
+        )
+        self.flushed_bytes = registry.counter(
+            "loom.log.flushed_bytes_total", "bytes flushed to storage", labels
+        )
+        self.flush_retries = registry.counter(
+            "loom.log.flush_retries_total",
+            "flush attempts that failed with a transient StorageError",
+            labels,
+        )
+        self.flush_failures = registry.counter(
+            "loom.log.flush_failures_total",
+            "flushes that exhausted retries (log entered FAILED)",
+            labels,
+        )
+        self.reader_fallbacks = registry.counter(
+            "loom.log.reader_fallbacks_total",
+            "reads that fell back to storage (advisory; reader threads)",
+            labels,
+        )
+        self.snapshot_retries = registry.counter(
+            "loom.log.snapshot_retries_total",
+            "torn seqlock copies signalled via SnapshotRetry (advisory)",
+            labels,
+        )
+
+
+def dump_live_registries() -> str:
+    """Prometheus-style exposition of every live registry.
+
+    Used by the test-failure hook (CI uploads the result as the faults
+    matrix ``stats`` artifact) — the registries are weakly tracked, so
+    this reflects exactly the Looms alive in the failing process.
+    """
+    from ..scope.exposition import render_exposition
+
+    parts = []
+    for registry in list(_LIVE_REGISTRIES):
+        parts.append(render_exposition(registry.snapshot()))
+    return "\n".join(part for part in parts if part)

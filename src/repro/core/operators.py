@@ -59,6 +59,88 @@ class QueryStats:
     used_time_index: bool = False
     used_chunk_index: bool = False
 
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another query's counters into this one.
+
+        Used by callers that accumulate work across several operator
+        calls (one logical query, many aggregates) and by the deprecated
+        ``stats=`` shims, which run the operator against a fresh
+        :class:`QueryStats` and merge it into the caller's.
+        """
+        self.records_scanned += other.records_scanned
+        self.records_matched += other.records_matched
+        self.records_decoded += other.records_decoded
+        self.chunks_scanned += other.chunks_scanned
+        self.chunks_skipped += other.chunks_skipped
+        self.summaries_examined += other.summaries_examined
+        self.summaries_aggregated += other.summaries_aggregated
+        self.used_time_index = self.used_time_index or other.used_time_index
+        self.used_chunk_index = self.used_chunk_index or other.used_chunk_index
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One stage of a query's execution plan, in execution order."""
+
+    stage: str
+    detail: str = ""
+    count: int = 0
+
+
+@dataclass
+class QueryTrace:
+    """Ordered per-stage trace of one query.
+
+    Requested via ``trace=True`` on the :class:`~repro.core.loom.Loom`
+    query methods; carried on the returned
+    :class:`QueryResult`.  Stages mirror the section 4.3 access pattern:
+    ``seek`` (timestamp-index lookup), ``chain-walk`` (back-pointer
+    traversal), ``summary-prune`` (candidate summaries examined vs.
+    skipped by bin occupancy), ``chunk-scan`` / ``active-scan`` (regions
+    actually read), ``cdf`` (percentile rank-to-bin resolution) and
+    ``bin-scan`` (target-bin collection).
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, stage: str, detail: str = "", count: int = 0) -> None:
+        self.events.append(TraceEvent(stage=stage, detail=detail, count=count))
+
+    def stages(self) -> List[str]:
+        return [event.stage for event in self.events]
+
+    def format(self) -> str:
+        """Human-readable rendering (one line per stage; CLI ``trace``)."""
+        lines = []
+        for event in self.events:
+            line = f"{event.stage:>14}  count={event.count}"
+            if event.detail:
+                line += f"  {event.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@dataclass
+class QueryResult:
+    """Unified result of every Loom query verb.
+
+    Scans fill :attr:`records` (``None`` when driven by a streaming
+    ``func``); aggregates fill :attr:`value`.  :attr:`count` is the
+    number of matched records either way.  :attr:`stats` always carries
+    the work counters that used to be threaded through ``stats=``
+    out-params, and :attr:`trace` the optional stage trace.
+    :attr:`source` is a display label for the queried source — the
+    daemon resolves it to the source *name*; the core falls back to the
+    numeric id.
+    """
+
+    stats: QueryStats
+    records: Optional[List[Record]] = None
+    value: Optional[float] = None
+    count: int = 0
+    trace: Optional[QueryTrace] = None
+    source: Optional[str] = None
+
 
 # ----------------------------------------------------------------------
 # raw scan
@@ -70,6 +152,7 @@ def raw_scan(
     t_end: int,
     stats: Optional[QueryStats] = None,
     use_time_index: bool = True,
+    trace: Optional[QueryTrace] = None,
 ) -> Iterator[Record]:
     """Yield a source's records with ``t_start <= timestamp <= t_end``,
     newest to oldest.
@@ -79,6 +162,9 @@ def raw_scan(
     start of the range.  With ``use_time_index=False`` the walk starts from
     the source's live chain head, so cost grows with lookback distance —
     the paper's "no index" ablation behaviour.
+
+    ``trace``, when given, receives stage events once the scan is driven
+    to completion (an abandoned iterator leaves a partial trace).
     """
     if t_end < t_start:
         return
@@ -89,16 +175,29 @@ def raw_scan(
             start_hint = hit[1]
         if stats is not None:
             stats.used_time_index = True
+        if trace is not None:
+            trace.add(
+                "seek",
+                "timestamp index hit" if hit is not None else
+                "timestamp index miss (walk from chain head)",
+                count=1,
+            )
+    walked = 0
+    matched = 0
     for record in snapshot.iter_chain(source_id, start=start_hint, stats=stats):
+        walked += 1
         if stats is not None:
             stats.records_scanned += 1
         if record.timestamp > t_end:
             continue
         if record.timestamp < t_start:
             break
+        matched += 1
         if stats is not None:
             stats.records_matched += 1
         yield record
+    if trace is not None:
+        trace.add("chain-walk", f"matched {matched}", count=walked)
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +215,7 @@ def indexed_scan(
     use_time_index: bool = True,
     use_chunk_index: bool = True,
     copy: bool = True,
+    trace: Optional[QueryTrace] = None,
 ) -> Iterator[Record]:
     """Yield records of ``source_id`` in the time range whose indexed value
     lies in ``[v_min, v_max]``, in ascending address (= arrival) order.
@@ -128,17 +228,25 @@ def indexed_scan(
     ``copy=False`` yields records with memoryview payloads aliasing each
     chunk's scan buffer — cheaper, but only valid while iterating; callers
     that collect records into a list must keep the copying default.
+
+    ``trace``, when given, receives stage events once the scan is driven
+    to completion.
     """
     if t_end < t_start:
         return
     spec = index.spec
     relevant_bins = set(spec.bins_overlapping(v_min, v_max))
 
+    examined = 0
+    skipped = 0
+    scanned = 0
     for summary in _candidate_summaries(snapshot, t_start, t_end, use_time_index, stats):
+        examined += 1
         if stats is not None:
             stats.summaries_examined += 1
         info = summary.source_info(source_id)
         if info is None or info.t_min > t_end or info.t_max < t_start:
+            skipped += 1
             if stats is not None:
                 stats.chunks_skipped += 1
             continue
@@ -147,21 +255,32 @@ def indexed_scan(
                 stats.used_chunk_index = True
             bins = summary.bins_for(source_id, index.index_id)
             if not any(b in relevant_bins and bins[b].count > 0 for b in bins):
+                skipped += 1
                 if stats is not None:
                     stats.chunks_skipped += 1
                 continue
+        scanned += 1
         if stats is not None:
             stats.chunks_scanned += 1
         yield from _scan_region(
             snapshot, summary.start_addr, summary.end_addr,
             source_id, index, t_start, t_end, v_min, v_max, stats, copy=copy,
         )
+    if trace is not None:
+        trace.add("summary-prune", f"skipped {skipped}", count=examined)
+        trace.add("chunk-scan", f"value bins considered: {len(relevant_bins)}", count=scanned)
 
     active_start, active_end = snapshot.active_region()
     yield from _scan_region(
         snapshot, active_start, active_end,
         source_id, index, t_start, t_end, v_min, v_max, stats, copy=copy,
     )
+    if trace is not None:
+        trace.add(
+            "active-scan",
+            f"bytes {active_end - active_start}",
+            count=1 if active_end > active_start else 0,
+        )
 
 
 def _candidate_summaries(
@@ -254,6 +373,7 @@ def indexed_aggregate(
     use_time_index: bool = True,
     use_chunk_index: bool = True,
     stats: Optional[QueryStats] = None,
+    trace: Optional[QueryTrace] = None,
 ) -> AggregateResult:
     """Aggregate a source's indexed values over a time range.
 
@@ -266,7 +386,8 @@ def indexed_aggregate(
 
     A caller-supplied ``stats`` accumulates across calls (useful when one
     logical query issues several aggregates); otherwise a fresh
-    :class:`QueryStats` is created and returned on the result.
+    :class:`QueryStats` is created and returned on the result.  ``trace``
+    receives stage events (summary pruning, CDF resolution, bin scans).
     """
     if stats is None:
         stats = QueryStats()
@@ -275,13 +396,13 @@ def indexed_aggregate(
             raise LoomError("percentile method needs percentile in [0, 100]")
         return _aggregate_percentile(
             snapshot, source_id, index, t_start, t_end, percentile,
-            use_time_index, use_chunk_index, stats,
+            use_time_index, use_chunk_index, stats, trace,
         )
     if method not in DISTRIBUTIVE_METHODS:
         raise LoomError(f"unknown aggregation method: {method!r}")
     return _aggregate_distributive(
         snapshot, source_id, index, t_start, t_end, method,
-        use_time_index, use_chunk_index, stats,
+        use_time_index, use_chunk_index, stats, trace,
     )
 
 
@@ -295,17 +416,22 @@ def _aggregate_distributive(
     use_time_index: bool,
     use_chunk_index: bool,
     stats: QueryStats,
+    trace: Optional[QueryTrace] = None,
 ) -> AggregateResult:
     total = BinStats()
+    aggregated = 0
+    scanned = 0
     for summary, full in _classified_summaries(
         snapshot, source_id, t_start, t_end, use_time_index, stats
     ):
         if full and use_chunk_index:
+            aggregated += 1
             stats.used_chunk_index = True
             stats.summaries_aggregated += 1
             for bin_stats in summary.bins_for(source_id, index.index_id).values():
                 total.merge(bin_stats)
         else:
+            scanned += 1
             stats.chunks_scanned += 1
             for record in _scan_region(
                 snapshot, summary.start_addr, summary.end_addr,
@@ -313,6 +439,9 @@ def _aggregate_distributive(
                 copy=False,
             ):
                 total.update(index.index_func(record.payload), record.timestamp)
+    if trace is not None:
+        trace.add("summary-prune", f"aggregated from bins: {aggregated}", count=aggregated + scanned)
+        trace.add("chunk-scan", "straddling chunks", count=scanned)
     active_start, active_end = snapshot.active_region()
     for record in _scan_region(
         snapshot, active_start, active_end,
@@ -320,6 +449,12 @@ def _aggregate_distributive(
         copy=False,
     ):
         total.update(index.index_func(record.payload), record.timestamp)
+    if trace is not None:
+        trace.add(
+            "active-scan",
+            f"bytes {active_end - active_start}",
+            count=1 if active_end > active_start else 0,
+        )
 
     if total.count == 0:
         return AggregateResult(value=None, count=0, stats=stats)
@@ -346,6 +481,7 @@ def _aggregate_percentile(
     use_time_index: bool,
     use_chunk_index: bool,
     stats: QueryStats,
+    trace: Optional[QueryTrace] = None,
 ) -> AggregateResult:
     """Exact percentile via the CDF-over-bins strategy (section 4.3).
 
@@ -390,9 +526,17 @@ def _aggregate_percentile(
         b = spec.bin_of(value)
         bin_counts[b] = bin_counts.get(b, 0) + 1
         scanned_bin_values.setdefault(b, []).append(value)
+    if trace is not None:
+        trace.add(
+            "summary-prune",
+            f"aggregated from bins: {len(full_summaries)}",
+            count=len(full_summaries),
+        )
 
     total_count = sum(bin_counts.values())
     if total_count == 0:
+        if trace is not None:
+            trace.add("cdf", "empty range", count=0)
         return AggregateResult(value=None, count=0, stats=stats)
 
     # Rank of the percentile using the nearest-rank (inverted CDF)
@@ -410,10 +554,17 @@ def _aggregate_percentile(
             break
         cumulative += bin_counts[bin_idx]
     assert target_bin is not None
+    if trace is not None:
+        trace.add(
+            "cdf",
+            f"rank {rank}/{total_count} falls in bin {target_bin}",
+            count=len(bin_counts),
+        )
 
     # Collect the exact values in the target bin: retained scan values plus
     # a scan of each fully-covered chunk with records in that bin.
     values = list(scanned_bin_values.get(target_bin, ()))
+    bin_scans = 0
     for summary in full_summaries:
         bins = summary.bins_for(source_id, index.index_id)
         bin_stats = bins.get(target_bin)
@@ -421,6 +572,7 @@ def _aggregate_percentile(
             if stats is not None:
                 stats.chunks_skipped += 1
             continue
+        bin_scans += 1
         stats.chunks_scanned += 1
         for record in _scan_region(
             snapshot, summary.start_addr, summary.end_addr,
@@ -430,6 +582,12 @@ def _aggregate_percentile(
             value = index.index_func(record.payload)
             if spec.bin_of(value) == target_bin:
                 values.append(value)
+    if trace is not None:
+        trace.add(
+            "bin-scan",
+            f"{len(values)} values collected in target bin",
+            count=bin_scans,
+        )
 
     values.sort()
     k = rank - cumulative  # 1-based order statistic within the target bin

@@ -43,6 +43,7 @@ from .errors import (
 )
 from .histogram import HistogramSpec, IndexDefinition, IndexFunc
 from .hybridlog import Health, HybridLog, NULL_ADDRESS
+from .metrics import Counter, Histogram, LogScope, MetricsRegistry
 from .record import (
     BODY_SIZE,
     HEADER_SIZE,
@@ -90,11 +91,26 @@ class RecordLog:
     """
 
     def __init__(
-        self, config: Optional[LoomConfig] = None, clock: Optional[Clock] = None
+        self,
+        config: Optional[LoomConfig] = None,
+        clock: Optional[Clock] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config or LoomConfig()
         self.clock = clock or MonotonicClock()
         cfg = self.config
+
+        # The loomscope registry always exists (introspection surfaces
+        # rely on it); cfg.metrics_enabled gates only the hot-path
+        # instrumentation, so the overhead benchmark can compare the
+        # instrumented and uninstrumented write paths on the same build.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        instrumented = cfg.metrics_enabled
+
+        def _scope(log_name: str) -> Optional[LogScope]:
+            if not instrumented:
+                return None
+            return LogScope(self.metrics, log_name)
 
         def _journal(path: Optional[str]) -> Optional[Storage]:
             if not cfg.checksum_frames:
@@ -108,6 +124,7 @@ class RecordLog:
             frame_journal=_journal(cfg.record_log_journal_path()),
             flush_retries=cfg.flush_retries,
             flush_backoff=cfg.flush_backoff,
+            scope=_scope("record"),
         )
         self.chunk_index = ChunkIndex(
             storage=open_storage(cfg.chunk_index_path()),
@@ -116,6 +133,7 @@ class RecordLog:
             frame_journal=_journal(cfg.chunk_index_journal_path()),
             flush_retries=cfg.flush_retries,
             flush_backoff=cfg.flush_backoff,
+            scope=_scope("chunk_index"),
         )
         self.timestamp_index = TimestampIndex(
             storage=open_storage(cfg.timestamp_index_path()),
@@ -125,6 +143,7 @@ class RecordLog:
             frame_journal=_journal(cfg.timestamp_index_journal_path()),
             flush_retries=cfg.flush_retries,
             flush_backoff=cfg.flush_backoff,
+            scope=_scope("timestamp_index"),
         )
         self.chunk_size = cfg.chunk_size
         self._sources: Dict[int, SourceState] = {}
@@ -139,6 +158,39 @@ class RecordLog:
         self._inline_read = cfg.inline_read_size
         #: CRC-check records as they are decoded from the log.
         self._verify_on_read = cfg.verify_on_read
+
+        # Ingest instruments, held as direct references so the hot path
+        # never does a registry lookup.  All of these are written only
+        # by the single writer thread (exact, not advisory).  ``None``
+        # when metrics are disabled; the push paths branch once.
+        self._m_records: Optional[Counter] = None
+        self._m_bytes: Optional[Counter] = None
+        self._m_batches: Optional[Counter] = None
+        self._m_batch_latency: Optional[Histogram] = None
+        self._m_publishes: Optional[Counter] = None
+        self._m_chunks: Optional[Counter] = None
+        if instrumented:
+            m = self.metrics
+            self._m_records = m.counter(
+                "loom.ingest.records_total", "records ingested (push + batches)"
+            )
+            self._m_bytes = m.counter(
+                "loom.ingest.bytes_total", "payload bytes ingested"
+            )
+            self._m_batches = m.counter(
+                "loom.ingest.batches_total", "push_many batches ingested"
+            )
+            self._m_batch_latency = m.histogram(
+                "loom.ingest.batch_latency_ns",
+                help="wall time of one push_many batch",
+                sample_window=256,
+            )
+            self._m_publishes = m.counter(
+                "loom.publish.total", "watermark publications"
+            )
+            self._m_chunks = m.counter(
+                "loom.chunks.finalized_total", "chunk summaries finalized"
+            )
 
     # ------------------------------------------------------------------
     # Schema operations
@@ -263,6 +315,9 @@ class RecordLog:
             state.first_timestamp = timestamp
         state.last_timestamp = timestamp
         self.total_records += 1
+        if self._m_records is not None and self._m_bytes is not None:
+            self._m_records.inc()
+            self._m_bytes.inc(len(payload))
 
         self._records_since_publish += 1
         if self._records_since_publish >= self.config.publish_interval:
@@ -297,6 +352,10 @@ class RecordLog:
         n = len(payloads)
         if n == 0:
             return []
+        batch_latency = self._m_batch_latency
+        batch_started = (
+            self.metrics.clock.now() if batch_latency is not None else 0
+        )
 
         timestamp = self.clock.now()
         base = self.log.tail_address
@@ -355,10 +414,20 @@ class RecordLog:
         state.bytes_ingested += len(buffer) - n * HEADER_SIZE
         state.last_timestamp = timestamp
         self.total_records += n
+        if self._m_records is not None and self._m_bytes is not None:
+            # Per-batch instrumentation: a handful of adds amortized
+            # over the whole batch, which is what keeps the instrumented
+            # path within the observability bench's overhead budget.
+            self._m_records.inc(n)
+            self._m_bytes.inc(len(buffer) - n * HEADER_SIZE)
+            if self._m_batches is not None:
+                self._m_batches.inc()
 
         self._records_since_publish += n
         if self._records_since_publish >= self.config.publish_interval:
             self._publish()
+        if batch_latency is not None:
+            batch_latency.observe(float(self.metrics.clock.now() - batch_started))
         return addresses
 
     def _finalize_active_chunk(
@@ -370,6 +439,8 @@ class RecordLog:
         if summary.record_count > 0:
             self.chunk_index.append(summary)
             self.timestamp_index.note_chunk(timestamp, summary.chunk_id)
+            if self._m_chunks is not None:
+                self._m_chunks.inc()
         self._active_summary = ChunkSummary(
             chunk_id=new_chunk_id, start_addr=new_record_addr, end_addr=new_record_addr
         )
@@ -383,6 +454,8 @@ class RecordLog:
         for state in self._sources.values():
             state.published_head = state.last_addr
         self._records_since_publish = 0
+        if self._m_publishes is not None:
+            self._m_publishes.inc()
 
     def sync(self, source_id: Optional[int] = None) -> None:
         """Force queryability of everything ingested so far (paper ``sync``).
@@ -471,6 +544,10 @@ class RecordLog:
             _open_existing(cfg.chunk_index_journal_path()),
             _open_existing(cfg.timestamp_index_journal_path()),
         ]
+        # The registry outlives recovery: its phase gauges describe what
+        # the reopen cost, and the new instance adopts it so introspection
+        # sees recovery and steady-state metrics side by side.
+        registry = MetricsRegistry()
         try:
             state = recover(
                 storages[0],
@@ -481,14 +558,19 @@ class RecordLog:
                 record_journal=storages[3],
                 chunk_journal=storages[4],
                 timestamp_journal=storages[5],
+                metrics=registry if cfg.metrics_enabled else None,
             )
         finally:
             for storage in storages:
                 if storage is not None:
                     storage.close()
 
-        log = cls(config=cfg, clock=clock)
-        log._restore(state)
+        log = cls(config=cfg, clock=clock, metrics=registry)
+        if cfg.metrics_enabled:
+            with registry.phase("loom.recovery.phase_ns", labels={"phase": "restore"}):
+                log._restore(state)
+        else:
+            log._restore(state)
         return log
 
     def _restore(self, state: "RecoveredState") -> None:

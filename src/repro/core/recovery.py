@@ -35,12 +35,14 @@ from __future__ import annotations
 
 import os
 import struct
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import ContextManager, Dict, Iterator, List, Optional, Tuple
 
 from .config import LoomConfig
 from .errors import CorruptionError, LoomError
 from .hybridlog import FRAME_ENTRY, NULL_ADDRESS
+from .metrics import MetricsRegistry
 from .record import (
     HEADER_SIZE,
     Record,
@@ -280,6 +282,7 @@ def recover(
     record_journal: Optional[Storage] = None,
     chunk_journal: Optional[Storage] = None,
     timestamp_journal: Optional[Storage] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RecoveredState:
     """Rebuild state from persisted logs; optionally cross-check and repair.
 
@@ -301,57 +304,70 @@ def recover(
     The record log is scanned exactly **once**; recounts, the
     unsummarized tail, and timestamp-interval phases all fold into that
     single pass.
+
+    ``metrics``, when given, receives per-phase duration gauges
+    (``loom.recovery.phase_ns`` labelled by phase name) and a
+    ``loom.recovery.repairs_total`` counter, so a reopened instance's
+    introspection surface can answer "what did recovery cost".
     """
     state = RecoveredState()
     repairs = state.repairs
 
+    def _phase(name: str) -> "ContextManager[object]":
+        if metrics is None:
+            return nullcontext()
+        return metrics.phase("loom.recovery.phase_ns", labels={"phase": name})
+
     # ------------------------------------------------------------------
     # 0. Frame journals: bulk bit-rot check per log (cheap, no decoding).
     # ------------------------------------------------------------------
-    for storage, journal, label in (
-        (record_storage, record_journal, "record log"),
-        (chunk_storage, chunk_journal, "chunk index"),
-        (timestamp_storage, timestamp_journal, "timestamp index"),
-    ):
-        if storage is None or journal is None:
-            continue
-        if repair:
-            _repair_frames(storage, journal, label, repairs)
-        elif verify:
-            verify_frames(storage, journal, label=label)
+    with _phase("frames"):
+        for storage, journal, label in (
+            (record_storage, record_journal, "record log"),
+            (chunk_storage, chunk_journal, "chunk index"),
+            (timestamp_storage, timestamp_journal, "timestamp index"),
+        ):
+            if storage is None or journal is None:
+                continue
+            if repair:
+                _repair_frames(storage, journal, label, repairs)
+            elif verify:
+                verify_frames(storage, journal, label=label)
 
     # ------------------------------------------------------------------
     # 1. Timestamp entries (with offsets, for potential truncation).
     # ------------------------------------------------------------------
     ts_entries: List[Tuple[int, int, int, int]] = []
-    if timestamp_storage is not None:
-        ts_entries = list(scan_persisted_timestamps(timestamp_storage))
-        torn = timestamp_storage.size - len(ts_entries) * _TS_ENTRY.size
-        if torn and repair:
-            timestamp_storage.truncate(len(ts_entries) * _TS_ENTRY.size)
-            _trim_journal(timestamp_journal, timestamp_storage.size)
-            repairs.append(f"timestamp index: dropped {torn}-byte torn tail")
+    with _phase("timestamp_scan"):
+        if timestamp_storage is not None:
+            ts_entries = list(scan_persisted_timestamps(timestamp_storage))
+            torn = timestamp_storage.size - len(ts_entries) * _TS_ENTRY.size
+            if torn and repair:
+                timestamp_storage.truncate(len(ts_entries) * _TS_ENTRY.size)
+                _trim_journal(timestamp_journal, timestamp_storage.size)
+                repairs.append(f"timestamp index: dropped {torn}-byte torn tail")
 
     # ------------------------------------------------------------------
     # 2. Chunk summaries (with offsets, for potential truncation).
     # ------------------------------------------------------------------
     summary_offsets: List[int] = []
     summaries: List[ChunkSummary] = []
-    if chunk_storage is not None:
-        for offset, summary in _scan_summaries_with_offsets(chunk_storage):
-            summary_offsets.append(offset)
-            summaries.append(summary)
-        scanned_end = (
-            summary_offsets[-1]
-            + _LEN.size
-            + summaries[-1].encoded_size
-            if summaries
-            else 0
-        )
-        if repair and scanned_end < chunk_storage.size:
-            chunk_storage.truncate(scanned_end)
-            _trim_journal(chunk_journal, chunk_storage.size)
-            repairs.append("chunk index: dropped torn tail summary")
+    with _phase("summary_scan"):
+        if chunk_storage is not None:
+            for offset, summary in _scan_summaries_with_offsets(chunk_storage):
+                summary_offsets.append(offset)
+                summaries.append(summary)
+            scanned_end = (
+                summary_offsets[-1]
+                + _LEN.size
+                + summaries[-1].encoded_size
+                if summaries
+                else 0
+            )
+            if repair and scanned_end < chunk_storage.size:
+                chunk_storage.truncate(scanned_end)
+                _trim_journal(chunk_journal, chunk_storage.size)
+                repairs.append("chunk index: dropped torn tail summary")
 
     # ------------------------------------------------------------------
     # 3. THE single pass over the record log: collect light per-record
@@ -359,43 +375,95 @@ def recover(
     # ------------------------------------------------------------------
     records: List[Tuple[int, int, int, int]] = []  # (addr, sid, ts, payload_len)
     valid_end = 0
-    try:
-        for record in scan_persisted_records(record_storage, verify_crc=verify):
-            records.append(
-                (record.address, record.source_id, record.timestamp, len(record.payload))
+    with _phase("record_scan"):
+        try:
+            for record in scan_persisted_records(record_storage, verify_crc=verify):
+                records.append(
+                    (record.address, record.source_id, record.timestamp, len(record.payload))
+                )
+                valid_end = record.address + record.size
+        except CorruptionError as exc:
+            if not repair:
+                raise
+            repairs.append(
+                f"record log: truncated at corrupt record (address {exc.address})"
             )
-            valid_end = record.address + record.size
-    except CorruptionError as exc:
-        if not repair:
-            raise
-        repairs.append(
-            f"record log: truncated at corrupt record (address {exc.address})"
-        )
-    if repair and valid_end < record_storage.size:
-        if valid_end == 0 or records:
-            torn = record_storage.size - valid_end
-            record_storage.truncate(valid_end)
-            _trim_journal(record_journal, valid_end)
-            if not any(r.startswith("record log: truncated") for r in repairs):
-                repairs.append(f"record log: dropped {torn}-byte torn tail")
+        if repair and valid_end < record_storage.size:
+            if valid_end == 0 or records:
+                torn = record_storage.size - valid_end
+                record_storage.truncate(valid_end)
+                _trim_journal(record_journal, valid_end)
+                if not any(r.startswith("record log: truncated") for r in repairs):
+                    repairs.append(f"record log: dropped {torn}-byte torn tail")
 
-    for address, source_id, timestamp, payload_len in records:
-        source = state.sources.get(source_id)
-        if source is None:
-            source = state.sources[source_id] = RecoveredSource(
-                source_id=source_id, first_timestamp=timestamp
-            )
-        source.record_count += 1
-        source.last_timestamp = timestamp
-        source.last_addr = address
-        source.bytes_ingested += payload_len
-        state.total_records += 1
-    state.record_bytes = valid_end
+        for address, source_id, timestamp, payload_len in records:
+            source = state.sources.get(source_id)
+            if source is None:
+                source = state.sources[source_id] = RecoveredSource(
+                    source_id=source_id, first_timestamp=timestamp
+                )
+            source.record_count += 1
+            source.last_timestamp = timestamp
+            source.last_addr = address
+            source.bytes_ingested += payload_len
+            state.total_records += 1
+        state.record_bytes = valid_end
 
     # ------------------------------------------------------------------
     # 4. Cross-check summaries against the (possibly truncated) record
     #    log, then recount per summary range from the in-memory list.
     # ------------------------------------------------------------------
+    with _phase("summary_check"):
+        _recover_summaries(
+            state,
+            records,
+            summaries,
+            summary_offsets,
+            chunk_storage,
+            chunk_journal,
+            valid_end,
+            verify=verify,
+            repair=repair,
+        )
+
+    # ------------------------------------------------------------------
+    # 5. Timestamp-index cross-checks and interval phases.
+    # ------------------------------------------------------------------
+    with _phase("timestamp_check"):
+        _recover_timestamps(
+            state,
+            records,
+            ts_entries,
+            timestamp_storage,
+            timestamp_journal,
+            chunk_storage,
+            valid_end,
+            verify=verify,
+            repair=repair,
+        )
+
+    if metrics is not None and state.repairs:
+        metrics.counter(
+            "loom.recovery.repairs_total", "repair actions taken by recovery"
+        ).inc(len(state.repairs))
+
+    return state
+
+
+def _recover_summaries(
+    state: RecoveredState,
+    records: List[Tuple[int, int, int, int]],
+    summaries: List[ChunkSummary],
+    summary_offsets: List[int],
+    chunk_storage: Optional[Storage],
+    chunk_journal: Optional[Storage],
+    valid_end: int,
+    verify: bool,
+    repair: bool,
+) -> None:
+    """Phase 4 of :func:`recover`: adopt summaries consistent with the
+    record log (truncating or raising on the inconsistent suffix)."""
+    repairs = state.repairs
     if chunk_storage is not None:
         kept = len(summaries)
         for i, summary in enumerate(summaries):
@@ -431,9 +499,21 @@ def recover(
         if verify:
             _verify_summaries(records, summaries)
 
-    # ------------------------------------------------------------------
-    # 5. Timestamp-index cross-checks and interval phases.
-    # ------------------------------------------------------------------
+
+def _recover_timestamps(
+    state: RecoveredState,
+    records: List[Tuple[int, int, int, int]],
+    ts_entries: List[Tuple[int, int, int, int]],
+    timestamp_storage: Optional[Storage],
+    timestamp_journal: Optional[Storage],
+    chunk_storage: Optional[Storage],
+    valid_end: int,
+    verify: bool,
+    repair: bool,
+) -> None:
+    """Phase 5 of :func:`recover`: timestamp-index cross-checks and
+    per-source sampling-interval phases."""
+    repairs = state.repairs
     if timestamp_storage is not None:
         kept_entries = len(ts_entries)
         for i, (_ts, kind, _sid, addr) in enumerate(ts_entries):
@@ -503,8 +583,6 @@ def recover(
             since.setdefault(sid, 0)
         state.records_since_ts_entry = since
 
-    return state
-
 
 def _verify_summaries(
     records: List[Tuple[int, int, int, int]], summaries: List[ChunkSummary]
@@ -533,13 +611,18 @@ def _verify_summaries(
                 )
 
 
-def fsck(data_dir: str, repair: bool = False) -> RecoveredState:
+def fsck(
+    data_dir: str,
+    repair: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RecoveredState:
     """Offline integrity check (and optional repair) of a data directory.
 
     Opens the three log files (and their ``.crc`` frame journals, when
     present) under ``data_dir`` and runs :func:`recover` with full
     verification.  This is the implementation behind the CLI's ``fsck``
-    and ``recover`` subcommands.
+    and ``recover`` subcommands.  ``metrics`` is forwarded to
+    :func:`recover` for per-phase timing.
     """
     cfg = LoomConfig(data_dir=data_dir)
     record_path = cfg.record_log_path()
@@ -569,6 +652,7 @@ def fsck(data_dir: str, repair: bool = False) -> RecoveredState:
             record_journal=storages[3],
             chunk_journal=storages[4],
             timestamp_journal=storages[5],
+            metrics=metrics,
         )
     finally:
         for storage in storages:

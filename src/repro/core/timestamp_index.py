@@ -29,6 +29,7 @@ from bisect import bisect_left, bisect_right
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .hybridlog import HybridLog
+from .metrics import LogScope
 from .storage import Storage
 
 _ENTRY = struct.Struct("<QBIQ")
@@ -62,6 +63,7 @@ class TimestampIndex:
         frame_journal: Optional[Storage] = None,
         flush_retries: int = 3,
         flush_backoff: float = 0.001,
+        scope: Optional[LogScope] = None,
     ) -> None:
         if record_interval < 1:
             raise ValueError("record_interval must be >= 1")
@@ -72,6 +74,7 @@ class TimestampIndex:
             frame_journal=frame_journal,
             flush_retries=flush_retries,
             flush_backoff=flush_backoff,
+            scope=scope,
         )
         self.record_interval = record_interval
         self._per_source: Dict[int, _SourceEntries] = {}

@@ -16,10 +16,20 @@ are relative to *now*, i.e. ``last 10s``):
 ``pct <source> <index> <p> last <dur>``                exact percentile
 ``scan <source> last <dur> [limit N]``                 newest-first raw scan
 ``where <source> <index> <lo>..<hi> last <dur>``       indexed range scan
-``health``                                             flush-path health
+``trace <query command>``                              run a query, show its
+                                                       per-stage trace
+``health``                                             introspection summary
+``stats``                                              metrics registry dump
+                                                       (Prometheus-style text)
 ``fsck <data_dir>``                                    offline integrity check
 ``recover <data_dir>``                                 fsck + repair torn tails
 =====================================================  ======================
+
+Query verbs run on the daemon's :class:`~repro.core.operators.QueryResult`
+API, so every execution carries per-stage statistics; ``trace`` prefixes
+any query verb (``trace pct app duration 99 last 10s``) and appends the
+stage-by-stage account — summaries pruned, chunks scanned, bins walked —
+to the output.
 
 ``fsck`` and ``recover`` operate on a persisted data directory (not the
 live daemon): ``fsck`` is read-only and reports what a warm restart would
@@ -35,6 +45,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..core.errors import LoomError
+from ..core.operators import QueryResult
 from ..core.recovery import fsck
 from .monitor import MonitoringDaemon
 
@@ -82,6 +93,8 @@ class LoomCli:
         if not tokens:
             raise CliError("empty command")
         verb = tokens[0]
+        if verb == "trace":
+            return self._trace(tokens)
         handler: Optional[Callable[[List[str]], CliResult]] = {
             "sources": self._sources,
             "count": self._count,
@@ -90,12 +103,35 @@ class LoomCli:
             "scan": self._scan,
             "where": self._where,
             "health": self._health,
+            "stats": self._stats,
             "fsck": self._fsck,
             "recover": self._recover,
         }.get(verb)
         if handler is None:
             raise CliError(f"unknown command {verb!r}")
         return handler(tokens)
+
+    _TRACEABLE = ("count", "agg", "pct", "scan", "where")
+
+    def _trace(self, tokens: List[str]) -> CliResult:
+        """``trace <query command>`` — execute the wrapped query verb with
+        stage tracing on and append the per-stage account to its output."""
+        if len(tokens) < 2:
+            raise CliError("usage: trace <query command>")
+        inner = tokens[1:]
+        if inner[0] not in self._TRACEABLE:
+            raise CliError(
+                f"cannot trace {inner[0]!r} "
+                f"(traceable: {', '.join(self._TRACEABLE)})"
+            )
+        handler: Callable[..., CliResult] = {
+            "count": self._count,
+            "agg": self._agg,
+            "pct": self._pct,
+            "scan": self._scan,
+            "where": self._where,
+        }[inner[0]]
+        return handler(inner, trace=True)
 
     # ------------------------------------------------------------------
     def _last_range(self, tokens: List[str], at: int) -> Tuple[int, int]:
@@ -104,10 +140,12 @@ class LoomCli:
         now = self.daemon.clock.now()
         return max(0, now - parse_duration(tokens[at + 1])), now
 
-    def _source_and_index(self, tokens: List[str]) -> Tuple[int, int]:
-        handle = self.daemon.source(tokens[1])
-        index_id = self.daemon.index_id(tokens[1], tokens[2])
-        return handle.source_id, index_id
+    @staticmethod
+    def _with_trace(text: str, result: QueryResult, trace: bool) -> str:
+        """Append a query's per-stage trace to its rendered output."""
+        if not trace or result.trace is None:
+            return text
+        return f"{text}\n-- trace ({result.source}) --\n{result.trace.format()}"
 
     def _sources(self, tokens: List[str]) -> CliResult:
         rows = []
@@ -120,67 +158,97 @@ class LoomCli:
             )
         return CliResult("sources", "\n".join(rows) or "(no sources)", rows)
 
-    def _count(self, tokens: List[str]) -> CliResult:
+    def _count(self, tokens: List[str], trace: bool = False) -> CliResult:
         if len(tokens) < 4:
             raise CliError("usage: count <source> last <dur>")
-        handle = self.daemon.source(tokens[1])
         t_range = self._last_range(tokens, 2)
-        records = self.daemon.loom.raw_scan(handle.source_id, t_range)
-        return CliResult("count", f"{len(records):,} records", len(records))
+        result = self.daemon.scan(tokens[1], t_range, trace=trace)
+        count = len(result.records or [])
+        text = self._with_trace(f"{count:,} records", result, trace)
+        return CliResult("count", text, count)
 
-    def _agg(self, tokens: List[str]) -> CliResult:
+    def _agg(self, tokens: List[str], trace: bool = False) -> CliResult:
         if len(tokens) < 6:
             raise CliError("usage: agg <source> <index> <method> last <dur>")
         method = tokens[3]
         if method not in ("min", "max", "mean", "sum", "count"):
             raise CliError(f"bad method {method!r}")
-        source_id, index_id = self._source_and_index(tokens)
         t_range = self._last_range(tokens, 4)
-        result = self.daemon.loom.indexed_aggregate(
-            source_id, index_id, t_range, method
+        result = self.daemon.aggregate(
+            tokens[1], tokens[2], t_range, method, trace=trace
         )
         if result.value is None:
-            return CliResult("agg", "no data", None)
-        return CliResult("agg", f"{method} = {result.value:,.3f}", result.value)
+            return CliResult("agg", self._with_trace("no data", result, trace))
+        text = self._with_trace(f"{method} = {result.value:,.3f}", result, trace)
+        return CliResult("agg", text, result.value)
 
-    def _pct(self, tokens: List[str]) -> CliResult:
+    def _pct(self, tokens: List[str], trace: bool = False) -> CliResult:
         if len(tokens) < 6:
             raise CliError("usage: pct <source> <index> <p> last <dur>")
         try:
             percentile = float(tokens[3])
         except ValueError:
             raise CliError(f"bad percentile {tokens[3]!r}")
-        source_id, index_id = self._source_and_index(tokens)
         t_range = self._last_range(tokens, 4)
-        result = self.daemon.loom.indexed_aggregate(
-            source_id, index_id, t_range, "percentile", percentile=percentile
+        result = self.daemon.aggregate(
+            tokens[1], tokens[2], t_range, "percentile",
+            percentile=percentile, trace=trace,
         )
         if result.value is None:
-            return CliResult("pct", "no data", None)
-        return CliResult(
-            "pct", f"p{percentile:g} = {result.value:,.3f}", result.value
+            return CliResult("pct", self._with_trace("no data", result, trace))
+        text = self._with_trace(
+            f"p{percentile:g} = {result.value:,.3f}", result, trace
         )
+        return CliResult("pct", text, result.value)
 
-    def _scan(self, tokens: List[str]) -> CliResult:
+    def _scan(self, tokens: List[str], trace: bool = False) -> CliResult:
         if len(tokens) < 4:
             raise CliError("usage: scan <source> last <dur> [limit N]")
-        handle = self.daemon.source(tokens[1])
         t_range = self._last_range(tokens, 2)
         limit = None
         if "limit" in tokens:
             limit = int(tokens[tokens.index("limit") + 1])
-        records = self.daemon.loom.raw_scan(handle.source_id, t_range)
+        result = self.daemon.scan(tokens[1], t_range, trace=trace)
+        records = result.records or []
         if limit is not None:
             records = records[:limit]
         lines = [
             f"t={r.timestamp} {len(r.payload)}B payload" for r in records[:20]
         ]
         suffix = "" if len(records) <= 20 else f"\n... {len(records) - 20} more"
-        return CliResult("scan", "\n".join(lines) + suffix, records)
+        text = self._with_trace("\n".join(lines) + suffix, result, trace)
+        return CliResult("scan", text, records)
 
     def _health(self, tokens: List[str]) -> CliResult:
-        health = self.daemon.health()
-        return CliResult("health", health.value, health)
+        info = self.daemon.introspect()
+        names = self.daemon.source_name_map()
+        footprint = info.footprint
+        log_bytes = (
+            footprint["record_log_bytes"]
+            + footprint["chunk_index_bytes"]
+            + footprint["timestamp_index_bytes"]
+        )
+        lines = [
+            f"health: {info.health.value}",
+            f"records: {info.total_records:,}",
+            f"footprint: {log_bytes:,} log bytes "
+            f"({footprint['finalized_chunks']} chunks)",
+        ]
+        for source in info.sources:
+            name = names.get(source.source_id, f"source-{source.source_id}")
+            state = "closed" if source.closed else "open"
+            lines.append(
+                f"  {name}: {source.record_count:,} records, "
+                f"{source.bytes_ingested:,}B, "
+                f"{len(source.index_ids)} indexes, {state}"
+            )
+        return CliResult("health", "\n".join(lines), info)
+
+    def _stats(self, tokens: List[str]) -> CliResult:
+        from ..scope.exposition import render_exposition
+
+        snapshot = self.daemon.loom.metrics.snapshot()
+        return CliResult("stats", render_exposition(snapshot), snapshot)
 
     def _fsck(self, tokens: List[str]) -> CliResult:
         if len(tokens) < 2:
@@ -205,7 +273,7 @@ class LoomCli:
         )
         return CliResult("recover", "\n".join(lines), state)
 
-    def _where(self, tokens: List[str]) -> CliResult:
+    def _where(self, tokens: List[str], trace: bool = False) -> CliResult:
         if len(tokens) < 6:
             raise CliError("usage: where <source> <index> <lo>..<hi> last <dur>")
         bounds = tokens[3].split("..")
@@ -213,11 +281,12 @@ class LoomCli:
             raise CliError("value range must look like 100..500 (or 100..inf)")
         lo = float(bounds[0]) if bounds[0] else float("-inf")
         hi = float(bounds[1]) if bounds[1] not in ("", "inf") else float("inf")
-        source_id, index_id = self._source_and_index(tokens)
         t_range = self._last_range(tokens, 4)
-        records = self.daemon.loom.indexed_scan(
-            source_id, index_id, t_range, (lo, hi)
+        result = self.daemon.scan_indexed(
+            tokens[1], tokens[2], t_range, (lo, hi), trace=trace
         )
-        return CliResult(
-            "where", f"{len(records):,} records in [{lo}, {hi}]", records
+        records = result.records or []
+        text = self._with_trace(
+            f"{len(records):,} records in [{lo}, {hi}]", result, trace
         )
+        return CliResult("where", text, records)

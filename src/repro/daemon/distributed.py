@@ -65,11 +65,7 @@ class LoomCoordinator:
         """Merge a distributive aggregate across all nodes."""
         partials: List[Tuple[float, int]] = []
         for node in self.nodes:
-            handle = node.daemon.source(source_name)
-            index_id = node.daemon.index_id(source_name, index_name)
-            result = node.daemon.loom.indexed_aggregate(
-                handle.source_id, index_id, t_range, method
-            )
+            result = node.daemon.aggregate(source_name, index_name, t_range, method)
             if result.count:
                 partials.append((result.value, result.count))
         if not partials:
@@ -166,6 +162,6 @@ class LoomCoordinator:
         """Raw-scan the same source on every node (cross-node correlation)."""
         out: Dict[str, List[Record]] = {}
         for node in self.nodes:
-            handle = node.daemon.source(source_name)
-            out[node.name] = node.daemon.loom.raw_scan(handle.source_id, t_range)
+            result = node.daemon.scan(source_name, t_range)
+            out[node.name] = result.records or []
         return out

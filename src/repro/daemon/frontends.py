@@ -108,12 +108,12 @@ class LoomSink:
             t_range = (0, self.loom.clock.now())
         spec = self.aggregator.spec
         lo, hi = spec.bin_range(bin_idx)
-        records = self.loom.indexed_scan(
+        result = self.loom.scan_indexed(
             self.source_id, self.index_id, t_range, (lo, hi)
         )
         # The bin's range is half-open; drop boundary records binned above.
         return [
             r
-            for r in records
+            for r in result.records or []
             if spec.bin_of(self.aggregator.value_of(r.payload)) == bin_idx
         ]

@@ -13,14 +13,19 @@ the workload's exact virtual arrival timestamps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.clock import Clock, MonotonicClock, VirtualClock
 from ..core.config import LoomConfig
 from ..core.errors import LoomError
 from ..core.histogram import HistogramSpec, IndexFunc
-from ..core.loom import Loom
+from ..core.loom import Introspection, Loom
+from ..core.operators import NEG_INF, POS_INF, QueryResult
+from ..core.record import Record
 from ..workloads.generator import TimedRecord
+
+#: A source reference: the daemon's name or Loom's integer id.
+SourceRef = Union[str, int]
 
 
 @dataclass
@@ -126,6 +131,30 @@ class MonitoringDaemon:
     def source_names(self) -> List[str]:
         return list(self._by_name.keys())
 
+    def resolve_source(self, ref: SourceRef) -> SourceHandle:
+        """Reconcile the two addressing schemes into one handle.
+
+        The daemon speaks *names* (its own namespace); Loom speaks
+        integer *ids* (what the logs store).  Every daemon query surface
+        accepts either form via this method, and the returned handle's
+        ``name`` is what lands in :attr:`QueryResult.source` and metric
+        labels — reports show names, never bare ids.
+
+        An integer id that Loom knows but the daemon never named (a
+        recovered source after :meth:`reopen` without a ``sources``
+        entry) resolves to a *transient* handle named ``source-<id>``;
+        it is not registered, so naming it later via
+        :meth:`enable_source` still works.
+        """
+        if isinstance(ref, int):
+            handle = self._by_id.get(ref)
+            if handle is not None:
+                return handle
+            if ref in self.loom.record_log.source_ids():
+                return SourceHandle(name=f"source-{ref}", source_id=ref)
+            raise LoomError(f"unknown source id {ref}")
+        return self.source(ref)
+
     # ------------------------------------------------------------------
     # Index management (section 5.3 lifecycle)
     # ------------------------------------------------------------------
@@ -172,6 +201,89 @@ class MonitoringDaemon:
         if index_id is None:
             raise LoomError(f"no index {index_name!r} on {source_name!r}")
         return index_id
+
+    # ------------------------------------------------------------------
+    # Queries (QueryResult API; sources addressed by name or id)
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        source: SourceRef,
+        t_range: Tuple[int, int],
+        func: Optional[Callable[[Record], None]] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Raw-scan a source (by name or id); the result's ``source``
+        label carries the resolved *name*."""
+        handle = self.resolve_source(source)
+        result = self.loom.scan(handle.source_id, t_range, func=func, trace=trace)
+        result.source = handle.name
+        return result
+
+    def scan_indexed(
+        self,
+        source: SourceRef,
+        index: Union[str, int],
+        t_range: Tuple[int, int],
+        v_range: Tuple[float, float] = (NEG_INF, POS_INF),
+        func: Optional[Callable[[Record], None]] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Indexed scan with the daemon's naming: ``index`` is the index
+        *name* on the source (or a raw index id)."""
+        handle = self.resolve_source(source)
+        result = self.loom.scan_indexed(
+            handle.source_id,
+            self._resolve_index(handle, index),
+            t_range,
+            v_range,
+            func=func,
+            trace=trace,
+        )
+        result.source = handle.name
+        return result
+
+    def aggregate(
+        self,
+        source: SourceRef,
+        index: Union[str, int],
+        t_range: Tuple[int, int],
+        method: str,
+        percentile: Optional[float] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Aggregate over an index, addressed by daemon names."""
+        handle = self.resolve_source(source)
+        result = self.loom.aggregate(
+            handle.source_id,
+            self._resolve_index(handle, index),
+            t_range,
+            method,
+            percentile=percentile,
+            trace=trace,
+        )
+        result.source = handle.name
+        return result
+
+    def _resolve_index(
+        self, handle: SourceHandle, index: Union[str, int]
+    ) -> int:
+        if isinstance(index, int):
+            return index
+        index_id = handle.indexes.get(index)
+        if index_id is None:
+            raise LoomError(f"no index {index!r} on {handle.name!r}")
+        return index_id
+
+    def introspect(self) -> Introspection:
+        """Unified introspection snapshot of the hosted Loom instance
+        (health, footprint, sources, and the loomscope metrics registry
+        — see :meth:`repro.core.loom.Loom.introspect`)."""
+        return self.loom.introspect()
+
+    def source_name_map(self) -> Dict[int, str]:
+        """``source_id -> name`` for every named source (for labelling
+        introspection output; ids the daemon never named are absent)."""
+        return {sid: handle.name for sid, handle in self._by_id.items()}
 
     # ------------------------------------------------------------------
     # Ingest

@@ -116,19 +116,66 @@ class OtelLoomExporter:
 
     def _span_source(self, span_name: str) -> str:
         name = self.span_source_name(span_name)
+        self._ensure(name, "duration", span_duration)
+        return name
+
+    def _metric_source(self, instrument: str) -> str:
+        name = self.metric_source_name(instrument)
+        self._ensure(name, "value", metric_value)
+        return name
+
+    def _ensure(self, name: str, index_name: str, func) -> None:
+        """Create the source and its index on first sight — and *re*-create
+        the index when the source exists without it.
+
+        The second case is the warm-restart gap: after
+        :meth:`MonitoringDaemon.reopen` the source name is re-enabled
+        (names are daemon state supplied to ``reopen``), but index UDFs
+        are code and do not survive — the source comes back indexless.
+        Self-healing here means the first export or query after a restart
+        re-attaches the index instead of failing.
+        """
         if name not in self.daemon.source_names():
             self.daemon.enable_source(name)
+        handle = self.daemon.source(name)
+        if index_name not in handle.indexes:
+            self.daemon.add_index(name, index_name, func, self._duration_edges)
+
+    def _query_span_source(self, span_name: str) -> str:
+        """Resolve a span source for a query: unknown names raise (a
+        query never creates sources), but a known source that lost its
+        index to a warm restart is healed in place."""
+        name = self.span_source_name(span_name)
+        handle = self.daemon.source(name)  # raises for never-seen spans
+        if "duration" not in handle.indexes:
             self.daemon.add_index(
                 name, "duration", span_duration, self._duration_edges
             )
         return name
 
-    def _metric_source(self, instrument: str) -> str:
-        name = self.metric_source_name(instrument)
-        if name not in self.daemon.source_names():
-            self.daemon.enable_source(name)
-            self.daemon.add_index(name, "value", metric_value, self._duration_edges)
-        return name
+    def reattach(self) -> int:
+        """Re-adopt this exporter's sources after a daemon warm restart.
+
+        Walks the daemon's named sources, and for every ``otel.span.*`` /
+        ``otel.metric.*`` source missing its index (UDFs are code; they
+        die with the old process), defines a fresh one.  Per section 5.3
+        the new index covers records pushed from now on; percentile and
+        tail-scan queries still see *all* old records via chunk scans —
+        only the bin-pruning acceleration is forfeited for pre-restart
+        data.  Returns the number of indexes re-attached.
+        """
+        healed = 0
+        for name in self.daemon.source_names():
+            if name.startswith("otel.span."):
+                index_name, func = "duration", span_duration
+            elif name.startswith("otel.metric."):
+                index_name, func = "value", metric_value
+            else:
+                continue
+            if index_name not in self.daemon.source(name).indexes:
+                self.daemon.add_index(name, index_name, func, self._duration_edges)
+                healed += 1
+        return healed
 
     # ------------------------------------------------------------------
     # Query conveniences mirroring common dashboard panels
@@ -136,25 +183,21 @@ class OtelLoomExporter:
     def span_percentile(
         self, span_name: str, t_range: Tuple[int, int], percentile: float
     ) -> Optional[float]:
-        name = self.span_source_name(span_name)
-        handle = self.daemon.source(name)
-        index_id = self.daemon.index_id(name, "duration")
-        result = self.daemon.loom.indexed_aggregate(
-            handle.source_id, index_id, t_range, "percentile", percentile=percentile
+        name = self._query_span_source(span_name)
+        result = self.daemon.aggregate(
+            name, "duration", t_range, "percentile", percentile=percentile
         )
         return result.value
 
     def slow_spans(
         self, span_name: str, t_range: Tuple[int, int], threshold_us: float
     ) -> List[OtelSpan]:
-        name = self.span_source_name(span_name)
-        handle = self.daemon.source(name)
-        index_id = self.daemon.index_id(name, "duration")
-        records = self.daemon.loom.indexed_scan(
-            handle.source_id, index_id, t_range, (threshold_us, float("inf"))
+        name = self._query_span_source(span_name)
+        result = self.daemon.scan_indexed(
+            name, "duration", t_range, (threshold_us, float("inf"))
         )
         out = []
-        for record in records:
+        for record in result.records or []:
             trace_id, duration, status = decode_span_payload(record.payload)
             out.append(
                 OtelSpan(

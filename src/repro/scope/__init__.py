@@ -1,0 +1,20 @@
+"""loomscope surfaces: exposition and the selfscope feedback loop.
+
+:mod:`repro.core.metrics` is the capture side of Loom's
+self-observation registry; this package is the *consumption* side:
+
+* :mod:`repro.scope.exposition` — Prometheus-style text rendering of a
+  registry snapshot (the CLI ``stats`` verb, the CI failure artifact).
+* :mod:`repro.scope.selfscope` — the dogfooding loop of the paper's §6
+  case study turned inward: Loom's own metrics are published back into
+  a Loom source, so ``indexed_aggregate`` answers questions like
+  "p99 flush latency over the last minute" from Loom's own log.
+
+Everything here is subject to loomlint rule LOOM111: timestamps come
+from :mod:`repro.core.clock`, never from ``time.*`` directly.
+"""
+
+from .exposition import render_exposition
+from .selfscope import SelfScope
+
+__all__ = ["SelfScope", "render_exposition"]

@@ -1,0 +1,79 @@
+"""Prometheus-style text exposition of a loomscope registry snapshot.
+
+The format follows the Prometheus text exposition conventions closely
+enough to be scrape-parseable — ``# HELP`` / ``# TYPE`` headers, one
+``name{labels} value`` line per sample, histograms expanded into
+cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count`` —
+without claiming full spec compliance (no timestamps, no exemplars;
+this repository has no network to scrape over anyway).  It exists so
+humans and CI artifacts get one canonical flat rendering of "what does
+Loom think is happening inside itself".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..core.metrics import MetricValue, RegistrySnapshot
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Map a dotted metric name to a Prometheus-legal one."""
+    return _NAME_OK.sub("_", name)
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_sanitize(k)}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _merge_labels(
+    labels: Tuple[Tuple[str, str], ...], extra: Dict[str, str]
+) -> Tuple[Tuple[str, str], ...]:
+    merged = dict(labels)
+    merged.update(extra)
+    return tuple(sorted(merged.items()))
+
+
+def render_exposition(snapshot: RegistrySnapshot) -> str:
+    """Render a registry snapshot as Prometheus-style text."""
+    lines: List[str] = []
+    seen_headers: set = set()
+    for metric in snapshot.metrics:
+        name = _sanitize(metric.name)
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+        lines.extend(_render_metric(name, metric))
+    return "\n".join(lines)
+
+
+def _render_metric(name: str, metric: MetricValue) -> List[str]:
+    if metric.histogram is None:
+        return [f"{name}{_render_labels(metric.labels)} {metric.value}"]
+    hist = metric.histogram
+    lines: List[str] = []
+    # Cumulative buckets over the spec's *finite* upper edges; the
+    # histogram's two outlier bins fold into the first bucket and +Inf.
+    cumulative = 0
+    counts = hist.bin_counts
+    edges = hist.spec.edges
+    # bin 0 is the low outlier bin (< edges[0]); interior bin i covers
+    # [edges[i-1], edges[i]); the last bin is the high outlier bin.
+    for i, edge in enumerate(edges):
+        cumulative += counts[i]  # everything strictly below this edge
+        labels = _merge_labels(metric.labels, {"le": repr(float(edge))})
+        lines.append(f"{name}_bucket{_render_labels(labels)} {cumulative}")
+    labels = _merge_labels(metric.labels, {"le": "+Inf"})
+    lines.append(f"{name}_bucket{_render_labels(labels)} {hist.count}")
+    base = _render_labels(metric.labels)
+    lines.append(f"{name}_sum{base} {hist.sum}")
+    lines.append(f"{name}_count{base} {hist.count}")
+    return lines

@@ -1,0 +1,197 @@
+"""selfscope: Loom observing itself (the §6 case study, turned inward).
+
+The paper's flagship deployment is Loom capturing telemetry *about* an
+observability pipeline.  selfscope closes the loop: the loomscope
+registry that Loom's own hot paths feed (ingest counters, flush-latency
+histograms, reader fallbacks — :mod:`repro.core.metrics`) is
+periodically published back into a Loom instance as ordinary telemetry,
+through the same :class:`~repro.daemon.otel.OtelLoomExporter` adapter
+any external source would use.  From then on the standard query
+operators answer questions about Loom itself::
+
+    scope = SelfScope(daemon)
+    ... ingest ...
+    scope.publish()
+    p99 = scope.percentile("loom.log.flush_latency_ns",
+                           {"log": "record"}, t_range, 99.0)
+
+Two design points keep the loop sane:
+
+* **Exact percentiles.**  Registry histograms hold bin counts, which
+  bound a percentile but do not pin it.  Histograms created with a
+  ``sample_window`` retain their most recent raw observations;
+  :meth:`SelfScope.publish` drains that window and pushes each raw
+  value as its own record, so ``indexed_aggregate``'s percentile over
+  the selfscope source is *exact* — the same order statistic a full
+  sort of the retained samples would give.
+* **Recursion guard.**  Publishing pushes records, and pushing records
+  bumps the very counters being published.  ``publish`` is guarded by a
+  ``_publishing`` flag (re-entrant calls return immediately) and reads
+  one registry snapshot up front: the ingest activity caused by a
+  publication is observed by the *next* publication, making the
+  feedback loop a sequence of well-founded cycles instead of unbounded
+  recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from ..core.metrics import Histogram, MetricsRegistry
+from ..core.operators import QueryResult
+from ..daemon.monitor import MonitoringDaemon
+from ..daemon.otel import OtelLoomExporter, OtelMetricPoint
+
+
+def instrument_point_name(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Flatten a metric identity into one OTel instrument name.
+
+    ``loom.log.flush_latency_ns`` with ``(("log", "record"),)`` becomes
+    ``loom.log.flush_latency_ns{log=record}`` — readable, unique per
+    label set, and stable across publications (it names the Loom
+    source that carries the series).
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class SelfScope:
+    """Publishes a loomscope registry into a Loom-hosting daemon.
+
+    Args:
+        daemon: the daemon whose Loom receives the metric records.  In
+            the dogfooding configuration this is the *same* daemon whose
+            registry is being published (Loom's own log holds Loom's own
+            telemetry); pointing it at a second, dedicated daemon gives
+            an out-of-band observer instead.
+        registry: the registry to publish; defaults to the registry of
+            the daemon's own Loom instance.
+        value_range: ``(lo, hi)`` histogram-index range for the metric
+            sources, in the published values' units.  Defaults to
+            1 µs – 10 s in nanoseconds, matching the latency metrics'
+            bin layout.
+    """
+
+    def __init__(
+        self,
+        daemon: MonitoringDaemon,
+        registry: Optional[MetricsRegistry] = None,
+        value_range: Tuple[float, float] = (1_000.0, 10_000_000_000.0),
+    ) -> None:
+        self.daemon = daemon
+        self.registry = registry if registry is not None else daemon.loom.metrics
+        self.exporter = OtelLoomExporter(
+            daemon, duration_range_us=value_range, duration_bins=28
+        )
+        self.published_points = 0
+        self.publish_cycles = 0
+        self._publishing = False
+
+    # ------------------------------------------------------------------
+    def publish(self) -> int:
+        """Run one publication cycle; returns the points exported.
+
+        Counters and gauges are published as one metric point each
+        (current value).  Histograms with a sample window have their
+        retained raw observations drained and published one point per
+        observation — the stream that makes percentile queries exact.
+        Re-entrant calls (a publication observing itself) are dropped
+        by the recursion guard.
+        """
+        if self._publishing:
+            return 0
+        self._publishing = True
+        try:
+            exported = 0
+            snapshot = self.registry.snapshot()
+            for metric in snapshot.metrics:
+                if metric.kind in ("counter", "gauge"):
+                    self.exporter.export_metric(
+                        OtelMetricPoint(
+                            instrument=instrument_point_name(
+                                metric.name, metric.labels
+                            ),
+                            value=float(metric.value),
+                        )
+                    )
+                    exported += 1
+            # Raw sample drain happens against the live instruments (the
+            # snapshot carries bin counts, not samples); each instrument
+            # has a single drainer — this scope.
+            for instrument in self.registry.instruments():
+                if not isinstance(instrument, Histogram):
+                    continue
+                point_name = instrument_point_name(
+                    instrument.name, instrument.labels
+                )
+                for value in instrument.drain_samples():
+                    self.exporter.export_metric(
+                        OtelMetricPoint(instrument=point_name, value=value)
+                    )
+                    exported += 1
+            self.daemon.sync()
+            self.published_points += exported
+            self.publish_cycles += 1
+            return exported
+        finally:
+            self._publishing = False
+
+    # ------------------------------------------------------------------
+    # Query conveniences over the published series
+    # ------------------------------------------------------------------
+    def source_name(
+        self, metric_name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> str:
+        """The daemon source name carrying a published metric series."""
+        normalized: Tuple[Tuple[str, str], ...] = tuple(
+            sorted((str(k), str(v)) for k, v in (labels or {}).items())
+        )
+        return self.exporter.metric_source_name(
+            instrument_point_name(metric_name, normalized)
+        )
+
+    def percentile(
+        self,
+        metric_name: str,
+        labels: Optional[Mapping[str, str]],
+        t_range: Tuple[int, int],
+        percentile: float,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Exact percentile of a published metric's raw samples.
+
+        This is ``indexed_aggregate`` over Loom's own log — e.g.
+        ``percentile("loom.log.flush_latency_ns", {"log": "record"},
+        t_range, 99.0)`` answers "p99 flush latency" from the records
+        selfscope published.
+        """
+        return self.daemon.aggregate(
+            self.source_name(metric_name, labels),
+            "value",
+            t_range,
+            "percentile",
+            percentile=percentile,
+            trace=trace,
+        )
+
+    def aggregate(
+        self,
+        metric_name: str,
+        labels: Optional[Mapping[str, str]],
+        t_range: Tuple[int, int],
+        method: str,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Distributive aggregate over a published metric's samples."""
+        return self.daemon.aggregate(
+            self.source_name(metric_name, labels),
+            "value",
+            t_range,
+            method,
+            trace=trace,
+        )
+
+
+__all__ = ["SelfScope", "instrument_point_name"]

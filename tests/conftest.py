@@ -26,6 +26,31 @@ if os.environ.get("LOOMSAN") == "1":
 VALUE_STRUCT = struct.Struct("<d")
 
 
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On test failure, dump every live loomscope registry.
+
+    Gated by ``LOOM_STATS_DUMP=<path>``: CI's faults matrix sets it and
+    uploads the file as an artifact when a scenario fails, so the
+    Prometheus-style ``stats`` view of each Loom alive at the moment of
+    failure (flush retries, reader fallbacks, recovery phases) rides
+    along with the red build.  Appends one section per failing test.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    dump_path = os.environ.get("LOOM_STATS_DUMP")
+    if not dump_path or report.when != "call" or not report.failed:
+        return
+    from repro.core.metrics import dump_live_registries
+
+    try:
+        text = dump_live_registries()
+    except Exception as exc:  # diagnostics must never mask the failure
+        text = f"(stats dump failed: {exc})"
+    with open(dump_path, "a", encoding="utf-8") as f:
+        f.write(f"### {item.nodeid}\n{text or '(no live registries)'}\n\n")
+
+
 def value_payload(value: float) -> bytes:
     """Minimal test payload: a single little-endian double."""
     return VALUE_STRUCT.pack(value)

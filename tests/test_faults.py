@@ -331,5 +331,5 @@ class TestCliRecovery:
         daemon = MonitoringDaemon()
         cli = LoomCli(daemon)
         result = cli.execute("health")
-        assert result.text == "healthy"
-        assert result.value is Health.HEALTHY
+        assert result.text.startswith("health: healthy")
+        assert result.value.health is Health.HEALTHY

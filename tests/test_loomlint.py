@@ -286,6 +286,62 @@ class Clock:
 
 
 # ----------------------------------------------------------------------
+# LOOM111: nondeterminism in the metrics layer (repro/scope)
+# ----------------------------------------------------------------------
+def lint_scope(tmp_path, **modules):
+    """Create repro/scope/<name>.py files and lint the package."""
+    scope = tmp_path / "repro" / "scope"
+    scope.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (scope / "__init__.py").write_text("")
+    for name, source in modules.items():
+        (scope / (name + ".py")).write_text(source)
+    return run([str(tmp_path / "repro")], root=str(tmp_path), baseline_path=None)
+
+
+def test_wall_clock_in_scope_flagged(tmp_path):
+    result = lint_scope(
+        tmp_path,
+        selfscope="""
+import time
+
+
+def stamp():
+    return time.perf_counter_ns()
+""",
+    )
+    assert codes(result) == ["LOOM111"]
+    (v,) = result.violations
+    assert "repro.core.clock" in v.message
+
+
+def test_scope_clock_usage_clean(tmp_path):
+    result = lint_scope(
+        tmp_path,
+        selfscope="""
+def stamp(registry):
+    return registry.clock.now()
+""",
+    )
+    assert result.violations == []
+
+
+def test_scope_suppression_applies_to_loom111(tmp_path):
+    result = lint_scope(
+        tmp_path,
+        exposition="""
+import time
+
+
+def stamp():
+    return time.time()  # loomlint: disable=metrics-clock
+""",
+    )
+    assert result.violations == []
+    assert [v.rule for v in result.suppressed] == ["LOOM111"]
+
+
+# ----------------------------------------------------------------------
 # LOOM105: exception hygiene
 # ----------------------------------------------------------------------
 def test_bare_except_flagged(tmp_path):

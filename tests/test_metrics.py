@@ -1,0 +1,205 @@
+"""Tests for the loomscope metrics registry (repro.core.metrics)."""
+
+import pytest
+
+from repro.core import LATENCY_EDGES_NS, Loom, LoomConfig, VirtualClock
+from repro.core.errors import LoomError
+from repro.core.histogram import HistogramSpec
+from repro.core.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LogScope,
+    MetricsRegistry,
+    dump_live_registries,
+)
+
+
+class TestInstruments:
+    def test_counter_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_gauge_set_add(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.add(-1.0)
+        assert g.value == 2.0
+
+    def test_histogram_observe_and_snapshot(self):
+        spec = HistogramSpec([10.0, 100.0, 1000.0])
+        h = Histogram("x", spec)
+        for v in (5.0, 50.0, 500.0, 5000.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap.count == 4
+        assert snap.sum == 5555.0
+        assert snap.min == 5.0 and snap.max == 5000.0
+        # One value per bin: low outlier, two interior, high outlier.
+        assert snap.bin_counts == (1, 1, 1, 1)
+        assert snap.mean == 5555.0 / 4
+
+    def test_histogram_snapshot_empty(self):
+        h = Histogram("x", HistogramSpec([1.0]))
+        snap = h.snapshot()
+        assert snap.count == 0
+        assert snap.mean is None
+
+    def test_seqlock_version_even_when_stable(self):
+        h = Histogram("x", HistogramSpec([1.0]))
+        h.observe(0.5)
+        h.observe(2.0)
+        assert h._version % 2 == 0
+        assert h._version == 4  # two bumps per observe
+
+    def test_sample_window_bounded_and_drained(self):
+        h = Histogram("x", HistogramSpec([1.0]), sample_window=4)
+        for v in range(10):
+            h.observe(float(v))
+        drained = h.drain_samples()
+        assert drained == [6.0, 7.0, 8.0, 9.0]  # most recent four
+        assert h.drain_samples() == []  # single consumer, now empty
+        assert h.count == 10  # bin stats keep the full count
+
+    def test_no_sample_window_drains_nothing(self):
+        h = Histogram("x", HistogramSpec([1.0]))
+        h.observe(0.5)
+        assert h.drain_samples() == []
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        a = r.counter("c", labels={"k": "v"})
+        b = r.counter("c", labels={"k": "v"})
+        assert a is b
+        assert r.counter("c", labels={"k": "other"}) is not a
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("m")
+        with pytest.raises(LoomError):
+            r.gauge("m")
+
+    def test_labels_normalized_order_insensitive(self):
+        r = MetricsRegistry()
+        a = r.counter("c", labels={"a": "1", "b": "2"})
+        b = r.counter("c", labels={"b": "2", "a": "1"})
+        assert a is b
+        assert a.labels == (("a", "1"), ("b", "2"))
+
+    def test_snapshot_values_and_lookup(self):
+        clock = VirtualClock(100)
+        r = MetricsRegistry(clock=clock)
+        r.counter("c", labels={"k": "v"}).inc(7)
+        r.gauge("g").set(2.5)
+        h = r.histogram("h", HistogramSpec([1.0]))
+        h.observe(0.5)
+        snap = r.snapshot()
+        assert snap.captured_at == 100
+        assert snap.value("c", {"k": "v"}) == 7
+        assert snap.value("g") == 2.5
+        hist = snap.get("h")
+        assert hist.kind == "histogram"
+        assert hist.histogram.count == 1
+        assert snap.get("absent") is None
+        assert snap.value("absent") is None
+
+    def test_phase_timer_sets_duration_gauge(self):
+        clock = VirtualClock(0)
+        r = MetricsRegistry(clock=clock)
+        with r.phase("p.ns", labels={"phase": "x"}):
+            clock.advance(12345)
+        assert r.snapshot().value("p.ns", {"phase": "x"}) == 12345.0
+
+    def test_log_scope_bundle_labelled_by_log_name(self):
+        r = MetricsRegistry()
+        scope = LogScope(r, "record")
+        scope.flushes.inc()
+        scope.reader_fallbacks.inc(3)
+        snap = r.snapshot()
+        assert snap.value("loom.log.flushes_total", {"log": "record"}) == 1
+        assert (
+            snap.value("loom.log.reader_fallbacks_total", {"log": "record"})
+            == 3
+        )
+        assert tuple(scope.flush_latency.spec.edges) == LATENCY_EDGES_NS
+
+    def test_dump_live_registries_includes_new_registry(self):
+        r = MetricsRegistry()
+        r.counter("dumpcheck.marker_total").inc()
+        text = dump_live_registries()
+        assert "dumpcheck_marker_total 1" in text
+
+
+class TestHotPathInstrumentation:
+    def _loom(self, metrics_enabled=True):
+        cfg = LoomConfig(
+            chunk_size=512,
+            record_block_size=2048,
+            metrics_enabled=metrics_enabled,
+        )
+        return Loom(cfg, clock=VirtualClock(1))
+
+    def test_ingest_counters_track_push_and_push_many(self):
+        loom = self._loom()
+        loom.define_source(1)
+        loom.push(1, b"x" * 16)
+        loom.push_many(1, [b"y" * 16] * 9)
+        snap = loom.metrics.snapshot()
+        assert snap.value("loom.ingest.records_total") == 10
+        assert snap.value("loom.ingest.bytes_total") == 160
+        assert snap.value("loom.ingest.batches_total") == 1
+        batch = snap.get("loom.ingest.batch_latency_ns")
+        assert batch.histogram.count == 1
+        loom.close()
+
+    def test_flush_and_chunk_metrics(self):
+        loom = self._loom()
+        loom.define_source(1)
+        for _ in range(200):
+            loom.push(1, b"z" * 24)
+        loom.sync()
+        loom.close()
+        snap = loom.metrics.snapshot()
+        assert snap.value("loom.chunks.finalized_total") >= 1
+        assert snap.value("loom.log.flushes_total", {"log": "record"}) >= 1
+        assert snap.value("loom.log.flushed_bytes_total", {"log": "record"}) > 0
+        flush_hist = snap.get(
+            "loom.log.flush_latency_ns", {"log": "record"}
+        ).histogram
+        assert flush_hist.count >= 1
+
+    def test_query_counter_labelled_by_verb(self):
+        loom = self._loom()
+        loom.define_source(1)
+        loom.push(1, b"q" * 8)
+        loom.sync()
+        loom.scan(1, (0, 10**12))
+        loom.scan(1, (0, 10**12))
+        snap = loom.metrics.snapshot()
+        assert snap.value("loom.query.total", {"verb": "scan"}) == 2
+        loom.close()
+
+    def test_metrics_disabled_registers_nothing_on_hot_paths(self):
+        loom = self._loom(metrics_enabled=False)
+        loom.define_source(1)
+        loom.push_many(1, [b"x" * 16] * 50)
+        loom.sync()
+        loom.scan(1, (0, 10**12))
+        snap = loom.metrics.snapshot()
+        assert snap.value("loom.ingest.records_total") is None
+        assert snap.value("loom.query.total", {"verb": "scan"}) is None
+        loom.close()
+
+    def test_introspect_carries_registry_snapshot(self):
+        loom = self._loom()
+        loom.define_source(1)
+        loom.push(1, b"i" * 8)
+        info = loom.introspect()
+        assert info.total_records == 1
+        assert info.metrics.value("loom.ingest.records_total") == 1
+        assert info.sources[0].record_count == 1
+        loom.close()

@@ -91,3 +91,78 @@ class TestMetricExport:
         exp.export_metric(OtelMetricPoint("mem.rss", 512.0))
         daemon.sync()
         assert daemon.loom.total_records == 2
+
+
+class TestWarmRestart:
+    """Exporter survival across a daemon reopen (satellite: §5.3 healing).
+
+    Index UDFs are code and die with the old process; the exporter must
+    re-attach them — lazily on the first post-restart query, or eagerly
+    via :meth:`OtelLoomExporter.reattach`.
+    """
+
+    def _persisted_daemon(self, tmp_path, durations):
+        from repro.core import LoomConfig
+
+        cfg = LoomConfig(data_dir=str(tmp_path / "otel"))
+        daemon = MonitoringDaemon(config=cfg)
+        exp = OtelLoomExporter(daemon)
+        for i, duration in enumerate(durations):
+            daemon.clock.advance(micros(50))
+            exp.export_span(OtelSpan("rpc", trace_id=i, duration_us=duration))
+        source_id = daemon.source("otel.span.rpc").source_id
+        daemon.close()
+        return cfg, source_id
+
+    def test_span_queries_work_after_reopen(self, tmp_path):
+        durations = [10.0, 250.0, 4000.0, 75.0, 9000.0]
+        cfg, source_id = self._persisted_daemon(tmp_path, durations)
+
+        daemon = MonitoringDaemon.reopen(
+            cfg, sources={"otel.span.rpc": source_id}
+        )
+        try:
+            exp = OtelLoomExporter(daemon)
+            t_range = (0, daemon.clock.now())
+            # The reopened source came back indexless; the query self-heals.
+            assert daemon.source("otel.span.rpc").indexes == {}
+            p50 = exp.span_percentile("rpc", t_range, 50.0)
+            assert p50 == float(
+                np.percentile(durations, 50.0, method="inverted_cdf")
+            )
+            slow = exp.slow_spans("rpc", t_range, threshold_us=1000.0)
+            assert sorted(s.trace_id for s in slow) == [2, 4]
+        finally:
+            daemon.close()
+
+    def test_reattach_heals_eagerly_and_is_idempotent(self, tmp_path):
+        cfg, source_id = self._persisted_daemon(tmp_path, [100.0, 200.0])
+
+        daemon = MonitoringDaemon.reopen(
+            cfg, sources={"otel.span.rpc": source_id}
+        )
+        try:
+            exp = OtelLoomExporter(daemon)
+            assert exp.reattach() == 1
+            assert "duration" in daemon.source("otel.span.rpc").indexes
+            assert exp.reattach() == 0  # nothing left to heal
+        finally:
+            daemon.close()
+
+    def test_post_restart_exports_resume_on_healed_source(self, tmp_path):
+        cfg, source_id = self._persisted_daemon(tmp_path, [100.0, 900.0])
+
+        daemon = MonitoringDaemon.reopen(
+            cfg, sources={"otel.span.rpc": source_id}
+        )
+        try:
+            exp = OtelLoomExporter(daemon)
+            daemon.clock.advance(micros(50))
+            exp.export_span(OtelSpan("rpc", trace_id=9, duration_us=700.0))
+            daemon.sync()
+            t_range = (0, daemon.clock.now())
+            slow = exp.slow_spans("rpc", t_range, threshold_us=500.0)
+            # One pre-restart span and the fresh one, across the restart.
+            assert sorted(s.trace_id for s in slow) == [1, 9]
+        finally:
+            daemon.close()

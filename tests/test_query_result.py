@@ -1,0 +1,151 @@
+"""QueryResult API: new query surface, deprecated shims, resolve_source."""
+
+import pytest
+
+from repro.core import LoomConfig, QueryStats
+from repro.core.errors import LoomError
+from repro.daemon.monitor import MonitoringDaemon
+
+EVERYTHING = (0, 2**62)
+
+
+class TestQueryResultSurface:
+    def test_scan_result_carries_records_and_stats(self, indexed_loom):
+        loom, source_id, _, values, _ = indexed_loom
+        result = loom.scan(source_id, EVERYTHING)
+        assert result.count == len(values)
+        assert len(result.records) == len(values)
+        assert result.stats.records_matched == len(values)
+        assert result.source == str(source_id)
+        assert result.value is None and result.trace is None
+
+    def test_scan_streaming_form_leaves_records_none(self, indexed_loom):
+        loom, source_id, _, values, _ = indexed_loom
+        seen = []
+        result = loom.scan(source_id, EVERYTHING, func=lambda r: seen.append(r))
+        assert result.records is None
+        assert result.count == len(values) == len(seen)
+
+    def test_aggregate_result_carries_value(self, indexed_loom):
+        loom, source_id, index_id, values, _ = indexed_loom
+        result = loom.aggregate(source_id, index_id, EVERYTHING, "max")
+        assert result.value == max(values)
+        assert result.count == len(values)
+        assert result.records is None
+
+    def test_trace_stages_for_each_verb(self, indexed_loom):
+        loom, source_id, index_id, _, _ = indexed_loom
+        pct = loom.aggregate(
+            source_id, index_id, EVERYTHING, "percentile",
+            percentile=99.0, trace=True,
+        )
+        assert "summary-prune" in pct.trace.stages()
+        assert "cdf" in pct.trace.stages()
+        where = loom.scan_indexed(
+            source_id, index_id, EVERYTHING, (100.0, 200.0), trace=True
+        )
+        assert "summary-prune" in where.trace.stages()
+        assert any("scan" in s for s in where.trace.stages())
+        assert loom.scan(source_id, EVERYTHING).trace is None  # opt-in
+
+
+class TestDeprecatedShims:
+    def test_raw_scan_warns_and_matches_scan(self, indexed_loom):
+        loom, source_id, _, _, _ = indexed_loom
+        with pytest.warns(DeprecationWarning, match="Loom.scan\\(\\)"):
+            legacy = loom.raw_scan(source_id, EVERYTHING)
+        assert legacy == loom.scan(source_id, EVERYTHING).records
+
+    def test_indexed_scan_warns_and_matches_scan_indexed(self, indexed_loom):
+        loom, source_id, index_id, _, _ = indexed_loom
+        v_range = (50.0, 500.0)
+        with pytest.warns(DeprecationWarning, match="scan_indexed"):
+            legacy = loom.indexed_scan(source_id, index_id, EVERYTHING, v_range)
+        current = loom.scan_indexed(source_id, index_id, EVERYTHING, v_range)
+        assert legacy == current.records
+
+    def test_indexed_aggregate_warns_and_matches_aggregate(self, indexed_loom):
+        loom, source_id, index_id, _, _ = indexed_loom
+        with pytest.warns(DeprecationWarning, match="Loom.aggregate\\(\\)"):
+            legacy = loom.indexed_aggregate(
+                source_id, index_id, EVERYTHING, "percentile", percentile=95.0
+            )
+        current = loom.aggregate(
+            source_id, index_id, EVERYTHING, "percentile", percentile=95.0
+        )
+        assert legacy.value == current.value
+        assert legacy.count == current.count
+
+    def test_shims_merge_into_caller_stats(self, indexed_loom):
+        loom, source_id, index_id, _, _ = indexed_loom
+        stats = QueryStats()
+        with pytest.warns(DeprecationWarning):
+            loom.raw_scan(source_id, EVERYTHING, stats=stats)
+        after_scan = stats.records_matched
+        assert after_scan == 2000
+        with pytest.warns(DeprecationWarning):
+            agg = loom.indexed_aggregate(
+                source_id, index_id, EVERYTHING, "sum", stats=stats
+            )
+        # Accumulation: the same object keeps growing across calls, and
+        # the legacy AggregateResult hands back that same object.
+        assert stats.records_matched > after_scan
+        assert agg.stats is stats
+
+    def test_new_surface_does_not_warn(self, indexed_loom):
+        loom, source_id, index_id, _, _ = indexed_loom
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            loom.scan(source_id, EVERYTHING)
+            loom.scan_indexed(source_id, index_id, EVERYTHING)
+            loom.aggregate(source_id, index_id, EVERYTHING, "mean")
+
+
+class TestResolveSource:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        cfg = LoomConfig(data_dir=str(tmp_path / "loom"))
+        d = MonitoringDaemon(config=cfg)
+        d.enable_source("cpu", source_id=7)
+        yield d
+        d.close()
+
+    def test_resolve_by_name_and_by_id(self, daemon):
+        by_name = daemon.resolve_source("cpu")
+        by_id = daemon.resolve_source(7)
+        assert by_name is by_id
+        assert by_name.name == "cpu" and by_name.source_id == 7
+
+    def test_unknown_name_and_id_raise(self, daemon):
+        with pytest.raises(LoomError):
+            daemon.resolve_source("net")
+        with pytest.raises(LoomError):
+            daemon.resolve_source(99)
+
+    def test_query_result_source_is_the_name(self, daemon):
+        daemon.receive_batch("cpu", [b"abcd"] * 3)
+        daemon.sync()
+        result = daemon.scan(7, EVERYTHING)  # queried by id...
+        assert result.source == "cpu"  # ...reported by name
+
+    def test_recovered_unnamed_id_gets_transient_handle(self, tmp_path):
+        cfg = LoomConfig(data_dir=str(tmp_path / "loom"))
+        daemon = MonitoringDaemon(config=cfg)
+        daemon.enable_source("cpu", source_id=7)
+        daemon.receive_batch("cpu", [b"abcd"] * 3)
+        daemon.close()
+
+        reopened = MonitoringDaemon.reopen(cfg)  # no sources mapping
+        try:
+            handle = reopened.resolve_source(7)
+            assert handle.name == "source-7"
+            result = reopened.scan(7, EVERYTHING)
+            assert result.source == "source-7"
+            assert len(result.records) == 3
+            # Naming it afterwards still works and takes precedence.
+            reopened.enable_source("cpu", source_id=7)
+            assert reopened.resolve_source(7).name == "cpu"
+        finally:
+            reopened.close()

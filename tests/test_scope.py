@@ -1,0 +1,177 @@
+"""Tests for repro.scope: exposition rendering and the selfscope loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import LoomConfig
+from repro.core.histogram import HistogramSpec
+from repro.core.metrics import MetricsRegistry
+from repro.daemon.monitor import MonitoringDaemon
+from repro.scope import SelfScope, render_exposition
+from repro.scope.selfscope import instrument_point_name
+
+EVERYTHING = (0, 2**62)
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        r = MetricsRegistry()
+        r.counter("loom.ingest.records_total", help="records in").inc(42)
+        r.gauge("loom.recovery.phase_ns", labels={"phase": "frames"}).set(9.0)
+        text = render_exposition(r.snapshot())
+        assert "# HELP loom_ingest_records_total records in" in text
+        assert "# TYPE loom_ingest_records_total counter" in text
+        assert "loom_ingest_records_total 42" in text
+        assert 'loom_recovery_phase_ns{phase="frames"} 9.0' in text
+
+    def test_histogram_buckets_cumulative(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", HistogramSpec([10.0, 100.0]))
+        for v in (1.0, 50.0, 60.0, 500.0):
+            h.observe(v)
+        text = render_exposition(r.snapshot())
+        # bin 0 (low outlier, v<10) folds into the first finite bucket.
+        assert 'lat_bucket{le="10.0"} 1' in text
+        assert 'lat_bucket{le="100.0"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_sum 611.0" in text
+        assert "lat_count 4" in text
+
+    def test_name_sanitization(self):
+        r = MetricsRegistry()
+        r.counter("a.b-c/d").inc()
+        text = render_exposition(r.snapshot())
+        assert "a_b_c_d 1" in text
+
+    def test_help_and_type_emitted_once_per_name(self):
+        r = MetricsRegistry()
+        r.counter("c", help="h", labels={"log": "a"}).inc()
+        r.counter("c", help="h", labels={"log": "b"}).inc()
+        text = render_exposition(r.snapshot())
+        assert text.count("# TYPE c counter") == 1
+        assert text.count("# HELP c h") == 1
+
+
+class TestInstrumentPointName:
+    def test_no_labels_is_bare_name(self):
+        assert instrument_point_name("m", ()) == "m"
+
+    def test_labels_flattened(self):
+        assert (
+            instrument_point_name("m", (("a", "1"), ("b", "2")))
+            == "m{a=1,b=2}"
+        )
+
+
+@pytest.fixture
+def busy_daemon(tmp_path):
+    """A daemon that has done enough ingest to flush blocks."""
+    cfg = LoomConfig(
+        data_dir=str(tmp_path / "loom"),
+        chunk_size=2048,
+        record_block_size=8192,
+    )
+    daemon = MonitoringDaemon(config=cfg)
+    daemon.enable_source("app")
+    for _ in range(400):
+        daemon.clock.advance(1_000_000)
+        daemon.receive_batch("app", [b"x" * 32] * 8)
+    daemon.sync()
+    yield daemon
+    daemon.close()
+
+
+class TestSelfScope:
+    def test_publish_creates_metric_sources(self, busy_daemon):
+        scope = SelfScope(busy_daemon)
+        exported = scope.publish()
+        assert exported > 0
+        assert scope.publish_cycles == 1
+        assert scope.published_points == exported
+        name = scope.source_name("loom.ingest.records_total")
+        assert name in busy_daemon.source_names()
+
+    def test_percentile_over_flush_latency_is_exact(self, busy_daemon):
+        """The §6 dogfooding query: p99 flush latency from Loom's own log."""
+        registry = busy_daemon.loom.metrics
+        hist = registry.histogram(
+            "loom.log.flush_latency_ns", labels={"log": "record"}
+        )
+        expected_samples = list(hist._samples)
+        assert expected_samples  # ingest flushed blocks
+        scope = SelfScope(busy_daemon)
+        scope.publish()
+        result = scope.percentile(
+            "loom.log.flush_latency_ns", {"log": "record"}, EVERYTHING, 99.0
+        )
+        expected = float(
+            np.percentile(expected_samples, 99.0, method="inverted_cdf")
+        )
+        assert result.value == expected
+        assert result.count == len(expected_samples)
+        assert result.source == scope.source_name(
+            "loom.log.flush_latency_ns", {"log": "record"}
+        )
+
+    def test_aggregate_reads_back_counter_value(self, busy_daemon):
+        scope = SelfScope(busy_daemon)
+        scope.publish()
+        result = scope.aggregate(
+            "loom.ingest.records_total", None, EVERYTHING, "max"
+        )
+        assert result.value == 400 * 8
+
+    def test_second_cycle_publishes_only_the_delta(self, busy_daemon):
+        scope = SelfScope(busy_daemon)
+        first = scope.publish()
+        second = scope.publish()
+        # Histogram sample windows were drained by the first cycle; the
+        # second one carries only counters/gauges plus whatever the
+        # first publication's own ingest produced.
+        assert 0 < second < first
+
+    def test_recursion_guard_drops_reentrant_publish(self, busy_daemon):
+        scope = SelfScope(busy_daemon)
+        scope._publishing = True
+        assert scope.publish() == 0
+        assert scope.publish_cycles == 0
+        scope._publishing = False
+        assert scope.publish() > 0
+
+    def test_trace_flows_through_percentile(self, busy_daemon):
+        scope = SelfScope(busy_daemon)
+        scope.publish()
+        result = scope.percentile(
+            "loom.log.flush_latency_ns",
+            {"log": "record"},
+            EVERYTHING,
+            50.0,
+            trace=True,
+        )
+        assert result.trace is not None
+        assert "cdf" in result.trace.stages()
+
+
+class TestCliIntegration:
+    def test_stats_verb_renders_registry(self, busy_daemon):
+        from repro.daemon.cli import LoomCli
+
+        cli = LoomCli(busy_daemon)
+        result = cli.execute("stats")
+        assert "loom_ingest_records_total 3200" in result.text
+        assert "# TYPE loom_log_flush_latency_ns histogram" in result.text
+
+    def test_trace_verb_appends_stage_account(self, busy_daemon):
+        from repro.daemon.cli import LoomCli
+
+        cli = LoomCli(busy_daemon)
+        result = cli.execute("trace count app last 1h")
+        assert "-- trace (app) --" in result.text
+        assert result.value == 3200
+
+    def test_trace_rejects_untraceable_verbs(self, busy_daemon):
+        from repro.daemon.cli import CliError, LoomCli
+
+        cli = LoomCli(busy_daemon)
+        with pytest.raises(CliError):
+            cli.execute("trace health")

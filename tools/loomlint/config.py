@@ -82,6 +82,14 @@ RULES = {
         "contains only its declared fields (object identities or "
         "ephemeral values would break cross-process replay)",
     ),
+    "LOOM111": (
+        "metrics-clock",
+        "metrics-layer code (repro/scope, the loomscope consumers) takes "
+        "timestamps from repro.core.clock, never from time.* directly — "
+        "self-observation must stay as replayable and deterministic as "
+        "the data path it observes (the same section 5.2 discipline "
+        "LOOM104 enforces inside repro.core)",
+    ),
 }
 
 # ----------------------------------------------------------------------
@@ -241,6 +249,13 @@ NONDETERMINISTIC_CALLS = frozenset(
 NONDETERMINISTIC_MODULES = frozenset({"random", "secrets"})
 CLOCK_EXEMPT_SUFFIXES = ("repro/core/clock.py",)
 CORE_PATH_FRAGMENT = "repro/core/"
+
+# ----------------------------------------------------------------------
+# LOOM111: metrics-layer paths held to the same clock discipline as core.
+# ``repro/core/metrics.py`` is already covered by LOOM104 (it lives in
+# repro/core); these fragments extend the ban to the loomscope consumers.
+# ----------------------------------------------------------------------
+METRICS_PATH_FRAGMENTS = ("repro/scope/",)
 
 # ----------------------------------------------------------------------
 # LOOM105: flush/recovery-critical modules (silently swallowing a

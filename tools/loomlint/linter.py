@@ -42,6 +42,7 @@ from .config import (
     FUZZ_SCHEDULE_QUALNAME,
     GENERIC_METHOD_NAMES,
     LOCAL_TYPES,
+    METRICS_PATH_FRAGMENTS,
     NONDETERMINISTIC_CALLS,
     NONDETERMINISTIC_MODULES,
     PAYLOAD_CALL_NAMES,
@@ -654,6 +655,42 @@ def rule_nondeterminism(index: ProjectIndex) -> List[Violation]:
     return violations
 
 
+def rule_metrics_clock(index: ProjectIndex) -> List[Violation]:
+    """LOOM111: metrics-layer code takes time from repro.core.clock only.
+
+    Same mechanics as LOOM104, applied to the loomscope consumer paths
+    (``repro/scope/``): the registry that observes the deterministic data
+    path must not smuggle wall-clock reads back into it.
+    """
+    violations: List[Violation] = []
+    for sf in index.files:
+        if not any(frag in sf.path for frag in METRICS_PATH_FRAGMENTS):
+            continue
+        for node in ast.walk(sf.tree):
+            dotted = None
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            head = dotted.split(".", 1)[0]
+            if dotted in NONDETERMINISTIC_CALLS or head in NONDETERMINISTIC_MODULES:
+                violations.append(
+                    Violation(
+                        path=sf.path,
+                        line=node.lineno,
+                        rule="LOOM111",
+                        symbol=_enclosing_symbol(index, sf, node.lineno),
+                        message=(
+                            f"nondeterministic call `{dotted}` in the "
+                            f"metrics layer; loomscope timestamps flow "
+                            f"through repro.core.clock so self-observation "
+                            f"replays like the data path it measures"
+                        ),
+                    )
+                )
+    return violations
+
+
 def rule_exception_hygiene(index: ProjectIndex) -> List[Violation]:
     """LOOM105: no bare except; no swallowed storage errors in flush code."""
     violations: List[Violation] = []
@@ -1064,6 +1101,7 @@ ALL_RULES = (
     rule_version_parity,
     rule_publish_order,
     rule_nondeterminism,
+    rule_metrics_clock,
     rule_exception_hygiene,
     rule_contract_docstrings,
     rule_seqlock_mutation_visibility,
