@@ -119,12 +119,31 @@ class Block:
         """
         return bytes(self._buf[: self.filled])
 
-    def recycle(self) -> None:
+    def flush_view(self) -> memoryview:
+        """Writer-side zero-copy view of the filled prefix (for flushing).
+
+        Like :meth:`snapshot_bytes` but without the copy: the returned
+        memoryview aliases the block's buffer.  It is only valid until the
+        block is recycled — a storage backend that wants to keep it past
+        the flush must take ownership via the buffer-handoff protocol
+        (``recycle(release_buffer=True)`` swaps in a fresh buffer so the
+        view's bytes are never overwritten).
+        """
+        return memoryview(self._buf)[: self.filled]
+
+    def recycle(self, release_buffer: bool = False) -> None:
         """Invalidate the block so it can be remapped for new log space.
 
         Bumps the version to odd, clears the mapping, then bumps back to
         even.  Readers racing with this observe a version change and fall
         back to storage.
+
+        When ``release_buffer`` is true the block hands its buffer away:
+        a storage backend retained the :meth:`flush_view` memoryview
+        zero-copy, so the block swaps in a fresh buffer instead of reusing
+        (and overwriting) the retained one.  The swap happens inside the
+        odd-version window, so racing readers see a torn copy and fall
+        back to storage exactly as for a plain recycle.
         """
         with self._lock:
             yieldpoints.hit("block.recycle.begin", block=self)
@@ -132,6 +151,8 @@ class Block:
             yieldpoints.hit("block.recycle.odd", block=self, version=self._version)
             self.base_address = None
             self.filled = 0
+            if release_buffer:
+                self._buf = bytearray(self.capacity)
             yieldpoints.hit("block.recycle.cleared", block=self)
             self._version += 1  # even again: stable
             yieldpoints.note(

@@ -60,6 +60,7 @@ class ChunkIndex:
         self._summaries: List[ChunkSummary] = []
         self._t_mins: List[int] = []
         self._chunk_ids: List[int] = []
+        self._end_addrs: List[int] = []
         self._append_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -76,6 +77,7 @@ class ChunkIndex:
             self._summaries.append(summary)
             self._t_mins.append(summary.t_min)
             self._chunk_ids.append(summary.chunk_id)
+            self._end_addrs.append(summary.end_addr)
         return address
 
     def publish(self) -> None:
@@ -111,12 +113,12 @@ class ChunkIndex:
         n = len(self._summaries) if limit is None else min(limit, len(self._summaries))
         if n == 0 or t_end < t_start:
             return
-        # First chunk that could overlap: the last one with t_min <= t_end;
-        # chunks before the first with t_min > t_start - might still
-        # overlap because a chunk spans [t_min, t_max].  Chunk t_max is its
-        # successor's t_min or later, so start from the chunk *before* the
-        # first t_min > t_start.
-        start = bisect_right(self._t_mins, t_start, 0, n) - 1
+        # Start from the chunk *before* the first t_min >= t_start: its
+        # t_max is at least its successor's t_min, so it may still reach
+        # into the range.  bisect_left, not bisect_right — under a coarse
+        # clock many consecutive chunks share t_min == t_start, and every
+        # one of them overlaps the query.
+        start = bisect_left(self._t_mins, t_start, 0, n) - 1
         if start < 0:
             start = 0
         for i in range(start, n):
@@ -125,6 +127,15 @@ class ChunkIndex:
                 break
             if summary.overlaps_time(t_start, t_end):
                 yield summary
+
+    def count_covered(self, watermark: int) -> int:
+        """Summaries whose record-log range lies entirely below ``watermark``.
+
+        Chunks finalize in address order, so the ``end_addr`` mirror is
+        sorted and one bisection replaces the walk snapshots used to pin
+        their finalized-chunk count with.
+        """
+        return bisect_right(self._end_addrs, watermark)
 
     def summary_for_chunk(self, chunk_id: int, limit: Optional[int] = None) -> Optional[ChunkSummary]:
         """Look up a summary by chunk id (binary search)."""
@@ -148,6 +159,7 @@ class ChunkIndex:
             self._summaries = list(summaries)
             self._t_mins = [s.t_min for s in summaries]
             self._chunk_ids = [s.chunk_id for s in summaries]
+            self._end_addrs = [s.end_addr for s in summaries]
 
     def iter_persisted(self) -> Iterator[ChunkSummary]:
         """Decode summaries straight from the underlying log bytes.

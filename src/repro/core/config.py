@@ -56,6 +56,12 @@ class LoomConfig:
             fallback counters — see :mod:`repro.core.metrics`).  On by
             default; the observability overhead benchmark uses the off
             mode as its uninstrumented baseline.
+        mmap_reads: serve bulk reads of the persisted record-log prefix
+            zero-copy through ``Storage.read_view`` (a read-only mmap on
+            file-backed logs, retained flush extents in memory).  Only the
+            sequential scan path uses views; point reads and the seqlock
+            in-memory path are unaffected.  Off disables the view tier so
+            every read goes through the copying ``read`` path.
     """
 
     chunk_size: int = 16 * 1024
@@ -72,6 +78,7 @@ class LoomConfig:
     flush_retries: int = 3
     flush_backoff: float = 0.001
     metrics_enabled: bool = True
+    mmap_reads: bool = True
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:

@@ -163,7 +163,7 @@ def corrupt_byte(storage: Storage, address: int, mask: int = 0x01) -> None:
     while isinstance(storage, FaultInjectingStorage):
         storage = storage.inner
     if isinstance(storage, MemoryStorage):
-        storage._buf[address] ^= mask
+        storage._mutate_byte(address, mask)
     elif isinstance(storage, FileStorage):
         with open(storage.path, "r+b") as f:
             f.seek(address)

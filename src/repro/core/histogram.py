@@ -35,6 +35,8 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, List, Sequence, Tuple
 
+import numpy as np
+
 from .errors import HistogramSpecError
 
 #: Signature of an index UDF: payload bytes -> numeric value.
@@ -82,6 +84,26 @@ class HistogramSpec:
     def bin_of(self, value: float) -> int:
         """Return the bin index that ``value`` falls into."""
         return bisect_right(self.edges, value)
+
+    @property
+    def edges_array(self) -> np.ndarray:
+        """The edges as a float64 vector (cached on first use)."""
+        cached = self.__dict__.get("_edges_array")
+        if cached is None:
+            cached = np.asarray(self.edges, dtype=np.float64)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_edges_array", cached)
+        return cached
+
+    def bins_of(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bin_of` over a whole value column.
+
+        ``searchsorted(..., side="right")`` matches ``bisect_right``
+        exactly, including for NaN (NaN sorts above every edge, so it
+        lands in the high outlier bin — same as the scalar comparison
+        chain, where every ``NaN < edge`` is false).
+        """
+        return np.searchsorted(self.edges_array, values, side="right")
 
     def bin_range(self, bin_idx: int) -> Tuple[float, float]:
         """Return the half-open value range ``[lo, hi)`` covered by a bin.

@@ -253,23 +253,28 @@ class HybridLog:
             # A previous attempt tore: part of this block (or all of it,
             # if only the journal append failed) is already on storage.
             self._storage.truncate(base)
-        data = block.snapshot_bytes()
-        got = self._storage.append(data)
+        view = block.flush_view()
+        nbytes = len(view)
+        got, retained = self._storage.append_extent(view)
         assert got == base, "blocks must flush in address order"
         if self._journal is not None:
             jsize = self._journal.size
             if jsize % FRAME_ENTRY.size:
                 self._journal.truncate(jsize - jsize % FRAME_ENTRY.size)
-            self._journal.append(FRAME_ENTRY.pack(base, len(data), crc32(data)))
+            self._journal.append(FRAME_ENTRY.pack(base, nbytes, crc32(view)))
         self.stats.block_flushes += 1
-        self.stats.bytes_flushed += len(data)
+        self.stats.bytes_flushed += nbytes
         scope = self._scope
         if scope is not None:
             scope.flushes.inc()
-            scope.flushed_bytes.inc(len(data))
+            scope.flushed_bytes.inc(nbytes)
+        if not retained:
+            view.release()
         # Recycle only *after* the bytes are readable from storage, so
         # readers that lose the seqlock race always find the data there.
-        block.recycle()
+        # If the backend retained the flush view zero-copy, the block must
+        # not reuse (and overwrite) that buffer: hand it a fresh one.
+        block.recycle(release_buffer=retained)
 
     def _flush_with_retry(self, block: Block) -> None:
         """Flush ``block``, retrying transient :class:`StorageError`s with
@@ -457,6 +462,21 @@ class HybridLog:
             out += piece
             pos += len(piece)
         return bytes(out)
+
+    def read_view(self, address: int, length: int) -> Optional[memoryview]:
+        """Zero-copy read of ``[address, address + length)``, if persisted.
+
+        Returns a read-only view straight from the storage backend (an
+        mmap page range on :class:`~repro.core.storage.FileStorage`, a
+        retained flush extent on
+        :class:`~repro.core.storage.MemoryStorage`), or ``None`` when the
+        range is not yet fully persisted or the backend cannot serve it
+        without a copy — the caller falls back to :meth:`read`.  Bytes in
+        the persisted prefix are immutable, so the view never tears.
+        """
+        if address < 0 or length < 0 or address + length > self._storage.size:
+            return None
+        return self._storage.read_view(address, length)
 
     def read_upto(self, address: int, max_length: int) -> bytes:
         """Read up to ``max_length`` bytes at ``address``, clamped to tail.

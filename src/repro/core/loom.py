@@ -181,13 +181,16 @@ class Loom:
     def push_many(self, source_id: int, payloads: Sequence[bytes]) -> List[int]:
         """Write a batch of records from one source; returns their addresses.
 
-        The batched fast path: the whole batch is framed into one buffer,
-        landed with one hybrid-log append, folded into the active chunk
-        summary in bulk, and published once.  All records in the batch
-        share a single arrival timestamp (one clock read).  Use this when
-        the daemon already has several records in hand — e.g. it drains an
-        eBPF ring buffer or a socket in bursts; use :meth:`push` when
-        records arrive (and must be timestamped) one at a time.
+        The batched fast path is *columnar*: the whole batch is framed as
+        numpy column vectors with one table-driven CRC pass and a single
+        ``tobytes()``, landed with one hybrid-log append, histogram-binned
+        with one ``searchsorted`` per index, folded into the active chunk
+        summary with vectorized reductions, and published once.  All
+        records in the batch share a single arrival timestamp (one clock
+        read).  Use this when the daemon already has several records in
+        hand — e.g. it drains an eBPF ring buffer or a socket in bursts;
+        use :meth:`push` when records arrive (and must be timestamped) one
+        at a time.
         """
         return self._record_log.push_many(source_id, payloads)
 
@@ -251,7 +254,13 @@ class Loom:
         snapshot: Optional[Snapshot] = None,
         trace: bool = False,
     ) -> QueryResult:
-        """Scan a source in a time and value range using an index."""
+        """Scan a source in a time and value range using an index.
+
+        Surviving chunks are scanned columnar: header columns are decoded
+        in bulk (zero-copy from persisted storage when ``mmap_reads`` is
+        on) and the source/time predicates run as one vectorized mask, so
+        per-record Python work happens only for matching records.
+        """
         snap = snapshot or self.snapshot()
         index = self._check_index(source_id, index_id)
         stats = QueryStats()

@@ -29,11 +29,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from .errors import LoomError
 from .histogram import IndexDefinition
-from .record import Record
+from .record import HEADER_SIZE, Record
 from .snapshot import Snapshot
 from .summary import BinStats, ChunkSummary
+
+_U64_MAX = 2**64 - 1
 
 NEG_INF = float("-inf")
 POS_INF = float("inf")
@@ -330,10 +334,79 @@ def _scan_region(
 ) -> Iterator[Record]:
     """Scan ``[start, end)`` filtering by source, time, and value.
 
+    The source and time predicates are evaluated as one vectorized mask
+    over the region's header columns; Python-level work (payload slicing,
+    the index UDF, ``Record`` construction) happens only for the records
+    that survive.  When the record log cannot serve columns (e.g.
+    ``verify_on_read``) the scan falls back to the per-record loop.
+
     ``copy=False`` is the zero-copy mode for consumers that never retain
     payloads past the iteration step (the aggregate operators): records
     come out with memoryview payloads aliasing the scan buffer.
     """
+    columns = snapshot.region_columns(start, end, stats=stats)
+    if columns is None:
+        yield from _scan_region_scalar(
+            snapshot, start, end, source_id, index,
+            t_start, t_end, v_min, v_max, stats, copy=copy,
+        )
+        return
+    n = len(columns)
+    if stats is not None:
+        stats.records_scanned += n
+    if t_end < t_start or t_end < 0 or t_start > _U64_MAX:
+        return
+    # Clamp the time bounds into u64 so the comparison stays exact (mixed
+    # uint64/int comparisons would round-trip through float64).
+    lo = t_start if t_start > 0 else 0
+    hi = t_end if t_end < _U64_MAX else _U64_MAX
+    mask = columns.source_ids == source_id
+    timestamps = columns.timestamps
+    if lo > 0:
+        mask &= timestamps >= np.uint64(lo)
+    mask &= timestamps <= np.uint64(hi)
+    matches = np.flatnonzero(mask)
+    if matches.size == 0:
+        return
+    buffer = columns.buffer
+    view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+    offsets = columns.offsets
+    lengths = columns.lengths
+    prev_addrs = columns.prev_addrs
+    func = index.index_func if index is not None else None
+    for i in matches.tolist():
+        offset = int(offsets[i])
+        payload_start = offset + HEADER_SIZE
+        payload = view[payload_start : payload_start + int(lengths[i])]
+        if func is not None:
+            value = func(payload)
+            if value < v_min or value > v_max:
+                continue
+        if stats is not None:
+            stats.records_matched += 1
+        yield Record(
+            source_id=source_id,
+            timestamp=int(timestamps[i]),
+            prev_addr=int(prev_addrs[i]),
+            payload=bytes(payload) if copy else payload,
+            address=start + offset,
+        )
+
+
+def _scan_region_scalar(
+    snapshot: Snapshot,
+    start: int,
+    end: int,
+    source_id: int,
+    index: Optional[IndexDefinition],
+    t_start: int,
+    t_end: int,
+    v_min: float,
+    v_max: float,
+    stats: Optional[QueryStats],
+    copy: bool = True,
+) -> Iterator[Record]:
+    """Per-record fallback for :func:`_scan_region` (same contract)."""
     for record in snapshot.iter_region(start, end, copy=copy, stats=stats):
         if stats is not None:
             stats.records_scanned += 1

@@ -28,8 +28,11 @@ record log's watermark.
 from __future__ import annotations
 
 import os
+import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .chunk_index import ChunkIndex
 from .clock import Clock, MonotonicClock, VirtualClock
@@ -43,14 +46,15 @@ from .errors import (
 )
 from .histogram import HistogramSpec, IndexDefinition, IndexFunc
 from .hybridlog import Health, HybridLog, NULL_ADDRESS
-from .metrics import Counter, Histogram, LogScope, MetricsRegistry
+from .metrics import Counter, Histogram, LogScope, MetricsRegistry, PhaseTimer
 from .record import (
+    BODY_DTYPE,
     BODY_SIZE,
     HEADER_SIZE,
     Record,
     decode_header,
     decode_header_crc,
-    encode_batch,
+    encode_batch_arrays,
     encode_record,
     record_crc,
     verify_record_bytes,
@@ -62,6 +66,46 @@ from .timestamp_index import KIND_CHUNK, TimestampIndex
 if TYPE_CHECKING:  # typing-only imports; avoid cycles with operators/recovery
     from .operators import QueryStats
     from .recovery import RecoveredState
+
+#: The 4-byte length field at offset 20 of a record header (sid u32 +
+#: ts u64 + prev u64 precede it); used by the region offset walk, which
+#: needs lengths without decoding whole headers.
+_LEN_FIELD = struct.Struct("<I")
+
+
+@dataclass
+class RegionColumns:
+    """Decoded header columns for one contiguous record-log region.
+
+    The columnar read-side counterpart of ``encode_batch``: all record
+    headers in ``[start, start + len(buffer))`` decoded into parallel
+    numpy vectors, with payload bytes left in place in ``buffer`` (which
+    is a zero-copy storage view when the mmap read tier served the
+    region).  Operators filter on the columns and touch Python per record
+    only for survivors.
+    """
+
+    start: int
+    source_ids: np.ndarray
+    timestamps: np.ndarray
+    prev_addrs: np.ndarray
+    lengths: np.ndarray
+    #: Byte offset of each record header within ``buffer``.
+    offsets: np.ndarray
+    buffer: "bytes | memoryview"
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def addresses(self) -> np.ndarray:
+        """Logical record-log address of each record."""
+        return self.offsets + self.start
+
+    def payload_view(self, i: int) -> "bytes | memoryview":
+        """Record ``i``'s payload, sliced in place from the region buffer."""
+        off = int(self.offsets[i]) + HEADER_SIZE
+        return self.buffer[off : off + int(self.lengths[i])]
 
 
 @dataclass
@@ -158,6 +202,8 @@ class RecordLog:
         self._inline_read = cfg.inline_read_size
         #: CRC-check records as they are decoded from the log.
         self._verify_on_read = cfg.verify_on_read
+        #: Serve bulk region reads zero-copy from persisted storage.
+        self._mmap_reads = cfg.mmap_reads
 
         # Ingest instruments, held as direct references so the hot path
         # never does a registry lookup.  All of these are written only
@@ -167,6 +213,7 @@ class RecordLog:
         self._m_bytes: Optional[Counter] = None
         self._m_batches: Optional[Counter] = None
         self._m_batch_latency: Optional[Histogram] = None
+        self._m_encode_phase: Optional[PhaseTimer] = None
         self._m_publishes: Optional[Counter] = None
         self._m_chunks: Optional[Counter] = None
         if instrumented:
@@ -185,6 +232,9 @@ class RecordLog:
                 help="wall time of one push_many batch",
                 sample_window=256,
             )
+            # One reusable PhaseTimer: the encode+append phase of the most
+            # recent batch lands in a single gauge, not per-record samples.
+            self._m_encode_phase = m.phase("loom.ingest.batch_encode_ns")
             self._m_publishes = m.counter(
                 "loom.publish.total", "watermark publications"
             )
@@ -359,53 +409,63 @@ class RecordLog:
 
         timestamp = self.clock.now()
         base = self.log.tail_address
-        buffer, addresses = encode_batch(
-            source_id, timestamp, state.last_addr, payloads, base
-        )
-        self.log.append_many(buffer, count=n)
+        encode_phase = self._m_encode_phase
+        if encode_phase is not None:
+            with encode_phase:
+                buffer, addrs_arr = encode_batch_arrays(
+                    source_id, timestamp, state.last_addr, payloads, base
+                )
+                self.log.append_many(buffer, count=n)
+        else:
+            buffer, addrs_arr = encode_batch_arrays(
+                source_id, timestamp, state.last_addr, payloads, base
+            )
+            self.log.append_many(buffer, count=n)
+        addresses = addrs_arr.tolist()
 
-        # Index bookkeeping per chunk segment: a batch may span chunk
-        # boundaries, and the per-record path finalizes the active chunk
-        # the moment a record lands in a new one.  Splitting the batch at
-        # those boundaries reproduces the exact same CHUNK-entry-before-
-        # RECORD-entries ordering in the timestamp-index log.
-        chunk_size = self.chunk_size
+        # Columnar index maintenance: every UDF is evaluated once over the
+        # whole batch, bins are assigned with one searchsorted per index,
+        # and the fold into the active summary is vectorized per segment.
+        # The UDF itself stays a per-payload Python call (it is arbitrary
+        # user code over raw bytes); everything downstream of it is columns.
         index_defs = [self._indexes[index_id] for index_id in state.index_ids]
-        last_chunk = addresses[-1] // chunk_size
-        seg_start = 0
-        while seg_start < n:
-            seg_chunk = addresses[seg_start] // chunk_size
+        index_columns: List[Tuple[IndexDefinition, np.ndarray, np.ndarray]] = []
+        for definition in index_defs:
+            func = definition.index_func
+            values = np.fromiter((func(p) for p in payloads), np.float64, n)
+            index_columns.append(
+                (definition, definition.spec.bins_of(values), values)
+            )
+
+        # Segment the batch at chunk boundaries: a batch may span chunks,
+        # and the per-record path finalizes the active chunk the moment a
+        # record lands in a new one.  Splitting at those boundaries
+        # reproduces the exact same CHUNK-entry-before-RECORD-entries
+        # ordering in the timestamp-index log.  Boundaries fall where the
+        # chunk-id column steps, found with one vectorized diff.
+        chunk_ids = addrs_arr // self.chunk_size
+        seg_starts = [0]
+        if chunk_ids[0] != chunk_ids[-1]:
+            seg_starts += (np.flatnonzero(np.diff(chunk_ids)) + 1).tolist()
+        for i, seg_start in enumerate(seg_starts):
+            seg_end = seg_starts[i + 1] if i + 1 < len(seg_starts) else n
+            seg_chunk = int(chunk_ids[seg_start])
             if seg_chunk > self._active_summary.chunk_id:
                 self._finalize_active_chunk(timestamp, seg_chunk, addresses[seg_start])
-            if seg_chunk == last_chunk:
-                seg_end = n
-            else:
-                # Binary search for the first record in a later chunk.
-                lo, hi = seg_start + 1, n
-                while lo < hi:
-                    mid = (lo + hi) // 2
-                    if addresses[mid] // chunk_size > seg_chunk:
-                        hi = mid
-                    else:
-                        lo = mid + 1
-                seg_end = lo
             seg_addresses = addresses[seg_start:seg_end]
             summary = self._active_summary
             summary.add_records(source_id, timestamp, seg_addresses)
-            for definition in index_defs:
-                func = definition.index_func
-                bin_of = definition.spec.bin_of
-                summary.add_indexed_values(
+            for definition, bins, values in index_columns:
+                summary.add_indexed_values_array(
                     source_id,
                     definition.index_id,
-                    (
-                        (bin_of(value), value)
-                        for value in (func(p) for p in payloads[seg_start:seg_end])
-                    ),
+                    bins[seg_start:seg_end],
+                    values[seg_start:seg_end],
                     timestamp,
                 )
-            self.timestamp_index.note_records(source_id, timestamp, seg_addresses)
-            seg_start = seg_end
+            self.timestamp_index.note_records(
+                source_id, timestamp, addrs_arr[seg_start:seg_end]
+            )
 
         state.last_addr = addresses[-1]
         if state.record_count == 0:
@@ -719,13 +779,21 @@ class RecordLog:
         them to users) must take the default copying mode.  Aggregation
         operators, which only feed payloads to index functions, use the
         zero-copy mode.
+
+        When the region is fully persisted and ``mmap_reads`` is enabled,
+        the region buffer itself is a zero-copy storage view (no bulk
+        read copy at all); otherwise one log read fetches it.
         """
         if end <= start:
             return
-        buffer = self.log.read(start, end - start)
-        view = memoryview(buffer)
-        offset = 0
         size = end - start
+        region = self.log.read_view(start, size) if self._mmap_reads else None
+        is_view = region is not None
+        buffer: "bytes | memoryview" = (
+            region if region is not None else self.log.read(start, size)
+        )
+        view = buffer if is_view else memoryview(buffer)
+        offset = 0
         verify = self._verify_on_read
         while offset < size:
             if stats is not None:
@@ -739,7 +807,7 @@ class RecordLog:
                 )
             payload_start = offset + HEADER_SIZE
             if copy:
-                payload = buffer[payload_start : payload_start + length]
+                payload = bytes(view[payload_start : payload_start + length])
             else:
                 payload = view[payload_start : payload_start + length]
             yield Record(
@@ -750,6 +818,77 @@ class RecordLog:
                 address=start + offset,
             )
             offset += HEADER_SIZE + length
+
+    def region_columns(
+        self,
+        start: int,
+        end: int,
+        stats: "Optional[QueryStats]" = None,
+    ) -> Optional[RegionColumns]:
+        """Decode all record headers in ``[start, end)`` into columns.
+
+        The vectorized counterpart of :meth:`iter_records_between` for
+        filtering scans: one bulk region fetch (zero-copy via the mmap
+        tier when possible), then every header is gathered into parallel
+        numpy vectors with two array operations.  Returns ``None`` when
+        the region is empty or when ``verify_on_read`` is enabled (CRC
+        verification is a per-record decode concern; callers fall back to
+        the scalar iterator, which verifies).
+
+        For the common case of fixed-size records the header offsets are
+        one ``arange``; otherwise a Python walk over the length fields
+        finds them (still far cheaper than full per-record decodes).
+        """
+        if end <= start or self._verify_on_read:
+            return None
+        size = end - start
+        region = self.log.read_view(start, size) if self._mmap_reads else None
+        buffer: "bytes | memoryview" = (
+            region if region is not None else self.log.read(start, size)
+        )
+        raw = np.frombuffer(buffer, np.uint8)
+        unpack_len = _LEN_FIELD.unpack_from
+        first_len = unpack_len(buffer, 20)[0]
+        stride = HEADER_SIZE + first_len
+        offsets: Optional[np.ndarray] = None
+        if size % stride == 0:
+            # Fixed-size fast path, validated inductively: offset 0 is a
+            # header; if its length is ``first_len`` the next header is at
+            # ``stride``; requiring every candidate's length field to
+            # equal ``first_len`` proves every candidate is a real header.
+            cand = np.arange(0, size, stride, dtype=np.int64)
+            lens = (
+                raw[(cand[:, None] + np.arange(20, 24)).ravel()]
+                .reshape(-1, 4)
+                .copy()
+                .view(np.uint32)
+                .ravel()
+            )
+            if bool((lens == first_len).all()):
+                offsets = cand
+        if offsets is None:
+            offs: List[int] = []
+            pos = 0
+            while pos < size:
+                offs.append(pos)
+                pos += HEADER_SIZE + unpack_len(buffer, pos + 20)[0]
+            offsets = np.array(offs, dtype=np.int64)
+        n = len(offsets)
+        headers = raw[
+            (offsets[:, None] + np.arange(BODY_SIZE)).ravel()
+        ].reshape(n, BODY_SIZE)
+        bodies = headers.view(BODY_DTYPE).ravel()
+        if stats is not None:
+            stats.records_decoded += n
+        return RegionColumns(
+            start=start,
+            source_ids=bodies["sid"],
+            timestamps=bodies["ts"],
+            prev_addrs=bodies["prev"],
+            lengths=bodies["len"],
+            offsets=offsets,
+            buffer=buffer,
+        )
 
     def active_region_start(self, n_finalized_chunks: int) -> int:
         """Record-log address where unsummarized ("active") data begins,

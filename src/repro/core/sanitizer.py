@@ -16,9 +16,12 @@ this module checks *behavior*, continuously:
   Python lists) mirroring every ``push``/``push_many``/schema operation
   on a :class:`~repro.core.record_log.RecordLog`, with differential
   oracles (:func:`verify_log`) asserting ``raw_scan`` ≡ ``indexed_scan``
-  ≡ shadow, timestamp-index seeks landing within one entry period, and
+  ≡ shadow, timestamp-index seeks landing within one entry period,
   ``indexed_aggregate``/percentile answers inside the bounds derivable
-  from chunk-summary bins.
+  from chunk-summary bins, the zero-copy view tier (mmap / extent
+  ``read_view``) byte-identical to the copying read path, and the
+  columnar ``region_columns`` decode field-identical to the scalar
+  record iterator.
 * :func:`install` — monkey-wraps ``RecordLog`` so every instance carries
   a shadow, cheap invariants run at each ``sync`` and the full
   differential oracle at ``close``.  The whole tier-1 suite runs
@@ -412,6 +415,12 @@ FULL_CHECK_CAP = 4096
 #: How many newest records the capped raw-scan comparison still checks.
 CAPPED_SCAN_DEPTH = 1024
 
+#: Bytes probed per window when cross-checking the zero-copy view tier.
+VIEW_PROBE_BYTES = 4096
+
+#: Regions larger than this skip the full columnar-vs-scalar decode oracle.
+COLUMNAR_CHECK_CAP = 1 << 20
+
 _PERCENTILES = (0.0, 50.0, 95.0, 100.0)
 
 
@@ -436,6 +445,75 @@ def _check_counts(
                 f"source {source_id}: chain head {state.last_addr} != "
                 f"shadow head {expected_head}"
             )
+
+
+def _check_view_reads(record_log: RecordLog, failures: List[str]) -> None:
+    """Zero-copy view tier: ``read_view`` bytes ≡ ``read`` bytes.
+
+    The mmap (FileStorage) and extent (MemoryStorage) view tiers must be
+    byte-identical to the copying read path over the persisted prefix.  A
+    ``None`` view is always allowed — it only means the backend fell back
+    to a copy for that range.
+    """
+    log = record_log.log
+    persisted = log.storage.size
+    if persisted == 0:
+        return
+    probe = min(VIEW_PROBE_BYTES, persisted)
+    windows = {
+        (0, probe),
+        (persisted - probe, probe),
+        (persisted // 2, min(probe, persisted - persisted // 2)),
+    }
+    for address, length in windows:
+        view = log.read_view(address, length)
+        if view is None:
+            continue
+        if bytes(view) != log.read(address, length):
+            failures.append(
+                f"zero-copy view of [{address}, {address + length}) diverges "
+                f"from the copying read path"
+            )
+
+
+def _check_columnar_decode(
+    record_log: RecordLog, snapshot: Snapshot, failures: List[str]
+) -> None:
+    """Columnar header decode ≡ scalar record decode, field by field.
+
+    ``region_columns`` (the vectorized scan substrate) must reproduce
+    exactly the records the trivially-correct scalar iterator yields:
+    same count, and identical (source, timestamp, prev, address, payload)
+    per record.  Skipped for very large logs to keep LOOMSAN tractable.
+    """
+    end = snapshot.watermark
+    if end == 0 or end > COLUMNAR_CHECK_CAP:
+        return
+    columns = snapshot.region_columns(0, end)
+    if columns is None:
+        # Allowed: verify_on_read configs decode scalar-only by design.
+        return
+    scalar = list(record_log.iter_records_between(0, end))
+    if len(columns) != len(scalar):
+        failures.append(
+            f"region_columns decoded {len(columns)} records where the "
+            f"scalar iterator found {len(scalar)}"
+        )
+        return
+    addresses = columns.addresses
+    for i, record in enumerate(scalar):
+        if (
+            int(columns.source_ids[i]) != record.source_id
+            or int(columns.timestamps[i]) != record.timestamp
+            or int(columns.prev_addrs[i]) != record.prev_addr
+            or int(addresses[i]) != record.address
+            or bytes(columns.payload_view(i)) != bytes(record.payload)
+        ):
+            failures.append(
+                f"region_columns diverges from the scalar decode at record "
+                f"{i} (address {record.address})"
+            )
+            return
 
 
 def _expected_newest_first(mirror: List[ShadowRecord]) -> Iterable[
@@ -694,7 +772,9 @@ def verify_log(
         return []
     failures: List[str] = []
     _check_counts(record_log, shadow, failures)
+    _check_view_reads(record_log, failures)
     snapshot = Snapshot.capture(record_log)
+    _check_columnar_decode(record_log, snapshot, failures)
     for source_id, mirror in shadow.records.items():
         if source_id not in snapshot.heads:
             continue

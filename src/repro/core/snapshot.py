@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 from . import yieldpoints
 from .hybridlog import NULL_ADDRESS
 from .record import Record
-from .record_log import RecordLog
+from .record_log import RecordLog, RegionColumns
 from .summary import ChunkSummary
 
 if TYPE_CHECKING:  # typing-only import; avoids a cycle with operators
@@ -54,10 +54,9 @@ class Snapshot:
             )
         # Pin only summaries whose records are fully below the watermark;
         # a summary can reach the mirror an instant before the watermark
-        # publication that covers it.
-        n = len(record_log.chunk_index)
-        while n > 0 and record_log.chunk_index.get(n - 1).end_addr > watermark:
-            n -= 1
+        # publication that covers it.  One bisection over the sorted
+        # end-address mirror finds the count.
+        n = record_log.chunk_index.count_covered(watermark)
         heads = {
             sid: record_log.get_source(sid).published_head
             for sid in record_log.source_ids()
@@ -124,6 +123,23 @@ class Snapshot:
         if start >= end:
             return iter(())
         return self.record_log.iter_records_between(start, end, copy=copy, stats=stats)
+
+    def region_columns(
+        self,
+        start: int,
+        end: int,
+        stats: "Optional[QueryStats]" = None,
+    ) -> "Optional[RegionColumns]":
+        """Columnar decode of ``[start, min(end, watermark))``.
+
+        Returns ``None`` (callers fall back to :meth:`iter_region`) when
+        the region is empty or the record log cannot serve a columnar
+        view (e.g. ``verify_on_read``).
+        """
+        end = min(end, self.watermark)
+        if start >= end:
+            return None
+        return self.record_log.region_columns(start, end, stats=stats)
 
     # ------------------------------------------------------------------
     # Index access (bounded by the pinned chunk count)

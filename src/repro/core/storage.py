@@ -6,10 +6,15 @@ the storage interface and two implementations:
 
 * :class:`FileStorage` — an append-only file, the production-shaped backend.
   Flushes are sequential writes of whole blocks, which is exactly the large,
-  amortized I/O pattern the paper relies on for disk efficiency.
-* :class:`MemoryStorage` — an in-process ``bytearray`` backend used by tests
-  and benchmarks that should not touch the filesystem.  It preserves the
-  same address arithmetic and failure surface.
+  amortized I/O pattern the paper relies on for disk efficiency.  Reads of
+  the persisted prefix can be served zero-copy through a lazily created
+  read-only ``mmap`` (:meth:`Storage.read_view`).
+* :class:`MemoryStorage` — an in-process backend used by tests and
+  benchmarks that should not touch the filesystem.  It preserves the same
+  address arithmetic and failure surface.  Internally it keeps a list of
+  append *extents* rather than one growing ``bytearray``, which lets the
+  hybrid log hand whole flushed blocks over zero-copy
+  (:meth:`Storage.append_extent`) instead of copying every flushed byte.
 
 Both backends expose a flat, append-only byte address space: the ``n``-th
 byte ever appended lives at address ``n``.  The hybrid log guarantees blocks
@@ -19,10 +24,11 @@ logical address space at all times.
 
 from __future__ import annotations
 
-import io
+import mmap
 import os
 import threading
-from typing import Optional
+from bisect import bisect_right
+from typing import List, Optional, Tuple
 
 from .errors import AddressError, ClosedError, StorageError
 
@@ -34,12 +40,36 @@ class Storage:
         """Append ``data``; return the address of its first byte."""
         raise NotImplementedError
 
+    def append_extent(self, view: memoryview) -> Tuple[int, bool]:
+        """Append a flushed block's bytes, possibly zero-copy.
+
+        Returns ``(address, retained)``.  When ``retained`` is true the
+        backend kept a reference to ``view`` itself (zero-copy handoff) and
+        the caller must not reuse or mutate the underlying buffer — the
+        hybrid log responds by giving its staging block a fresh buffer
+        (``Block.recycle(release_buffer=True)``).  The base implementation
+        copies (so fault-injecting wrappers and file backends keep their
+        exact ``append`` semantics) and returns ``retained=False``.
+        """
+        return self.append(bytes(view)), False
+
     def read(self, address: int, length: int) -> bytes:
         """Read ``length`` bytes starting at ``address``.
 
         Raises :class:`AddressError` if the range is not fully persisted.
         """
         raise NotImplementedError
+
+    def read_view(self, address: int, length: int) -> Optional[memoryview]:
+        """Zero-copy read of ``[address, address + length)``, if possible.
+
+        Returns a read-only memoryview over the persisted bytes, or
+        ``None`` when the backend cannot serve this range without a copy
+        (the caller falls back to :meth:`read`).  The view stays valid for
+        the lifetime of the storage object; callers must not hold views
+        across :meth:`truncate` or :meth:`close`.
+        """
+        return None
 
     @property
     def size(self) -> int:
@@ -72,15 +102,21 @@ class Storage:
 
 
 class MemoryStorage(Storage):
-    """In-memory append-only store backed by a ``bytearray``.
+    """In-memory append-only store kept as a list of extents.
 
-    Thread-safe for one appender plus concurrent readers: appends extend the
-    buffer under a lock, and reads only touch the already-persisted prefix,
-    which is immutable.
+    Thread-safe for one appender plus concurrent readers: appends extend
+    the extent list under a lock, and reads only touch the already-persisted
+    prefix, which is immutable.  Keeping appends as separate extents (one
+    per flushed block) instead of concatenating into one ``bytearray``
+    makes :meth:`append_extent` a pure pointer handoff — the dominant cost
+    of a flush on this backend used to be the ``bytearray += block`` copy.
     """
 
     def __init__(self) -> None:
-        self._buf = bytearray()
+        # _extents[i] spans addresses [_starts[i], _starts[i] + len(extent)).
+        self._extents: List["bytes | bytearray | memoryview"] = []
+        self._starts: List[int] = []
+        self._size = 0
         self._lock = threading.Lock()
         self._closed = False
 
@@ -88,29 +124,91 @@ class MemoryStorage(Storage):
         if self._closed:
             raise ClosedError("storage is closed")
         with self._lock:
-            address = len(self._buf)
-            self._buf += data
+            address = self._size
+            if len(data):
+                self._extents.append(bytes(data))
+                self._starts.append(address)
+                self._size += len(data)
         return address
+
+    def append_extent(self, view: memoryview) -> Tuple[int, bool]:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        with self._lock:
+            address = self._size
+            if len(view):
+                self._extents.append(view)
+                self._starts.append(address)
+                self._size += len(view)
+        return address, bool(len(view))
 
     def read(self, address: int, length: int) -> bytes:
         if self._closed:
             raise ClosedError("storage is closed")
         self._check_range(address, length)
-        return bytes(self._buf[address : address + length])
+        if length == 0:
+            return b""
+        i = bisect_right(self._starts, address) - 1
+        parts: List[bytes] = []
+        remaining = length
+        offset = address - self._starts[i]
+        while remaining > 0:
+            extent = self._extents[i]
+            take = min(remaining, len(extent) - offset)
+            parts.append(bytes(extent[offset : offset + take]))
+            remaining -= take
+            offset = 0
+            i += 1
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
+    def read_view(self, address: int, length: int) -> Optional[memoryview]:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        if address < 0 or length < 0 or address + length > self._size:
+            return None
+        if length == 0:
+            return memoryview(b"")
+        i = bisect_right(self._starts, address) - 1
+        extent = self._extents[i]
+        offset = address - self._starts[i]
+        if offset + length > len(extent):
+            return None  # spans extents: caller falls back to read()
+        view = memoryview(extent)[offset : offset + length]
+        return view if view.readonly else view.toreadonly()
+
+    def _mutate_byte(self, address: int, mask: int) -> None:
+        """Flip bits of one persisted byte (fault-injection hook).
+
+        Extents may be immutable ``bytes`` or retained memoryviews, so the
+        containing extent is replaced with a mutated copy.
+        """
+        with self._lock:
+            if address < 0 or address >= self._size:
+                raise AddressError(f"corrupt at {address} outside [0, {self._size})")
+            i = bisect_right(self._starts, address) - 1
+            mutated = bytearray(self._extents[i])
+            mutated[address - self._starts[i]] ^= mask
+            self._extents[i] = bytes(mutated)
 
     @property
     def size(self) -> int:
-        return len(self._buf)
+        return self._size
 
     def truncate(self, size: int) -> None:
         if self._closed:
             raise ClosedError("storage is closed")
         with self._lock:
-            if size < 0 or size > len(self._buf):
-                raise AddressError(
-                    f"truncate to {size} outside [0, {len(self._buf)}]"
-                )
-            del self._buf[size:]
+            if size < 0 or size > self._size:
+                raise AddressError(f"truncate to {size} outside [0, {self._size}]")
+            while self._starts and self._starts[-1] >= size:
+                self._starts.pop()
+                self._extents.pop()
+            if self._starts:
+                last_start = self._starts[-1]
+                keep = size - last_start
+                if keep < len(self._extents[-1]):
+                    self._extents[-1] = bytes(self._extents[-1][:keep])
+            self._size = size
 
     def close(self) -> None:
         self._closed = True
@@ -121,6 +219,9 @@ class FileStorage(Storage):
 
     Uses one file descriptor for appends and ``pread``-style reads via a
     separate handle so concurrent readers never disturb the append offset.
+    Ranges within the persisted prefix can also be served zero-copy from a
+    lazily created read-only memory map (:meth:`read_view`), remapped as
+    the file grows.
     """
 
     def __init__(self, path: str) -> None:
@@ -136,6 +237,12 @@ class FileStorage(Storage):
         self._size = os.fstat(self._write_f.fileno()).st_size
         self._lock = threading.Lock()
         self._closed = False
+        #: Atomically published ``(map, mapped_size)`` pair, or ``None``.
+        #: One attribute (not two) so readers never see a torn pair.
+        self._map: Optional[Tuple[mmap.mmap, int]] = None
+        #: Parked reason the mmap tier is degraded (mapping failed); reads
+        #: keep working through pread, views just return None.
+        self._mmap_error: Optional[Exception] = None
 
     @property
     def path(self) -> str:
@@ -162,6 +269,49 @@ class FileStorage(Storage):
             )
         return data
 
+    def read_view(self, address: int, length: int) -> Optional[memoryview]:
+        if self._closed:
+            raise ClosedError("storage is closed")
+        if address < 0 or length < 0 or address + length > self._size:
+            return None
+        if length == 0:
+            return memoryview(b"")
+        entry = self._map
+        if entry is None or address + length > entry[1]:
+            entry = self._remap()
+            if entry is None or address + length > entry[1]:
+                return None
+        return memoryview(entry[0])[address : address + length]
+
+    def _remap(self) -> Optional[Tuple[mmap.mmap, int]]:
+        """(Re)create the read mmap covering the current file size, lock-free.
+
+        Racing readers may each build a map; the single-attribute store is
+        atomic, losers stay alive as long as their views do, and a stale
+        map is never wrong — the persisted prefix is immutable.  The
+        previous map object is dropped, not closed: closing a map with
+        exported memoryviews raises ``BufferError``.
+        """
+        size = self._size
+        if size == 0:
+            return None
+        try:
+            mapped = mmap.mmap(
+                self._read_f.fileno(), size, access=mmap.ACCESS_READ
+            )
+        except (OSError, ValueError) as exc:  # pragma: no cover - env dependent
+            # Park the reason (introspection can report why the view tier
+            # is degraded); reads still work through pread.
+            self._mmap_error = exc
+            return None
+        if self._size < size:  # pragma: no cover - raced a truncate
+            # The tail of this map may now be past EOF; touching it would
+            # fault.  Drop it and let the caller fall back to read().
+            return None
+        entry = (mapped, size)
+        self._map = entry
+        return entry
+
     @property
     def size(self) -> int:
         return self._size
@@ -182,10 +332,14 @@ class FileStorage(Storage):
             # new end of file regardless of any cached offset.
             os.ftruncate(self._write_f.fileno(), size)
             self._size = size
+            # Drop the map: its tail may now be beyond EOF.  Outstanding
+            # views pin the old object; new reads remap lazily.
+            self._map = None
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            self._map = None
             self._write_f.close()
             self._read_f.close()
 

@@ -26,6 +26,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 @dataclass
 class BinStats:
@@ -209,6 +211,69 @@ class ChunkSummary:
                 stats.t_min = timestamp
             stats.count += count
             stats.sum += total
+            if low < stats.min:
+                stats.min = low
+            if high > stats.max:
+                stats.max = high
+            stats.t_max = timestamp
+
+    def add_indexed_values_array(
+        self,
+        source_id: int,
+        index_id: int,
+        bins: np.ndarray,
+        values: np.ndarray,
+        timestamp: int,
+    ) -> None:
+        """Columnar form of :meth:`add_indexed_values`.
+
+        ``bins``/``values`` are parallel columns for one batch segment, in
+        arrival order, sharing one arrival ``timestamp``.  Per-bin count,
+        sum, min, and max are folded with vectorized reductions
+        (``np.bincount`` accumulates weights in input order, so sums see
+        the same addition sequence as the scalar loop).
+
+        Bit-exactness caveats force a scalar fallback in two cases the
+        vectorized reductions cannot reproduce: NaN values (the scalar
+        strict-comparison fold *keeps* a NaN that arrives first in a bin,
+        where ``minimum.at`` would not) and negative zeros (``bincount``
+        seeds its accumulator with +0.0, so an all ``-0.0`` bin would sum
+        to ``+0.0`` instead of ``-0.0``).
+        """
+        n = len(values)
+        if n == 0:
+            return
+        if bool(np.isnan(values).any()) or bool(
+            ((values == 0.0) & np.signbit(values)).any()
+        ):
+            self.add_indexed_values(
+                source_id,
+                index_id,
+                zip(bins.tolist(), values.tolist()),
+                timestamp,
+            )
+            return
+        key = (source_id, index_id)
+        per_bin = self.bins.get(key)
+        if per_bin is None:
+            per_bin = self.bins[key] = {}
+        n_bins = int(bins.max()) + 1
+        counts = np.bincount(bins, minlength=n_bins)
+        sums = np.bincount(bins, weights=values, minlength=n_bins)
+        mins = np.full(n_bins, np.inf)
+        maxs = np.full(n_bins, -np.inf)
+        np.minimum.at(mins, bins, values)
+        np.maximum.at(maxs, bins, values)
+        for bin_idx in np.flatnonzero(counts).tolist():
+            stats = per_bin.get(bin_idx)
+            if stats is None:
+                stats = per_bin[bin_idx] = BinStats()
+            if stats.count == 0:
+                stats.t_min = timestamp
+            stats.count += int(counts[bin_idx])
+            stats.sum += float(sums[bin_idx])
+            low = float(mins[bin_idx])
+            high = float(maxs[bin_idx])
             if low < stats.min:
                 stats.min = low
             if high > stats.max:

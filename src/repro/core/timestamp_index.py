@@ -28,11 +28,20 @@ import struct
 from bisect import bisect_left, bisect_right
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from .hybridlog import HybridLog
 from .metrics import LogScope
 from .storage import Storage
 
 _ENTRY = struct.Struct("<QBIQ")
+
+#: Columnar view of one index entry; packed layout matches ``_ENTRY``
+#: byte for byte, so a structured array's buffer is the serialized frame.
+_ENTRY_DTYPE = np.dtype(
+    [("ts", "<u8"), ("kind", "u1"), ("sid", "<u4"), ("addr", "<u8")]
+)
+assert _ENTRY_DTYPE.itemsize == _ENTRY.size
 
 KIND_RECORD = 1
 KIND_CHUNK = 2
@@ -110,16 +119,19 @@ class TimestampIndex:
         return True
 
     def note_records(
-        self, source_id: int, timestamp: int, addresses: "List[int]"
+        self, source_id: int, timestamp: int, addresses: "List[int] | np.ndarray"
     ) -> int:
         """Batch form of :meth:`maybe_note_record` for a run of consecutive
         same-source records sharing one arrival timestamp.
 
         Writes exactly the RECORD entries an equivalent loop of
         ``maybe_note_record`` calls would — every ``record_interval``-th
-        record per source, including the first ever — but computes the
-        entry positions arithmetically and lands all of them with a single
-        hybrid-log append.  Returns the number of entries written.
+        record per source, including the first ever — but selects the
+        sampled addresses with one strided slice and frames all of them as
+        one structured-array buffer landed with a single hybrid-log
+        append.  ``addresses`` may be a list or an int64 column (the
+        batched ingest path passes its address column directly).  Returns
+        the number of entries written.
         """
         n = len(addresses)
         if n == 0:
@@ -136,24 +148,27 @@ class TimestampIndex:
             return 0
         if first < 0:
             first = 0
-        positions = range(first, n, interval)
-        buffer = bytearray(_ENTRY.size * len(positions))
-        pack_into = _ENTRY.pack_into
-        offset = 0
+        sampled = addresses[first::interval]
+        m = len(sampled)
+        # Columnar entry framing: one structured array whose buffer is the
+        # serialized entries, landed with a single hybrid-log append.
+        out = np.empty(m, _ENTRY_DTYPE)
+        out["ts"] = timestamp
+        out["kind"] = KIND_RECORD
+        out["sid"] = source_id
+        out["addr"] = sampled
         entries = self._per_source.get(source_id)
         if entries is None:
             entries = self._per_source[source_id] = _SourceEntries()
-        note_t = entries.timestamps.append
-        note_a = entries.addresses.append
-        for i in positions:
-            pack_into(buffer, offset, timestamp, KIND_RECORD, source_id, addresses[i])
-            offset += _ENTRY.size
-            note_t(timestamp)
-            note_a(addresses[i])
-        self.log.append_many(buffer, count=len(positions))
-        self._since_last_entry[source_id] = n - 1 - positions[-1]
-        self.entry_count += len(positions)
-        return len(positions)
+        entries.timestamps.extend([timestamp] * m)
+        if isinstance(sampled, np.ndarray):
+            entries.addresses.extend(sampled.tolist())
+        else:
+            entries.addresses.extend(sampled)
+        self.log.append_many(out.tobytes(), count=m)
+        self._since_last_entry[source_id] = n - 1 - (first + (m - 1) * interval)
+        self.entry_count += m
+        return m
 
     def note_chunk(self, timestamp: int, chunk_id: int) -> None:
         """Write a CHUNK entry marking the finalization of ``chunk_id``."""
