@@ -1,0 +1,126 @@
+"""Network service overhead bench: wire ingest/query vs in-process calls.
+
+Measures, over TCP loopback against a single-shard :class:`LoomServer`:
+
+- batched ingest throughput (records/second) at several batch sizes,
+- query round-trip latency (aggregate over the ingested window),
+- the same ingest run against an in-process ``MonitoringDaemon`` so the
+  report states what the wire + framing + queue hop costs.
+
+Writes ``BENCH_network.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_network.py --duration 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import time
+
+from repro.daemon import LoomClient, LoomServer, MonitoringDaemon, ServerConfig
+
+RECORD = struct.Struct("<d")
+EDGES = [0.0, 25.0, 50.0, 75.0, 100.0]
+
+
+def _payloads(batch_size: int) -> list:
+    return [RECORD.pack(float(i % 100)) for i in range(batch_size)]
+
+
+def bench_wire_ingest(duration_s: float, batch_size: int) -> dict:
+    server = LoomServer(
+        port=0,
+        config=ServerConfig(shards=1, queue_high_watermark=4096,
+                            queue_low_watermark=1024),
+    ).start()
+    client = LoomClient("127.0.0.1", server.port, deadline_s=30.0,
+                        attempt_timeout_s=10.0)
+    client.enable_source("bench")
+    client.add_index("bench", "val", EDGES)
+    payloads = _payloads(batch_size)
+
+    sent = 0
+    start = time.perf_counter()
+    deadline = start + duration_s
+    while time.perf_counter() < deadline:
+        client.ingest("bench", payloads)
+        sent += batch_size
+    elapsed = time.perf_counter() - start
+    client.sync("bench")
+
+    # Query round-trip latency over the ingested window.
+    t_range = (0, 2**63 - 1)
+    latencies = []
+    for _ in range(20):
+        t0 = time.perf_counter()
+        client.aggregate("bench", "val", t_range, "count")
+        latencies.append(time.perf_counter() - t0)
+    latencies.sort()
+
+    applied = client.scan("bench", t_range).count
+    out = {
+        "batch_size": batch_size,
+        "records_per_s": round(sent / elapsed),
+        "records_sent": sent,
+        "records_applied": applied,
+        "backpressure_hits": client.backpressure_hits,
+        "query_rtt_p50_us": round(latencies[len(latencies) // 2] * 1e6, 1),
+        "query_rtt_max_us": round(latencies[-1] * 1e6, 1),
+    }
+    client.close()
+    server.stop()
+    return out
+
+
+def bench_inprocess_ingest(duration_s: float, batch_size: int) -> dict:
+    daemon = MonitoringDaemon()
+    daemon.enable_source("bench")
+    payloads = _payloads(batch_size)
+    sent = 0
+    start = time.perf_counter()
+    deadline = start + duration_s
+    while time.perf_counter() < deadline:
+        daemon.receive_batch("bench", payloads)
+        sent += batch_size
+    elapsed = time.perf_counter() - start
+    daemon.sync()
+    return {"batch_size": batch_size, "records_per_s": round(sent / elapsed)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--duration", type=float, default=1.0,
+                        help="seconds per ingest mode")
+    parser.add_argument("--out", default="BENCH_network.json")
+    args = parser.parse_args(argv)
+
+    wire = [bench_wire_ingest(args.duration, n) for n in (16, 256, 2048)]
+    local = bench_inprocess_ingest(args.duration, 256)
+    wire_256 = next(w for w in wire if w["batch_size"] == 256)
+
+    result = {
+        "bench": "network_service",
+        "duration_s_per_mode": args.duration,
+        "wire_ingest": wire,
+        "inprocess_ingest": local,
+        "wire_overhead_factor_at_256": round(
+            local["records_per_s"] / max(1, wire_256["records_per_s"]), 2
+        ),
+    }
+    for w in wire:
+        if w["records_applied"] != w["records_sent"]:
+            raise SystemExit(
+                f"lost records on the wire: sent {w['records_sent']}, "
+                f"applied {w['records_applied']} (batch {w['batch_size']})"
+            )
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,6 +84,59 @@ class StorageError(LoomError, IOError):
     """The persistent storage backend failed."""
 
 
+class TransportError(LoomError, IOError):
+    """A network transport failed (connect, send, receive, or framing).
+
+    Raised by the wire client and transports in :mod:`repro.daemon` for
+    connection-level failures: refused connections, resets, timeouts on
+    the socket, and torn frames.  Transport failures are *retryable by
+    construction* — ingest batches carry client-assigned sequence numbers
+    and the server deduplicates resends, so a caller that retries after a
+    ``TransportError`` never duplicates records.
+    """
+
+
+class DeadlineExceededError(LoomError, TimeoutError):
+    """An operation's deadline expired before it completed.
+
+    Deadlines propagate from the caller through the wire protocol: the
+    client sends its remaining budget with every request and the server
+    bounds queue waits and query execution by it.  When the budget runs
+    out client-side (across retries and backoff sleeps), this error
+    carries how long the caller waited.
+    """
+
+    def __init__(self, message: str, waited_s: "float | None" = None) -> None:
+        super().__init__(message)
+        self.waited_s = waited_s
+
+
+class BackpressureError(LoomError):
+    """The server shed an ingest batch and asked the client to retry later.
+
+    The wire response is ``RETRY_AFTER``; the client normally absorbs it
+    into its backoff/retry loop, so this escapes to callers only when the
+    deadline expires while the server is still shedding (or when a caller
+    opts out of retries).  ``retry_after_s`` is the server's hint.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpenError(LoomError):
+    """The client's circuit breaker is open: recent calls failed
+    repeatedly, so new calls fail fast instead of burning their deadline
+    against a shard that is down.  The breaker half-opens after a
+    cooldown and closes again on the first success.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class CorruptionError(LoomError, ValueError):
     """Persisted bytes failed an integrity check (checksum or framing).
 

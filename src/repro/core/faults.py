@@ -14,21 +14,80 @@ path (the path the hybrid log's flusher drives):
   transient-fault shape;
 * **torn writes** — a failing append first persists a prefix of the data
   (default: half), modelling a power cut mid-write.  The hybrid log's
-  retry path must truncate the torn extent before re-appending.
+  retry path must truncate the torn extent before re-appending;
+* **latency** — every append completes but only after an injected delay
+  (:class:`LatencyFault`), modelling a congested or throttled device.
+  This is the knob the overload tests turn: a fault-slowed flusher makes
+  ingest outrun background flush work, which is exactly the failure mode
+  the server's backpressure watermarks must absorb;
+* **short writes** — an append persists only a prefix of the data but
+  *reports success* (a lying disk / absorbed partial write).  Unlike a
+  torn write nothing raises at write time; the loss surfaces only when
+  CRC framing is verified, so recovery and ``fsck`` must catch it.
 
 Reads can fail too (``fail_next_reads``), and :meth:`corrupt_byte` flips
 bits in already-persisted data to simulate bit-rot for recovery tests.
 All counters are public so tests can assert exactly how many faults were
 exercised.
+
+:class:`LatencyFault` is deliberately storage-agnostic: the network
+transport wrapper (:class:`repro.daemon.transport.FaultInjectingTransport`)
+arms the same object on its send path, so storage and transport fault
+tests share one delay-schedule implementation.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 from .errors import StorageError
 from .storage import FileStorage, MemoryStorage, Storage
+
+
+class LatencyFault:
+    """An armable delay schedule shared by storage and transport wrappers.
+
+    When armed, each call to :meth:`apply` sleeps ``delay_s`` seconds (for
+    the next ``first_n`` operations, or every operation when ``first_n``
+    is ``None``) and counts it.  The sleep function is injectable so unit
+    tests can observe delays without real wall-clock cost.
+    """
+
+    def __init__(self, sleep: Callable[[float], None] = time.sleep) -> None:
+        self._sleep = sleep
+        self._delay_s = 0.0
+        self._remaining: Optional[int] = 0
+        #: Operations actually delayed since arming (public for asserts).
+        self.delays_applied = 0
+
+    def arm(self, delay_s: float, first_n: Optional[int] = None) -> "LatencyFault":
+        """Delay the next ``first_n`` operations (``None`` = every one)."""
+        if delay_s < 0:
+            raise ValueError("delay must be >= 0")
+        self._delay_s = delay_s
+        self._remaining = first_n
+        return self
+
+    def disarm(self) -> "LatencyFault":
+        self._delay_s = 0.0
+        self._remaining = 0
+        return self
+
+    @property
+    def armed(self) -> bool:
+        return self._delay_s > 0 and (self._remaining is None or self._remaining > 0)
+
+    def apply(self) -> bool:
+        """Sleep once if armed; returns whether a delay was injected."""
+        if not self.armed:
+            return False
+        if self._remaining is not None:
+            self._remaining -= 1
+        self.delays_applied += 1
+        self._sleep(self._delay_s)
+        return True
 
 
 class FaultInjectingStorage(Storage):
@@ -49,9 +108,16 @@ class FaultInjectingStorage(Storage):
         #: (torn-write mode); None = fail cleanly without writing.
         self._torn_fraction: Optional[float] = None
         self._fail_reads = 0
+        #: Appends that silently persist only a prefix (short-write mode).
+        self._short_writes = 0
+        self._short_fraction = 0.5
+        #: Injected latency on the append path (see :class:`LatencyFault`).
+        self.latency = LatencyFault()
         #: Total append attempts seen (including failed ones).
         self.append_attempts = 0
         self.faults_injected = 0
+        #: Bytes silently dropped by short writes (for asserts).
+        self.bytes_short_written = 0
 
     # ------------------------------------------------------------------
     # Fault arming
@@ -81,6 +147,8 @@ class FaultInjectingStorage(Storage):
         """Disarm all append faults."""
         self._fail_appends = 0
         self._flaky_period = None
+        self._short_writes = 0
+        self.latency.disarm()
         return self
 
     def tear_writes(self, fraction: float = 0.5) -> "FaultInjectingStorage":
@@ -93,6 +161,29 @@ class FaultInjectingStorage(Storage):
 
     def fail_next_reads(self, n: int) -> "FaultInjectingStorage":
         self._fail_reads = n
+        return self
+
+    def delay_appends(
+        self, delay_s: float, first_n: Optional[int] = None
+    ) -> "FaultInjectingStorage":
+        """Arm the latency fault: each of the next ``first_n`` appends
+        (every append when ``None``) completes only after ``delay_s``
+        seconds — a congested device, not a failing one."""
+        self.latency.arm(delay_s, first_n)
+        return self
+
+    def short_write_next(
+        self, n: int = 1, fraction: float = 0.5
+    ) -> "FaultInjectingStorage":
+        """Arm the next ``n`` appends to silently persist only
+        ``fraction`` of their data and *report success* (a lying disk).
+        The loss is visible only to CRC/frame verification."""
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("short-write fraction must be in [0, 1)")
+        if n < 0:
+            raise ValueError("short-write count must be >= 0")
+        self._short_writes = n
+        self._short_fraction = fraction
         return self
 
     # ------------------------------------------------------------------
@@ -111,6 +202,19 @@ class FaultInjectingStorage(Storage):
 
     def append(self, data: bytes) -> int:
         self.append_attempts += 1
+        self.latency.apply()
+        if self._short_writes > 0 and len(data) > 0:
+            # A lying disk: persist a prefix, report full success.  The
+            # returned address is correct (the prefix starts there); the
+            # lie is the missing suffix, which only CRC/frame
+            # verification can expose.  Arm this on a *final* append
+            # (e.g. the flush at close) — a mid-stream short write
+            # misaligns every later append, exactly like real hardware.
+            self._short_writes -= 1
+            self.faults_injected += 1
+            keep = int(len(data) * self._short_fraction)
+            self.bytes_short_written += len(data) - keep
+            return self._inner.append(data[:keep])
         fail = False
         if self._fail_appends > 0:
             self._fail_appends -= 1

@@ -44,6 +44,7 @@ from .operators import (
     QueryResult,
     QueryStats,
     QueryTrace,
+    bin_histogram,
     indexed_aggregate,
     indexed_scan,
     raw_scan,
@@ -312,6 +313,82 @@ class Loom:
             trace=qtrace,
             source=str(source_id),
         )
+
+    def histogram(
+        self,
+        source_id: int,
+        index_id: int,
+        t_range: TimeRange,
+        snapshot: Optional[Snapshot] = None,
+    ) -> QueryResult:
+        """Per-bin record counts of an index over a time range.
+
+        This is phase 1 of the percentile algorithm as a first-class
+        verb: chunks fully inside the range contribute their summary bin
+        statistics without being read; straddling chunks and the active
+        region are scanned.  The counts land on ``result.bins`` (bin
+        index -> count).  The distributed coordinator merges these tiny
+        histograms across shards to locate a global percentile's bin
+        without moving raw data (paper section 8).
+        """
+        snap = snapshot or self.snapshot()
+        index = self._check_index(source_id, index_id)
+        stats = QueryStats()
+        self._note_query("histogram")
+        counts = bin_histogram(
+            snap, source_id, index, t_range[0], t_range[1], stats=stats
+        )
+        return QueryResult(
+            stats=stats,
+            bins=counts,
+            count=sum(counts.values()),
+            source=str(source_id),
+        )
+
+    def bin_values(
+        self,
+        source_id: int,
+        index_id: int,
+        t_range: TimeRange,
+        bin_idx: int,
+        snapshot: Optional[Snapshot] = None,
+    ) -> QueryResult:
+        """Extract the index values of one histogram bin over a time range.
+
+        Phase 2 of the distributed percentile: after :meth:`histogram`
+        locates the bin containing the global rank, the coordinator
+        fetches only that bin's raw values from each shard.  Values land
+        on ``result.values`` in ascending order.  Bin membership is exact
+        (half-open ``[lo, hi)`` per the spec), so a value equal to the
+        bin's upper edge is excluded — it belongs to the next bin.
+        """
+        snap = snapshot or self.snapshot()
+        index = self._check_index(source_id, index_id)
+        spec = index.spec
+        lo, hi = spec.bin_range(bin_idx)
+        stats = QueryStats()
+        self._note_query("bin_values")
+        values: List[float] = []
+        for record in indexed_scan(
+            snap, source_id, index, t_range[0], t_range[1],
+            v_min=lo, v_max=hi, stats=stats, copy=False,
+        ):
+            value = index.index_func(record.payload)
+            if spec.bin_of(value) == bin_idx:
+                values.append(value)
+        values.sort()
+        return QueryResult(
+            stats=stats,
+            values=values,
+            count=len(values),
+            source=str(source_id),
+        )
+
+    def index_spec(self, source_id: int, index_id: int) -> HistogramSpec:
+        """The histogram layout of an index (public accessor, so fleet
+        tooling can verify layout agreement without reaching into the
+        record log)."""
+        return self._check_index(source_id, index_id).spec
 
     # ------------------------------------------------------------------
     # Deprecated query shims (pre-QueryResult signatures)

@@ -62,6 +62,13 @@ class QueryStats:
     summaries_aggregated: int = 0
     used_time_index: bool = False
     used_chunk_index: bool = False
+    #: True when a fan-out query is missing at least one shard/node: the
+    #: result covers only the shards that answered (graceful degradation;
+    #: see :class:`repro.daemon.distributed.LoomCoordinator`).
+    degraded: bool = False
+    #: Names of the shards/nodes that did not contribute (down, timed
+    #: out, or quarantined).  Empty for single-instance queries.
+    missing_shards: List[str] = field(default_factory=list)
 
     def merge(self, other: "QueryStats") -> None:
         """Fold another query's counters into this one.
@@ -80,6 +87,10 @@ class QueryStats:
         self.summaries_aggregated += other.summaries_aggregated
         self.used_time_index = self.used_time_index or other.used_time_index
         self.used_chunk_index = self.used_chunk_index or other.used_chunk_index
+        self.degraded = self.degraded or other.degraded
+        for name in other.missing_shards:
+            if name not in self.missing_shards:
+                self.missing_shards.append(name)
 
 
 @dataclass(frozen=True)
@@ -136,6 +147,13 @@ class QueryResult:
     :attr:`source` is a display label for the queried source — the
     daemon resolves it to the source *name*; the core falls back to the
     numeric id.
+
+    Two verb-specific payloads ride along for the distributed protocol
+    (both ``None`` for ordinary scans/aggregates): :attr:`bins` carries a
+    per-bin count histogram (the ``histogram`` verb — phase 1 of the
+    coordinator's global-percentile merge), and :attr:`values` carries
+    extracted index values (the ``bin_values`` verb — phase 2, fetching
+    only the target bin's raw values).
     """
 
     stats: QueryStats
@@ -144,6 +162,8 @@ class QueryResult:
     count: int = 0
     trace: Optional[QueryTrace] = None
     source: Optional[str] = None
+    bins: Optional[Dict[int, int]] = None
+    values: Optional[List[float]] = None
 
 
 # ----------------------------------------------------------------------

@@ -3,6 +3,7 @@ coordinator of section 8, long-term export (section 3), and the eBPF
 front-end sink integration (section 8)."""
 
 from .cli import CliError, CliResult, LoomCli, parse_duration
+from .client import LoomClient, RemoteNode
 from .distributed import LoomCoordinator, NodeRef
 from .export import ArchiveInfo, export_range, iter_archive, read_archive
 from .frontends import LoomSink, StreamingAggregator
@@ -13,12 +14,17 @@ from .otel import (
     OtelSpan,
     span_duration,
 )
+from .server import LoomServer, ServerConfig, shard_of
+from .transport import FaultInjectingTransport, TcpTransport, Transport
 
 __all__ = [
     "ArchiveInfo",
     "CliError",
     "CliResult",
+    "FaultInjectingTransport",
     "LoomCli",
+    "LoomClient",
+    "LoomServer",
     "OtelLoomExporter",
     "OtelMetricPoint",
     "OtelSpan",
@@ -28,9 +34,14 @@ __all__ = [
     "LoomSink",
     "MonitoringDaemon",
     "NodeRef",
+    "RemoteNode",
+    "ServerConfig",
     "SourceHandle",
     "StreamingAggregator",
+    "TcpTransport",
+    "Transport",
     "export_range",
     "iter_archive",
     "read_archive",
+    "shard_of",
 ]

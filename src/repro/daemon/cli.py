@@ -74,11 +74,17 @@ def parse_duration(text: str) -> int:
 
 @dataclass
 class CliResult:
-    """One executed command's outcome."""
+    """One executed command's outcome.
+
+    ``exit_code`` is the process exit status a scripting wrapper should
+    report: health checks return 1 when any component is FAILED, so
+    ``loom health`` composes with shell conditionals and liveness probes.
+    """
 
     command: str
     text: str
     value: object = None
+    exit_code: int = 0
 
 
 class LoomCli:
@@ -242,7 +248,8 @@ class LoomCli:
                 f"{source.bytes_ingested:,}B, "
                 f"{len(source.index_ids)} indexes, {state}"
             )
-        return CliResult("health", "\n".join(lines), info)
+        exit_code = 1 if info.health.value == "failed" else 0
+        return CliResult("health", "\n".join(lines), info, exit_code=exit_code)
 
     def _stats(self, tokens: List[str]) -> CliResult:
         from ..scope.exposition import render_exposition
@@ -290,3 +297,81 @@ class LoomCli:
             f"{len(records):,} records in [{lo}, {hi}]", result, trace
         )
         return CliResult("where", text, records)
+
+
+# ----------------------------------------------------------------------
+# Process entry point (`loom` console script): serve + remote health
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    """``loom serve`` starts the networked service; ``loom health``
+    probes one and exits non-zero when any shard is FAILED (or the
+    server is unreachable), so both verbs compose with init systems and
+    shell conditionals."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="loom")
+    sub = parser.add_subparsers(dest="verb", required=True)
+    serve = sub.add_parser("serve", help="run the networked Loom service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7337)
+    serve.add_argument("--shards", type=int, default=1)
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="persist shard logs under this directory (default: in-memory)",
+    )
+    health = sub.add_parser("health", help="probe a running service")
+    health.add_argument("--host", default="127.0.0.1")
+    health.add_argument("--port", type=int, default=7337)
+    health.add_argument("--deadline", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    if args.verb == "serve":
+        from ..core.config import LoomConfig
+        from .server import LoomServer, ServerConfig
+
+        loom_config = (
+            LoomConfig(data_dir=args.data_dir, threaded_flush=True)
+            if args.data_dir
+            else None
+        )
+        server = LoomServer(
+            host=args.host,
+            port=args.port,
+            config=ServerConfig(shards=args.shards),
+            loom_config=loom_config,
+        )
+        server.start()
+        print(f"loom: serving {args.shards} shard(s) on {args.host}:{server.port}")
+        try:
+            while True:
+                import time
+
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return 0
+
+    # health
+    from ..core.errors import LoomError as _LoomError
+    from .client import LoomClient
+
+    client = LoomClient(
+        args.host, args.port, deadline_s=args.deadline, circuit_threshold=0
+    )
+    try:
+        detail = client.health_detail()
+    except _LoomError as exc:
+        print(f"loom: unreachable: {exc}")
+        return 2
+    finally:
+        client.close()
+    print(f"health: {detail.get('health')}")
+    for shard in detail.get("shards", []):
+        print(
+            f"  shard {shard.get('shard')}: {shard.get('health')}, "
+            f"queue depth {shard.get('queue_depth')}"
+            + (" (shedding)" if shard.get("shedding") else "")
+        )
+    return 1 if detail.get("health") == "failed" else 0

@@ -264,6 +264,48 @@ class MonitoringDaemon:
         result.source = handle.name
         return result
 
+    def histogram(
+        self,
+        source: SourceRef,
+        index: Union[str, int],
+        t_range: Tuple[int, int],
+    ) -> QueryResult:
+        """Per-bin counts of an index over a time range (phase 1 of the
+        distributed percentile merge), addressed by daemon names."""
+        handle = self.resolve_source(source)
+        result = self.loom.histogram(
+            handle.source_id, self._resolve_index(handle, index), t_range
+        )
+        result.source = handle.name
+        return result
+
+    def bin_values(
+        self,
+        source: SourceRef,
+        index: Union[str, int],
+        t_range: Tuple[int, int],
+        bin_idx: int,
+    ) -> QueryResult:
+        """One bin's raw index values (phase 2 of the distributed
+        percentile merge), addressed by daemon names."""
+        handle = self.resolve_source(source)
+        result = self.loom.bin_values(
+            handle.source_id, self._resolve_index(handle, index), t_range, bin_idx
+        )
+        result.source = handle.name
+        return result
+
+    def index_spec(
+        self, source: SourceRef, index: Union[str, int]
+    ) -> HistogramSpec:
+        """The histogram layout of a named index (fleet tooling checks
+        layout agreement across nodes through this, never by reaching
+        into the record log)."""
+        handle = self.resolve_source(source)
+        return self.loom.index_spec(
+            handle.source_id, self._resolve_index(handle, index)
+        )
+
     def _resolve_index(
         self, handle: SourceHandle, index: Union[str, int]
     ) -> int:

@@ -1,0 +1,247 @@
+"""Wire protocol of the networked Loom service (DESIGN.md section 12).
+
+A deliberately small length-prefixed binary framing, shared by the
+asyncio server (:mod:`repro.daemon.server`) and the blocking client
+(:mod:`repro.daemon.client`):
+
+::
+
+    frame     := u32_be total_len | payload          (total_len = len(payload))
+    payload   := u16_be header_len | header | body
+    header    := UTF-8 JSON object (control plane: op, args, stats, ...)
+    body      := raw bytes (data plane: record payloads, scan results)
+
+JSON carries the control plane — cheap to evolve, trivially debuggable
+with ``tcpdump`` — while bulk record bytes ride in the opaque body so
+telemetry payloads are never base64-inflated or JSON-escaped.  The body
+layout is op-specific:
+
+* **ingest** requests concatenate the batch's payloads; the header's
+  ``sizes`` array carries the split points.
+* **scan** responses concatenate per-record entries, each
+  ``u64_be timestamp | u64_be address | u32_be len | payload``; the
+  header carries the record count.
+
+Every request header carries ``op`` plus ``deadline_ms`` — the client's
+*remaining* time budget, which the server uses to bound queue waits and
+query execution (deadline propagation).  Every response carries ``ok``;
+refusals under backpressure use ``status: "retry_after"`` with a
+``retry_after_ms`` hint instead of an error, so clients distinguish
+"back off and resend" from "this request can never succeed".
+
+Framing errors raise :class:`~repro.core.errors.TransportError`; both
+ends treat a torn frame as a connection death, never as data.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import asdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import TransportError
+from ..core.operators import QueryResult, QueryStats
+from ..core.record import Record
+
+#: Frame and header length prefixes.
+LEN_PREFIX = struct.Struct(">I")
+HEADER_PREFIX = struct.Struct(">H")
+#: Per-record entry prefix in scan response bodies.
+RECORD_ENTRY = struct.Struct(">QQI")
+
+#: Hard ceilings: a peer announcing more than this is garbage or hostile;
+#: fail the connection instead of allocating.
+MAX_FRAME_BYTES = 64 << 20
+MAX_HEADER_BYTES = 1 << 16
+
+#: Protocol revision, sent in every request and checked by the server.
+PROTOCOL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(header: Dict[str, object], body: bytes = b"") -> bytes:
+    """Serialize one frame (length prefix + JSON header + binary body)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES - 1:
+        raise TransportError(
+            f"header too large: {len(header_bytes)} bytes"
+        )
+    total = HEADER_PREFIX.size + len(header_bytes) + len(body)
+    if total > MAX_FRAME_BYTES:
+        raise TransportError(f"frame too large: {total} bytes")
+    return b"".join(
+        (
+            LEN_PREFIX.pack(total),
+            HEADER_PREFIX.pack(len(header_bytes)),
+            header_bytes,
+            body,
+        )
+    )
+
+
+def split_frame(payload: bytes) -> Tuple[Dict[str, object], bytes]:
+    """Split a received frame payload into (header dict, body bytes)."""
+    if len(payload) < HEADER_PREFIX.size:
+        raise TransportError(f"frame too short: {len(payload)} bytes")
+    (header_len,) = HEADER_PREFIX.unpack_from(payload)
+    header_end = HEADER_PREFIX.size + header_len
+    if header_end > len(payload):
+        raise TransportError(
+            f"torn header: {header_len} announced, "
+            f"{len(payload) - HEADER_PREFIX.size} present"
+        )
+    try:
+        header = json.loads(payload[HEADER_PREFIX.size:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise TransportError("frame header must be a JSON object")
+    return header, payload[header_end:]
+
+
+def read_frame(read_exact: Callable[[int], bytes]) -> Tuple[Dict[str, object], bytes]:
+    """Read one frame using a blocking ``read_exact(n) -> n bytes`` callable.
+
+    ``read_exact`` must either return exactly ``n`` bytes or raise
+    :class:`TransportError` (a short read is a torn frame).
+    """
+    (total,) = LEN_PREFIX.unpack(read_exact(LEN_PREFIX.size))
+    if total > MAX_FRAME_BYTES:
+        raise TransportError(f"peer announced oversized frame: {total} bytes")
+    return split_frame(read_exact(total))
+
+
+# ----------------------------------------------------------------------
+# Ingest batch bodies
+# ----------------------------------------------------------------------
+def pack_payloads(payloads: Sequence[bytes]) -> Tuple[List[int], bytes]:
+    """Concatenate a batch's payloads; returns (sizes, body)."""
+    sizes = [len(p) for p in payloads]
+    return sizes, b"".join(bytes(p) for p in payloads)
+
+
+def unpack_payloads(sizes: Iterable[int], body: bytes) -> List[bytes]:
+    """Split an ingest body back into payloads, validating the sizes."""
+    out: List[bytes] = []
+    pos = 0
+    for size in sizes:
+        if size < 0 or pos + size > len(body):
+            raise TransportError("ingest body shorter than announced sizes")
+        out.append(body[pos:pos + size])
+        pos += size
+    if pos != len(body):
+        raise TransportError(
+            f"ingest body has {len(body) - pos} trailing bytes"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scan result bodies
+# ----------------------------------------------------------------------
+def pack_records(records: Sequence[Record]) -> bytes:
+    """Serialize scan results: per record, timestamp/address/len + payload."""
+    parts: List[bytes] = []
+    for record in records:
+        payload = bytes(record.payload)
+        parts.append(
+            RECORD_ENTRY.pack(record.timestamp, record.address, len(payload))
+        )
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def unpack_records(body: bytes, source_id: int = 0) -> List[Record]:
+    """Decode scan results.  The wire does not carry back-pointers (they
+    are meaningless off-host), so ``prev_addr`` is zeroed."""
+    out: List[Record] = []
+    pos = 0
+    while pos < len(body):
+        if pos + RECORD_ENTRY.size > len(body):
+            raise TransportError("torn record entry in scan body")
+        timestamp, address, length = RECORD_ENTRY.unpack_from(body, pos)
+        pos += RECORD_ENTRY.size
+        if pos + length > len(body):
+            raise TransportError("record payload shorter than announced")
+        out.append(
+            Record(
+                source_id=source_id,
+                timestamp=timestamp,
+                prev_addr=0,
+                payload=body[pos:pos + length],
+                address=address,
+            )
+        )
+        pos += length
+    return out
+
+
+# ----------------------------------------------------------------------
+# QueryStats / QueryResult <-> wire
+# ----------------------------------------------------------------------
+def stats_to_wire(stats: QueryStats) -> Dict[str, object]:
+    return asdict(stats)
+
+
+def stats_from_wire(raw: object) -> QueryStats:
+    stats = QueryStats()
+    if isinstance(raw, dict):
+        for key, value in raw.items():
+            if hasattr(stats, key):
+                setattr(stats, key, value)
+    return stats
+
+
+def result_to_wire(result: QueryResult) -> Tuple[Dict[str, object], bytes]:
+    """Flatten a QueryResult into (header fields, body bytes)."""
+    header: Dict[str, object] = {
+        "ok": True,
+        "count": result.count,
+        "stats": stats_to_wire(result.stats),
+    }
+    if result.source is not None:
+        header["source"] = result.source
+    if result.value is not None:
+        header["value"] = result.value
+    if result.bins is not None:
+        header["bins"] = {str(k): v for k, v in result.bins.items()}
+    if result.values is not None:
+        header["values"] = result.values
+    body = b""
+    if result.records is not None:
+        header["records"] = len(result.records)
+        body = pack_records(result.records)
+    return header, body
+
+
+def result_from_wire(header: Dict[str, object], body: bytes) -> QueryResult:
+    """Rebuild a QueryResult from a response frame."""
+    bins_raw = header.get("bins")
+    bins: Optional[Dict[int, int]] = None
+    if isinstance(bins_raw, dict):
+        bins = {int(k): int(v) for k, v in bins_raw.items()}
+    values_raw = header.get("values")
+    values: Optional[List[float]] = None
+    if isinstance(values_raw, list):
+        values = [float(v) for v in values_raw]
+    records: Optional[List[Record]] = None
+    if "records" in header:
+        records = unpack_records(body)
+        if len(records) != header["records"]:
+            raise TransportError(
+                f"scan body holds {len(records)} records, "
+                f"header announced {header['records']}"
+            )
+    raw_value = header.get("value")
+    return QueryResult(
+        stats=stats_from_wire(header.get("stats")),
+        records=records,
+        value=float(raw_value) if raw_value is not None else None,
+        count=int(header.get("count", 0)),  # type: ignore[arg-type]
+        source=header.get("source") if isinstance(header.get("source"), str) else None,
+        bins=bins,
+        values=values,
+    )

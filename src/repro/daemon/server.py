@@ -1,0 +1,808 @@
+"""The networked Loom service: a sharded asyncio TCP daemon (DESIGN.md §12).
+
+:class:`LoomServer` multiplexes concurrent remote writers onto N
+:class:`~repro.daemon.monitor.MonitoringDaemon` shards (hash-by-source),
+speaking the length-prefixed protocol of :mod:`repro.daemon.protocol`.
+Three design rules carry Loom's single-host guarantees onto the wire:
+
+**Single writer per shard.**  Each shard owns one worker thread that is
+the *only* thread ever calling its daemon's ingest path.  The asyncio
+event loop admits batches into a bounded per-shard queue and ACKs on
+admission; the worker drains the queue in order.  Queries run on
+executor threads — Loom's seqlock makes concurrent reads safe against
+the single writer, exactly as in-process.
+
+**Backpressure, never buffering.**  The ingest queue is bounded by a
+high/low watermark pair with hysteresis: crossing the high watermark —
+or the shard's flush health dropping to DEGRADED — sheds new batches
+with a ``RETRY_AFTER`` response instead of growing the queue, until the
+worker drains it below the low watermark.  A FAILED shard refuses
+ingest outright (its storage is gone; only reads still work).  Memory
+stays bounded no matter how fast writers push — the same stance Loom's
+two-block staging takes against the disk.
+
+**Idempotent resend.**  Every batch carries a client-assigned
+``(client, seq)`` key.  The server remembers applied keys in a bounded
+dedup window and queued keys in a pending set, so a client that lost an
+ACK can resend the same batch and get a duplicate-ACK instead of
+double-ingesting.  Combined with the client's retry loop this gives
+effectively-once ingest over an at-least-once wire.
+
+The dedup check consults *pending before dedup* while the worker
+records *dedup before discarding pending* — whichever way the race
+falls, a key that was ever admitted is visible in at least one of the
+two structures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from collections import OrderedDict
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.clock import Clock, MonotonicClock
+from ..core.config import LoomConfig
+from ..core.errors import (
+    DeadlineExceededError,
+    LoomError,
+    StorageError,
+    TransportError,
+)
+from ..core.hybridlog import Health
+from ..core.metrics import MetricsRegistry
+from ..core.operators import NEG_INF, POS_INF
+from ..scope.exposition import render_exposition
+from .monitor import MonitoringDaemon
+from .protocol import (
+    LEN_PREFIX,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    result_to_wire,
+    split_frame,
+    unpack_payloads,
+)
+
+#: Index functions definable over the wire (arbitrary code does not
+#: travel; remote ``add_index`` picks from this registry by name).
+WIRE_INDEX_FUNCS: Dict[str, Callable[[bytes], float]] = {
+    "f64_le": lambda payload: struct.unpack_from("<d", payload)[0],
+    "len": lambda payload: float(len(payload)),
+}
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of the networked service (the Loom knobs live in
+    :class:`~repro.core.config.LoomConfig`).
+
+    Attributes:
+        shards: number of Loom shards; sources hash onto shards by name.
+        queue_high_watermark: queued batches at which a shard starts
+            shedding ingest with RETRY_AFTER.
+        queue_low_watermark: queued batches below which a shedding shard
+            resumes accepting (hysteresis — no flapping at the boundary).
+        dedup_window: applied ``(client, seq)`` keys remembered per shard
+            for idempotent resend.
+        retry_after_ms: backoff hint sent with RETRY_AFTER responses.
+        default_deadline_ms: server-side budget for requests that do not
+            carry ``deadline_ms``.
+        auto_enable_sources: define unknown sources on first ingest (the
+            collector norm: sources appear when telemetry does).
+    """
+
+    shards: int = 1
+    queue_high_watermark: int = 64
+    queue_low_watermark: int = 16
+    dedup_window: int = 1024
+    retry_after_ms: int = 25
+    default_deadline_ms: int = 5000
+    auto_enable_sources: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise LoomError("shards must be >= 1")
+        if not 0 < self.queue_low_watermark <= self.queue_high_watermark:
+            raise LoomError(
+                "watermarks must satisfy 0 < low <= high "
+                f"(got low={self.queue_low_watermark}, "
+                f"high={self.queue_high_watermark})"
+            )
+        if self.dedup_window < 1:
+            raise LoomError("dedup_window must be >= 1")
+
+
+def shard_of(source_name: str, shards: int) -> int:
+    """The shard owning a source (stable hash; clients may precompute)."""
+    return zlib.crc32(source_name.encode("utf-8")) % shards
+
+
+class _Shard:
+    """One Loom shard: a daemon, its ingest queue, and its worker."""
+
+    def __init__(
+        self,
+        index: int,
+        daemon: MonitoringDaemon,
+        config: ServerConfig,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.index = index
+        self.daemon = daemon
+        self.config = config
+        self.queue: "queue.Queue[Optional[Tuple[Any, ...]]]" = queue.Queue()
+        #: Keys admitted but not yet applied (order vs ``dedup``: see
+        #: the module docstring).
+        self.pending: set = set()
+        #: Applied keys -> record count, bounded FIFO.
+        self.dedup: "OrderedDict[str, int]" = OrderedDict()
+        self.shedding = False
+        self.apply_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+        labels = {"shard": str(index)}
+        self.depth_gauge = metrics.gauge(
+            "loom.server.queue_depth", "queued ingest batches", labels=labels
+        )
+        self.batches = metrics.counter(
+            "loom.server.batches_applied", "ingest batches applied", labels=labels
+        )
+        self.records = metrics.counter(
+            "loom.server.records_applied", "records applied", labels=labels
+        )
+        self.retry_afters = metrics.counter(
+            "loom.server.retry_after", "batches shed with RETRY_AFTER", labels=labels
+        )
+        self.dedup_hits = metrics.counter(
+            "loom.server.dedup_hits", "duplicate batches absorbed", labels=labels
+        )
+        self.apply_failures = metrics.counter(
+            "loom.server.apply_failures", "batches lost to storage failure",
+            labels=labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name=f"loom-shard-{self.index}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self.queue.put(None)
+            thread.join()
+
+    def _run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                break
+            kind = item[0]
+            if kind == "batch":
+                _, key, source, payloads = item
+                try:
+                    self._apply(source, payloads)
+                    self.dedup[key] = len(payloads)
+                    while len(self.dedup) > self.config.dedup_window:
+                        self.dedup.popitem(last=False)
+                    self.batches.inc()
+                    self.records.inc(len(payloads))
+                except StorageError as exc:
+                    # The shard's log is FAILED; the batch is lost
+                    # server-side.  The key leaves pending WITHOUT a
+                    # dedup entry, so a client resend is refused with a
+                    # storage error rather than silently dropped.
+                    self.apply_error = exc
+                    self.apply_failures.inc()
+                finally:
+                    self.pending.discard(key)
+                    self.depth_gauge.set(float(self.queue.qsize()))
+            elif kind == "sync":
+                _, event, box = item
+                try:
+                    self.daemon.sync()
+                except BaseException as exc:  # parked for the requester
+                    box["error"] = exc
+                finally:
+                    event.set()
+            elif kind == "call":
+                _, fn, event, box = item
+                try:
+                    box["value"] = fn()
+                except BaseException as exc:
+                    box["error"] = exc
+                finally:
+                    event.set()
+
+    def _apply(self, source: str, payloads: List[bytes]) -> None:
+        try:
+            self.daemon.source(source)
+        except LoomError:
+            if not self.config.auto_enable_sources:
+                raise
+            self.daemon.enable_source(source)
+        self.daemon.receive_batch(source, payloads)
+
+    # ------------------------------------------------------------------
+    # Admission (event-loop thread)
+    # ------------------------------------------------------------------
+    def admit(
+        self, key: str, source: str, payloads: List[bytes]
+    ) -> Tuple[str, int]:
+        """Admission-control one batch; returns (status, retry_after_ms).
+
+        Status is ``"ack"`` (queued), ``"dup"`` (already queued or
+        applied), ``"retry_after"`` (shed under backpressure), or
+        ``"failed"`` (shard storage is FAILED).
+        """
+        if key in self.pending or key in self.dedup:
+            self.dedup_hits.inc()
+            return "dup", 0
+        health = self.daemon.health()
+        if health is Health.FAILED:
+            return "failed", 0
+        depth = self.queue.qsize()
+        if self.shedding:
+            if depth <= self.config.queue_low_watermark:
+                self.shedding = False
+        elif depth >= self.config.queue_high_watermark:
+            self.shedding = True
+        if self.shedding or health is Health.DEGRADED:
+            self.retry_afters.inc()
+            return "retry_after", self.config.retry_after_ms
+        self.pending.add(key)
+        self.queue.put(("batch", key, source, payloads))
+        self.depth_gauge.set(float(self.queue.qsize()))
+        return "ack", 0
+
+    # ------------------------------------------------------------------
+    # Control-plane submissions (executor threads)
+    # ------------------------------------------------------------------
+    def enqueue_sync(self) -> Tuple[threading.Event, Dict[str, Any]]:
+        event = threading.Event()
+        box: Dict[str, Any] = {}
+        self.queue.put(("sync", event, box))
+        return event, box
+
+    def submit(self, fn: Callable[[], Any], deadline_s: float) -> Any:
+        """Run ``fn`` on the shard's worker thread (single-writer rule:
+        source/index definitions mutate daemon state)."""
+        event = threading.Event()
+        box: Dict[str, Any] = {}
+        self.queue.put(("call", fn, event, box))
+        if not event.wait(deadline_s):
+            raise DeadlineExceededError(
+                f"shard {self.index} control call timed out", waited_s=deadline_s
+            )
+        if "error" in box:
+            raise box["error"]
+        return box.get("value")
+
+
+class LoomServer:
+    """Serves N Loom shards over TCP with backpressure and deadlines.
+
+    Args:
+        host/port: listen address; port 0 picks an ephemeral port
+            (readable as :attr:`port` after :meth:`start`).
+        config: service tunables (:class:`ServerConfig`).
+        loom_config: per-shard Loom configuration.  With a ``data_dir``
+            set, shard ``i`` persists under ``<data_dir>/shard-<i>``.
+        clock: daemons default to the monotonic clock (live service).
+        setup: optional ``setup(shard_index, daemon)`` callable run once
+            per shard at construction — the place to define sources and
+            indexes (index UDFs are code; they do not travel the wire).
+
+    ``stop(close_daemons=False)`` followed by :meth:`start` restarts the
+    network front-end over the same shard state — how the partition
+    tests model a crashed-and-rejoined node without losing its data.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServerConfig] = None,
+        loom_config: Optional[LoomConfig] = None,
+        clock: Optional[Clock] = None,
+        setup: Optional[Callable[[int, MonitoringDaemon], None]] = None,
+    ) -> None:
+        self.host = host
+        self._port_requested = port
+        self.port: Optional[int] = None
+        self.config = config or ServerConfig()
+        self.metrics = MetricsRegistry()
+        self._torn_frames = self.metrics.counter(
+            "loom.server.torn_frames", "connections dropped mid-frame"
+        )
+        self._connections = self.metrics.counter(
+            "loom.server.connections", "connections accepted"
+        )
+        self._errors = self.metrics.counter(
+            "loom.server.errors", "requests answered with an error"
+        )
+        self.shards: List[_Shard] = []
+        for i in range(self.config.shards):
+            shard_cfg = loom_config
+            if loom_config is not None and loom_config.data_dir is not None:
+                shard_cfg = dataclass_replace_data_dir(loom_config, i)
+            daemon = MonitoringDaemon(
+                config=shard_cfg, clock=clock or MonotonicClock()
+            )
+            if setup is not None:
+                setup(i, daemon)
+            self.shards.append(_Shard(i, daemon, self.config, self.metrics))
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "LoomServer":
+        if self._thread is not None:
+            raise LoomError("server already started")
+        for shard in self.shards:
+            shard.start()
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="loom-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            for shard in self.shards:
+                shard.stop()
+            raise TransportError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, close_daemons: bool = True) -> None:
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            loop, stop_async = self._loop, self._stop_async
+            if loop is not None and stop_async is not None:
+                loop.call_soon_threadsafe(stop_async.set)
+            thread.join()
+        for shard in self.shards:
+            shard.stop()
+        if close_daemons:
+            for shard in self.shards:
+                shard.daemon.close()
+
+    def __enter__(self) -> "LoomServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(
+                    self._handle_conn,
+                    self.host,
+                    self._port_requested if self.port is None else self.port,
+                    reuse_address=True,
+                )
+            )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._stop_async = asyncio.Event()
+        self._started.set()
+        try:
+            loop.run_until_complete(self._serve(server))
+        finally:
+            loop.close()
+            self._loop = None
+            self._stop_async = None
+
+    async def _serve(self, server: "asyncio.base_events.Server") -> None:
+        assert self._stop_async is not None
+        await self._stop_async.wait()
+        server.close()
+        await server.wait_closed()
+        tasks = [
+            t for t in asyncio.all_tasks() if t is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.inc()
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(LEN_PREFIX.size)
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        self._torn_frames.inc()
+                    break
+                except (ConnectionError, OSError):
+                    break
+                (total,) = LEN_PREFIX.unpack(prefix)
+                if total > MAX_FRAME_BYTES:
+                    self._torn_frames.inc()
+                    break
+                try:
+                    payload = await reader.readexactly(total)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    self._torn_frames.inc()
+                    break
+                try:
+                    header, body = split_frame(payload)
+                except TransportError:
+                    self._torn_frames.inc()
+                    break
+                response = await self._dispatch(header, body)
+                try:
+                    writer.write(response)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _error(self, kind: str, message: str, **extra: object) -> bytes:
+        self._errors.inc()
+        header: Dict[str, object] = {
+            "ok": False, "error": kind, "message": message
+        }
+        header.update(extra)
+        return encode_frame(header)
+
+    async def _dispatch(self, header: Dict[str, object], body: bytes) -> bytes:
+        op = header.get("op")
+        if not isinstance(op, str):
+            return self._error("protocol", "request missing op")
+        version = header.get("v", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            return self._error(
+                "protocol",
+                f"unsupported protocol version {version!r} "
+                f"(server speaks {PROTOCOL_VERSION})",
+            )
+        self.metrics.counter(
+            "loom.server.requests", "requests by op", labels={"op": op}
+        ).inc()
+        deadline_ms = header.get("deadline_ms", self.config.default_deadline_ms)
+        try:
+            deadline_s = max(0.001, float(deadline_ms) / 1000.0)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return self._error("protocol", f"bad deadline_ms: {deadline_ms!r}")
+        try:
+            if op == "ingest":
+                return self._op_ingest(header, body)
+            if op == "health":
+                return self._op_health()
+            if op == "stats":
+                text = render_exposition(self.metrics.snapshot())
+                return encode_frame({"ok": True}, text.encode("utf-8"))
+            return await self._op_blocking(op, header, deadline_s)
+        except TransportError as exc:
+            return self._error("protocol", str(exc))
+        except DeadlineExceededError as exc:
+            return self._error("deadline", str(exc))
+        except StorageError as exc:
+            return self._error("storage", str(exc))
+        except LoomError as exc:
+            return self._error("loom", str(exc))
+        except Exception as exc:  # never kill the connection on a bug
+            return self._error("internal", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    def _shard_for(self, source: str) -> _Shard:
+        return self.shards[shard_of(source, len(self.shards))]
+
+    @staticmethod
+    def _str_arg(header: Dict[str, object], key: str) -> str:
+        value = header.get(key)
+        if not isinstance(value, str):
+            raise TransportError(f"request needs string {key!r}")
+        return value
+
+    @staticmethod
+    def _t_range(header: Dict[str, object]) -> Tuple[int, int]:
+        try:
+            return int(header["t_start"]), int(header["t_end"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            raise TransportError("request needs integer t_start/t_end")
+
+    def _op_ingest(self, header: Dict[str, object], body: bytes) -> bytes:
+        source = self._str_arg(header, "source")
+        sizes = header.get("sizes")
+        if not isinstance(sizes, list):
+            raise TransportError("ingest needs a sizes array")
+        payloads = unpack_payloads(sizes, body)
+        key = f'{header.get("client", "?")}:{header.get("seq", -1)}'
+        shard = self._shard_for(source)
+        status, retry_ms = shard.admit(key, source, payloads)
+        if status == "ack" or status == "dup":
+            return encode_frame(
+                {
+                    "ok": True,
+                    "count": len(payloads),
+                    "shard": shard.index,
+                    "deduped": status == "dup",
+                }
+            )
+        if status == "retry_after":
+            return encode_frame(
+                {
+                    "ok": False,
+                    "status": "retry_after",
+                    "retry_after_ms": retry_ms,
+                    "shard": shard.index,
+                }
+            )
+        return self._error(
+            "storage",
+            f"shard {shard.index} is FAILED"
+            + (f": {shard.apply_error}" if shard.apply_error else ""),
+            shard=shard.index,
+        )
+
+    def _op_health(self) -> bytes:
+        worst = Health.HEALTHY
+        detail = []
+        for shard in self.shards:
+            health = shard.daemon.health()
+            if health is Health.FAILED or (
+                health is Health.DEGRADED and worst is Health.HEALTHY
+            ):
+                worst = health
+            detail.append(
+                {
+                    "shard": shard.index,
+                    "health": health.value,
+                    "queue_depth": shard.queue.qsize(),
+                    "shedding": shard.shedding,
+                }
+            )
+        return encode_frame(
+            {"ok": True, "health": worst.value, "shards": detail}
+        )
+
+    async def _op_blocking(
+        self, op: str, header: Dict[str, object], deadline_s: float
+    ) -> bytes:
+        """Query and control ops run on executor threads, bounded by the
+        request's propagated deadline."""
+        fn = self._blocking_fn(op, header, deadline_s)
+        loop = asyncio.get_event_loop()
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(None, fn), timeout=deadline_s
+            )
+        except asyncio.TimeoutError:
+            return self._error(
+                "deadline", f"{op} exceeded its {deadline_s * 1000:.0f} ms budget"
+            )
+
+    def _blocking_fn(
+        self, op: str, header: Dict[str, object], deadline_s: float
+    ) -> Callable[[], bytes]:
+        if op == "sync":
+            source = header.get("source")
+            shards = (
+                [self._shard_for(source)]
+                if isinstance(source, str)
+                else list(self.shards)
+            )
+            return partial(self._do_sync, shards, deadline_s)
+        if op == "introspect":
+            return self._do_introspect
+        if op == "enable_source":
+            source = self._str_arg(header, "source")
+            shard = self._shard_for(source)
+            return partial(
+                shard.submit,
+                partial(self._define_source, shard, source),
+                deadline_s,
+            )
+        if op == "add_index":
+            return self._prep_add_index(header, deadline_s)
+        # Query verbs.
+        source = self._str_arg(header, "source")
+        daemon = self._shard_for(source).daemon
+        if op == "scan":
+            return partial(
+                self._run_query, partial(daemon.scan, source, self._t_range(header))
+            )
+        if op == "scan_indexed":
+            v_min = header.get("v_min")
+            v_max = header.get("v_max")
+            v_range = (
+                NEG_INF if v_min is None else float(v_min),  # type: ignore[arg-type]
+                POS_INF if v_max is None else float(v_max),  # type: ignore[arg-type]
+            )
+            return partial(
+                self._run_query,
+                partial(
+                    daemon.scan_indexed,
+                    source,
+                    self._str_arg(header, "index"),
+                    self._t_range(header),
+                    v_range,
+                ),
+            )
+        if op == "aggregate":
+            percentile = header.get("percentile")
+            return partial(
+                self._run_query,
+                partial(
+                    daemon.aggregate,
+                    source,
+                    self._str_arg(header, "index"),
+                    self._t_range(header),
+                    self._str_arg(header, "method"),
+                    percentile=(
+                        float(percentile) if percentile is not None else None  # type: ignore[arg-type]
+                    ),
+                ),
+            )
+        if op == "histogram":
+            return partial(
+                self._run_query,
+                partial(
+                    daemon.histogram,
+                    source,
+                    self._str_arg(header, "index"),
+                    self._t_range(header),
+                ),
+            )
+        if op == "bin_values":
+            try:
+                bin_idx = int(header["bin"])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                raise TransportError("bin_values needs integer bin")
+            return partial(
+                self._run_query,
+                partial(
+                    daemon.bin_values,
+                    source,
+                    self._str_arg(header, "index"),
+                    self._t_range(header),
+                    bin_idx,
+                ),
+            )
+        if op == "index_spec":
+            index = self._str_arg(header, "index")
+            return partial(self._do_index_spec, daemon, source, index)
+        raise TransportError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Blocking op bodies (executor / worker threads)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_query(fn: Callable[[], Any]) -> bytes:
+        result_header, body = result_to_wire(fn())
+        return encode_frame(result_header, body)
+
+    @staticmethod
+    def _do_index_spec(
+        daemon: MonitoringDaemon, source: str, index: str
+    ) -> bytes:
+        spec = daemon.index_spec(source, index)
+        return encode_frame({"ok": True, "edges": list(spec.edges)})
+
+    def _do_sync(self, shards: List[_Shard], deadline_s: float) -> bytes:
+        waits = [shard.enqueue_sync() for shard in shards]
+        for event, box in waits:
+            if not event.wait(deadline_s):
+                raise DeadlineExceededError(
+                    "sync timed out behind the ingest queue", waited_s=deadline_s
+                )
+            if "error" in box:
+                raise box["error"]
+        return encode_frame({"ok": True})
+
+    def _do_introspect(self) -> bytes:
+        total = 0
+        sources: Dict[str, int] = {}
+        worst = Health.HEALTHY
+        for shard in self.shards:
+            intro = shard.daemon.introspect()
+            total += intro.total_records
+            if intro.health is Health.FAILED or (
+                intro.health is Health.DEGRADED and worst is Health.HEALTHY
+            ):
+                worst = intro.health
+            for name in shard.daemon.source_names():
+                handle = shard.daemon.source(name)
+                sources[name] = handle.records_received
+        return encode_frame(
+            {
+                "ok": True,
+                "health": worst.value,
+                "total_records": total,
+                "shards": len(self.shards),
+                "sources": sources,
+            }
+        )
+
+    def _define_source(self, shard: _Shard, source: str) -> bytes:
+        try:
+            shard.daemon.source(source)
+        except LoomError:
+            shard.daemon.enable_source(source)
+        return encode_frame({"ok": True, "shard": shard.index})
+
+    def _prep_add_index(
+        self, header: Dict[str, object], deadline_s: float
+    ) -> Callable[[], bytes]:
+        source = self._str_arg(header, "source")
+        index = self._str_arg(header, "index")
+        func_name = header.get("func", "f64_le")
+        func = WIRE_INDEX_FUNCS.get(func_name)  # type: ignore[arg-type]
+        if func is None:
+            raise TransportError(
+                f"unknown index func {func_name!r} "
+                f"(wire funcs: {sorted(WIRE_INDEX_FUNCS)})"
+            )
+        edges = header.get("edges")
+        if not isinstance(edges, list) or len(edges) < 2:
+            raise TransportError("add_index needs an edges array (>= 2 edges)")
+        shard = self._shard_for(source)
+
+        def define() -> bytes:
+            try:
+                shard.daemon.source(source)
+            except LoomError:
+                shard.daemon.enable_source(source)
+            index_id = shard.daemon.add_index(
+                source, index, func, [float(e) for e in edges]
+            )
+            return encode_frame({"ok": True, "index_id": index_id})
+
+        return partial(shard.submit, define, deadline_s)
+
+
+def dataclass_replace_data_dir(config: LoomConfig, shard: int) -> LoomConfig:
+    """Clone a LoomConfig with a per-shard data directory."""
+    import dataclasses
+    import os
+
+    assert config.data_dir is not None
+    return dataclasses.replace(
+        config, data_dir=os.path.join(config.data_dir, f"shard-{shard}")
+    )

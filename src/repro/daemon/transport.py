@@ -1,0 +1,361 @@
+"""Client-side transports: real TCP and fault-injecting (DESIGN.md §12).
+
+:class:`TcpTransport` is the production path: one blocking socket,
+length-prefixed frames, explicit timeouts.  :class:`FaultInjectingTransport`
+wraps any transport and injects the network's failure surface the same
+way :class:`~repro.core.faults.FaultInjectingStorage` injects the disk's:
+
+* **drop** — a frame is swallowed whole (the peer never sees it; the
+  caller's read then times out, the classic lost-packet shape);
+* **delay** — sends complete only after an injected latency
+  (:class:`~repro.core.faults.LatencyFault`, shared with the storage
+  fault wrapper so both fault matrices exercise one implementation);
+* **partition** — connects and sends fail immediately until healed
+  (a cable pull, not a slow network);
+* **torn frame** — a prefix of the frame's bytes is sent, then the
+  connection is destroyed mid-frame (process death / RST between
+  segments);
+* **slow consumer** — frames trickle out in tiny chunks with pauses,
+  exercising the server's partial-read handling and deadlines.
+
+Every wrapper records a *packet trace* (one entry per transport event,
+faults included).  Tests dump the traces of all live wrappers on failure
+— the network counterpart of the loomscope stats dump — so a red CI run
+ships the exact byte-level schedule that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import weakref
+from typing import Dict, List, Optional
+
+from ..core.errors import TransportError
+from ..core.faults import LatencyFault
+from .protocol import LEN_PREFIX, MAX_FRAME_BYTES
+
+#: Live fault-injecting transports, tracked weakly so the test harness
+#: can dump every packet trace in the failing process.
+_LIVE_FAULT_TRANSPORTS: "weakref.WeakSet[FaultInjectingTransport]" = weakref.WeakSet()
+
+
+class Transport:
+    """Interface: a framed, connection-oriented byte channel."""
+
+    def connect(self) -> None:
+        """Establish the connection (idempotent)."""
+        raise NotImplementedError
+
+    def send_frame(self, frame: bytes) -> None:
+        """Send one fully-encoded frame (length prefix included)."""
+        raise NotImplementedError
+
+    def recv_frame(self) -> bytes:
+        """Receive one frame; returns its payload (length prefix consumed)."""
+        raise NotImplementedError
+
+    def set_timeout(self, timeout_s: Optional[float]) -> None:
+        """Bound subsequent blocking operations (deadline propagation)."""
+
+    def close(self) -> None:
+        """Tear the connection down (idempotent)."""
+
+    @property
+    def connected(self) -> bool:
+        raise NotImplementedError
+
+
+class TcpTransport(Transport):
+    """A blocking TCP transport speaking the length-prefixed framing."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout_s: float = 1.0,
+        io_timeout_s: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self._timeout_s: Optional[float] = io_timeout_s
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"connect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        sock.settimeout(self._timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def set_timeout(self, timeout_s: Optional[float]) -> None:
+        self._timeout_s = timeout_s
+        if self._sock is not None:
+            self._sock.settimeout(timeout_s)
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def abort(self) -> None:
+        """Destroy the connection immediately (RST where possible) — the
+        fault wrapper's torn-frame mode uses this to die mid-frame."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    # linger on, timeout 0: close() sends RST, not FIN.
+                    b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                )
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def send_bytes(self, data: bytes) -> None:
+        """Low-level send of raw bytes (no framing added)."""
+        self.connect()
+        assert self._sock is not None
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            self.close()
+            raise TransportError(f"send failed: {exc}") from exc
+
+    def send_frame(self, frame: bytes) -> None:
+        self.send_bytes(frame)
+
+    def recv_frame(self) -> bytes:
+        self.connect()
+        (total,) = LEN_PREFIX.unpack(self._recv_exact(LEN_PREFIX.size))
+        if total > MAX_FRAME_BYTES:
+            self.close()
+            raise TransportError(f"peer announced oversized frame: {total} bytes")
+        return self._recv_exact(total)
+
+    def _recv_exact(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks: List[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout as exc:
+                self.close()
+                raise TransportError(f"receive timed out after {n} bytes due") from exc
+            except OSError as exc:
+                self.close()
+                raise TransportError(f"receive failed: {exc}") from exc
+            if not chunk:
+                self.close()
+                raise TransportError(
+                    f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+
+class FaultInjectingTransport(Transport):
+    """A transport wrapper that injects configurable network faults.
+
+    Composable and transparent when disarmed, exactly like
+    :class:`~repro.core.faults.FaultInjectingStorage`.  All counters are
+    public so tests can assert exactly how many faults fired.
+    """
+
+    def __init__(self, inner: Transport) -> None:
+        self._inner = inner
+        self._drop_sends = 0
+        self._partitioned = False
+        self._torn_frames = 0
+        self._torn_fraction = 0.5
+        self._slow_chunk: Optional[int] = None
+        #: Injected send latency (shared implementation with storage).
+        self.latency = LatencyFault()
+        self.sends = 0
+        self.recvs = 0
+        self.faults_injected = 0
+        #: Packet trace: one dict per transport event, faults included.
+        self.trace: List[Dict[str, object]] = []
+        _LIVE_FAULT_TRANSPORTS.add(self)
+
+    # ------------------------------------------------------------------
+    # Fault arming
+    # ------------------------------------------------------------------
+    def drop_next_sends(self, n: int = 1) -> "FaultInjectingTransport":
+        """Swallow the next ``n`` outgoing frames (the peer never sees
+        them; the caller's next read times out)."""
+        self._drop_sends = n
+        return self
+
+    def delay_sends(
+        self, delay_s: float, first_n: Optional[int] = None
+    ) -> "FaultInjectingTransport":
+        """Delay the next ``first_n`` sends (every send when ``None``)."""
+        self.latency.arm(delay_s, first_n)
+        return self
+
+    def partition(self) -> "FaultInjectingTransport":
+        """Cut the wire: sends and connects fail until :meth:`heal`."""
+        self._partitioned = True
+        self._inner.close()
+        return self
+
+    def heal(self) -> "FaultInjectingTransport":
+        self._partitioned = False
+        return self
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    def tear_next_frames(
+        self, n: int = 1, fraction: float = 0.5
+    ) -> "FaultInjectingTransport":
+        """Send only ``fraction`` of the next ``n`` frames' bytes, then
+        destroy the connection mid-frame."""
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("torn fraction must be in [0, 1)")
+        self._torn_frames = n
+        self._torn_fraction = fraction
+        return self
+
+    def slow_consumer(self, chunk_bytes: int = 1) -> "FaultInjectingTransport":
+        """Trickle every send out ``chunk_bytes`` at a time; pair with
+        :meth:`delay_sends` for per-chunk pauses."""
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        self._slow_chunk = chunk_bytes
+        return self
+
+    def make_reliable(self) -> "FaultInjectingTransport":
+        """Disarm every fault."""
+        self._drop_sends = 0
+        self._partitioned = False
+        self._torn_frames = 0
+        self._slow_chunk = None
+        self.latency.disarm()
+        return self
+
+    # ------------------------------------------------------------------
+    # Packet trace
+    # ------------------------------------------------------------------
+    def _note(self, event: str, **detail: object) -> None:
+        entry: Dict[str, object] = {"event": event}
+        entry.update(detail)
+        self.trace.append(entry)
+
+    def dump_trace(self) -> str:
+        """The packet trace as JSON lines (one event per line)."""
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self.trace)
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> Transport:
+        return self._inner
+
+    @property
+    def connected(self) -> bool:
+        return self._inner.connected
+
+    def connect(self) -> None:
+        if self._partitioned:
+            self._note("connect", fault="partitioned")
+            raise TransportError("injected partition: connect refused")
+        self._inner.connect()
+        self._note("connect")
+
+    def set_timeout(self, timeout_s: Optional[float]) -> None:
+        self._inner.set_timeout(timeout_s)
+
+    def close(self) -> None:
+        self._inner.close()
+        self._note("close")
+
+    def send_frame(self, frame: bytes) -> None:
+        self.sends += 1
+        if self._partitioned:
+            self.faults_injected += 1
+            self._note("send", bytes=len(frame), fault="partitioned")
+            self._inner.close()
+            raise TransportError("injected partition: send failed")
+        delayed = self.latency.apply()
+        if self._drop_sends > 0:
+            self._drop_sends -= 1
+            self.faults_injected += 1
+            self._note("send", bytes=len(frame), fault="dropped")
+            return
+        if self._torn_frames > 0:
+            self._torn_frames -= 1
+            self.faults_injected += 1
+            torn = int(len(frame) * self._torn_fraction)
+            self._note(
+                "send", bytes=len(frame), fault="torn", sent_bytes=torn
+            )
+            inner = self._inner
+            if torn:
+                inner.send_frame(frame[:torn])
+            if isinstance(inner, TcpTransport):
+                inner.abort()
+            else:
+                inner.close()
+            raise TransportError(
+                f"injected torn frame: {torn}/{len(frame)} bytes sent"
+            )
+        if self._slow_chunk is not None:
+            for pos in range(0, len(frame), self._slow_chunk):
+                self.latency.apply()
+                self._inner.send_frame(frame[pos:pos + self._slow_chunk])
+            self._note(
+                "send", bytes=len(frame), fault="slow-consumer",
+                chunk=self._slow_chunk,
+            )
+            return
+        self._inner.send_frame(frame)
+        self._note("send", bytes=len(frame), delayed=delayed)
+
+    def recv_frame(self) -> bytes:
+        if self._partitioned:
+            self.faults_injected += 1
+            self._note("recv", fault="partitioned")
+            raise TransportError("injected partition: recv failed")
+        payload = self._inner.recv_frame()
+        self.recvs += 1
+        self._note("recv", bytes=len(payload))
+        return payload
+
+
+def dump_live_traces() -> str:
+    """Concatenated packet traces of every live fault transport (the
+    CI failure hook's view; mirrors ``dump_live_registries``)."""
+    sections: List[str] = []
+    for idx, transport in enumerate(list(_LIVE_FAULT_TRANSPORTS)):
+        if transport.trace:
+            sections.append(f"--- transport {idx} ---\n{transport.dump_trace()}")
+    return "\n".join(sections)

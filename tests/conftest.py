@@ -49,6 +49,18 @@ def pytest_runtest_makereport(item, call):
         text = f"(stats dump failed: {exc})"
     with open(dump_path, "a", encoding="utf-8") as f:
         f.write(f"### {item.nodeid}\n{text or '(no live registries)'}\n\n")
+    # Network tests: also dump the packet traces of every live
+    # fault-injecting transport, so a red run ships the exact byte-level
+    # schedule (sends, drops, torn frames) that produced it.
+    try:
+        from repro.daemon.transport import dump_live_traces
+
+        traces = dump_live_traces()
+    except Exception as exc:
+        traces = f"(packet trace dump failed: {exc})"
+    if traces:
+        with open(dump_path, "a", encoding="utf-8") as f:
+            f.write(f"### {item.nodeid} packet traces\n{traces}\n\n")
 
 
 def value_payload(value: float) -> bytes:

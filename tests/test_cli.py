@@ -95,6 +95,66 @@ class TestCommands:
         )
 
 
+class TestHealthExitCode:
+    """``loom health`` composes with shell conditionals: exit 0 while
+    serving, 1 once any component is FAILED, 2 when unreachable."""
+
+    def test_healthy_daemon_exits_zero(self, cli):
+        c, _ = cli
+        result = c.execute("health")
+        assert result.exit_code == 0
+        assert "health: healthy" in result.text
+
+    def test_failed_daemon_exits_one(self):
+        import struct
+
+        from repro.core.clock import VirtualClock
+        from repro.core.config import LoomConfig
+        from repro.core.faults import FaultInjectingStorage
+
+        daemon = MonitoringDaemon(
+            config=LoomConfig(chunk_size=256, record_block_size=512),
+            clock=VirtualClock(1),
+        )
+        daemon.enable_source("cpu")
+        log = daemon.loom.record_log.log
+        fault = FaultInjectingStorage(inner=log._storage)
+        log._storage = fault
+        fault.fail_next_appends(10**6)
+        with pytest.raises(Exception):
+            for _ in range(500):
+                daemon.clock.advance(10)
+                daemon.receive("cpu", struct.pack("<d", 1.0))
+        result = LoomCli(daemon).execute("health")
+        assert result.exit_code == 1
+        assert "health: failed" in result.text
+        fault.make_reliable()
+
+    def test_main_health_verb_against_live_server(self, capsys):
+        from repro.daemon import LoomServer
+        from repro.daemon.cli import main
+
+        with LoomServer(port=0) as srv:
+            code = main(["health", "--port", str(srv.port)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health: healthy" in out
+        assert "shard 0" in out
+
+    def test_main_health_verb_unreachable_exits_two(self, capsys):
+        import socket
+
+        from repro.daemon.cli import main
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        code = main(["health", "--port", str(free_port), "--deadline", "0.2"])
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().out
+
+
 class TestErrors:
     def test_empty(self, cli):
         c, _ = cli

@@ -47,7 +47,8 @@ class TestGlobalAggregates:
     @pytest.mark.parametrize("method", ["count", "sum", "min", "max", "mean"])
     def test_distributive_matches_reference(self, cluster, method):
         coordinator, values, t_range = cluster
-        got = coordinator.global_aggregate("syscall", "latency", t_range, method)
+        result = coordinator.global_aggregate("syscall", "latency", t_range, method)
+        got = result.value
         reference = {
             "count": float(len(values)),
             "sum": sum(values),
@@ -67,21 +68,22 @@ class TestGlobalPercentile:
     @pytest.mark.parametrize("percentile", [10.0, 50.0, 95.0, 99.9])
     def test_matches_numpy_over_union(self, cluster, percentile):
         coordinator, values, t_range = cluster
-        got = coordinator.global_percentile(
+        result = coordinator.global_percentile(
             "syscall", "latency", t_range, percentile
         )
+        got = result.value
         expected = float(np.percentile(values, percentile, method="inverted_cdf"))
         assert got == expected
 
     def test_empty_window_returns_none(self, cluster):
         coordinator, _, t_range = cluster
         future = t_range[1] + 10**12
-        assert (
-            coordinator.global_percentile(
-                "syscall", "latency", (future, future + 1), 50.0
-            )
-            is None
+        result = coordinator.global_percentile(
+            "syscall", "latency", (future, future + 1), 50.0
         )
+        assert result.value is None
+        assert result.count == 0
+        assert not result.stats.degraded
 
     def test_invalid_percentile(self, cluster):
         coordinator, _, t_range = cluster
@@ -109,4 +111,5 @@ class TestFanOutScan:
         coordinator, values, t_range = cluster
         result = coordinator.fan_out_scan("syscall", t_range)
         assert set(result) == {"host-a", "host-b", "host-c"}
-        assert sum(len(v) for v in result.values()) == len(values)
+        assert sum(len(r.records) for r in result.values()) == len(values)
+        assert not any(r.stats.degraded for r in result.values())

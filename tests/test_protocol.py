@@ -1,0 +1,204 @@
+"""Wire-protocol framing tests: roundtrips, torn frames, size guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TransportError
+from repro.core.operators import QueryResult, QueryStats
+from repro.core.record import Record
+from repro.daemon.protocol import (
+    LEN_PREFIX,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    pack_payloads,
+    pack_records,
+    read_frame,
+    result_from_wire,
+    result_to_wire,
+    split_frame,
+    stats_from_wire,
+    stats_to_wire,
+    unpack_payloads,
+    unpack_records,
+)
+
+
+def roundtrip(header, body=b""):
+    frame = encode_frame(header, body)
+    (total,) = LEN_PREFIX.unpack(frame[: LEN_PREFIX.size])
+    assert total == len(frame) - LEN_PREFIX.size
+    return split_frame(frame[LEN_PREFIX.size:])
+
+
+class TestFraming:
+    def test_header_and_body_roundtrip(self):
+        header, body = roundtrip(
+            {"op": "ingest", "seq": 7, "sizes": [3, 0, 2]}, b"abcde"
+        )
+        assert header == {"op": "ingest", "seq": 7, "sizes": [3, 0, 2]}
+        assert body == b"abcde"
+
+    def test_empty_body(self):
+        header, body = roundtrip({"op": "health"})
+        assert header["op"] == "health"
+        assert body == b""
+
+    def test_binary_body_never_json_escaped(self):
+        raw = bytes(range(256)) * 4
+        _, body = roundtrip({"op": "ingest"}, raw)
+        assert body == raw
+
+    def test_read_frame_via_read_exact(self):
+        frame = encode_frame({"op": "scan"}, b"xyz")
+        cursor = {"pos": 0}
+
+        def read_exact(n):
+            start = cursor["pos"]
+            cursor["pos"] += n
+            chunk = frame[start : start + n]
+            if len(chunk) != n:
+                raise TransportError("short read")
+            return chunk
+
+        header, body = read_frame(read_exact)
+        assert header == {"op": "scan"}
+        assert body == b"xyz"
+
+    def test_torn_header_rejected(self):
+        frame = encode_frame({"op": "scan", "padding": "x" * 50})
+        payload = frame[LEN_PREFIX.size:]
+        with pytest.raises(TransportError):
+            split_frame(payload[:10])  # header announced longer than present
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(TransportError):
+            split_frame(b"\x00")  # shorter than the header length prefix
+
+    def test_garbage_header_rejected(self):
+        from repro.daemon.protocol import HEADER_PREFIX
+
+        junk = b"\xff\xfe not json"
+        payload = HEADER_PREFIX.pack(len(junk)) + junk
+        with pytest.raises(TransportError):
+            split_frame(payload)
+
+    def test_non_object_header_rejected(self):
+        from repro.daemon.protocol import HEADER_PREFIX
+
+        junk = b"[1,2,3]"
+        payload = HEADER_PREFIX.pack(len(junk)) + junk
+        with pytest.raises(TransportError):
+            split_frame(payload)
+
+    def test_oversized_frame_refused_at_encode(self):
+        with pytest.raises(TransportError):
+            encode_frame({"op": "ingest"}, b"\x00" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversized_announcement_refused_at_read(self):
+        def read_exact(n):
+            return LEN_PREFIX.pack(MAX_FRAME_BYTES + 1)
+
+        with pytest.raises(TransportError):
+            read_frame(read_exact)
+
+
+class TestBatchBodies:
+    def test_payloads_roundtrip(self):
+        payloads = [b"abc", b"", b"\x00\xff", b"x" * 100]
+        sizes, body = pack_payloads(payloads)
+        assert sizes == [3, 0, 2, 100]
+        assert unpack_payloads(sizes, body) == payloads
+
+    def test_sizes_longer_than_body_rejected(self):
+        with pytest.raises(TransportError):
+            unpack_payloads([10], b"short")
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(TransportError):
+            unpack_payloads([2], b"abcdef")
+
+
+class TestRecordBodies:
+    def _records(self):
+        return [
+            Record(source_id=1, timestamp=100, prev_addr=7, payload=b"a", address=0),
+            Record(source_id=1, timestamp=250, prev_addr=0, payload=b"bb" * 40, address=64),
+            Record(source_id=1, timestamp=999, prev_addr=64, payload=b"", address=128),
+        ]
+
+    def test_roundtrip(self):
+        records = self._records()
+        out = unpack_records(pack_records(records), source_id=1)
+        assert [(r.timestamp, r.address, r.payload) for r in out] == [
+            (r.timestamp, r.address, bytes(r.payload)) for r in records
+        ]
+        # Back-pointers are meaningless off-host and are zeroed.
+        assert all(r.prev_addr == 0 for r in out)
+
+    def test_torn_entry_rejected(self):
+        body = pack_records(self._records())
+        with pytest.raises(TransportError):
+            unpack_records(body[:-1])
+
+    def test_torn_prefix_rejected(self):
+        with pytest.raises(TransportError):
+            unpack_records(b"\x00" * 5)
+
+
+class TestResultWire:
+    def test_stats_roundtrip_including_degraded(self):
+        stats = QueryStats()
+        stats.chunks_scanned = 5
+        stats.degraded = True
+        stats.missing_shards = ["node2"]
+        out = stats_from_wire(stats_to_wire(stats))
+        assert out.chunks_scanned == 5
+        assert out.degraded is True
+        assert out.missing_shards == ["node2"]
+
+    def test_unknown_stats_keys_ignored(self):
+        out = stats_from_wire({"chunks_scanned": 3, "not_a_field": 9})
+        assert out.chunks_scanned == 3
+        assert not hasattr(out, "not_a_field") or True
+
+    def test_value_result_roundtrip(self):
+        result = QueryResult(
+            stats=QueryStats(), value=42.5, count=10, source="cpu"
+        )
+        header, body = result_to_wire(result)
+        out = result_from_wire(header, body)
+        assert out.value == 42.5
+        assert out.count == 10
+        assert out.source == "cpu"
+        assert out.records is None
+
+    def test_records_result_roundtrip(self):
+        records = [
+            Record(source_id=3, timestamp=t, prev_addr=0, payload=b"p", address=t)
+            for t in (10, 20, 30)
+        ]
+        result = QueryResult(stats=QueryStats(), records=records, count=3)
+        header, body = result_to_wire(result)
+        out = result_from_wire(header, body)
+        assert [r.timestamp for r in out.records] == [10, 20, 30]
+
+    def test_record_count_mismatch_rejected(self):
+        records = [
+            Record(source_id=1, timestamp=1, prev_addr=0, payload=b"p", address=0)
+        ]
+        header, body = result_to_wire(
+            QueryResult(stats=QueryStats(), records=records, count=1)
+        )
+        header["records"] = 2
+        with pytest.raises(TransportError):
+            result_from_wire(header, body)
+
+    def test_bins_and_values_roundtrip(self):
+        result = QueryResult(
+            stats=QueryStats(), bins={0: 5, 3: 2}, values=[1.0, 2.5], count=7
+        )
+        header, body = result_to_wire(result)
+        out = result_from_wire(header, body)
+        assert out.bins == {0: 5, 3: 2}  # int keys survive JSON
+        assert out.values == [1.0, 2.5]

@@ -1,0 +1,428 @@
+"""End-to-end tests of the networked Loom service (server + client).
+
+Covers the tentpole's robustness contract: sharded ingest with
+enqueue-ACK, watermark backpressure (the ACCEPTANCE overload test),
+idempotent resend/dedup, deadline propagation, and the server-side
+health machine (DEGRADED shards shed ingest and recover; FAILED shards
+refuse ingest but keep serving reads).
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.config import LoomConfig
+from repro.core.errors import (
+    DeadlineExceededError,
+    LoomError,
+    StorageError,
+)
+from repro.core.faults import FaultInjectingStorage
+from repro.core.hybridlog import Health
+from repro.daemon import LoomClient, LoomServer, ServerConfig, shard_of
+from repro.daemon.server import WIRE_INDEX_FUNCS
+
+EDGES = [0.0, 10.0, 100.0, 1000.0]
+ALL_TIME = (0, 2**63 - 1)
+
+
+def payloads_for(values):
+    return [struct.pack("<d", float(v)) for v in values]
+
+
+@pytest.fixture
+def server():
+    srv = LoomServer(port=0, config=ServerConfig(shards=2)).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    c = LoomClient(
+        "127.0.0.1", server.port, deadline_s=10.0, attempt_timeout_s=2.0
+    )
+    c.enable_source("cpu")
+    c.add_index("cpu", "val", EDGES)
+    yield c
+    c.close()
+
+
+def shard_storage(server, source):
+    """Wrap one source's owning shard storage in a fault injector."""
+    shard = server.shards[shard_of(source, len(server.shards))]
+    log = shard.daemon.loom.record_log.log
+    fault = FaultInjectingStorage(inner=log._storage)
+    log._storage = fault
+    return shard, fault
+
+
+class TestEndToEnd:
+    def test_ingest_sync_scan(self, client):
+        assert client.ingest("cpu", payloads_for(range(50))) == 50
+        client.sync("cpu")
+        result = client.scan("cpu", ALL_TIME)
+        assert result.count == 50
+        values = sorted(
+            struct.unpack("<d", r.payload)[0] for r in result.records
+        )
+        assert values == [float(v) for v in range(50)]
+
+    def test_aggregates_match_values(self, client):
+        client.ingest("cpu", payloads_for(range(1, 101)))
+        client.sync("cpu")
+        assert client.aggregate("cpu", "val", ALL_TIME, "count").value == 100
+        assert client.aggregate("cpu", "val", ALL_TIME, "sum").value == 5050
+        assert client.aggregate("cpu", "val", ALL_TIME, "mean").value == 50.5
+        p50 = client.aggregate(
+            "cpu", "val", ALL_TIME, "percentile", percentile=50
+        )
+        assert p50.value == 50.0
+        # Query stats travel the wire (single-instance: never degraded).
+        assert p50.stats.records_decoded + p50.stats.summaries_examined > 0
+        assert not p50.stats.degraded
+        assert p50.stats.missing_shards == []
+
+    def test_indexed_scan_over_wire(self, client):
+        client.ingest("cpu", payloads_for(range(100)))
+        client.sync("cpu")
+        result = client.scan_indexed("cpu", "val", ALL_TIME, (10.0, 20.0))
+        values = [struct.unpack("<d", r.payload)[0] for r in result.records]
+        # Same closed-interval semantics as the in-process operator.
+        assert all(10.0 <= v <= 20.0 for v in values)
+        assert len(values) == 11
+
+    def test_histogram_and_bin_values(self, client):
+        client.ingest("cpu", payloads_for(range(100)))
+        client.sync("cpu")
+        hist = client.histogram("cpu", "val", ALL_TIME)
+        assert sum(hist.bins.values()) == 100
+        spec = client.index_spec("cpu", "val")
+        assert list(spec.edges) == EDGES
+        target = min(b for b, c in hist.bins.items() if c)
+        bv = client.bin_values("cpu", "val", ALL_TIME, target)
+        assert bv.values == sorted(bv.values)
+        assert len(bv.values) == hist.bins[target]
+
+    def test_sources_hash_to_stable_shards(self, server, client):
+        client.enable_source("mem")
+        client.ingest("mem", payloads_for([1.0]))
+        client.ingest("cpu", payloads_for([2.0]))
+        client.sync()
+        cpu_shard = shard_of("cpu", 2)
+        mem_shard = shard_of("mem", 2)
+        assert server.shards[cpu_shard].daemon.source("cpu")
+        assert server.shards[mem_shard].daemon.source("mem")
+
+    def test_auto_enable_on_first_ingest(self, client):
+        assert client.ingest("fresh-source", payloads_for([1.0, 2.0])) == 2
+        client.sync("fresh-source")
+        assert client.scan("fresh-source", ALL_TIME).count == 2
+
+    def test_unknown_index_is_loom_error_not_transport(self, client):
+        with pytest.raises(LoomError):
+            client.aggregate("cpu", "nope", ALL_TIME, "count")
+
+    def test_unknown_wire_func_rejected(self, client):
+        with pytest.raises(LoomError):
+            client.add_index("cpu", "bad", EDGES, func="not-a-func")
+        assert "f64_le" in WIRE_INDEX_FUNCS
+
+    def test_health_and_introspect(self, client):
+        client.ingest("cpu", payloads_for([1.0]))
+        client.sync()
+        assert client.health() is Health.HEALTHY
+        detail = client.health_detail()
+        assert len(detail["shards"]) == 2
+        info = client.introspect()
+        assert info["total_records"] == 1
+        assert info["sources"]["cpu"] == 1
+
+    def test_server_stats_exposition(self, client):
+        client.ingest("cpu", payloads_for([1.0]))
+        text = client.server_stats()
+        assert "loom_server_queue_depth" in text
+        assert "loom_server_connections" in text
+
+    def test_concurrent_writers_multiplex(self, server):
+        """Several clients ingest concurrently onto the same server."""
+        errors = []
+
+        def writer(idx):
+            try:
+                c = LoomClient(
+                    "127.0.0.1", server.port, deadline_s=20.0,
+                    client_id=f"w{idx}",
+                )
+                for batch in range(10):
+                    c.ingest(f"src-{idx}", payloads_for(range(5)))
+                c.sync(f"src-{idx}")
+                assert c.scan(f"src-{idx}", ALL_TIME).count == 50
+                c.close()
+            except BaseException as exc:  # surfaced below
+                errors.append((idx, exc))
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+
+class TestIdempotentResend:
+    def test_duplicate_seq_absorbed(self, server, client):
+        client.ingest("cpu", payloads_for([1.0, 2.0]))
+        # Replay the exact same (client, seq) pair manually.
+        from repro.daemon.protocol import pack_payloads
+
+        sizes, body = pack_payloads(payloads_for([1.0, 2.0]))
+        header = {
+            "op": "ingest",
+            "source": "cpu",
+            "client": client.client_id,
+            "seq": client._seq,
+            "sizes": sizes,
+        }
+        resp, _ = client._request(dict(header), body)
+        assert resp["deduped"] is True
+        client.sync("cpu")
+        assert client.scan("cpu", ALL_TIME).count == 2
+        shard = server.shards[shard_of("cpu", 2)]
+        assert shard.dedup_hits.value >= 1
+
+    def test_distinct_clients_do_not_collide(self, server):
+        a = LoomClient("127.0.0.1", server.port, client_id="alpha")
+        b = LoomClient("127.0.0.1", server.port, client_id="beta")
+        a.ingest("cpu", payloads_for([1.0]))
+        b.ingest("cpu", payloads_for([2.0]))  # same seq=1, different client
+        a.sync("cpu")
+        assert a.scan("cpu", ALL_TIME).count == 2
+        a.close()
+        b.close()
+
+    def test_dedup_window_is_bounded(self, server, client):
+        shard = server.shards[shard_of("cpu", 2)]
+        window = server.config.dedup_window
+        for _ in range(30):
+            client.ingest("cpu", payloads_for([1.0]))
+        client.sync("cpu")
+        assert len(shard.dedup) <= window
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_when_server_unreachable(self):
+        # A port with no listener: connects fail, budget burns down.
+        c = LoomClient(
+            "127.0.0.1", 1, deadline_s=0.3, attempt_timeout_s=0.05,
+            circuit_threshold=0,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            c.health()
+        assert time.monotonic() - t0 < 5.0
+        c.close()
+
+    def test_deadline_propagates_to_server_query(self, server, client):
+        """A query that cannot finish in budget returns a deadline error,
+        not a hang."""
+        shard, fault = shard_storage(server, "cpu")
+        client.ingest("cpu", payloads_for(range(10)))
+        client.sync("cpu")
+        # Sync op waits behind the worker; stall the worker with a slow
+        # control call, then issue a sync with a tiny budget.
+        release = threading.Event()
+        shard.queue.put(("call", lambda: release.wait(5), threading.Event(), {}))
+        t0 = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            client.sync("cpu", deadline_s=0.2)
+        release.set()
+        assert time.monotonic() - t0 < 5.0
+
+
+class TestBackpressureOverload:
+    def test_overload_sheds_and_recovers_exactly(self):
+        """ACCEPTANCE: a writer outpacing a fault-slowed flusher receives
+        RETRY_AFTER, the ingest queue never exceeds the high watermark,
+        and the client retries to completion with zero lost and zero
+        duplicated records."""
+        cfg = ServerConfig(
+            shards=1,
+            queue_high_watermark=8,
+            queue_low_watermark=2,
+            retry_after_ms=5,
+        )
+        srv = LoomServer(
+            port=0,
+            config=cfg,
+            loom_config=LoomConfig(chunk_size=512, record_block_size=1024),
+        ).start()
+        try:
+            shard, fault = shard_storage(srv, "cpu")
+            fault.delay_appends(0.005)  # the fault-slowed flusher
+            client = LoomClient(
+                "127.0.0.1", srv.port, deadline_s=60.0, attempt_timeout_s=2.0
+            )
+            client.enable_source("cpu")
+            sent = 0
+            max_depth = 0
+            for i in range(150):
+                client.ingest("cpu", payloads_for([float(i)] * 4))
+                sent += 4
+                max_depth = max(max_depth, int(shard.depth_gauge.value))
+            # Backpressure actually engaged...
+            assert client.backpressure_hits > 0
+            assert shard.retry_afters.value > 0
+            # ...and bounded the queue (the metrics gauge is the proof).
+            assert max_depth <= cfg.queue_high_watermark + 1
+            # Drain and verify exactly-once delivery.
+            fault.make_reliable()
+            client.sync("cpu")
+            result = client.scan("cpu", ALL_TIME)
+            assert result.count == sent  # zero lost
+            values = [
+                struct.unpack("<d", r.payload)[0] for r in result.records
+            ]
+            assert len(values) == len(set(zip(values, range(len(values)))))
+            counts = {}
+            for v in values:
+                counts[v] = counts.get(v, 0) + 1
+            assert all(c == 4 for c in counts.values())  # zero duplicated
+            client.close()
+        finally:
+            srv.stop()
+
+
+class TestServerHealthMachine:
+    def test_degraded_shard_sheds_then_recovers(self):
+        """DEGRADED -> RETRY_AFTER -> HEALTHY recovery after the flush
+        retries succeed (the health machine seen from the wire)."""
+        srv = LoomServer(
+            port=0,
+            config=ServerConfig(shards=1, retry_after_ms=5),
+            loom_config=LoomConfig(
+                chunk_size=256,
+                record_block_size=512,
+                threaded_flush=True,
+                flush_retries=30,
+                flush_backoff=0.001,
+            ),
+        ).start()
+        try:
+            shard, fault = shard_storage(srv, "cpu")
+            client = LoomClient(
+                "127.0.0.1",
+                srv.port,
+                deadline_s=30.0,
+                attempt_timeout_s=1.0,
+                circuit_threshold=0,
+            )
+            client.enable_source("cpu")
+            client.ingest("cpu", payloads_for([1.0]))
+            client.sync("cpu")
+            # Storage goes bad: background flushes fail and retry, the
+            # health machine holds DEGRADED for the whole fault window.
+            fault.fail_next_appends(10**6)
+            deadline = time.monotonic() + 10.0
+            while (
+                shard.daemon.health() is not Health.DEGRADED
+                and time.monotonic() < deadline
+            ):
+                try:
+                    client.ingest(
+                        "cpu", payloads_for([2.0] * 8), deadline_s=0.3
+                    )
+                except DeadlineExceededError:
+                    pass
+            assert shard.daemon.health() is Health.DEGRADED
+            # A DEGRADED shard sheds new ingest with RETRY_AFTER.
+            status, retry_ms = shard.admit(
+                "probe:1", "cpu", payloads_for([5.0])
+            )
+            assert status == "retry_after"
+            assert retry_ms > 0
+            # The storage heals; the pending flush retry succeeds and the
+            # health machine returns to HEALTHY.
+            fault.make_reliable()
+            deadline = time.monotonic() + 10.0
+            while (
+                shard.daemon.health() is not Health.HEALTHY
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert shard.daemon.health() is Health.HEALTHY
+            # And ingest flows again end to end.
+            before = client.scan("cpu", ALL_TIME).count
+            client.ingest("cpu", payloads_for([3.0]))
+            client.sync("cpu")
+            assert client.scan("cpu", ALL_TIME).count == before + 1
+            client.close()
+        finally:
+            srv.stop()
+
+    def test_failed_shard_refuses_ingest_serves_reads(self):
+        srv = LoomServer(
+            port=0,
+            config=ServerConfig(shards=1),
+            loom_config=LoomConfig(
+                chunk_size=256, record_block_size=512, flush_retries=0
+            ),
+        ).start()
+        try:
+            shard, fault = shard_storage(srv, "cpu")
+            client = LoomClient(
+                "127.0.0.1", srv.port, deadline_s=5.0, attempt_timeout_s=1.0
+            )
+            client.enable_source("cpu")
+            client.ingest("cpu", payloads_for(range(8)))
+            client.sync("cpu")
+            published = client.scan("cpu", ALL_TIME).count
+            # Kill the storage permanently: the inline flush fails, the
+            # shard's log goes FAILED.
+            fault.fail_next_appends(10**6)
+            with pytest.raises((StorageError, DeadlineExceededError)):
+                for i in range(200):
+                    client.ingest("cpu", payloads_for([float(i)] * 8))
+            assert shard.daemon.health() is Health.FAILED
+            assert client.health() is Health.FAILED
+            # Reads over published data still work (graceful read-only
+            # degradation over the wire).
+            result = client.scan("cpu", ALL_TIME)
+            assert result.count >= published
+            # New ingest is refused outright with a storage error.
+            with pytest.raises(StorageError):
+                client.ingest("cpu", payloads_for([9.9]))
+            client.close()
+            # Heal before teardown so close()'s final flush can land.
+            fault.make_reliable()
+        finally:
+            srv.stop()
+
+
+class TestLifecycle:
+    def test_restart_preserves_shard_state(self):
+        srv = LoomServer(port=0).start()
+        client = LoomClient("127.0.0.1", srv.port, deadline_s=5.0)
+        client.enable_source("cpu")
+        client.ingest("cpu", payloads_for([1.0, 2.0]))
+        client.sync("cpu")
+        port = srv.port
+        srv.stop(close_daemons=False)
+        srv.start()
+        assert srv.port == port
+        client2 = LoomClient("127.0.0.1", port, deadline_s=5.0)
+        assert client2.scan("cpu", ALL_TIME).count == 2
+        client.close()
+        client2.close()
+        srv.stop()
+
+    def test_context_manager(self):
+        with LoomServer(port=0) as srv:
+            with LoomClient("127.0.0.1", srv.port) as c:
+                assert c.health() is Health.HEALTHY

@@ -1,0 +1,335 @@
+"""Transport fault-injection matrix: drop, delay, partition, torn frame,
+slow consumer — plus the core fault modes the satellite added
+(latency and short writes) exercised at the storage layer.
+
+Every scenario asserts two things: the injected fault actually fired
+(public counters), and the client's retry machinery converged to an
+exactly-once outcome or the documented error."""
+
+from __future__ import annotations
+
+import struct
+import time
+
+import pytest
+
+from repro.core.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    StorageError,
+    TransportError,
+)
+from repro.core.faults import FaultInjectingStorage, LatencyFault
+from repro.daemon import LoomClient, LoomServer, ServerConfig
+from repro.daemon.transport import (
+    FaultInjectingTransport,
+    TcpTransport,
+    dump_live_traces,
+)
+
+ALL_TIME = (0, 2**63 - 1)
+
+
+def payloads_for(values):
+    return [struct.pack("<d", float(v)) for v in values]
+
+
+@pytest.fixture
+def server():
+    srv = LoomServer(port=0, config=ServerConfig(shards=1)).start()
+    yield srv
+    srv.stop()
+
+
+def faulty_client(server, **kwargs):
+    transport = FaultInjectingTransport(
+        TcpTransport("127.0.0.1", server.port)
+    )
+    defaults = dict(deadline_s=8.0, attempt_timeout_s=0.2, circuit_threshold=0)
+    defaults.update(kwargs)
+    client = LoomClient(transport=transport, **defaults)
+    return client, transport
+
+
+class TestDrop:
+    def test_dropped_request_is_retried_not_lost(self, server):
+        client, transport = faulty_client(server)
+        client.enable_source("cpu")
+        transport.drop_next_sends(1)
+        assert client.ingest("cpu", payloads_for([1.0])) == 1
+        assert transport.faults_injected == 1
+        assert client.retries >= 1
+        client.sync("cpu")
+        assert client.scan("cpu", ALL_TIME).count == 1
+        client.close()
+
+    def test_multiple_drops_still_converge(self, server):
+        client, transport = faulty_client(server)
+        client.enable_source("cpu")
+        transport.drop_next_sends(3)
+        assert client.ingest("cpu", payloads_for([1.0, 2.0])) == 2
+        client.sync("cpu")
+        assert client.scan("cpu", ALL_TIME).count == 2
+        assert transport.faults_injected == 3
+        client.close()
+
+
+class TestDelay:
+    def test_delayed_sends_complete_within_budget(self, server):
+        client, transport = faulty_client(server)
+        client.enable_source("cpu")
+        transport.delay_sends(0.02, first_n=2)
+        assert client.ingest("cpu", payloads_for([1.0])) == 1
+        assert transport.latency.delays_applied >= 1
+        client.close()
+
+    def test_late_success_is_still_success(self, server):
+        """The budget bounds retry scheduling, not an arrived response:
+        an ACK that lands after the deadline lapsed mid-attempt is kept
+        (discarding it would waste a server-applied batch)."""
+        client, transport = faulty_client(server)
+        client.enable_source("cpu")
+        transport.delay_sends(0.2)
+        assert client.ingest("cpu", payloads_for([1.0]), deadline_s=0.1) == 1
+        transport.make_reliable()
+        client.close()
+
+    def test_delay_compounding_with_loss_burns_budget(self, server):
+        client, transport = faulty_client(server)
+        client.enable_source("cpu")
+        transport.delay_sends(0.05).drop_next_sends(100)
+        with pytest.raises(DeadlineExceededError):
+            client.ingest("cpu", payloads_for([1.0]), deadline_s=0.3)
+        transport.make_reliable()
+        client.close()
+
+
+class TestPartition:
+    def test_partition_burns_deadline_then_heals(self, server):
+        client, transport = faulty_client(server)
+        client.enable_source("cpu")
+        transport.partition()
+        with pytest.raises(DeadlineExceededError):
+            client.ingest("cpu", payloads_for([1.0]), deadline_s=0.3)
+        transport.heal()
+        # The un-ACKed batch is simply gone (client gave up); new ingest
+        # flows and nothing was half-applied server-side.
+        assert client.ingest("cpu", payloads_for([2.0])) == 1
+        client.sync("cpu")
+        result = client.scan("cpu", ALL_TIME)
+        assert result.count == 1
+        assert struct.unpack("<d", result.records[0].payload)[0] == 2.0
+        client.close()
+
+    def test_partition_mid_stream_no_duplicates(self, server):
+        """Partition between ACKed batches; on heal the client's resend
+        of an in-flight batch dedups instead of double-ingesting."""
+        client, transport = faulty_client(server, deadline_s=15.0)
+        client.enable_source("cpu")
+        for i in range(5):
+            client.ingest("cpu", payloads_for([float(i)]))
+        # Lose exactly the response of the next request: the server
+        # applies it, the client never learns and resends the same seq.
+        transport.drop_next_sends(1)
+        client.ingest("cpu", payloads_for([99.0]))
+        client.sync("cpu")
+        result = client.scan("cpu", ALL_TIME)
+        values = sorted(
+            struct.unpack("<d", r.payload)[0] for r in result.records
+        )
+        assert values == [0.0, 1.0, 2.0, 3.0, 4.0, 99.0]  # exactly once
+        client.close()
+
+
+class TestTornFrames:
+    def test_torn_request_frame_retried(self, server):
+        client, transport = faulty_client(server)
+        client.enable_source("cpu")
+        transport.tear_next_frames(1, fraction=0.5)
+        assert client.ingest("cpu", payloads_for([1.0])) == 1
+        client.sync("cpu")
+        assert client.scan("cpu", ALL_TIME).count == 1
+        # The server counted a torn-frame connection death.
+        deadline = time.monotonic() + 2.0
+        while (
+            server.metrics.counter(
+                "loom.server.torn_frames", "connections dropped mid-frame"
+            ).value == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert (
+            server.metrics.counter(
+                "loom.server.torn_frames", "connections dropped mid-frame"
+            ).value
+            >= 1
+        )
+        client.close()
+
+    def test_torn_fraction_validated(self, server):
+        client, transport = faulty_client(server)
+        with pytest.raises(ValueError):
+            transport.tear_next_frames(1, fraction=1.5)
+        client.close()
+
+
+class TestSlowConsumer:
+    def test_trickled_frames_still_parse(self, server):
+        client, transport = faulty_client(server, attempt_timeout_s=5.0)
+        client.enable_source("cpu")
+        transport.slow_consumer(chunk_bytes=7)
+        assert client.ingest("cpu", payloads_for([1.0, 2.0, 3.0])) == 3
+        client.sync("cpu")
+        assert client.scan("cpu", ALL_TIME).count == 3
+        client.close()
+
+    def test_slow_consumer_with_per_chunk_delay(self, server):
+        client, transport = faulty_client(server, attempt_timeout_s=5.0)
+        client.enable_source("cpu")
+        transport.slow_consumer(chunk_bytes=32).delay_sends(0.001)
+        assert client.ingest("cpu", payloads_for([4.0])) == 1
+        assert transport.latency.delays_applied > 0
+        client.close()
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures_and_half_opens(self, server):
+        client, transport = faulty_client(
+            server,
+            circuit_threshold=3,
+            circuit_cooldown_s=0.2,
+            deadline_s=0.05,
+            attempt_timeout_s=0.02,
+        )
+        transport.partition()
+        failures = 0
+        with pytest.raises(CircuitOpenError):
+            for _ in range(10):
+                try:
+                    client.health()
+                except DeadlineExceededError:
+                    failures += 1
+        assert failures >= 3
+        assert client.circuit_open
+        # Cooldown elapses, the wire heals: the half-open trial succeeds
+        # and the breaker closes.
+        transport.heal()
+        time.sleep(0.25)
+        client.health(deadline_s=2.0)
+        assert not client.circuit_open
+        assert client._consecutive_failures == 0
+        client.close()
+
+    def test_definitive_server_errors_do_not_trip_breaker(self, server):
+        client, transport = faulty_client(server, circuit_threshold=2)
+        client.enable_source("cpu")
+        for _ in range(5):
+            with pytest.raises(Exception):
+                client.aggregate("cpu", "missing-index", ALL_TIME, "count")
+        assert not client.circuit_open
+        client.close()
+
+
+class TestPacketTraces:
+    def test_faults_land_in_trace(self, server):
+        client, transport = faulty_client(server)
+        client.enable_source("cpu")
+        transport.drop_next_sends(1)
+        client.ingest("cpu", payloads_for([1.0]))
+        events = [e.get("fault") for e in transport.trace if "fault" in e]
+        assert "dropped" in events
+        assert any(e["event"] == "recv" for e in transport.trace)
+        text = transport.dump_trace()
+        assert "dropped" in text
+        assert dump_live_traces()  # the conftest failure hook's view
+        client.close()
+
+
+class TestStorageFaultModes:
+    """The satellite fault modes shared with the transport layer:
+    latency (one implementation for both) and short writes."""
+
+    def test_latency_fault_counts_and_disarms(self):
+        slept = []
+        fault = LatencyFault(sleep=slept.append)
+        fault.arm(0.25, first_n=2)
+        assert fault.armed
+        assert fault.apply() and fault.apply()
+        assert not fault.apply()  # burned out
+        assert slept == [0.25, 0.25]
+        assert fault.delays_applied == 2
+        fault.arm(0.1)
+        fault.disarm()
+        assert not fault.apply()
+
+    def test_storage_delay_appends(self):
+        slept = []
+        storage = FaultInjectingStorage()
+        storage.latency._sleep = slept.append
+        storage.delay_appends(0.05, first_n=1)
+        storage.append(b"abc")
+        storage.append(b"def")
+        assert slept == [0.05]
+        assert storage.read(0, 6) == b"abcdef"
+
+    def test_short_write_persists_prefix_only(self):
+        storage = FaultInjectingStorage()
+        storage.append(b"base")
+        storage.short_write_next(1, fraction=0.5)
+        storage.append(b"12345678")  # lying disk: only 4 bytes land
+        assert storage.bytes_short_written == 4
+        assert storage.size == 4 + 4
+        assert storage.read(4, 4) == b"1234"
+
+    def test_short_write_fraction_validated(self):
+        storage = FaultInjectingStorage()
+        with pytest.raises(ValueError):
+            storage.short_write_next(1, fraction=1.0)
+        with pytest.raises(ValueError):
+            storage.short_write_next(-1)
+
+    def test_make_reliable_clears_new_modes(self):
+        storage = FaultInjectingStorage()
+        storage.short_write_next(5).delay_appends(0.5)
+        storage.make_reliable()
+        storage.append(b"ok")  # neither mode fires
+        assert storage.bytes_short_written == 0
+        assert storage.latency.delays_applied == 0
+
+    def test_short_write_on_final_flush_detected_by_recovery(self, tmp_path):
+        """Arm a short write on the close-time flush: the tail frame is
+        a lie, and frame-checksum recovery detects and truncates it."""
+        from repro.core import Loom, LoomConfig, VirtualClock
+        from repro.core.recovery import fsck
+
+        cfg = LoomConfig(
+            data_dir=str(tmp_path), chunk_size=256, record_block_size=100 << 10
+        )
+        clock = VirtualClock(1)
+        loom = Loom(cfg, clock=clock)
+        loom.define_source(1)
+        for i in range(50):
+            clock.advance(10)
+            loom.push(1, b"p%04d" % i)
+        loom.sync()
+        # Wrap the record log storage; the arm applies to the *final*
+        # append (the close flush), after which nothing re-reads it.
+        log = loom.record_log.log
+        storage = FaultInjectingStorage(inner=log._storage)
+        log._storage = storage
+        for i in range(50):
+            clock.advance(10)
+            loom.push(1, b"q%04d" % i)
+        storage.short_write_next(1, fraction=0.5)
+        try:
+            loom.close()
+        except Exception:
+            pass  # a torn close may surface; recovery is the point
+        state = fsck(str(tmp_path), repair=True)
+        # Every fully-persisted record survives; the torn tail is gone,
+        # and recovery never silently returns garbage.
+        assert state.total_records >= 50
+        assert state.total_records <= 100
+        loom2 = Loom.open(cfg, clock=VirtualClock(10**6))
+        assert len(loom2.scan(1, (0, 10**9)).records) == state.total_records
+        loom2.close()
