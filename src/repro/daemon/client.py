@@ -469,7 +469,7 @@ class LoomClient:
     def __enter__(self) -> "LoomClient":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

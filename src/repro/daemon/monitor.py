@@ -19,6 +19,7 @@ from ..core.clock import Clock, MonotonicClock, VirtualClock
 from ..core.config import LoomConfig
 from ..core.errors import LoomError
 from ..core.histogram import HistogramSpec, IndexFunc
+from ..core.hybridlog import Health
 from ..core.loom import Introspection, Loom
 from ..core.operators import NEG_INF, POS_INF, QueryResult
 from ..core.record import Record
@@ -88,7 +89,7 @@ class MonitoringDaemon:
                 handle.records_received = daemon.loom.source_record_count(source_id)
         return daemon
 
-    def health(self):
+    def health(self) -> Health:
         """Aggregate flush-path health of the underlying Loom instance."""
         return self.loom.health()
 
@@ -382,5 +383,5 @@ class MonitoringDaemon:
     def __enter__(self) -> "MonitoringDaemon":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

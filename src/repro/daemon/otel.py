@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.histogram import exponential_edges
 from ..core.loom import Loom
@@ -124,7 +124,9 @@ class OtelLoomExporter:
         self._ensure(name, "value", metric_value)
         return name
 
-    def _ensure(self, name: str, index_name: str, func) -> None:
+    def _ensure(
+        self, name: str, index_name: str, func: Callable[[bytes], float]
+    ) -> None:
         """Create the source and its index on first sight — and *re*-create
         the index when the source exists without it.
 

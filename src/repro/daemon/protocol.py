@@ -106,9 +106,14 @@ def read_frame(read_exact: Callable[[int], bytes]) -> Tuple[Dict[str, object], b
     """Read one frame using a blocking ``read_exact(n) -> n bytes`` callable.
 
     ``read_exact`` must either return exactly ``n`` bytes or raise
-    :class:`TransportError` (a short read is a torn frame).
+    :class:`TransportError` (a short read is a torn frame).  The length
+    prefix is validated *before* the body read, so a hostile peer
+    announcing 4 GiB costs a rejected header, not an allocation.
     """
-    (total,) = LEN_PREFIX.unpack(read_exact(LEN_PREFIX.size))
+    try:
+        (total,) = LEN_PREFIX.unpack(read_exact(LEN_PREFIX.size))
+    except struct.error as exc:
+        raise TransportError(f"torn length prefix: {exc}") from exc
     if total > MAX_FRAME_BYTES:
         raise TransportError(f"peer announced oversized frame: {total} bytes")
     return split_frame(read_exact(total))
@@ -124,10 +129,19 @@ def pack_payloads(payloads: Sequence[bytes]) -> Tuple[List[int], bytes]:
 
 
 def unpack_payloads(sizes: Iterable[int], body: bytes) -> List[bytes]:
-    """Split an ingest body back into payloads, validating the sizes."""
+    """Split an ingest body back into payloads, validating the sizes.
+
+    ``sizes`` rides in the JSON header, so each element is attacker-
+    typed: anything but a non-negative int consistent with the body is a
+    :class:`TransportError`, never a TypeError.
+    """
     out: List[bytes] = []
     pos = 0
     for size in sizes:
+        if isinstance(size, bool) or not isinstance(size, int):
+            raise TransportError(
+                f"ingest size must be an integer, got {type(size).__name__}"
+            )
         if size < 0 or pos + size > len(body):
             raise TransportError("ingest body shorter than announced sizes")
         out.append(body[pos:pos + size])
@@ -187,12 +201,52 @@ def stats_to_wire(stats: QueryStats) -> Dict[str, object]:
 
 
 def stats_from_wire(raw: object) -> QueryStats:
+    """Rebuild QueryStats from a response header field.
+
+    Tolerant by design (stats are advisory), but never type-confused:
+    each declared field only accepts a JSON value of its own type —
+    a hostile ``stats`` object cannot plant strings on counters the
+    caller will do arithmetic on, or a dict where a shard list belongs.
+    """
     stats = QueryStats()
-    if isinstance(raw, dict):
-        for key, value in raw.items():
-            if hasattr(stats, key):
+    if not isinstance(raw, dict):
+        return stats
+    for key, value in raw.items():
+        if not isinstance(key, str) or not hasattr(stats, key):
+            continue
+        declared = getattr(stats, key)
+        if isinstance(declared, bool):
+            if isinstance(value, bool):
+                setattr(stats, key, value)
+        elif isinstance(declared, (int, float)):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                setattr(stats, key, value)
+        elif isinstance(declared, list):
+            if isinstance(value, list) and all(
+                isinstance(item, str) for item in value
+            ):
                 setattr(stats, key, value)
     return stats
+
+
+def _wire_int(value: object, what: str) -> int:
+    """Coerce a JSON header field to int or die with a protocol error."""
+    try:
+        if isinstance(value, bool):
+            raise TypeError("bool is not a wire integer")
+        return int(value)  # type: ignore[call-overload]
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"malformed {what}: {value!r}") from exc
+
+
+def _wire_float(value: object, what: str) -> float:
+    """Coerce a JSON header field to float or die with a protocol error."""
+    try:
+        if isinstance(value, bool):
+            raise TypeError("bool is not a wire number")
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"malformed {what}: {value!r}") from exc
 
 
 def result_to_wire(result: QueryResult) -> Tuple[Dict[str, object], bytes]:
@@ -218,29 +272,39 @@ def result_to_wire(result: QueryResult) -> Tuple[Dict[str, object], bytes]:
 
 
 def result_from_wire(header: Dict[str, object], body: bytes) -> QueryResult:
-    """Rebuild a QueryResult from a response frame."""
+    """Rebuild a QueryResult from a response frame.
+
+    Every field of ``header`` came off the wire as JSON, so every
+    conversion here is guarded: a malformed field raises
+    :class:`TransportError` (the client's typed protocol failure), never
+    a bare ValueError/TypeError from deep inside a comprehension.
+    """
     bins_raw = header.get("bins")
     bins: Optional[Dict[int, int]] = None
     if isinstance(bins_raw, dict):
-        bins = {int(k): int(v) for k, v in bins_raw.items()}
+        bins = {
+            _wire_int(k, "bins key"): _wire_int(v, "bins count")
+            for k, v in bins_raw.items()
+        }
     values_raw = header.get("values")
     values: Optional[List[float]] = None
     if isinstance(values_raw, list):
-        values = [float(v) for v in values_raw]
+        values = [_wire_float(v, "values entry") for v in values_raw]
     records: Optional[List[Record]] = None
     if "records" in header:
+        announced = _wire_int(header["records"], "record count")
         records = unpack_records(body)
-        if len(records) != header["records"]:
+        if len(records) != announced:
             raise TransportError(
                 f"scan body holds {len(records)} records, "
-                f"header announced {header['records']}"
+                f"header announced {announced}"
             )
     raw_value = header.get("value")
     return QueryResult(
         stats=stats_from_wire(header.get("stats")),
         records=records,
-        value=float(raw_value) if raw_value is not None else None,
-        count=int(header.get("count", 0)),  # type: ignore[arg-type]
+        value=_wire_float(raw_value, "value") if raw_value is not None else None,
+        count=_wire_int(header.get("count", 0), "count"),
         source=header.get("source") if isinstance(header.get("source"), str) else None,
         bins=bins,
         values=values,

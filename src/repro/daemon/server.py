@@ -44,7 +44,7 @@ import zlib
 from dataclasses import dataclass
 from collections import OrderedDict
 from functools import partial
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.clock import Clock, MonotonicClock
 from ..core.config import LoomConfig
@@ -139,7 +139,7 @@ class _Shard:
         self.queue: "queue.Queue[Optional[Tuple[Any, ...]]]" = queue.Queue()
         #: Keys admitted but not yet applied (order vs ``dedup``: see
         #: the module docstring).
-        self.pending: set = set()
+        self.pending: Set[str] = set()
         #: Applied keys -> record count, bounded FIFO.
         self.dedup: "OrderedDict[str, int]" = OrderedDict()
         self.shedding = False
@@ -390,7 +390,7 @@ class LoomServer:
     def __enter__(self) -> "LoomServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     def _run_loop(self) -> None:

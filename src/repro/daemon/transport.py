@@ -33,7 +33,7 @@ from typing import Dict, List, Optional
 
 from ..core.errors import TransportError
 from ..core.faults import LatencyFault
-from .protocol import LEN_PREFIX, MAX_FRAME_BYTES
+from .protocol import LEN_PREFIX, MAX_FRAME_BYTES, split_frame
 
 #: Live fault-injecting transports, tracked weakly so the test harness
 #: can dump every packet trace in the failing process.
@@ -269,6 +269,32 @@ class FaultInjectingTransport(Transport):
         entry.update(detail)
         self.trace.append(entry)
 
+    #: Request-header fields mirrored into send trace entries and
+    #: response-header fields mirrored into recv entries — exactly what
+    #: loommc's conformance checker needs to map a packet trace onto
+    #: the abstract protocol model's actions.
+    _SEND_FIELDS = ("op", "seq", "client")
+    _RECV_FIELDS = ("ok", "status", "deduped", "error")
+
+    @classmethod
+    def _frame_fields(cls, frame: bytes) -> Dict[str, object]:
+        """Protocol-level summary of an outgoing frame (length prefix
+        included), best-effort: an unparseable frame yields no fields."""
+        try:
+            header, _ = split_frame(frame[LEN_PREFIX.size:])
+        except TransportError:
+            return {}
+        return {k: header[k] for k in cls._SEND_FIELDS if k in header}
+
+    @classmethod
+    def _payload_fields(cls, payload: bytes) -> Dict[str, object]:
+        """Protocol-level summary of a received frame payload."""
+        try:
+            header, _ = split_frame(payload)
+        except TransportError:
+            return {}
+        return {k: header[k] for k in cls._RECV_FIELDS if k in header}
+
     def dump_trace(self) -> str:
         """The packet trace as JSON lines (one event per line)."""
         return "\n".join(json.dumps(e, sort_keys=True) for e in self.trace)
@@ -300,23 +326,25 @@ class FaultInjectingTransport(Transport):
 
     def send_frame(self, frame: bytes) -> None:
         self.sends += 1
+        fields = self._frame_fields(frame)
         if self._partitioned:
             self.faults_injected += 1
-            self._note("send", bytes=len(frame), fault="partitioned")
+            self._note("send", bytes=len(frame), fault="partitioned", **fields)
             self._inner.close()
             raise TransportError("injected partition: send failed")
         delayed = self.latency.apply()
         if self._drop_sends > 0:
             self._drop_sends -= 1
             self.faults_injected += 1
-            self._note("send", bytes=len(frame), fault="dropped")
+            self._note("send", bytes=len(frame), fault="dropped", **fields)
             return
         if self._torn_frames > 0:
             self._torn_frames -= 1
             self.faults_injected += 1
             torn = int(len(frame) * self._torn_fraction)
             self._note(
-                "send", bytes=len(frame), fault="torn", sent_bytes=torn
+                "send", bytes=len(frame), fault="torn", sent_bytes=torn,
+                **fields,
             )
             inner = self._inner
             if torn:
@@ -334,20 +362,26 @@ class FaultInjectingTransport(Transport):
                 self._inner.send_frame(frame[pos:pos + self._slow_chunk])
             self._note(
                 "send", bytes=len(frame), fault="slow-consumer",
-                chunk=self._slow_chunk,
+                chunk=self._slow_chunk, **fields,
             )
             return
         self._inner.send_frame(frame)
-        self._note("send", bytes=len(frame), delayed=delayed)
+        self._note("send", bytes=len(frame), delayed=delayed, **fields)
 
     def recv_frame(self) -> bytes:
         if self._partitioned:
             self.faults_injected += 1
             self._note("recv", fault="partitioned")
             raise TransportError("injected partition: recv failed")
-        payload = self._inner.recv_frame()
+        try:
+            payload = self._inner.recv_frame()
+        except TransportError as exc:
+            # A failed read (timeout after a dropped frame, reset after
+            # a torn one) is part of the packet schedule too.
+            self._note("recv", fault="error", message=str(exc))
+            raise
         self.recvs += 1
-        self._note("recv", bytes=len(payload))
+        self._note("recv", bytes=len(payload), **self._payload_fields(payload))
         return payload
 
 

@@ -61,6 +61,54 @@ def pytest_runtest_makereport(item, call):
     if traces:
         with open(dump_path, "a", encoding="utf-8") as f:
             f.write(f"### {item.nodeid} packet traces\n{traces}\n\n")
+    # Model-checker counterexamples (loommc exploration or conformance
+    # violations noted in this process): each section is a replayable
+    # JSON trace — feed it to `loommc replay <file>`.
+    try:
+        from repro.core.modelcheck import dump_live_counterexamples
+
+        counterexamples = dump_live_counterexamples()
+    except Exception as exc:
+        counterexamples = f"(counterexample dump failed: {exc})"
+    if counterexamples:
+        with open(dump_path, "a", encoding="utf-8") as f:
+            f.write(
+                f"### {item.nodeid} loommc counterexamples\n"
+                f"{counterexamples}\n\n"
+            )
+
+
+@pytest.fixture(autouse=True)
+def _loommc_conformance():
+    """Refinement check: every packet trace a test produces must conform
+    to the abstract ingest model (DESIGN.md section 13).
+
+    Snapshots the live fault-transport set before the test, then runs
+    loommc's conformance rules over the traces of transports the test
+    created.  A violation fails the test — the network suite doubles as
+    a continuous model-to-code conformance proof.
+    """
+    try:
+        from repro.daemon.transport import _LIVE_FAULT_TRANSPORTS
+        from tools.loommc.conformance import check_transport
+    except ImportError:  # tools/ not importable in this layout: skip
+        yield
+        return
+    before = {id(t) for t in list(_LIVE_FAULT_TRANSPORTS)}
+    yield
+    violations = []
+    for transport in list(_LIVE_FAULT_TRANSPORTS):
+        if id(transport) in before:
+            continue
+        violations.extend(
+            check_transport(transport, origin=f"transport-{id(transport):x}")
+        )
+    if violations:
+        pytest.fail(
+            "packet trace does not conform to the ingest protocol model:\n"
+            + "\n\n".join(cx.render() for cx in violations),
+            pytrace=False,
+        )
 
 
 def value_payload(value: float) -> bytes:

@@ -833,6 +833,292 @@ class Block:
 
 
 # ----------------------------------------------------------------------
+# LOOM112-LOOM116: the networked service rules
+# ----------------------------------------------------------------------
+def make_daemon(tmp_path, **modules):
+    """Create repro/daemon/<name>.py files and return the package root."""
+    daemon = tmp_path / "repro" / "daemon"
+    daemon.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (daemon / "__init__.py").write_text("")
+    for name, source in modules.items():
+        (daemon / (name + ".py")).write_text(source)
+    return tmp_path / "repro"
+
+
+def lint_daemon(tmp_path, **modules):
+    root = make_daemon(tmp_path, **modules)
+    return run([str(root)], root=str(tmp_path), baseline_path=None)
+
+
+def test_sleep_reachable_from_async_handler_flagged(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        server="""
+import time
+
+
+class Server:
+    async def handle(self):
+        return self._settle()
+
+    def _settle(self):
+        time.sleep(0.1)
+""",
+    )
+    assert codes(result) == ["LOOM112"]
+    (v,) = result.violations
+    assert "time.sleep" in v.message
+    assert v.symbol == "repro.daemon.server.Server._settle"
+
+
+def test_awaited_wait_is_cooperative_not_blocking(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        server="""
+class Server:
+    async def serve(self):
+        await self._stop.wait()
+""",
+    )
+    assert result.violations == []
+
+
+def test_admission_queue_put_exempt_blocking_get_flagged(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        server="""
+class Server:
+    async def handle(self):
+        return self._pump()
+
+    def _pump(self):
+        self.queue.put(("batch", 1))
+        return self.queue.get(timeout=1.0)
+""",
+    )
+    assert codes(result) == ["LOOM112"]
+    assert "queue" in result.violations[0].message
+    assert "get" in result.violations[0].message
+
+
+def test_sync_sleep_outside_async_closure_clean(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        worker="""
+import time
+
+
+class Worker:
+    def run(self):
+        time.sleep(0.1)
+""",
+    )
+    assert result.violations == []
+
+
+def test_async_touching_shard_state_flagged(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        server="""
+class Server:
+    async def handle(self, shard):
+        if shard.shedding:
+            shard.pending = set()
+""",
+    )
+    assert codes(result) == ["LOOM113", "LOOM113"]
+    reads = [v for v in result.violations if "reads" in v.message]
+    writes = [v for v in result.violations if "mutates" in v.message]
+    assert len(reads) == 1 and ".shedding" in reads[0].message
+    assert len(writes) == 1 and ".pending" in writes[0].message
+
+
+def test_sync_admission_touching_shard_state_clean(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        server="""
+class Shard:
+    def admit(self, key):
+        if self.shedding:
+            return "retry_after"
+        self.pending.add(key)
+        return "ack"
+""",
+    )
+    assert result.violations == []
+
+
+def test_request_method_without_deadline_param_flagged(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        client="""
+class LoomClient:
+    def _request(self, header, body=b"", deadline_s=None):
+        return {}
+
+    def health(self):
+        return self._request({"op": "health"})
+""",
+    )
+    assert codes(result) == ["LOOM114", "LOOM114"]
+    messages = " / ".join(v.message for v in result.violations)
+    assert "deadline_s" in messages
+    assert all(v.symbol.endswith("LoomClient.health") for v in result.violations)
+
+
+def test_request_method_forwarding_deadline_clean(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        client="""
+class LoomClient:
+    def _request(self, header, body=b"", deadline_s=None):
+        return {}
+
+    def health(self, deadline_s=None):
+        return self._request({"op": "health"}, deadline_s=deadline_s)
+""",
+    )
+    assert result.violations == []
+
+
+def test_frame_io_without_timeout_flagged(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        client="""
+class LoomClient:
+    def poke(self, frame):
+        self._transport.send_frame(frame)
+        return self._transport.recv_frame()
+""",
+    )
+    assert codes(result) == ["LOOM114"]
+    assert "set_timeout" in result.violations[0].message
+
+
+def test_frame_io_with_timeout_clean(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        client="""
+class LoomClient:
+    def poke(self, frame, timeout_s):
+        self._transport.set_timeout(timeout_s)
+        self._transport.send_frame(frame)
+        return self._transport.recv_frame()
+""",
+    )
+    assert result.violations == []
+
+
+def test_redeclared_wire_struct_format_flagged(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        export="""
+import struct
+
+_PREFIX = struct.Struct(">I")
+""",
+    )
+    assert codes(result) == ["LOOM115"]
+    assert "'>I'" in result.violations[0].message
+
+
+def test_rebound_wire_constant_flagged(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        export="""
+MAX_FRAME_BYTES = 1 << 20
+""",
+    )
+    assert codes(result) == ["LOOM115"]
+    assert "MAX_FRAME_BYTES" in result.violations[0].message
+
+
+def test_protocol_module_owns_wire_constants(tmp_path):
+    """protocol.py itself may (must) declare the wire constants."""
+    result = lint_daemon(
+        tmp_path,
+        protocol="""
+import struct
+
+LEN_PREFIX = struct.Struct(">I")
+MAX_FRAME_BYTES = 8 << 20
+""",
+    )
+    assert result.violations == []
+
+
+def test_foreign_struct_format_not_a_wire_constant(tmp_path):
+    """Little-endian file formats (export/otel) are not wire framing."""
+    result = lint_daemon(
+        tmp_path,
+        export="""
+import struct
+
+_FRAME = struct.Struct("<IQI")
+""",
+    )
+    assert result.violations == []
+
+
+def test_raw_header_subscript_flagged(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        server="""
+class Server:
+    def dispatch(self, header):
+        return header["op"]
+""",
+    )
+    assert codes(result) == ["LOOM116"]
+    assert "header['op']" in result.violations[0].message
+
+
+def test_guarded_header_subscript_clean(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        server="""
+class Server:
+    def t_range(self, header):
+        try:
+            return int(header["t_start"]), int(header["t_end"])
+        except (KeyError, TypeError, ValueError):
+            raise RuntimeError("bad range")
+
+    def count(self, header):
+        if "records" in header:
+            return header["records"]
+        return None
+""",
+    )
+    assert result.violations == []
+
+
+def test_header_store_and_get_are_not_raw_reads(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        client="""
+class LoomClient:
+    def build(self, header):
+        header["v"] = 1
+        return header.get("op")
+""",
+    )
+    assert result.violations == []
+
+
+def test_header_subscript_outside_daemon_modules_ignored(tmp_path):
+    result = lint_daemon(
+        tmp_path,
+        monitor="""
+def peek(header):
+    return header["op"]
+""",
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
 # The real tree and the CLI
 # ----------------------------------------------------------------------
 def test_repo_src_is_clean_modulo_baseline():

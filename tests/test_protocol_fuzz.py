@@ -1,0 +1,254 @@
+"""Fuzz tests for the wire-protocol decode paths (hypothesis).
+
+The decoders in :mod:`repro.daemon.protocol` face attacker-controlled
+bytes: every frame arrives off a socket, and every header field is
+whatever JSON the peer chose to send.  The contract under fuzzing is:
+
+* a malformed input raises :class:`TransportError` — never a bare
+  ValueError/TypeError/struct.error escaping from a comprehension, and
+  never a hang;
+* an announced length is validated *before* allocation, so a hostile
+  4 GiB length prefix is rejected without the decoder ever asking the
+  stream for the body;
+* well-formed frames round-trip exactly (truncation/bit-flips may also
+  decode to a *different* valid frame — framing has no checksum by
+  design; the tests only demand typed failure or a structurally valid
+  result, not detection).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import TransportError
+from repro.core.operators import QueryResult, QueryStats
+from repro.core.record import Record
+from repro.daemon.protocol import (
+    LEN_PREFIX,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    pack_payloads,
+    pack_records,
+    read_frame,
+    result_from_wire,
+    split_frame,
+    stats_from_wire,
+    unpack_payloads,
+    unpack_records,
+)
+
+# JSON values as a peer could send them (bounded for speed).
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+json_headers = st.dictionaries(st.text(max_size=12), json_values, max_size=6)
+
+
+# ----------------------------------------------------------------------
+# split_frame / read_frame
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(payload=st.binary(max_size=256))
+def test_split_frame_total_on_arbitrary_bytes(payload):
+    try:
+        header, body = split_frame(payload)
+    except TransportError:
+        return
+    assert isinstance(header, dict)
+    assert isinstance(body, bytes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    header=json_headers,
+    body=st.binary(max_size=64),
+    cut=st.integers(min_value=0, max_value=400),
+)
+def test_truncated_frame_is_typed_error_or_valid(header, body, cut):
+    frame = encode_frame(header, body)
+    payload = frame[LEN_PREFIX.size:]
+    truncated = payload[: min(cut, len(payload))]
+    if truncated == payload:
+        got_header, got_body = split_frame(truncated)
+        assert got_body == body
+        assert got_header == json.loads(json.dumps(header))
+        return
+    try:
+        got_header, got_body = split_frame(truncated)
+    except TransportError:
+        return
+    assert isinstance(got_header, dict)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    header=json_headers,
+    body=st.binary(max_size=64),
+    data=st.data(),
+)
+def test_bit_flipped_frame_is_typed_error_or_valid(header, body, data):
+    frame = bytearray(encode_frame(header, body)[LEN_PREFIX.size:])
+    pos = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    frame[pos] ^= 1 << bit
+    try:
+        got_header, got_body = split_frame(bytes(frame))
+    except TransportError:
+        return
+    assert isinstance(got_header, dict)
+    assert isinstance(got_body, bytes)
+
+
+@settings(max_examples=50, deadline=None)
+@given(announced=st.integers(min_value=MAX_FRAME_BYTES + 1, max_value=2**32 - 1))
+def test_oversized_announcement_rejected_before_allocation(announced):
+    reads = []
+
+    def read_exact(n):
+        reads.append(n)
+        assert n <= LEN_PREFIX.size, "decoder allocated for a hostile length"
+        return LEN_PREFIX.pack(announced)
+
+    with pytest.raises(TransportError):
+        read_frame(read_exact)
+    assert reads == [LEN_PREFIX.size]
+
+
+def test_torn_length_prefix_is_typed_error():
+    with pytest.raises(TransportError):
+        read_frame(lambda n: b"\x00")  # short read, no TransportError raised
+
+
+# ----------------------------------------------------------------------
+# Ingest bodies
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(sizes=st.lists(json_values, max_size=8), body=st.binary(max_size=128))
+def test_unpack_payloads_total_on_hostile_sizes(sizes, body):
+    try:
+        payloads = unpack_payloads(sizes, body)
+    except TransportError:
+        return
+    assert b"".join(payloads) == body
+
+
+@settings(max_examples=100, deadline=None)
+@given(payloads=st.lists(st.binary(max_size=32), max_size=8))
+def test_payloads_round_trip(payloads):
+    sizes, body = pack_payloads(payloads)
+    assert unpack_payloads(sizes, body) == payloads
+
+
+# ----------------------------------------------------------------------
+# Scan bodies
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(body=st.binary(max_size=256))
+def test_unpack_records_total_on_arbitrary_bytes(body):
+    try:
+        records = unpack_records(body)
+    except TransportError:
+        return
+    assert all(isinstance(r, Record) for r in records)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**64 - 1),  # timestamp
+            st.integers(min_value=0, max_value=2**64 - 1),  # address
+            st.binary(max_size=32),
+        ),
+        max_size=6,
+    )
+)
+def test_records_round_trip(entries):
+    records = [
+        Record(source_id=0, timestamp=t, prev_addr=0, payload=p, address=a)
+        for t, a, p in entries
+    ]
+    out = unpack_records(pack_records(records))
+    assert [(r.timestamp, r.address, bytes(r.payload)) for r in out] == [
+        (t, a, p) for t, a, p in entries
+    ]
+
+
+# ----------------------------------------------------------------------
+# QueryResult / QueryStats decoding
+# ----------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(header=json_headers, body=st.binary(max_size=128))
+def test_result_from_wire_total_on_hostile_headers(header, body):
+    try:
+        result = result_from_wire(header, body)
+    except TransportError:
+        return
+    assert isinstance(result, QueryResult)
+    assert isinstance(result.count, int)
+    if result.value is not None:
+        assert isinstance(result.value, float)
+    if result.bins is not None:
+        assert all(
+            isinstance(k, int) and isinstance(v, int)
+            for k, v in result.bins.items()
+        )
+    if result.values is not None:
+        assert all(isinstance(v, float) for v in result.values)
+
+
+@settings(max_examples=200, deadline=None)
+@given(raw=json_values)
+def test_stats_from_wire_never_type_confused(raw):
+    stats = stats_from_wire(raw)
+    reference = QueryStats()
+    for key, ref_value in vars(reference).items():
+        value = getattr(stats, key)
+        if isinstance(ref_value, bool):
+            assert isinstance(value, bool)
+        elif isinstance(ref_value, (int, float)):
+            assert isinstance(value, (int, float))
+            assert not isinstance(value, bool)
+        elif isinstance(ref_value, list):
+            assert isinstance(value, list)
+            assert all(isinstance(item, str) for item in value)
+        else:
+            assert isinstance(value, type(ref_value))
+
+
+def test_malformed_fields_raise_transport_error():
+    cases = [
+        {"count": "not-a-number"},
+        {"count": None},
+        {"count": []},
+        {"count": True},
+        {"value": "nope"},
+        {"value": {}},
+        {"bins": {"x": 1}},
+        {"bins": {"1": "y"}},
+        {"bins": {"1": None}},
+        {"values": [1.0, "two"]},
+        {"values": [None]},
+        {"records": "three"},
+        {"records": 2},  # body holds zero records
+    ]
+    for header in cases:
+        with pytest.raises(TransportError):
+            result_from_wire(header, b"")
+
+
+def test_sizes_reject_non_integers():
+    for sizes in ([None], ["4"], [1.5], [True], [[1]]):
+        with pytest.raises(TransportError):
+            unpack_payloads(sizes, b"abcd")

@@ -19,9 +19,9 @@ _RUFF = shutil.which("ruff")
 
 
 @pytest.mark.skipif(_MYPY is None, reason="mypy not installed (CI-only tier)")
-def test_mypy_strict_on_core():
+def test_mypy_strict_on_core_daemon_and_tools():
     proc = subprocess.run(
-        [_MYPY, "--strict", "src/repro/core"],
+        [_MYPY, "--strict", "src/repro/core", "src/repro/daemon", "tools"],
         cwd=_REPO_ROOT,
         capture_output=True,
         text=True,

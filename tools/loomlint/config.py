@@ -90,6 +90,46 @@ RULES = {
         "the data path it observes (the same section 5.2 discipline "
         "LOOM104 enforces inside repro.core)",
     ),
+    "LOOM112": (
+        "async-blocking",
+        "no blocking primitive (time.sleep, fsync, lock acquire, "
+        "blocking queue get) may be reachable from an asyncio handler in "
+        "repro.daemon: one stalled coroutine freezes every connection on "
+        "the event loop — blocking work belongs on executor threads "
+        "behind the propagated deadline",
+    ),
+    "LOOM113": (
+        "await-shard-state",
+        "async functions in repro.daemon must not touch shard worker "
+        "state (pending/dedup/shedding/apply_error): the admission check "
+        "and the worker own it single-threadedly, and an await between a "
+        "read and the dependent write would interleave another "
+        "connection's handler into the critical section",
+    ),
+    "LOOM114": (
+        "deadline-propagation",
+        "every LoomClient method that issues a request must accept a "
+        "deadline_s parameter and forward it into _request, and every "
+        "function doing raw frame I/O must arm set_timeout first — a "
+        "call path that drops the deadline can hang a caller forever on "
+        "a dead server",
+    ),
+    "LOOM115": (
+        "wire-constant-single-source",
+        "wire-format constants (LEN_PREFIX, HEADER_PREFIX, RECORD_ENTRY, "
+        "frame limits, PROTOCOL_VERSION) are defined once in "
+        "repro.daemon.protocol and imported everywhere else; a "
+        "re-declared struct format or limit can drift from the one the "
+        "peer actually speaks",
+    ),
+    "LOOM116": (
+        "header-validated-before-use",
+        "control-header fields arriving off the wire are attacker-"
+        "controlled JSON: subscripting a request/response header outside "
+        "a KeyError/TypeError/ValueError guard (or a membership test) "
+        "turns a malformed frame into an unhandled exception instead of "
+        "a protocol error",
+    ),
 }
 
 # ----------------------------------------------------------------------
@@ -332,6 +372,75 @@ YIELD_LABEL_PATTERN = r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$"
 YIELD_CALL_NAMES = frozenset({"hit", "note"})
 FUZZ_SCHEDULE_FIELDS = frozenset({"version", "seed", "steps", "trace", "error"})
 FUZZ_SCHEDULE_QUALNAME = "repro.core.schedule.FuzzSchedule"
+
+# ----------------------------------------------------------------------
+# LOOM112-LOOM116: the networked service (repro.daemon).
+# ----------------------------------------------------------------------
+#: Module prefix that scopes the async rules to the daemon.
+DAEMON_MODULE_PREFIX = "repro.daemon"
+
+#: Blocking-fact descriptions that are *non*-blocking in the daemon's
+#: admission path and therefore exempt from LOOM112: puts on the
+#: unbounded shard queue never block (backpressure is watermark-based
+#: shedding, not queue capacity), and the ``*_nowait`` variants are
+#: non-blocking by contract.  Reader paths (LOOM101) still ban them —
+#: there the objection is coordination, not stalling the event loop.
+ASYNC_EXEMPT_FACT_TOKENS = (".put()", "put_nowait", "get_nowait")
+
+#: LOOM113: shard worker state.  Owned by the admission check (under the
+#: event loop, synchronously) and the worker thread; never visible to a
+#: coroutine that can await.
+SHARD_STATE_ATTRS = frozenset({"pending", "dedup", "shedding", "apply_error"})
+
+#: LOOM114: the client module whose public request methods must thread
+#: deadlines, the request primitive they call, and the parameter name.
+CLIENT_MODULE = "repro.daemon.client"
+REQUEST_CALL_NAME = "_request"
+DEADLINE_PARAM = "deadline_s"
+#: Raw frame I/O methods: any function calling these must also arm
+#: ``set_timeout`` (transports themselves are the mechanism, so exempt).
+FRAME_IO_METHODS = frozenset({"send_frame", "recv_frame"})
+TIMEOUT_CALL_NAME = "set_timeout"
+TRANSPORT_EXEMPT_SUFFIXES = ("repro/daemon/transport.py",)
+
+#: LOOM115: the single source of wire truth, the struct formats that ARE
+#: the wire framing (big-endian, per DESIGN.md section 11), and the
+#: constant names that may only be bound there.
+PROTOCOL_MODULE = "repro.daemon.protocol"
+WIRE_STRUCT_FORMATS = frozenset({">I", ">H", ">QQI"})
+WIRE_CONSTANT_NAMES = frozenset(
+    {
+        "LEN_PREFIX",
+        "HEADER_PREFIX",
+        "RECORD_ENTRY",
+        "MAX_FRAME_BYTES",
+        "MAX_HEADER_BYTES",
+        "PROTOCOL_VERSION",
+    }
+)
+
+#: LOOM116: variable names that hold wire-received control headers in
+#: the daemon modules below, and the exception names whose handlers
+#: count as a validation guard around a raw subscript.
+HEADER_RECEIVER_NAMES = frozenset({"header", "resp", "resp_header"})
+HEADER_GUARD_EXCEPTIONS = frozenset(
+    {
+        "KeyError",
+        "TypeError",
+        "ValueError",
+        "IndexError",
+        "LoomError",
+        "TransportError",
+        "Exception",
+    }
+)
+HEADER_CHECKED_MODULES = frozenset(
+    {
+        "repro.daemon.server",
+        "repro.daemon.client",
+        "repro.daemon.protocol",
+    }
+)
 
 # ----------------------------------------------------------------------
 # LOOM106: contract functions and the keyword(s) at least one of which

@@ -29,18 +29,36 @@ import json
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .config import (
+    ASYNC_EXEMPT_FACT_TOKENS,
     ATTR_TYPES,
+    CLIENT_MODULE,
     CLOCK_EXEMPT_SUFFIXES,
     CONTRACT_DOCSTRINGS,
     CORE_PATH_FRAGMENT,
+    DAEMON_MODULE_PREFIX,
+    DEADLINE_PARAM,
     ENV_GUARD_TOKENS,
     FLUSH_CRITICAL_MODULES,
+    FRAME_IO_METHODS,
     FUZZ_SCHEDULE_FIELDS,
     FUZZ_SCHEDULE_QUALNAME,
     GENERIC_METHOD_NAMES,
+    HEADER_CHECKED_MODULES,
+    HEADER_GUARD_EXCEPTIONS,
+    HEADER_RECEIVER_NAMES,
     LOCAL_TYPES,
     METRICS_PATH_FRAGMENTS,
     NONDETERMINISTIC_CALLS,
@@ -48,17 +66,24 @@ from .config import (
     PAYLOAD_CALL_NAMES,
     PAYLOAD_RECEIVER_ATTRS,
     PAYLOAD_STORE_ATTRS,
+    PROTOCOL_MODULE,
     PUBLISH_CALL_NAMES,
     PUBLISH_STORE_ATTRS,
     READER_ROOTS,
     RECORD_LOG_QUALNAME,
+    REQUEST_CALL_NAME,
     RULES,
     SANITIZER_MODULE_NAMES,
     SANITIZER_SELF_SUFFIX,
     SEQLOCK_STATE_ATTRS,
     SHADOW_LOG_QUALNAME,
     SHADOW_SURFACE,
+    SHARD_STATE_ATTRS,
     SWALLOWABLE_EXCEPTIONS,
+    TIMEOUT_CALL_NAME,
+    TRANSPORT_EXEMPT_SUFFIXES,
+    WIRE_CONSTANT_NAMES,
+    WIRE_STRUCT_FORMATS,
     YIELD_CALL_NAMES,
     YIELD_LABEL_PATTERN,
 )
@@ -1096,6 +1121,395 @@ def _enclosing_symbol(index: ProjectIndex, sf: SourceFile, lineno: int) -> str:
     return best.qualname if best is not None else sf.module
 
 
+# ----------------------------------------------------------------------
+# LOOM112-LOOM116: the networked service (repro.daemon)
+# ----------------------------------------------------------------------
+def _in_daemon(module: str) -> bool:
+    return module == DAEMON_MODULE_PREFIX or module.startswith(
+        DAEMON_MODULE_PREFIX + "."
+    )
+
+
+def rule_async_blocking(index: ProjectIndex) -> List[Violation]:
+    """LOOM112: no blocking primitive reachable from asyncio handlers.
+
+    Roots are every ``async def`` in repro.daemon; the closure follows
+    call edges only *within* the daemon (executor-bound work is handed
+    off through ``functools.partial``, which deliberately breaks the
+    edge — that is the sanctioned escape hatch).  Non-blocking queue
+    verbs (puts on the unbounded admission queue, ``*_nowait``) are
+    exempt per :data:`~tools.loomlint.config.ASYNC_EXEMPT_FACT_TOKENS`.
+    """
+    violations: List[Violation] = []
+    parent: Dict[str, Optional[str]] = {}
+    frontier: List[str] = []
+    for qualname, fn in index.functions.items():
+        if isinstance(fn.node, ast.AsyncFunctionDef) and _in_daemon(fn.module):
+            if qualname not in parent:
+                parent[qualname] = None
+                frontier.append(qualname)
+    while frontier:
+        qualname = frontier.pop()
+        fn = index.functions.get(qualname)
+        if fn is None:
+            continue
+        for callee in sorted(fn.edges):
+            callee_fn = index.functions.get(callee)
+            if callee_fn is None or not _in_daemon(callee_fn.module):
+                continue
+            if callee not in parent:
+                parent[callee] = qualname
+                frontier.append(callee)
+    for qualname in sorted(parent):
+        fn = index.functions.get(qualname)
+        if fn is None or not fn.blocking:
+            continue
+        chain: List[str] = []
+        cursor: Optional[str] = qualname
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = parent[cursor]
+        root = chain[-1]
+        via = (
+            qualname
+            if root == qualname
+            else f"{root} -> ... -> {qualname}"
+        )
+        # An *awaited* wait/acquire is cooperative, not blocking: it
+        # parks this coroutine and yields the loop.  Exempt any fact on
+        # a line whose call sits under an ``await``.
+        awaited: Set[int] = set()
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Await):
+                for inner in ast.walk(sub):
+                    if isinstance(inner, ast.Call):
+                        awaited.add(inner.lineno)
+        for lineno, description in fn.blocking:
+            if lineno in awaited:
+                continue
+            if any(tok in description for tok in ASYNC_EXEMPT_FACT_TOKENS):
+                continue
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=lineno,
+                    rule="LOOM112",
+                    symbol=fn.qualname,
+                    message=(
+                        f"{description} on an asyncio handler path ({via}); "
+                        f"a blocked coroutine freezes every connection — "
+                        f"run it on an executor thread under the deadline"
+                    ),
+                )
+            )
+    return violations
+
+
+def rule_await_shard_state(index: ProjectIndex) -> List[Violation]:
+    """LOOM113: async functions never touch shard worker state."""
+    violations: List[Violation] = []
+    for fn in sorted(
+        index.functions.values(), key=lambda f: (f.path, f.qualname)
+    ):
+        if not isinstance(fn.node, ast.AsyncFunctionDef):
+            continue
+        if not _in_daemon(fn.module):
+            continue
+        for sub in ast.walk(fn.node):
+            if (
+                isinstance(sub, ast.Attribute)
+                and sub.attr in SHARD_STATE_ATTRS
+            ):
+                kind = (
+                    "mutates" if isinstance(sub.ctx, ast.Store) else "reads"
+                )
+                violations.append(
+                    Violation(
+                        path=fn.path,
+                        line=sub.lineno,
+                        rule="LOOM113",
+                        symbol=fn.qualname,
+                        message=(
+                            f"async `{fn.name}` {kind} shard worker state "
+                            f"`.{sub.attr}`; that state is owned by the "
+                            f"synchronous admission path and the worker "
+                            f"thread — an await here interleaves another "
+                            f"connection into the critical section"
+                        ),
+                    )
+                )
+    return violations
+
+
+def rule_deadline_propagation(index: ProjectIndex) -> List[Violation]:
+    """LOOM114: deadlines thread through every client I/O call.
+
+    Two obligations: (a) in the client module, every method that calls
+    ``_request`` (other than ``_request`` itself) declares a
+    ``deadline_s`` parameter and forwards it in the call; (b) anywhere
+    outside the transports, a function doing raw ``send_frame``/
+    ``recv_frame`` I/O also calls ``set_timeout`` — otherwise the socket
+    default (block forever) is the effective deadline.
+    """
+    violations: List[Violation] = []
+    for fn in sorted(
+        index.functions.values(), key=lambda f: (f.path, f.qualname)
+    ):
+        if fn.module == CLIENT_MODULE and fn.name != REQUEST_CALL_NAME:
+            request_calls = [
+                sub
+                for sub in ast.walk(fn.node)
+                if isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == REQUEST_CALL_NAME
+            ]
+            if request_calls:
+                assert isinstance(
+                    fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                args = fn.node.args
+                param_names = {
+                    a.arg
+                    for a in (
+                        list(args.posonlyargs)
+                        + list(args.args)
+                        + list(args.kwonlyargs)
+                    )
+                }
+                if DEADLINE_PARAM not in param_names:
+                    violations.append(
+                        Violation(
+                            path=fn.path,
+                            line=fn.node.lineno,
+                            rule="LOOM114",
+                            symbol=fn.qualname,
+                            message=(
+                                f"`{fn.name}` issues requests but takes no "
+                                f"`{DEADLINE_PARAM}` parameter; callers "
+                                f"cannot bound it"
+                            ),
+                        )
+                    )
+                for call in request_calls:
+                    forwards = any(
+                        kw.arg == DEADLINE_PARAM
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id == DEADLINE_PARAM
+                        for kw in call.keywords
+                    ) or any(
+                        isinstance(arg, ast.Name) and arg.id == DEADLINE_PARAM
+                        for arg in call.args
+                    )
+                    if not forwards:
+                        violations.append(
+                            Violation(
+                                path=fn.path,
+                                line=call.lineno,
+                                rule="LOOM114",
+                                symbol=fn.qualname,
+                                message=(
+                                    f"`{fn.name}` calls "
+                                    f"{REQUEST_CALL_NAME}() without "
+                                    f"forwarding `{DEADLINE_PARAM}`; the "
+                                    f"caller's budget is silently replaced "
+                                    f"by the client default"
+                                ),
+                            )
+                        )
+        if not _in_daemon(fn.module):
+            continue
+        if any(fn.path.endswith(sfx) for sfx in TRANSPORT_EXEMPT_SUFFIXES):
+            continue
+        io_calls: List[ast.Call] = []
+        arms_timeout = False
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ):
+                if sub.func.attr in FRAME_IO_METHODS:
+                    io_calls.append(sub)
+                elif sub.func.attr == TIMEOUT_CALL_NAME:
+                    arms_timeout = True
+        if io_calls and not arms_timeout:
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=io_calls[0].lineno,
+                    rule="LOOM114",
+                    symbol=fn.qualname,
+                    message=(
+                        f"`{fn.name}` does raw frame I/O without arming "
+                        f"{TIMEOUT_CALL_NAME}(); on a dead peer this "
+                        f"blocks forever"
+                    ),
+                )
+            )
+    return violations
+
+
+def rule_wire_constant_single_source(index: ProjectIndex) -> List[Violation]:
+    """LOOM115: wire constants live in protocol.py, everyone else imports."""
+    violations: List[Violation] = []
+    for sf in sorted(index.files, key=lambda s: s.path):
+        if not _in_daemon(sf.module) or sf.module == PROTOCOL_MODULE:
+            continue
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                is_struct = dotted in (
+                    "struct.Struct",
+                    "struct.pack",
+                    "struct.unpack",
+                    "struct.pack_into",
+                    "struct.unpack_from",
+                    "struct.calcsize",
+                )
+                if not is_struct or not node.args:
+                    continue
+                fmt = node.args[0]
+                if (
+                    isinstance(fmt, ast.Constant)
+                    and isinstance(fmt.value, str)
+                    and fmt.value in WIRE_STRUCT_FORMATS
+                ):
+                    violations.append(
+                        Violation(
+                            path=sf.path,
+                            line=node.lineno,
+                            rule="LOOM115",
+                            symbol=_enclosing_symbol(index, sf, node.lineno),
+                            message=(
+                                f"struct format {fmt.value!r} re-declares a "
+                                f"wire framing layout; import the named "
+                                f"constant from {PROTOCOL_MODULE} instead"
+                            ),
+                        )
+                    )
+        # Module-scope rebindings of the protocol constant names.
+        for node in sf.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in WIRE_CONSTANT_NAMES
+                ):
+                    violations.append(
+                        Violation(
+                            path=sf.path,
+                            line=node.lineno,
+                            rule="LOOM115",
+                            symbol=sf.module,
+                            message=(
+                                f"`{target.id}` is re-bound here; the "
+                                f"single source of wire truth is "
+                                f"{PROTOCOL_MODULE} — import it"
+                            ),
+                        )
+                    )
+    return violations
+
+
+def _guards_header_errors(node: ast.Try) -> bool:
+    for handler in node.handlers:
+        types: List[ast.expr] = []
+        if handler.type is None:
+            return True  # bare except guards (LOOM105 polices those)
+        if isinstance(handler.type, ast.Tuple):
+            types = list(handler.type.elts)
+        else:
+            types = [handler.type]
+        for t in types:
+            name = _terminal_name(t)
+            if name in HEADER_GUARD_EXCEPTIONS:
+                return True
+    return False
+
+
+def _membership_test_on(test: ast.expr, receivers: FrozenSet[str]) -> bool:
+    """Does ``test`` contain ``<key> in <receiver>`` for a header name?"""
+    for sub in ast.walk(test):
+        if not isinstance(sub, ast.Compare):
+            continue
+        for op, comparator in zip(sub.ops, sub.comparators):
+            if isinstance(op, (ast.In, ast.NotIn)):
+                name = _terminal_name(comparator)
+                if name in receivers:
+                    return True
+    return False
+
+
+def rule_header_validated(index: ProjectIndex) -> List[Violation]:
+    """LOOM116: raw header subscripts only under a validation guard."""
+    violations: List[Violation] = []
+
+    def walk(fn: FunctionInfo, node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, ast.Try):
+            safe = guarded or _guards_header_errors(node)
+            for child in node.body:
+                walk(fn, child, safe)
+            for part in (node.handlers, node.orelse, node.finalbody):
+                for child in part:
+                    walk(fn, child, guarded)
+            return
+        if isinstance(node, ast.If):
+            body_guarded = guarded or _membership_test_on(
+                node.test, HEADER_RECEIVER_NAMES
+            )
+            walk(fn, node.test, guarded)
+            for child in node.body:
+                walk(fn, child, body_guarded)
+            for child in node.orelse:
+                walk(fn, child, guarded)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            comp_guarded = guarded or any(
+                _membership_test_on(cond, HEADER_RECEIVER_NAMES)
+                for gen in node.generators
+                for cond in gen.ifs
+            )
+            for child in ast.iter_child_nodes(node):
+                walk(fn, child, comp_guarded)
+            return
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in HEADER_RECEIVER_NAMES
+            and not guarded
+        ):
+            key = _render(node.slice)
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=node.lineno,
+                    rule="LOOM116",
+                    symbol=fn.qualname,
+                    message=(
+                        f"raw subscript {node.value.id}[{key}] on a wire "
+                        f"header outside a KeyError/TypeError/ValueError "
+                        f"guard or membership test; a malformed frame "
+                        f"becomes an unhandled exception here"
+                    ),
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            walk(fn, child, guarded)
+
+    for fn in sorted(
+        index.functions.values(), key=lambda f: (f.path, f.qualname)
+    ):
+        if fn.module not in HEADER_CHECKED_MODULES:
+            continue
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for stmt in fn.node.body:
+            walk(fn, stmt, False)
+    return violations
+
+
 ALL_RULES = (
     rule_reader_blocking,
     rule_version_parity,
@@ -1108,6 +1522,11 @@ ALL_RULES = (
     rule_sanitizer_isolation,
     rule_shadow_totality,
     rule_stable_schedule_alphabet,
+    rule_async_blocking,
+    rule_await_shard_state,
+    rule_deadline_propagation,
+    rule_wire_constant_single_source,
+    rule_header_validated,
 )
 
 

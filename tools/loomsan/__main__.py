@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Type
 
 
 def _ensure_repro_importable() -> None:
@@ -37,6 +37,7 @@ from repro.core.schedule import (  # noqa: E402
     ScheduleFuzzer,
 )
 
+from repro.core.block import Block  # noqa: E402
 from .scenarios import (  # noqa: E402
     UnversionedBlock,
     detector_scenario,
@@ -46,11 +47,9 @@ DEFAULT_SEED = 20250806
 DEFAULT_BUDGET = 500
 
 
-def _block_cls(mutant: bool):
+def _block_cls(mutant: bool) -> Type[Block]:
     if mutant:
         return UnversionedBlock
-    from repro.core.block import Block
-
     return Block
 
 

@@ -8,6 +8,8 @@ the block's first life.  The CLI ships its own copy so the installed
 
 from __future__ import annotations
 
+from typing import Dict, Type, Union
+
 from repro.core import yieldpoints
 from repro.core.block import Block
 from repro.core.errors import SnapshotRetry
@@ -25,7 +27,7 @@ class UnversionedBlock(Block):
 
     __slots__ = ()
 
-    def recycle(self):  # loomlint: disable=LOOM102,LOOM107
+    def recycle(self) -> None:  # loomlint: disable=LOOM102,LOOM107
         with self._lock:
             yieldpoints.hit("block.recycle.begin")
             self.base_address = None
@@ -35,7 +37,7 @@ class UnversionedBlock(Block):
             self.recycle_event.set()
 
 
-def recycle_vs_reader_scenario(block_cls):
+def recycle_vs_reader_scenario(block_cls: Type[Block]) -> Scenario:
     """Writer recycles+remaps a block while a reader copies its old range.
 
     The reader targets ``[0, 4)`` of the block's first life (b"AAAA").
@@ -46,20 +48,20 @@ def recycle_vs_reader_scenario(block_cls):
     block.map(0)
     block.write(b"AAAA")
 
-    def writer():
+    def writer() -> None:
         block.recycle()
         block.map(8)
         block.write(b"BB")
         block.write(b"BB")
         return None
 
-    def reader():
+    def reader() -> Union[bytes, str]:
         try:
             return block.read_range(0, 4, retries=2)
         except SnapshotRetry:
             return "fallback"
 
-    def check(results):
+    def check(results: Dict[str, object]) -> None:
         value = results["reader"]
         assert value in (b"AAAA", "fallback"), (
             f"reader observed {value!r} for address range [0, 4): the copy "
@@ -72,7 +74,7 @@ def recycle_vs_reader_scenario(block_cls):
     )
 
 
-def detector_scenario(block_cls):
+def detector_scenario(block_cls: Type[Block]) -> Scenario:
     """The same scenario judged by the happens-before race detector.
 
     The semantic check is disabled so a failure can only come from the
