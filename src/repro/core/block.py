@@ -24,9 +24,9 @@ watermark, and bytes below the watermark are immutable until recycle.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Optional, cast
 
-from . import yieldpoints
+from . import viewguard, yieldpoints
 from .errors import SnapshotRetry
 
 #: Default attempt budget for :meth:`Block.read_range`.  Torn copies are
@@ -53,6 +53,7 @@ class Block:
         "_buf",
         "_version",
         "_lock",
+        "_views",
     )
 
     def __init__(self, capacity: int) -> None:
@@ -69,6 +70,8 @@ class Block:
         # Even = stable, odd = mid-recycle. Starts at 0 (stable, unmapped).
         self._version = 0
         self._lock = threading.Lock()
+        #: Outstanding flush-view borrows (view-lifetime guard, LOOMSAN only).
+        self._views: Optional[viewguard.Ledger] = None
 
     # ------------------------------------------------------------------
     # Writer-side operations (single writer thread)
@@ -119,7 +122,7 @@ class Block:
         """
         return bytes(self._buf[: self.filled])
 
-    def flush_view(self) -> memoryview:
+    def flush_view(self) -> memoryview:  # loomflow: borrows=call
         """Writer-side zero-copy view of the filled prefix (for flushing).
 
         Like :meth:`snapshot_bytes` but without the copy: the returned
@@ -128,8 +131,20 @@ class Block:
         the flush must take ownership via the buffer-handoff protocol
         (``recycle(release_buffer=True)`` swaps in a fresh buffer so the
         view's bytes are never overwritten).
+
+        Under the view-lifetime guard (``LOOMSAN=1``) the view is tracked:
+        a plain recycle poisons it, so holding it across the recycle is a
+        typed :class:`~repro.core.errors.StaleViewError` instead of a
+        silent read of the next block's bytes.
         """
-        return memoryview(self._buf)[: self.filled]
+        # Read-only: storage backends only ever copy or retain flushed
+        # bytes, never write through the flush view.
+        view = memoryview(self._buf)[: self.filled].toreadonly()
+        if viewguard.active:  # tracked so recycle() can poison it
+            if self._views is None:
+                self._views = viewguard.Ledger()
+            return cast(memoryview, self._views.borrow(view, 0, self.filled))
+        return view
 
     def recycle(self, release_buffer: bool = False) -> None:
         """Invalidate the block so it can be remapped for new log space.
@@ -144,7 +159,20 @@ class Block:
         (and overwriting) the retained one.  The swap happens inside the
         odd-version window, so racing readers see a torn copy and fall
         back to storage exactly as for a plain recycle.
+
+        View-lifetime guard: a plain recycle reuses (and will overwrite)
+        the buffer, so it poisons all outstanding tracked flush views; a
+        buffer handoff leaves them valid — the retained buffer is
+        immutable from here on — so they are merely untracked.
         """
+        if self._views is not None:
+            if release_buffer:
+                self._views.clear()
+            else:
+                self._views.invalidate_all(
+                    "staging block recycled; its buffer is being reused for "
+                    "a later part of the log"
+                )
         with self._lock:
             yieldpoints.hit("block.recycle.begin", block=self)
             self._version += 1  # now odd: mid-recycle

@@ -37,7 +37,7 @@ from binascii import crc32
 from dataclasses import dataclass
 from typing import Optional
 
-from . import yieldpoints
+from . import viewguard, yieldpoints
 from .block import Block
 from .errors import AddressError, ClosedError, SnapshotRetry, StorageError
 from .metrics import LogScope
@@ -261,7 +261,9 @@ class HybridLog:
             jsize = self._journal.size
             if jsize % FRAME_ENTRY.size:
                 self._journal.truncate(jsize - jsize % FRAME_ENTRY.size)
-            self._journal.append(FRAME_ENTRY.pack(base, nbytes, crc32(view)))
+            self._journal.append(
+                FRAME_ENTRY.pack(base, nbytes, crc32(viewguard.unwrap(view)))
+            )
         self.stats.block_flushes += 1
         self.stats.bytes_flushed += nbytes
         scope = self._scope
@@ -463,7 +465,7 @@ class HybridLog:
             pos += len(piece)
         return bytes(out)
 
-    def read_view(self, address: int, length: int) -> Optional[memoryview]:
+    def read_view(self, address: int, length: int) -> Optional[memoryview]:  # loomflow: borrows=storage
         """Zero-copy read of ``[address, address + length)``, if persisted.
 
         Returns a read-only view straight from the storage backend (an

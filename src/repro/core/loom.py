@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from types import TracebackType
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
+from . import viewguard
 from .clock import Clock, MonotonicClock
 from .config import LoomConfig
 from .errors import LoomError
@@ -373,7 +374,7 @@ class Loom:
             snap, source_id, index, t_range[0], t_range[1],
             v_min=lo, v_max=hi, stats=stats, copy=False,
         ):
-            value = index.index_func(record.payload)
+            value = index.index_func(viewguard.unwrap(record.payload))
             if spec.bin_of(value) == bin_idx:
                 values.append(value)
         values.sort()

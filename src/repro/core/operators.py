@@ -31,6 +31,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from . import viewguard
 from .errors import LoomError
 from .histogram import IndexDefinition
 from .record import HEADER_SIZE, Record
@@ -227,7 +228,7 @@ def raw_scan(
 # ----------------------------------------------------------------------
 # indexed range scan
 # ----------------------------------------------------------------------
-def indexed_scan(
+def indexed_scan(  # loomflow: borrows=scan
     snapshot: Snapshot,
     source_id: int,
     index: IndexDefinition,
@@ -389,7 +390,7 @@ def _scan_region(
     if matches.size == 0:
         return
     buffer = columns.buffer
-    view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+    view = viewguard.as_view(buffer)
     offsets = columns.offsets
     lengths = columns.lengths
     prev_addrs = columns.prev_addrs
@@ -399,7 +400,7 @@ def _scan_region(
         payload_start = offset + HEADER_SIZE
         payload = view[payload_start : payload_start + int(lengths[i])]
         if func is not None:
-            value = func(payload)
+            value = func(viewguard.unwrap(payload))
             if value < v_min or value > v_max:
                 continue
         if stats is not None:
@@ -435,7 +436,7 @@ def _scan_region_scalar(
         if record.timestamp < t_start or record.timestamp > t_end:
             continue
         if index is not None:
-            value = index.index_func(record.payload)
+            value = index.index_func(viewguard.unwrap(record.payload))
             if value < v_min or value > v_max:
                 continue
         if stats is not None:
@@ -531,7 +532,7 @@ def _aggregate_distributive(
                 source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
                 copy=False,
             ):
-                total.update(index.index_func(record.payload), record.timestamp)
+                total.update(index.index_func(viewguard.unwrap(record.payload)), record.timestamp)
     if trace is not None:
         trace.add("summary-prune", f"aggregated from bins: {aggregated}", count=aggregated + scanned)
         trace.add("chunk-scan", "straddling chunks", count=scanned)
@@ -541,7 +542,7 @@ def _aggregate_distributive(
         source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
         copy=False,
     ):
-        total.update(index.index_func(record.payload), record.timestamp)
+        total.update(index.index_func(viewguard.unwrap(record.payload)), record.timestamp)
     if trace is not None:
         trace.add(
             "active-scan",
@@ -605,7 +606,7 @@ def _aggregate_percentile(
                 source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
                 copy=False,
             ):
-                value = index.index_func(record.payload)
+                value = index.index_func(viewguard.unwrap(record.payload))
                 b = spec.bin_of(value)
                 bin_counts[b] = bin_counts.get(b, 0) + 1
                 scanned_bin_values.setdefault(b, []).append(value)
@@ -615,7 +616,7 @@ def _aggregate_percentile(
         source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
         copy=False,
     ):
-        value = index.index_func(record.payload)
+        value = index.index_func(viewguard.unwrap(record.payload))
         b = spec.bin_of(value)
         bin_counts[b] = bin_counts.get(b, 0) + 1
         scanned_bin_values.setdefault(b, []).append(value)
@@ -672,7 +673,7 @@ def _aggregate_percentile(
             source_id, index, t_start, t_end, NEG_INF, POS_INF, stats,
             copy=False,
         ):
-            value = index.index_func(record.payload)
+            value = index.index_func(viewguard.unwrap(record.payload))
             if spec.bin_of(value) == target_bin:
                 values.append(value)
     if trace is not None:
@@ -716,7 +717,7 @@ def bin_histogram(
             snapshot, start, end, source_id, index,
             t_start, t_end, NEG_INF, POS_INF, stats, copy=False,
         ):
-            b = spec.bin_of(index.index_func(record.payload))
+            b = spec.bin_of(index.index_func(viewguard.unwrap(record.payload)))
             counts[b] = counts.get(b, 0) + 1
 
     for summary, full in _classified_summaries(

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from . import viewguard
 from .chunk_index import ChunkIndex
 from .clock import Clock, MonotonicClock, VirtualClock
 from .config import LoomConfig
@@ -757,7 +758,7 @@ class RecordLog:
             address=address,
         )
 
-    def iter_records_between(
+    def iter_records_between(  # loomflow: borrows=scan
         self,
         start: int,
         end: int,
@@ -795,11 +796,16 @@ class RecordLog:
         view = buffer if is_view else memoryview(buffer)
         offset = 0
         verify = self._verify_on_read
+        # Header decodes need a raw buffer (struct consumers); under the
+        # view-lifetime guard each unwrap re-checks that the region view
+        # was not poisoned by a concurrent truncate/recycle.
+        unwrap = viewguard.unwrap
         while offset < size:
             if stats is not None:
                 stats.records_decoded += 1
-            source_id, timestamp, prev_addr, length = decode_header(buffer, offset)
-            if verify and not verify_record_bytes(buffer, offset, length):
+            raw = unwrap(buffer)
+            source_id, timestamp, prev_addr, length = decode_header(raw, offset)
+            if verify and not verify_record_bytes(raw, offset, length):
                 raise CorruptionError(
                     f"record at address {start + offset} fails its CRC on "
                     f"read (source_id={source_id}, length={length})",
@@ -819,7 +825,7 @@ class RecordLog:
             )
             offset += HEADER_SIZE + length
 
-    def region_columns(
+    def region_columns(  # loomflow: borrows=storage
         self,
         start: int,
         end: int,
@@ -846,9 +852,12 @@ class RecordLog:
         buffer: "bytes | memoryview" = (
             region if region is not None else self.log.read(start, size)
         )
-        raw = np.frombuffer(buffer, np.uint8)
+        # C-level consumers (frombuffer, struct) need the raw buffer; the
+        # unwrap checks the view was not poisoned before decoding starts.
+        raw_buffer = viewguard.unwrap(buffer)
+        raw = np.frombuffer(raw_buffer, np.uint8)
         unpack_len = _LEN_FIELD.unpack_from
-        first_len = unpack_len(buffer, 20)[0]
+        first_len = unpack_len(raw_buffer, 20)[0]
         stride = HEADER_SIZE + first_len
         offsets: Optional[np.ndarray] = None
         if size % stride == 0:
@@ -871,12 +880,17 @@ class RecordLog:
             pos = 0
             while pos < size:
                 offs.append(pos)
-                pos += HEADER_SIZE + unpack_len(buffer, pos + 20)[0]
+                pos += HEADER_SIZE + unpack_len(raw_buffer, pos + 20)[0]
             offsets = np.array(offs, dtype=np.int64)
         n = len(offsets)
         headers = raw[
             (offsets[:, None] + np.arange(BODY_SIZE)).ravel()
         ].reshape(n, BODY_SIZE)
+        # The column arrays are handed to callers: freeze them (before
+        # taking the struct view, so the view inherits read-onlyness) so
+        # nobody can mutate what look like private scratch arrays.
+        headers.flags.writeable = False
+        offsets.flags.writeable = False
         bodies = headers.view(BODY_DTYPE).ravel()
         if stats is not None:
             stats.records_decoded += n

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from . import viewguard
 from .clock import Clock
 from .config import LoomConfig
 from .errors import LoomError
@@ -959,6 +960,10 @@ def install() -> None:
     setattr(RecordLog, "sync", sync)
     setattr(RecordLog, "close", close)
     setattr(RecordLog, "reopen", classmethod(reopen))
+    # The view-lifetime guard rides along with every sanitized run: from
+    # here on, zero-copy views are tracked and poisoned on invalidation
+    # (see repro.core.viewguard — the loomflow runtime twin).
+    viewguard.activate()
     _installed = True
 
 
@@ -979,4 +984,5 @@ def uninstall() -> None:
     setattr(RecordLog, "reopen", classmethod(_originals["reopen"]))
     _originals.clear()
     _shadows.clear()
+    viewguard.deactivate()
     _installed = False

@@ -106,7 +106,7 @@ class Snapshot:
             yield record
             address = record.prev_addr
 
-    def iter_region(
+    def iter_region(  # loomflow: borrows=snapshot
         self,
         start: int,
         end: int,
@@ -124,7 +124,7 @@ class Snapshot:
             return iter(())
         return self.record_log.iter_records_between(start, end, copy=copy, stats=stats)
 
-    def region_columns(
+    def region_columns(  # loomflow: borrows=snapshot
         self,
         start: int,
         end: int,

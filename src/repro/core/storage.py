@@ -28,13 +28,41 @@ import mmap
 import os
 import threading
 from bisect import bisect_right
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, cast
 
+from . import viewguard
 from .errors import AddressError, ClosedError, StorageError
 
 
 class Storage:
     """Interface: an append-only, randomly readable byte store."""
+
+    #: Outstanding zero-copy borrows (view-lifetime guard, LOOMSAN only).
+    #: Lazily created by :meth:`_track_view`; ``None`` in production runs.
+    _views: Optional[viewguard.Ledger] = None
+
+    def _track_view(self, view: memoryview, address: int, length: int) -> memoryview:
+        """Register ``view`` with the lifetime guard when it is active.
+
+        Truncation, close, and fault-injection mutation call
+        :meth:`_poison_views`; any later touch of an affected view raises
+        :class:`~repro.core.errors.StaleViewError` with the borrow site.
+        """
+        if not viewguard.active:
+            return view
+        if self._views is None:
+            self._views = viewguard.Ledger()
+        return cast(
+            memoryview, self._views.borrow(view, address, address + length)
+        )
+
+    def _poison_views(self, lo: int, hi: int, reason: str) -> None:
+        if self._views is not None:
+            self._views.invalidate(lo, hi, reason)
+
+    def _poison_all_views(self, reason: str) -> None:
+        if self._views is not None:
+            self._views.invalidate_all(reason)
 
     def append(self, data: bytes) -> int:
         """Append ``data``; return the address of its first byte."""
@@ -134,6 +162,9 @@ class MemoryStorage(Storage):
     def append_extent(self, view: memoryview) -> Tuple[int, bool]:
         if self._closed:
             raise ClosedError("storage is closed")
+        # Ownership handoff: the retained buffer is immutable from here on,
+        # so a tracked flush view stops being a borrow (guard bookkeeping).
+        view = viewguard.adopt(view)
         with self._lock:
             address = self._size
             if len(view):
@@ -174,7 +205,9 @@ class MemoryStorage(Storage):
         if offset + length > len(extent):
             return None  # spans extents: caller falls back to read()
         view = memoryview(extent)[offset : offset + length]
-        return view if view.readonly else view.toreadonly()
+        if not view.readonly:
+            view = view.toreadonly()
+        return self._track_view(view, address, length)
 
     def _mutate_byte(self, address: int, mask: int) -> None:
         """Flip bits of one persisted byte (fault-injection hook).
@@ -189,6 +222,15 @@ class MemoryStorage(Storage):
             mutated = bytearray(self._extents[i])
             mutated[address - self._starts[i]] ^= mask
             self._extents[i] = bytes(mutated)
+            # Outstanding views of the replaced extent now alias the
+            # pre-mutation object: stale by definition.
+            start = self._starts[i]
+            self._poison_views(
+                start,
+                start + len(mutated),
+                f"storage byte at address {address} was mutated "
+                f"(fault injection replaced its extent)",
+            )
 
     @property
     def size(self) -> int:
@@ -200,6 +242,7 @@ class MemoryStorage(Storage):
         with self._lock:
             if size < 0 or size > self._size:
                 raise AddressError(f"truncate to {size} outside [0, {self._size}]")
+            old_size = self._size
             while self._starts and self._starts[-1] >= size:
                 self._starts.pop()
                 self._extents.pop()
@@ -209,9 +252,14 @@ class MemoryStorage(Storage):
                 if keep < len(self._extents[-1]):
                     self._extents[-1] = bytes(self._extents[-1][:keep])
             self._size = size
+            if old_size > size:
+                self._poison_views(
+                    size, old_size, f"storage truncated to {size}"
+                )
 
     def close(self) -> None:
         self._closed = True
+        self._poison_all_views("storage closed")
 
 
 class FileStorage(Storage):
@@ -281,7 +329,10 @@ class FileStorage(Storage):
             entry = self._remap()
             if entry is None or address + length > entry[1]:
                 return None
-        return memoryview(entry[0])[address : address + length]
+        view = memoryview(entry[0])[address : address + length]
+        if not view.readonly:  # pragma: no cover - ACCESS_READ maps are readonly
+            view = view.toreadonly()
+        return self._track_view(view, address, length)
 
     def _remap(self) -> Optional[Tuple[mmap.mmap, int]]:
         """(Re)create the read mmap covering the current file size, lock-free.
@@ -330,16 +381,29 @@ class FileStorage(Storage):
             self._write_f.flush()
             # The append handle is O_APPEND, so later writes land at the
             # new end of file regardless of any cached offset.
+            old_size = self._size
             os.ftruncate(self._write_f.fileno(), size)
             self._size = size
             # Drop the map: its tail may now be beyond EOF.  Outstanding
-            # views pin the old object; new reads remap lazily.
+            # views pin the old object; new reads remap lazily.  Views over
+            # the truncated tail alias dropped file bytes (a flush retry
+            # will rewrite those addresses through the file, not the map),
+            # so the guard poisons them; views below ``size`` stay valid —
+            # the persisted prefix is immutable.
             self._map = None
+            if old_size > size:
+                self._poison_views(
+                    size,
+                    old_size,
+                    f"storage truncated to {size}; the mmap over the "
+                    f"dropped tail was remapped",
+                )
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
             self._map = None
+            self._poison_all_views("storage closed; the mmap was dropped")
             self._write_f.close()
             self._read_f.close()
 

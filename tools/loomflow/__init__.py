@@ -1,0 +1,9 @@
+"""loomflow: interprocedural zero-copy view-lifetime analysis for Loom.
+
+Static half of the borrow checker for the read path; the runtime twin is
+:mod:`repro.core.viewguard` (poison-on-recycle under ``LOOMSAN=1``).
+"""
+
+from .engine import Finding, ProjectIndex, RunResult, analyze, run
+
+__all__ = ["Finding", "ProjectIndex", "RunResult", "analyze", "run"]

@@ -1,0 +1,133 @@
+"""Command-line entry point for loomflow.
+
+Usage::
+
+    python -m tools.loomflow check [paths...]     # analyze the tree
+    python -m tools.loomflow mutants              # self-test on seeded bugs
+    python -m tools.loomflow list-rules
+
+``check`` exit codes (mirroring loomlint): 0 clean, 1 findings, 2 usage
+or internal error.  ``mutants`` exits 0 when every seeded escape is
+caught at its expected location and 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .config import RULES
+from .engine import run, save_baseline
+
+_TOOL_DIR = os.path.dirname(os.path.abspath(__file__))
+_DEFAULT_BASELINE = os.path.join(_TOOL_DIR, "baseline.json")
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(_TOOL_DIR))
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    root = _repo_root()
+    paths = args.paths or [os.path.join(root, "src")]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"loomflow: path does not exist: {path}", file=sys.stderr)
+            return 2
+    baseline: Optional[str] = None if args.no_baseline else args.baseline
+    try:
+        result = run(paths, root, baseline_path=baseline)
+    except SyntaxError as exc:
+        print(f"loomflow: failed to parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        count = save_baseline(args.baseline, result.findings)
+        print(
+            f"loomflow: wrote {count} baseline entries to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    for finding in result.findings:
+        print(finding.render())
+
+    if args.out:
+        payload = {
+            "findings": [f.to_json() for f in result.findings],
+            "baselined": [f.to_json() for f in result.baselined],
+            "suppressed": [f.to_json() for f in result.suppressed],
+        }
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+
+    summary = (
+        f"loomflow: {len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    print(summary, file=sys.stderr)
+    if args.verbose:
+        for finding in result.baselined:
+            print(f"  [baselined] {finding.render()}", file=sys.stderr)
+        for finding in result.suppressed:
+            print(f"  [suppressed] {finding.render()}", file=sys.stderr)
+    return 1 if result.findings else 0
+
+
+def _cmd_mutants(args: argparse.Namespace) -> int:
+    from .mutants import run_mutants
+
+    return run_mutants(_repo_root(), verbose=args.verbose)
+
+
+def _cmd_list_rules(_: argparse.Namespace) -> int:
+    for code in sorted(RULES):
+        slug, description = RULES[code]
+        print(f"{code} [{slug}]")
+        print(f"    {description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="loomflow",
+        description="Interprocedural zero-copy view-lifetime analysis.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    check = sub.add_parser("check", help="analyze source paths")
+    check.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    check.add_argument("--baseline", default=_DEFAULT_BASELINE)
+    check.add_argument("--no-baseline", action="store_true")
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline",
+    )
+    check.add_argument("--out", help="write findings as JSON to this path")
+    check.add_argument("-v", "--verbose", action="store_true")
+    check.set_defaults(func=_cmd_check)
+
+    mutants = sub.add_parser(
+        "mutants", help="self-test: seed known escapes, assert each is caught"
+    )
+    mutants.add_argument("-v", "--verbose", action="store_true")
+    mutants.set_defaults(func=_cmd_mutants)
+
+    rules = sub.add_parser("list-rules", help="print the rule registry")
+    rules.set_defaults(func=_cmd_list_rules)
+
+    args = parser.parse_args(argv)
+    if not hasattr(args, "func"):
+        parser.print_help(sys.stderr)
+        return 2
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1131 @@
+"""loomflow: interprocedural view-lifetime (escape) analysis for Loom.
+
+The zero-copy read tier hands out ``memoryview``s into storage that is
+concurrently remapped, recycled, and truncated.  This engine proves, over
+the plain AST, that no borrowed view outlives its validity window.  It is
+the static half of a pair: :mod:`repro.core.viewguard` is the runtime twin
+that poisons outstanding views under ``LOOMSAN=1``.
+
+The analysis has three passes:
+
+1. **Index** every file (mirroring loomlint's project index): functions,
+   classes, per-line suppressions (``# loomflow: disable=...``) and borrow
+   contracts (``# loomflow: borrows=<lifetime>``).
+2. **Summaries** (the interprocedural pass): for each function, compute to
+   a fixpoint whether it can *return a borrow* (a view minted by a source
+   inside it or by a callee) and which of its parameters flow to its
+   return value (*passthrough*), plus whether it takes a ``copy=``
+   parameter and that parameter's default.  Call sites consult summaries,
+   so a borrow minted three calls deep still taints the caller.
+3. **Rules**: re-walk each function with an intraprocedural taint
+   environment (names -> borrow records, each carrying its borrow site)
+   and report LOOM201-208 findings.  Every finding names the borrow site
+   (``file:line``) where the view was minted, not just where it escaped.
+
+The taint domain is deliberately two-kinded: ``source`` borrows (minted
+from a view source) drive every rule; ``param`` borrows (a parameter that
+may be a view) exist only so summaries can model passthrough — a function
+slicing a caller-supplied buffer is the *caller's* problem at the
+caller's call site, not a finding inside the callee.  This keeps false
+positives near zero on codec helpers that legitimately transform buffers
+they do not own.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .config import (
+    BRACKET_EXCEPTIONS,
+    BUFFER_ATTR_NAMES,
+    CONTAINER_CALLS,
+    CONTRACT_LIFETIMES,
+    COPY_KEYWORD,
+    COPYING_CALLS,
+    COPYING_METHODS,
+    DAEMON_PATH_FRAGMENT,
+    FROMBUFFER_NAMES,
+    HANDOFF_CONSTRUCTORS,
+    HANDOFF_METHODS,
+    PUBLIC_EXEMPT_PREFIX,
+    RULES,
+    TAINT_PRESERVING_METHODS,
+    VIEW_SOURCE_METHODS,
+)
+
+_SLUG_TO_CODE = {slug: code for code, (slug, _) in RULES.items()}
+_SUPPRESS_RE = re.compile(r"#\s*loomflow:\s*disable=([A-Za-z0-9_,\-]+)")
+_CONTRACT_RE = re.compile(r"#\s*loomflow:\s*borrows=([A-Za-z0-9_\-]+)")
+
+
+# ----------------------------------------------------------------------
+# Data model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Finding:
+    """One rule finding at a source location, with its borrow site."""
+
+    path: str  # repo-relative, forward slashes
+    line: int
+    rule: str  # e.g. "LOOM203"
+    symbol: str  # qualname of the function/module blamed
+    message: str
+    borrow_site: str  # "path:line" where the view was minted
+
+    def render(self) -> str:
+        slug = RULES[self.rule][0]
+        return (
+            f"{self.path}:{self.line}: {self.rule} [{slug}] {self.message} "
+            f"(view borrowed at {self.borrow_site})"
+        )
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "slug": RULES[self.rule][0],
+            "symbol": self.symbol,
+            "message": self.message,
+            "borrow_site": self.borrow_site,
+        }
+
+
+@dataclass(frozen=True)
+class Borrow:
+    """A value that may be (or contain) a borrowed view.
+
+    ``kind`` is ``"source"`` for views minted by a view source and
+    ``"param"`` for caller-supplied values (tracked only for summary
+    passthrough, never reported directly).
+    """
+
+    site: str  # "path:line" of the mint
+    line: int
+    reason: str  # e.g. "read_view(...)" or "copy=False call"
+    kind: str = "source"
+
+
+@dataclass
+class Contract:
+    """A ``# loomflow: borrows=<lifetime>`` annotation on a def."""
+
+    lifetime: str
+    line: int
+    valid: bool
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str  # module.Class.name or module.name
+    module: str
+    class_name: Optional[str]
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    path: str
+    is_async: bool
+    #: Parameter names in order (positional + kwonly), excluding self/cls.
+    params: List[str] = field(default_factory=list)
+    #: The def's contract annotation, if any.
+    contract: Optional[Contract] = None
+    #: Does the signature have a ``copy`` parameter, and its default.
+    has_copy_param: bool = False
+    copy_default: Optional[bool] = None
+    # -- summary (computed by the fixpoint pass) -----------------------
+    #: May return/yield a borrow minted inside (or below) this function.
+    returns_borrow: bool = False
+    #: Parameter names whose taint can flow to the return value.
+    passthrough: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    name: str
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class SourceFile:
+    path: str
+    module: str
+    tree: ast.Module
+    lines: List[str]
+    #: lineno -> rule codes suppressed on that line.
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: lineno -> contract found on that line.
+    contracts: Dict[int, Contract] = field(default_factory=dict)
+
+
+class ProjectIndex:
+    """Parsed files plus function/class indexes and summaries."""
+
+    def __init__(self) -> None:
+        self.files: List[SourceFile] = []
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions_by_name: Dict[str, List[FunctionInfo]] = {}
+        self.class_names: Set[str] = set()
+
+    @classmethod
+    def build(
+        cls,
+        paths: Sequence[str],
+        root: str,
+        overrides: Optional[Dict[str, str]] = None,
+    ) -> "ProjectIndex":
+        """Index ``paths``; ``overrides`` maps repo-relative paths to
+        replacement source text (the mutant self-test hook)."""
+        index = cls()
+        for file_path in _iter_python_files(paths):
+            index._add_file(file_path, root, overrides or {})
+        index._summarize()
+        return index
+
+    # -- construction --------------------------------------------------
+    def _add_file(
+        self, file_path: str, root: str, overrides: Dict[str, str]
+    ) -> None:
+        rel = os.path.relpath(os.path.abspath(file_path), root).replace(
+            os.sep, "/"
+        )
+        if rel in overrides:
+            source = overrides[rel]
+        else:
+            with open(file_path, "r", encoding="utf-8") as f:
+                source = f.read()
+        tree = ast.parse(source, filename=rel)
+        sf = SourceFile(
+            path=rel,
+            module=_module_name(file_path),
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        _collect_line_comments(sf)
+        self.files.append(sf)
+        for node in sf.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(sf, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    qualname=f"{sf.module}.{node.name}",
+                    module=sf.module,
+                    name=node.name,
+                )
+                self.classes[info.qualname] = info
+                self.class_names.add(node.name)
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        fn = self._add_function(sf, item, class_name=node.name)
+                        info.methods[item.name] = fn
+
+    def _add_function(
+        self,
+        sf: SourceFile,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        class_name: Optional[str],
+    ) -> FunctionInfo:
+        qual = (
+            f"{sf.module}.{class_name}.{node.name}"
+            if class_name
+            else f"{sf.module}.{node.name}"
+        )
+        params: List[str] = []
+        all_args = list(node.args.posonlyargs) + list(node.args.args) + list(
+            node.args.kwonlyargs
+        )
+        for a in all_args:
+            if a.arg in ("self", "cls"):
+                continue
+            params.append(a.arg)
+        has_copy = any(a.arg == COPY_KEYWORD for a in all_args)
+        copy_default = _copy_default(node) if has_copy else None
+        contract = _contract_for_def(sf, node)
+        info = FunctionInfo(
+            qualname=qual,
+            module=sf.module,
+            class_name=class_name,
+            name=node.name,
+            node=node,
+            path=sf.path,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            params=params,
+            contract=contract,
+            has_copy_param=has_copy,
+            copy_default=copy_default,
+        )
+        self.functions[qual] = info
+        self.functions_by_name.setdefault(node.name, []).append(info)
+        return info
+
+    # -- interprocedural summaries -------------------------------------
+    def _summarize(self) -> None:
+        """Iterate summary evaluation to a fixpoint (bounded)."""
+        for _ in range(12):
+            changed = False
+            for fn in self.functions.values():
+                walker = _TaintWalker(self, fn, None, summary_only=True)
+                walker.walk()
+                if walker.returns_source_borrow and not fn.returns_borrow:
+                    fn.returns_borrow = True
+                    changed = True
+                new_pass = walker.returned_params - fn.passthrough
+                if new_pass:
+                    fn.passthrough |= new_pass
+                    changed = True
+            if not changed:
+                break
+
+    # -- call resolution ------------------------------------------------
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        """Best-effort callee resolution (loomlint's approach, simplified):
+        same-module names, ``self.method()`` in the enclosing class, and
+        otherwise a project-unique bare name."""
+        func = call.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+            same_module = self.functions.get(f"{caller.module}.{name}")
+            if same_module is not None:
+                return same_module
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and caller.class_name is not None
+            ):
+                own = self.functions.get(
+                    f"{caller.module}.{caller.class_name}.{name}"
+                )
+                if own is not None:
+                    return own
+        if name is None:
+            return None
+        candidates = self.functions_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path) and path.endswith(".py"):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                ]
+                for fname in sorted(filenames):
+                    if fname.endswith(".py"):
+                        yield os.path.join(dirpath, fname)
+
+
+def _module_name(file_path: str) -> str:
+    parts = os.path.normpath(os.path.abspath(file_path)).split(os.sep)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    name = ".".join(parts)
+    for suffix in (".py",):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+def _collect_line_comments(sf: SourceFile) -> None:
+    for lineno, line in enumerate(sf.lines, start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            codes: Set[str] = set()
+            for token in m.group(1).split(","):
+                token = token.strip()
+                codes.add(_SLUG_TO_CODE.get(token, token))
+            sf.suppressions[lineno] = codes
+        c = _CONTRACT_RE.search(line)
+        if c:
+            token = c.group(1).strip()
+            sf.contracts[lineno] = Contract(
+                lifetime=token,
+                line=lineno,
+                valid=token in CONTRACT_LIFETIMES,
+            )
+
+
+def _contract_for_def(
+    sf: SourceFile, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+) -> Optional[Contract]:
+    """A contract on the def line, a decorator line, or just above."""
+    first = min(
+        [node.lineno] + [d.lineno for d in node.decorator_list]
+    )
+    last = getattr(node, "body", None)
+    body_start = last[0].lineno if last else node.lineno
+    for lineno in range(max(1, first - 1), body_start + 1):
+        contract = sf.contracts.get(lineno)
+        if contract is not None:
+            return contract
+    return None
+
+
+def _copy_default(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Optional[bool]:
+    args = node.args
+    pos = list(args.posonlyargs) + list(args.args)
+    defaults = list(args.defaults)
+    # Align defaults to the tail of positional args.
+    for arg, default in zip(pos[len(pos) - len(defaults) :], defaults):
+        if arg.arg == COPY_KEYWORD and isinstance(default, ast.Constant):
+            if isinstance(default.value, bool):
+                return default.value
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if (
+            arg.arg == COPY_KEYWORD
+            and isinstance(kw_default, ast.Constant)
+            and isinstance(kw_default.value, bool)
+        ):
+            return kw_default.value
+    return None
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _contains_await(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Await):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# The per-function taint walker
+# ----------------------------------------------------------------------
+class _TaintWalker:
+    """Walk one function body in statement order, propagating borrows.
+
+    Runs in two modes: ``summary_only`` computes the interprocedural
+    facts (does a source borrow reach the return? which params pass
+    through?); the full mode additionally emits LOOM201-207 findings
+    into ``self.findings``.  Loop bodies are walked twice so
+    loop-carried taint reaches uses lexically before the assignment.
+    """
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        fn: FunctionInfo,
+        sf: Optional[SourceFile],
+        summary_only: bool,
+    ) -> None:
+        self.index = index
+        self.fn = fn
+        self.sf = sf
+        self.summary_only = summary_only
+        self.env: Dict[str, Borrow] = {}
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple[str, int, str]] = set()
+        # Summary outputs.
+        self.returns_source_borrow = False
+        self.returned_params: Set[str] = set()
+        # LOOM201: names that escaped a SnapshotRetry bracket.
+        self.bracket_escapes: Dict[str, Borrow] = {}
+        # LOOM204: tainted names live across an await.
+        self.crossed: Dict[str, Borrow] = {}
+        self.in_daemon = DAEMON_PATH_FRAGMENT in fn.path
+        # Parameters start as param-kind borrows (for passthrough).
+        for p in fn.params:
+            self.env[p] = Borrow(
+                site=f"{fn.path}:{fn.node.lineno}",
+                line=fn.node.lineno,
+                reason=f"parameter {p!r}",
+                kind="param",
+            )
+
+    # -- entry ----------------------------------------------------------
+    def walk(self) -> None:
+        body = getattr(self.fn.node, "body", [])
+        self._walk_body(body)
+
+    def _walk_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt)
+
+    # -- reporting ------------------------------------------------------
+    def _report(
+        self, rule: str, line: int, message: str, borrow: Borrow
+    ) -> None:
+        if self.summary_only or self.sf is None:
+            return
+        if borrow.kind != "source":
+            return
+        key = (rule, line, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            Finding(
+                path=self.fn.path,
+                line=line,
+                rule=rule,
+                symbol=self.fn.qualname,
+                message=message,
+                borrow_site=borrow.site,
+            )
+        )
+
+    # -- statements -----------------------------------------------------
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are indexed and analyzed separately
+        if isinstance(stmt, ast.ClassDef):
+            return
+        had_await = self.fn.is_async and _contains_await(stmt)
+        if isinstance(stmt, ast.Assign):
+            borrow = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, borrow, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                borrow = self._eval(stmt.value)
+                self._assign(stmt.target, borrow, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            borrow = self._eval(stmt.value)
+            self._check_write_through(stmt.target)
+            # x += tainted keeps x tainted; x stays whatever it was else.
+            if borrow is not None:
+                self._assign(stmt.target, borrow, stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                borrow = self._eval(stmt.value)
+                self._note_return(borrow, stmt.value.lineno, "return")
+        elif isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                inner = value.value
+                if inner is not None:
+                    borrow = self._eval(inner)
+                    self._note_return(borrow, value.lineno, "yield")
+            else:
+                self._eval(value)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+        elif isinstance(stmt, (ast.While,)):
+            self._eval(stmt.test)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.body)  # loop-carried taint, second pass
+            self._walk_body(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            borrow = self._eval(stmt.iter)
+            # Iterating a tainted container yields tainted elements.
+            self._assign(stmt.target, borrow, stmt)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.body)  # loop-carried taint, second pass
+            self._walk_body(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self._walk_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                borrow = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, borrow, stmt)
+            self._walk_body(stmt.body)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        elif isinstance(stmt, (ast.Delete,)):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test)
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to do.
+        if had_await:
+            # Everything tainted before the await is now suspect: the
+            # coroutine was suspended, the writer may have moved on.
+            for name, borrow in self.env.items():
+                if borrow.kind == "source":
+                    self.crossed[name] = borrow
+
+    def _walk_try(self, stmt: ast.Try) -> None:
+        is_bracket = any(
+            _handler_catches(handler, BRACKET_EXCEPTIONS)
+            for handler in stmt.handlers
+        )
+        before = dict(self.env)
+        self._walk_body(stmt.body)
+        for handler in stmt.handlers:
+            self._walk_body(handler.body)
+        self._walk_body(stmt.orelse)
+        self._walk_body(stmt.finalbody)
+        if is_bracket:
+            # Names (re)minted inside the bracket must die inside it:
+            # record them so later loads (outside the bracket) are
+            # LOOM201.  Identity comparison, not membership, so a
+            # loop-carried re-mint on a second walk is re-recorded.
+            for name, borrow in self.env.items():
+                if borrow.kind == "source" and before.get(name) is not borrow:
+                    self.bracket_escapes[name] = borrow
+
+    # -- assignment targets ---------------------------------------------
+    def _assign(
+        self,
+        target: ast.expr,
+        borrow: Optional[Borrow],
+        stmt: ast.stmt,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if borrow is not None:
+                self.env[target.id] = borrow
+            else:
+                self.env.pop(target.id, None)
+            # A reassignment clears the bracket/await bookkeeping.
+            self.bracket_escapes.pop(target.id, None)
+            self.crossed.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, borrow, stmt)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, borrow, stmt)
+        elif isinstance(target, ast.Attribute):
+            if borrow is not None and borrow.kind == "source":
+                owner = target.value
+                if isinstance(owner, ast.Name) and (
+                    owner.id == "self" or owner.id in self.fn.params
+                ):
+                    self._report(
+                        "LOOM202",
+                        stmt.lineno,
+                        f"borrowed view stored into attribute "
+                        f"{owner.id}.{target.attr}, which outlives the "
+                        f"view's validity window",
+                        borrow,
+                    )
+        elif isinstance(target, ast.Subscript):
+            self._check_write_through(target)
+            if borrow is not None and borrow.kind == "source":
+                container = target.value
+                if self._container_escapes(container):
+                    self._report(
+                        "LOOM203",
+                        stmt.lineno,
+                        f"borrowed view stored into container "
+                        f"{ast.unparse(container)!s}[...], which outlives "
+                        f"the enclosing scope",
+                        borrow,
+                    )
+
+    def _check_write_through(self, target: ast.expr) -> None:
+        """LOOM207: subscript stores through a tainted name."""
+        if not isinstance(target, ast.Subscript):
+            return
+        base = target.value
+        borrow = self._eval(base) if not isinstance(base, ast.Name) else (
+            self.env.get(base.id)
+        )
+        if borrow is not None and borrow.kind == "source":
+            self._report(
+                "LOOM207",
+                target.lineno,
+                f"write through borrowed view "
+                f"{ast.unparse(base)!s}: log bytes are immutable "
+                f"after publication",
+                borrow,
+            )
+
+    def _container_escapes(self, container: ast.expr) -> bool:
+        """Does this container outlive the function's scope?"""
+        if isinstance(container, ast.Attribute):
+            return True  # self.cache[...] / obj.cache[...]
+        if isinstance(container, ast.Name):
+            # Module-level or closure name: not a local, not a param.
+            if container.id in self.fn.params:
+                return True
+            return container.id not in self._local_names()
+        return False
+
+    def _local_names(self) -> Set[str]:
+        names: Set[str] = set(self.fn.params)
+
+        def bound(target: ast.expr) -> None:
+            # Only names the target *binds*: ``cache[k] = v`` and
+            # ``obj.attr = v`` do not make ``cache``/``obj`` locals.
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    bound(element)
+            elif isinstance(target, ast.Starred):
+                bound(target.value)
+
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bound(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                bound(node.target)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                bound(node.target)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        bound(item.optional_vars)
+        return names
+
+    # -- returns / yields -----------------------------------------------
+    def _note_return(
+        self, borrow: Optional[Borrow], line: int, verb: str
+    ) -> None:
+        if borrow is None:
+            return
+        if borrow.kind == "param":
+            for p in self.fn.params:
+                if borrow.reason == f"parameter {p!r}":
+                    self.returned_params.add(p)
+            # Conservative: any param-kind borrow marks all params whose
+            # env entry is this borrow.
+            for name, b in self.env.items():
+                if b is borrow and name in self.fn.params:
+                    self.returned_params.add(name)
+            return
+        self.returns_source_borrow = True
+        if self.summary_only:
+            return
+        # LOOM206: public API returning a borrow without a contract.
+        if self.fn.name.startswith(PUBLIC_EXEMPT_PREFIX):
+            return
+        if self.fn.contract is not None:
+            return
+        self._report(
+            "LOOM206",
+            line,
+            f"public API {verb}s a borrowed view without copy=True or a "
+            f"'# loomflow: borrows=' contract on the def",
+            borrow,
+        )
+
+    # -- expressions -----------------------------------------------------
+    def _eval(self, expr: ast.expr) -> Optional[Borrow]:
+        if isinstance(expr, ast.Name):
+            borrow = self.env.get(expr.id)
+            if borrow is not None and borrow.kind == "source":
+                if expr.id in self.bracket_escapes:
+                    self._report(
+                        "LOOM201",
+                        expr.lineno,
+                        f"view {expr.id!r} created inside a SnapshotRetry "
+                        f"validation bracket is used after the bracket",
+                        borrow,
+                    )
+                if self.in_daemon and expr.id in self.crossed:
+                    self._report(
+                        "LOOM204",
+                        expr.lineno,
+                        f"view {expr.id!r} is used after an await: the "
+                        f"bytes may have been recycled while suspended",
+                        borrow,
+                    )
+            return borrow
+        if isinstance(expr, ast.Attribute):
+            inner = self._eval(expr.value)
+            return inner  # record.payload on a tainted record stays tainted
+        if isinstance(expr, ast.Subscript):
+            base = self._eval(expr.value)
+            if isinstance(expr.slice, ast.expr):
+                self._eval(expr.slice)
+            return base  # slicing a view/container keeps the borrow
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            borrows = [self._eval(e) for e in expr.elts]
+            return _first_source(borrows)
+        if isinstance(expr, ast.Dict):
+            borrows = [
+                self._eval(v) for v in expr.values if v is not None
+            ]
+            for k in expr.keys:
+                if k is not None:
+                    self._eval(k)
+            return _first_source(borrows)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return _first_source(
+                [self._eval(expr.body), self._eval(expr.orelse)]
+            )
+        if isinstance(expr, ast.BoolOp):
+            return _first_source([self._eval(v) for v in expr.values])
+        if isinstance(expr, ast.NamedExpr):
+            borrow = self._eval(expr.value)
+            self._assign(expr.target, borrow, ast.Expr(value=expr))
+            return borrow
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            return self._eval_comprehension(expr)
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.BinOp, ast.UnaryOp, ast.Compare)):
+            for sub in ast.iter_child_nodes(expr):
+                if isinstance(sub, ast.expr):
+                    self._eval(sub)
+            return None
+        if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Name):
+                    self._eval(sub)
+            return None
+        if isinstance(expr, ast.Lambda):
+            return None
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            if expr.value is not None:
+                borrow = self._eval(expr.value)
+                self._note_return(borrow, expr.lineno, "yield")
+            return None
+        return None
+
+    def _eval_comprehension(self, expr: ast.expr) -> Optional[Borrow]:
+        saved = dict(self.env)
+        borrow_out: Optional[Borrow] = None
+        generators = getattr(expr, "generators", [])
+        for gen in generators:
+            borrow = self._eval(gen.iter)
+            self._assign(gen.target, borrow, ast.Expr(value=expr))
+            for cond in gen.ifs:
+                self._eval(cond)
+        if isinstance(expr, ast.DictComp):
+            self._eval(expr.key)
+            borrow_out = self._eval(expr.value)
+        else:
+            borrow_out = self._eval(expr.elt)  # type: ignore[attr-defined]
+        self.env = saved
+        return borrow_out
+
+    # -- calls ------------------------------------------------------------
+    def _eval_call(self, call: ast.Call) -> Optional[Borrow]:
+        name = _call_name(call)
+        arg_borrows = [self._eval(a) for a in call.args]
+        kw_borrows = [
+            self._eval(kw.value) for kw in call.keywords if kw.value is not None
+        ]
+        receiver_borrow: Optional[Borrow] = None
+        if isinstance(call.func, ast.Attribute):
+            receiver_borrow = self._eval(call.func.value)
+        tainted_arg = _first_source(arg_borrows + kw_borrows)
+
+        # LOOM205: thread/queue handoffs in daemon code.
+        if self.in_daemon and tainted_arg is not None:
+            if name in HANDOFF_METHODS:
+                self._report(
+                    "LOOM205",
+                    call.lineno,
+                    f"borrowed view handed to another thread/task via "
+                    f"{name}(...)",
+                    tainted_arg,
+                )
+            elif name in HANDOFF_CONSTRUCTORS:
+                self._report(
+                    "LOOM205",
+                    call.lineno,
+                    f"borrowed view captured by {name}(...) escapes to "
+                    f"another thread",
+                    tainted_arg,
+                )
+
+        # LOOM203: container mutators on escaping containers.
+        if (
+            name in ("append", "add", "insert", "extend", "appendleft")
+            and tainted_arg is not None
+            and isinstance(call.func, ast.Attribute)
+            and self._container_escapes(call.func.value)
+        ):
+            self._report(
+                "LOOM203",
+                call.lineno,
+                f"borrowed view stored into container "
+                f"{ast.unparse(call.func.value)!s}.{name}(...), which "
+                f"outlives the enclosing scope",
+                tainted_arg,
+            )
+
+        # Laundering calls produce owned bytes.
+        if isinstance(call.func, ast.Name) and name in COPYING_CALLS:
+            return None
+        if name in COPYING_METHODS and isinstance(call.func, ast.Attribute):
+            return None
+
+        # View sources by method name.
+        if name in VIEW_SOURCE_METHODS:
+            return self._mint(call, f"{name}(...)")
+
+        # memoryview()/frombuffer() over buffers.
+        if name == "memoryview" and isinstance(call.func, ast.Name):
+            if tainted_arg is not None:
+                return tainted_arg
+            if call.args and isinstance(call.args[0], ast.Attribute):
+                if call.args[0].attr in BUFFER_ATTR_NAMES:
+                    return self._mint(
+                        call, f"memoryview({ast.unparse(call.args[0])!s})"
+                    )
+            return None
+        if name in FROMBUFFER_NAMES:
+            return tainted_arg
+
+        # Taint-preserving methods on a tainted receiver.
+        if name in TAINT_PRESERVING_METHODS and receiver_borrow is not None:
+            return receiver_borrow
+
+        # typing.cast(T, value) is the identity on the value's taint.
+        if name == "cast" and call.args:
+            return self._eval(call.args[-1])
+
+        # Container conversions keep their argument's taint.
+        if (
+            isinstance(call.func, ast.Name)
+            and name in CONTAINER_CALLS
+            and tainted_arg is not None
+        ):
+            return tainted_arg
+
+        # The copy= convention.
+        copy_kw = next(
+            (kw for kw in call.keywords if kw.arg == COPY_KEYWORD), None
+        )
+        if copy_kw is not None:
+            if (
+                isinstance(copy_kw.value, ast.Constant)
+                and copy_kw.value.value is True
+            ):
+                return None  # explicit copy: owned bytes
+            if (
+                isinstance(copy_kw.value, ast.Constant)
+                and copy_kw.value.value is False
+            ):
+                return self._mint(call, f"{name or 'call'}(copy=False)")
+            # copy=<forwarded>: conservatively a borrow — some caller
+            # will pass False.
+            return self._mint(
+                call, f"{name or 'call'}(copy={ast.unparse(copy_kw.value)!s})"
+            )
+
+        # Interprocedural: consult the callee's summary.
+        callee = self.index.resolve_call(call, self.fn)
+        if callee is not None:
+            if callee.has_copy_param and callee.copy_default is True:
+                # No copy= at this call site and the callee defaults to
+                # copying: owned bytes.
+                return None
+            if callee.returns_borrow:
+                return self._mint(
+                    call, f"{callee.name}(...) returns a borrow"
+                )
+            if callee.passthrough:
+                passed = self._args_for_params(call, callee)
+                for param in callee.passthrough:
+                    borrow = passed.get(param)
+                    if borrow is not None and borrow.kind == "source":
+                        return borrow
+            return None
+
+        # Unresolved constructor of an indexed class with a tainted arg:
+        # the object carries the borrow (e.g. Record(payload=view)).
+        if (
+            name is not None
+            and name in self.index.class_names
+            and tainted_arg is not None
+        ):
+            return tainted_arg
+        return None
+
+    def _mint(self, call: ast.Call, reason: str) -> Borrow:
+        return Borrow(
+            site=f"{self.fn.path}:{call.lineno}",
+            line=call.lineno,
+            reason=reason,
+            kind="source",
+        )
+
+    def _args_for_params(
+        self, call: ast.Call, callee: FunctionInfo
+    ) -> Dict[str, Optional[Borrow]]:
+        """Map callee parameter names to the borrows of the call's args."""
+        mapping: Dict[str, Optional[Borrow]] = {}
+        is_method = (
+            isinstance(call.func, ast.Attribute)
+            and callee.class_name is not None
+        )
+        params = callee.params
+        positional = call.args
+        for i, arg in enumerate(positional):
+            if i < len(params):
+                mapping[params[i]] = self._eval(arg)
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in params:
+                mapping[kw.arg] = self._eval(kw.value)
+        del is_method  # receiver mapping is out of scope for the summary
+        return mapping
+
+
+def _handler_catches(
+    handler: ast.ExceptHandler, names: "frozenset[str]"
+) -> bool:
+    def match(expr: Optional[ast.expr]) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, ast.Name):
+            return expr.id in names
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in names
+        if isinstance(expr, ast.Tuple):
+            return any(match(e) for e in expr.elts)
+        return False
+
+    return match(handler.type)
+
+
+def _first_source(borrows: Sequence[Optional[Borrow]]) -> Optional[Borrow]:
+    fallback: Optional[Borrow] = None
+    for borrow in borrows:
+        if borrow is None:
+            continue
+        if borrow.kind == "source":
+            return borrow
+        fallback = fallback or borrow
+    return fallback
+
+
+# ----------------------------------------------------------------------
+# Contract validation (LOOM208)
+# ----------------------------------------------------------------------
+def _check_contracts(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in index.functions.values():
+        contract = fn.contract
+        if contract is None:
+            continue
+        if not contract.valid:
+            findings.append(
+                Finding(
+                    path=fn.path,
+                    line=contract.line,
+                    rule="LOOM208",
+                    symbol=fn.qualname,
+                    message=(
+                        f"unknown borrow lifetime "
+                        f"{contract.lifetime!r} (expected one of: "
+                        f"{', '.join(sorted(CONTRACT_LIFETIMES))})"
+                    ),
+                    borrow_site=f"{fn.path}:{contract.line}",
+                )
+            )
+        elif not fn.returns_borrow and not fn.passthrough:
+            findings.append(
+                Finding(
+                    path=fn.path,
+                    line=contract.line,
+                    rule="LOOM208",
+                    symbol=fn.qualname,
+                    message=(
+                        "stale borrow contract: the analysis sees no "
+                        "borrowed view reaching this function's return"
+                    ),
+                    borrow_site=f"{fn.path}:{contract.line}",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    findings: List[Finding]
+    baselined: List[Finding]
+    suppressed: List[Finding]
+
+
+def analyze(index: ProjectIndex) -> List[Finding]:
+    """All LOOM201-208 findings over the index (no baseline filtering)."""
+    findings: List[Finding] = []
+    files_by_path = {sf.path: sf for sf in index.files}
+    for fn in index.functions.values():
+        sf = files_by_path.get(fn.path)
+        walker = _TaintWalker(index, fn, sf, summary_only=False)
+        walker.walk()
+        findings.extend(walker.findings)
+    findings.extend(_check_contracts(index))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def run(
+    paths: Sequence[str],
+    root: str,
+    baseline_path: Optional[str] = None,
+    overrides: Optional[Dict[str, str]] = None,
+) -> RunResult:
+    index = ProjectIndex.build(paths, root, overrides=overrides)
+    findings = analyze(index)
+    files_by_path = {sf.path: sf for sf in index.files}
+
+    suppressed: List[Finding] = []
+    active: List[Finding] = []
+    for finding in findings:
+        sf = files_by_path.get(finding.path)
+        codes = sf.suppressions.get(finding.line, set()) if sf else set()
+        if finding.rule in codes:
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+
+    baselined: List[Finding] = []
+    if baseline_path is not None and os.path.exists(baseline_path):
+        with open(baseline_path, "r", encoding="utf-8") as f:
+            raw = json.load(f)
+        keys = {tuple(entry) for entry in raw.get("accepted", [])}
+        remaining: List[Finding] = []
+        for finding in active:
+            if finding.baseline_key() in keys:
+                baselined.append(finding)
+            else:
+                remaining.append(finding)
+        active = remaining
+    return RunResult(
+        findings=active, baselined=baselined, suppressed=suppressed
+    )
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> int:
+    keys = sorted({f.baseline_key() for f in findings})
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"accepted": [list(k) for k in keys]}, f, indent=2)
+        f.write("\n")
+    return len(keys)
