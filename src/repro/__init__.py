@@ -24,6 +24,8 @@ from .core import (
     LoomConfig,
     MonotonicClock,
     Record,
+    RetentionPolicy,
+    TierConfig,
     VirtualClock,
     exponential_edges,
     uniform_edges,
@@ -37,6 +39,8 @@ __all__ = [
     "LoomConfig",
     "MonotonicClock",
     "Record",
+    "RetentionPolicy",
+    "TierConfig",
     "VirtualClock",
     "exponential_edges",
     "uniform_edges",

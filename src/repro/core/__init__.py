@@ -5,8 +5,9 @@ main entry point is :class:`~repro.core.loom.Loom`; the submodules mirror
 the architecture of paper Figure 5.
 """
 
+from .archive import ArchiveLog, ChunkMigrator, MigrationReport, RetentionReport
 from .clock import Clock, MonotonicClock, VirtualClock, micros, millis, seconds
-from .config import LoomConfig, PAPER_CONFIG
+from .config import LoomConfig, PAPER_CONFIG, RetentionPolicy, TierConfig
 from .errors import (
     AddressError,
     ClosedError,
@@ -68,6 +69,8 @@ from .timestamp_index import TimestampIndex
 __all__ = [
     "AddressError",
     "AggregateResult",
+    "ArchiveLog",
+    "ChunkMigrator",
     "BinStats",
     "ChunkSummary",
     "Clock",
@@ -94,6 +97,7 @@ __all__ = [
     "MemoryStorage",
     "MetricValue",
     "MetricsRegistry",
+    "MigrationReport",
     "MonotonicClock",
     "NULL_ADDRESS",
     "PAPER_CONFIG",
@@ -105,6 +109,9 @@ __all__ = [
     "RecoveredSource",
     "RecoveredState",
     "RecordLog",
+    "RetentionPolicy",
+    "RetentionReport",
+    "TierConfig",
     "Snapshot",
     "SnapshotConflictError",
     "SnapshotRetry",

@@ -31,6 +31,14 @@ from .summary import ChunkSummary
 
 _LEN = struct.Struct("<I")
 
+#: Per-chunk retention states (parallel to the summary mirror — entries
+#: are never removed at runtime, so snapshot positions stay stable).
+STATE_LIVE = 0
+#: Raw data retired by retention, summary kept resident for aggregates.
+STATE_SUMMARY_ONLY = 1
+#: Chunk fully retired: invisible to every query.
+STATE_RETIRED = 2
+
 
 class ChunkIndex:
     """Append-only index of finalized chunk summaries."""
@@ -61,6 +69,7 @@ class ChunkIndex:
         self._t_mins: List[int] = []
         self._chunk_ids: List[int] = []
         self._end_addrs: List[int] = []
+        self._states: List[int] = []
         self._append_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -78,7 +87,30 @@ class ChunkIndex:
             self._t_mins.append(summary.t_min)
             self._chunk_ids.append(summary.chunk_id)
             self._end_addrs.append(summary.end_addr)
+            self._states.append(STATE_LIVE)
         return address
+
+    def retire_below(self, floor_addr: int, keep_chunk_ids: "frozenset[int]") -> None:
+        """Apply a retention decision to the mirror (positions stay stable).
+
+        Chunks ending at or below ``floor_addr`` become ``RETIRED``
+        (invisible) unless their id is in ``keep_chunk_ids``, which marks
+        them ``SUMMARY_ONLY`` (aggregates keep the summary; scans skip).
+        Transitions are monotone and only ever leave ``LIVE``: the caller
+        passes only the *newly retired* window in ``keep_chunk_ids``, so
+        chunks kept by an earlier pass must not be demoted here (recovery
+        reconstructs the same decision from the stride, which is stable
+        across passes).  Single-item list stores are GIL-atomic, so racing
+        readers see a clean per-chunk transition, never a torn mirror.
+        """
+        cutoff = bisect_right(self._end_addrs, floor_addr)
+        for i in range(cutoff):
+            if self._states[i] != STATE_LIVE:
+                continue
+            if self._chunk_ids[i] in keep_chunk_ids:
+                self._states[i] = STATE_SUMMARY_ONLY
+            else:
+                self._states[i] = STATE_RETIRED
 
     def publish(self) -> None:
         """Expose everything appended so far to queries."""
@@ -125,6 +157,8 @@ class ChunkIndex:
             summary = self._summaries[i]
             if summary.t_min > t_end:
                 break
+            if self._states[i] == STATE_RETIRED:
+                continue
             if summary.overlaps_time(t_start, t_end):
                 yield summary
 
@@ -142,24 +176,58 @@ class ChunkIndex:
         n = len(self._chunk_ids) if limit is None else min(limit, len(self._chunk_ids))
         i = bisect_left(self._chunk_ids, chunk_id, 0, n)
         if i < n and self._chunk_ids[i] == chunk_id:
+            if self._states[i] == STATE_RETIRED:
+                return None
             return self._summaries[i]
         return None
+
+    def state_at(self, position: int) -> int:
+        """Retention state of the ``position``-th summary (0-based)."""
+        return self._states[position]
+
+    def state_for_chunk(self, chunk_id: int) -> int:
+        """Retention state of a chunk (``STATE_LIVE`` if unknown)."""
+        i = bisect_left(self._chunk_ids, chunk_id)
+        if i < len(self._chunk_ids) and self._chunk_ids[i] == chunk_id:
+            return self._states[i]
+        return STATE_LIVE
+
+    def is_scannable(self, chunk_id: int) -> bool:
+        """Whether a chunk's raw records may still be materialized."""
+        return self.state_for_chunk(chunk_id) == STATE_LIVE
+
+    def finalized_after(self, boundary: int) -> Iterator[ChunkSummary]:
+        """Finalized summaries whose records start at or past ``boundary``
+        (the migrator's work list), in address order."""
+        n = len(self._summaries)
+        for i in range(bisect_right(self._end_addrs, boundary), n):
+            yield self._summaries[i]
 
     # ------------------------------------------------------------------
     # Recovery / verification helpers
     # ------------------------------------------------------------------
-    def restore(self, summaries: List[ChunkSummary]) -> None:
+    def restore(
+        self,
+        summaries: List[ChunkSummary],
+        states: Optional[List[int]] = None,
+    ) -> None:
         """Adopt already-persisted summaries into the in-memory mirror.
 
         Used by warm restart: the serialized summaries are already in the
         underlying log (the hybrid log resumed at the persisted tail), so
         this rebuilds only the decoded mirror without re-appending.
+        ``states`` carries recovered retention states (fully retired
+        summaries are dropped by recovery before restore, so only LIVE
+        and SUMMARY_ONLY appear here).
         """
         with self._append_lock:
             self._summaries = list(summaries)
             self._t_mins = [s.t_min for s in summaries]
             self._chunk_ids = [s.chunk_id for s in summaries]
             self._end_addrs = [s.end_addr for s in summaries]
+            self._states = (
+                list(states) if states is not None else [STATE_LIVE] * len(summaries)
+            )
 
     def iter_persisted(self) -> Iterator[ChunkSummary]:
         """Decode summaries straight from the underlying log bytes.

@@ -11,8 +11,81 @@ harness picks sizes appropriate to each experiment.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Optional
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Cold-tier (archive) policy: when and how chunks leave the hot log.
+
+    Attributes:
+        migrate_high_watermark: number of finalized, fully persisted hot
+            chunks that triggers a migration pass (hysteresis high mark).
+        migrate_low_watermark: migration stops once the finalized hot
+            chunk count drops to this mark (hysteresis low mark).
+        auto_migrate: run the migrator opportunistically from the writer
+            thread whenever a chunk is finalized past the high watermark.
+            Off leaves migration to explicit ``Loom.migrate()`` calls or
+            an external driver.
+        compression_level: zlib level for both the header-column stream
+            and the payload stream of every archive frame.
+        cache_chunks: decompressed chunks kept in the archive read cache
+            (each entry is one ``chunk_size`` owned buffer).
+        punch_holes: after recycling a migrated prefix of a file-backed
+            record log, punch filesystem holes over it (best effort,
+            Linux ``fallocate``) so the space is actually reclaimed.  Off
+            by default: recycling is then a metadata-only boundary and
+            the bytes remain until the log is compacted offline.
+    """
+
+    migrate_high_watermark: int = 8
+    migrate_low_watermark: int = 2
+    auto_migrate: bool = True
+    compression_level: int = 6
+    cache_chunks: int = 4
+    punch_holes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.migrate_low_watermark < 0:
+            raise ValueError("migrate_low_watermark must be >= 0")
+        if self.migrate_high_watermark < self.migrate_low_watermark:
+            raise ValueError(
+                "migrate_high_watermark must be >= migrate_low_watermark"
+            )
+        if not 0 <= self.compression_level <= 9:
+            raise ValueError("compression_level must be in [0, 9]")
+        if self.cache_chunks < 1:
+            raise ValueError("cache_chunks must be >= 1")
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """What happens to archived chunks past the retention horizon.
+
+    Attributes:
+        horizon_ns: age (vs. the ingest clock) past which an archived
+            chunk becomes eligible for retirement.
+        mode: ``"drop"`` removes the chunk entirely (summary and data);
+            ``"downsample"`` keeps every ``keep_every``-th chunk's
+            summary resident (so distributive aggregates and histograms
+            retain downsampled coverage) while dropping all raw data.
+        keep_every: downsample stride — a chunk is kept summary-only
+            when ``chunk_id % keep_every == 0``.  Ignored for ``drop``.
+    """
+
+    horizon_ns: int
+    mode: str = "drop"
+    keep_every: int = 4
+
+    def __post_init__(self) -> None:
+        if self.horizon_ns < 0:
+            raise ValueError("horizon_ns must be >= 0")
+        if self.mode not in ("drop", "downsample"):
+            raise ValueError("mode must be 'drop' or 'downsample'")
+        if self.keep_every < 1:
+            raise ValueError("keep_every must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -79,8 +152,18 @@ class LoomConfig:
     flush_backoff: float = 0.001
     metrics_enabled: bool = True
     mmap_reads: bool = True
+    tier: Optional[TierConfig] = None
+    retention: Optional[RetentionPolicy] = None
+    # Deprecated flat knobs, folded into ``tier``/``retention`` by
+    # ``__post_init__`` (kept one release as DeprecationWarning shims,
+    # same migration pattern as the QueryResult out-params).
+    archive_enabled: Optional[bool] = None
+    retention_horizon_ns: Optional[int] = None
+    retention_downsample: Optional[int] = None
+    migrate_watermark: Optional[int] = None
 
     def __post_init__(self) -> None:
+        self._fold_deprecated_tier_kwargs()
         if self.chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         if self.publish_interval < 1:
@@ -96,6 +179,54 @@ class LoomConfig:
             raise ValueError("flush_retries must be >= 0")
         if self.flush_backoff < 0:
             raise ValueError("flush_backoff must be >= 0")
+        if self.retention is not None and self.tier is None:
+            raise ValueError("retention requires a tier (archive) config")
+
+    def _fold_deprecated_tier_kwargs(self) -> None:
+        """Map the old flat archive/retention kwargs onto the typed
+        ``TierConfig``/``RetentionPolicy`` objects (deprecation shims)."""
+        tier = self.tier
+        retention = self.retention
+        if self.archive_enabled is not None or self.migrate_watermark is not None:
+            warnings.warn(
+                "LoomConfig(archive_enabled=..., migrate_watermark=...) is "
+                "deprecated; pass tier=TierConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if tier is None and (self.archive_enabled or self.migrate_watermark):
+                high = self.migrate_watermark or TierConfig.migrate_high_watermark
+                tier = TierConfig(
+                    migrate_high_watermark=high,
+                    migrate_low_watermark=min(
+                        TierConfig.migrate_low_watermark, high
+                    ),
+                )
+        if (
+            self.retention_horizon_ns is not None
+            or self.retention_downsample is not None
+        ):
+            warnings.warn(
+                "LoomConfig(retention_horizon_ns=..., retention_downsample=...)"
+                " is deprecated; pass retention=RetentionPolicy(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if retention is None and self.retention_horizon_ns is not None:
+                if self.retention_downsample:
+                    retention = RetentionPolicy(
+                        horizon_ns=self.retention_horizon_ns,
+                        mode="downsample",
+                        keep_every=self.retention_downsample,
+                    )
+                else:
+                    retention = RetentionPolicy(
+                        horizon_ns=self.retention_horizon_ns
+                    )
+            if tier is None and retention is not None:
+                tier = TierConfig()
+        object.__setattr__(self, "tier", tier)
+        object.__setattr__(self, "retention", retention)
 
     def record_log_path(self) -> Optional[str]:
         return self._path("records.log")
@@ -105,6 +236,12 @@ class LoomConfig:
 
     def timestamp_index_path(self) -> Optional[str]:
         return self._path("timestamps.idx")
+
+    def archive_log_path(self) -> Optional[str]:
+        return self._path("archive.log")
+
+    def archive_journal_path(self) -> Optional[str]:
+        return self._journal_path(self.archive_log_path())
 
     def record_log_journal_path(self) -> Optional[str]:
         return self._journal_path(self.record_log_path())

@@ -32,6 +32,7 @@ from types import TracebackType
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 from . import viewguard
+from .archive import MigrationReport, RetentionReport
 from .clock import Clock, MonotonicClock
 from .config import LoomConfig
 from .errors import LoomError
@@ -584,20 +585,69 @@ class Loom:
         return self._record_log.health()
 
     def footprint(self) -> Dict[str, int]:
-        """Approximate resource footprint: log sizes and staged bytes."""
-        rl, ci, ti = (
-            self._record_log.log,
-            self._record_log.chunk_index.log,
-            self._record_log.timestamp_index.log,
-        )
-        return {
+        """Approximate resource footprint: log sizes and staged bytes.
+
+        Alongside the per-log totals, the per-tier keys split the record
+        address space at the cold boundary: ``hot_bytes`` is what still
+        lives in the hot record log, ``cold_bytes_raw`` the pre-compression
+        size of everything migrated (and not yet retired), and
+        ``cold_bytes_compressed`` what the archive actually holds on disk
+        for it.  ``journal_bytes`` sums every sidecar frame journal.
+        """
+        log = self._record_log
+        rl, ci, ti = (log.log, log.chunk_index.log, log.timestamp_index.log)
+        journal_bytes = 0
+        for hybrid in (rl, ci, ti):
+            journal = hybrid.frame_journal
+            if journal is not None:
+                journal_bytes += journal.size
+        archive = log.archive
+        result = {
             "record_log_bytes": rl.tail_address,
             "chunk_index_bytes": ci.tail_address,
             "timestamp_index_bytes": ti.tail_address,
             "in_memory_bytes": rl.in_memory_bytes + ci.in_memory_bytes + ti.in_memory_bytes,
-            "finalized_chunks": len(self._record_log.chunk_index),
-            "timestamp_entries": self._record_log.timestamp_index.entry_count,
+            "finalized_chunks": len(log.chunk_index),
+            "timestamp_entries": log.timestamp_index.entry_count,
+            "hot_bytes": rl.tail_address - log.cold_boundary,
+            "cold_bytes_raw": 0,
+            "cold_bytes_compressed": 0,
+            "archive_log_bytes": 0,
+            "archived_chunks": 0,
+            "retired_chunks": 0,
+            "recycled_upto": log.cold_boundary,
+            "retention_floor": log.retention_floor,
+            "journal_bytes": journal_bytes,
         }
+        if archive is not None:
+            result["cold_bytes_raw"] = archive.raw_bytes
+            result["cold_bytes_compressed"] = archive.compressed_bytes
+            result["archive_log_bytes"] = archive.size
+            result["archived_chunks"] = archive.chunk_count
+            result["retired_chunks"] = archive.retired_count
+            result["journal_bytes"] = journal_bytes + archive.journal_size
+        return result
+
+    # ------------------------------------------------------------------
+    # Cold tier: migration and retention
+    # ------------------------------------------------------------------
+    def migrate(self, force: bool = True) -> "MigrationReport":
+        """Run one cold-tier migration pass (see :class:`TierConfig`).
+
+        With ``force=True`` every finalized, persisted hot chunk is
+        migrated regardless of the watermarks; ``force=False`` applies
+        the configured hysteresis.  Requires ``LoomConfig(tier=...)``.
+        """
+        return self._record_log.migrate(force=force)
+
+    def apply_retention(self, now: Optional[int] = None) -> "RetentionReport":
+        """Retire archived chunks past the retention horizon.
+
+        ``now`` overrides the clock reading the horizon is measured
+        against (workload replay).  Requires a configured
+        :class:`~repro.core.config.RetentionPolicy`.
+        """
+        return self._record_log.apply_retention(now=now)
 
     def close(self) -> None:
         """Publish all pending data and close the three logs."""

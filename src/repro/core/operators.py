@@ -32,6 +32,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import viewguard
+from .chunk_index import STATE_RETIRED
 from .errors import LoomError
 from .histogram import IndexDefinition
 from .record import HEADER_SIZE, Record
@@ -59,6 +60,10 @@ class QueryStats:
     records_decoded: int = 0
     chunks_scanned: int = 0
     chunks_skipped: int = 0
+    #: Archive chunks decompressed on behalf of this query (cold-tier
+    #: cache misses).  Zero for queries answered from resident summaries
+    #: or the hot log — the cold tier's "summaries first" guarantee.
+    cold_chunks_decompressed: int = 0
     summaries_examined: int = 0
     summaries_aggregated: int = 0
     used_time_index: bool = False
@@ -84,6 +89,7 @@ class QueryStats:
         self.records_decoded += other.records_decoded
         self.chunks_scanned += other.chunks_scanned
         self.chunks_skipped += other.chunks_skipped
+        self.cold_chunks_decompressed += other.cold_chunks_decompressed
         self.summaries_examined += other.summaries_examined
         self.summaries_aggregated += other.summaries_aggregated
         self.used_time_index = self.used_time_index or other.used_time_index
@@ -284,6 +290,14 @@ def indexed_scan(  # loomflow: borrows=scan
                 if stats is not None:
                     stats.chunks_skipped += 1
                 continue
+        if not snapshot.record_log.chunk_index.is_scannable(summary.chunk_id):
+            # Summary-only chunk: its raw bytes were dropped by retention,
+            # so matching records cannot be materialized.
+            skipped += 1
+            if stats is not None:
+                stats.chunks_skipped += 1
+                stats.degraded = True
+            continue
         scanned += 1
         if stats is not None:
             stats.chunks_scanned += 1
@@ -328,10 +342,13 @@ def _candidate_summaries(
         yield from snapshot.summaries_in_time_range(t_start, t_end)
         return
     collected: List[ChunkSummary] = []
+    chunk_index = snapshot.record_log.chunk_index
     for i in range(snapshot.n_chunks - 1, -1, -1):
-        summary = snapshot.record_log.chunk_index.get(i)
+        summary = chunk_index.get(i)
         if stats is not None:
             stats.summaries_examined += 1
+        if chunk_index.state_at(i) == STATE_RETIRED:
+            continue
         if summary.t_min > t_end:
             continue
         if summary.t_max < t_start:
@@ -524,6 +541,12 @@ def _aggregate_distributive(
             stats.summaries_aggregated += 1
             for bin_stats in summary.bins_for(source_id, index.index_id).values():
                 total.merge(bin_stats)
+        elif not snapshot.record_log.chunk_index.is_scannable(summary.chunk_id):
+            # A summary-only chunk straddling the range edge cannot be
+            # scanned for the exact in-range subset; its contribution is
+            # omitted and the result flagged as degraded.
+            stats.chunks_skipped += 1
+            stats.degraded = True
         else:
             scanned += 1
             stats.chunks_scanned += 1
@@ -599,6 +622,9 @@ def _aggregate_percentile(
             full_summaries.append(summary)
             for bin_idx, bin_stats in summary.bins_for(source_id, index.index_id).items():
                 bin_counts[bin_idx] = bin_counts.get(bin_idx, 0) + bin_stats.count
+        elif not snapshot.record_log.chunk_index.is_scannable(summary.chunk_id):
+            stats.chunks_skipped += 1
+            stats.degraded = True
         else:
             stats.chunks_scanned += 1
             for record in _scan_region(
@@ -666,6 +692,15 @@ def _aggregate_percentile(
             if stats is not None:
                 stats.chunks_skipped += 1
             continue
+        if not snapshot.record_log.chunk_index.is_scannable(summary.chunk_id):
+            # Summary-only chunk: its target-bin values cannot be
+            # materialized.  Stand in the bin's recorded mean for each of
+            # them — count stays exact, the value stays inside the bin,
+            # and the result is flagged approximate (degraded).
+            stats.degraded = True
+            stats.chunks_skipped += 1
+            values.extend([bin_stats.sum / bin_stats.count] * bin_stats.count)
+            continue
         bin_scans += 1
         stats.chunks_scanned += 1
         for record in _scan_region(
@@ -726,6 +761,9 @@ def bin_histogram(
         if full and use_chunk_index:
             for bin_idx, bin_stats in summary.bins_for(source_id, index.index_id).items():
                 counts[bin_idx] = counts.get(bin_idx, 0) + bin_stats.count
+        elif not snapshot.record_log.chunk_index.is_scannable(summary.chunk_id):
+            stats.chunks_skipped += 1
+            stats.degraded = True
         else:
             scan_into(summary.start_addr, summary.end_addr)
     active_start, active_end = snapshot.active_region()

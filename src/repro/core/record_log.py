@@ -35,10 +35,12 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 import numpy as np
 
 from . import viewguard
+from .archive import ArchiveLog, ChunkMigrator, MigrationReport, RetentionReport
 from .chunk_index import ChunkIndex
 from .clock import Clock, MonotonicClock, VirtualClock
-from .config import LoomConfig
+from .config import LoomConfig, TierConfig
 from .errors import (
+    AddressError,
     ClosedError,
     CorruptionError,
     LoomError,
@@ -47,7 +49,7 @@ from .errors import (
 )
 from .histogram import HistogramSpec, IndexDefinition, IndexFunc
 from .hybridlog import Health, HybridLog, NULL_ADDRESS
-from .metrics import Counter, Histogram, LogScope, MetricsRegistry, PhaseTimer
+from .metrics import Counter, Gauge, Histogram, LogScope, MetricsRegistry, PhaseTimer
 from .record import (
     BODY_DTYPE,
     BODY_SIZE,
@@ -60,7 +62,7 @@ from .record import (
     record_crc,
     verify_record_bytes,
 )
-from .storage import Storage, open_storage
+from .storage import FileStorage, Storage, open_storage
 from .summary import ChunkSummary
 from .timestamp_index import KIND_CHUNK, TimestampIndex
 
@@ -242,6 +244,86 @@ class RecordLog:
             self._m_chunks = m.counter(
                 "loom.chunks.finalized_total", "chunk summaries finalized"
             )
+
+        # ---- cold tier -----------------------------------------------
+        # Built when a tier policy is configured or an archive log
+        # already exists on disk: reopening a previously tiered instance
+        # keeps its cold data readable even without a tier in the config
+        # (migration then stays manual).
+        self._cold_boundary = 0
+        self._retention_floor = 0
+        self.archive: Optional[ArchiveLog] = None
+        self.migrator: Optional[ChunkMigrator] = None
+        self._auto_migrate = False
+        self._m_migrations: Optional[Counter] = None
+        self._m_migrated_chunks: Optional[Counter] = None
+        self._m_migrated_raw: Optional[Counter] = None
+        self._m_migrated_compressed: Optional[Counter] = None
+        self._g_compression: Optional[Gauge] = None
+        self._m_cold_read_ns: Optional[Histogram] = None
+        self._m_retired_chunks: Optional[Counter] = None
+        archive_path = cfg.archive_log_path()
+        if cfg.tier is not None or (
+            archive_path is not None and os.path.exists(archive_path)
+        ):
+            tier = cfg.tier if cfg.tier is not None else TierConfig(auto_migrate=False)
+            decompress_counter: Optional[Counter] = None
+            if instrumented:
+                m = self.metrics
+                self._m_migrations = m.counter(
+                    "loom.archive.migrations_total", "migration passes committed"
+                )
+                self._m_migrated_chunks = m.counter(
+                    "loom.archive.chunks_migrated_total",
+                    "chunks compacted into the cold tier",
+                )
+                self._m_migrated_raw = m.counter(
+                    "loom.archive.bytes_raw_total",
+                    "raw record bytes migrated to the archive",
+                )
+                self._m_migrated_compressed = m.counter(
+                    "loom.archive.bytes_compressed_total",
+                    "compressed bytes written to the archive",
+                )
+                self._g_compression = m.gauge(
+                    "loom.archive.compression_ratio",
+                    "raw/compressed ratio of the archive log",
+                )
+                self._m_cold_read_ns = m.histogram(
+                    "loom.archive.cold_read_ns",
+                    help="latency of cold-range materializations",
+                    sample_window=256,
+                )
+                self._m_retired_chunks = m.counter(
+                    "loom.retention.chunks_dropped_total",
+                    "chunks fully retired by retention",
+                )
+                decompress_counter = m.counter(
+                    "loom.archive.decompressions_total",
+                    "archive chunk decompressions (cache misses)",
+                )
+            self.archive = ArchiveLog.open(
+                open_storage(archive_path),
+                _journal(cfg.archive_journal_path()),
+                compression_level=tier.compression_level,
+                cache_chunks=tier.cache_chunks,
+                decompress_counter=decompress_counter,
+            )
+            self._cold_boundary = self.archive.recycled_upto
+            self._retention_floor = self.archive.retention_floor
+            storage = self.log.storage
+            if isinstance(storage, FileStorage):
+                storage.punch_holes = tier.punch_holes
+            if self._cold_boundary > 0:
+                # The archived prefix is cold-authoritative from the first
+                # read: arm the storage boundary so stale addresses below
+                # it raise instead of serving possibly-reclaimed bytes.
+                storage.recycle_prefix(
+                    min(self._cold_boundary, storage.size),
+                    "archived prefix restored at reopen",
+                )
+            self.migrator = ChunkMigrator(self, tier)
+            self._auto_migrate = tier.auto_migrate
 
     # ------------------------------------------------------------------
     # Schema operations
@@ -502,6 +584,13 @@ class RecordLog:
             self.timestamp_index.note_chunk(timestamp, summary.chunk_id)
             if self._m_chunks is not None:
                 self._m_chunks.inc()
+            if self._auto_migrate and self.migrator is not None:
+                # Opportunistic migration from the writer thread; the
+                # hysteresis inside run_once makes this a cheap no-op
+                # until the high watermark is crossed.  Deliberately not
+                # routed through self.migrate() so the sanitizer's shadow
+                # wrapper never fires in the middle of a push.
+                self.migrator.run_once()
         self._active_summary = ChunkSummary(
             chunk_id=new_chunk_id, start_addr=new_record_addr, end_addr=new_record_addr
         )
@@ -545,14 +634,19 @@ class RecordLog:
         )
 
     def close(self) -> None:
-        """Publish, then close all three logs (each fsyncs its storage)."""
+        """Publish, then close all logs (each fsyncs its storage)."""
         if self._closed:
             return
         self._publish()
         self._closed = True
+        if self.migrator is not None:
+            self.migrator.stop()
         self.log.close()
         self.chunk_index.close()
         self.timestamp_index.close()
+        if self.archive is not None:
+            self.archive.sync()
+            self.archive.close()
 
     # ------------------------------------------------------------------
     # Warm restart
@@ -604,6 +698,8 @@ class RecordLog:
             _open_existing(cfg.record_log_journal_path()),
             _open_existing(cfg.chunk_index_journal_path()),
             _open_existing(cfg.timestamp_index_journal_path()),
+            _open_existing(cfg.archive_log_path()),
+            _open_existing(cfg.archive_journal_path()),
         ]
         # The registry outlives recovery: its phase gauges describe what
         # the reopen cost, and the new instance adopts it so introspection
@@ -620,6 +716,8 @@ class RecordLog:
                 chunk_journal=storages[4],
                 timestamp_journal=storages[5],
                 metrics=registry if cfg.metrics_enabled else None,
+                archive_storage=storages[6],
+                archive_journal=storages[7],
             )
         finally:
             for storage in storages:
@@ -661,7 +759,7 @@ class RecordLog:
             )
         self.total_records = state.total_records
 
-        self.chunk_index.restore(state.summaries)
+        self.chunk_index.restore(state.summaries, state.summary_states or None)
         self.timestamp_index.restore(
             state.timestamp_entries, state.records_since_ts_entry
         )
@@ -677,10 +775,12 @@ class RecordLog:
         # Heal timestamp-index CHUNK entries lost with an unflushed block:
         # entries are appended in chunk order, so the missing ones are
         # exactly the suffix of summaries past the restored entry count.
+        # Retired summaries were dropped from state.summaries but their
+        # CHUNK events still count toward the restored entry total.
         chunk_events = sum(
             1 for _, kind, _, _ in state.timestamp_entries if kind == KIND_CHUNK
         )
-        for summary in state.summaries[chunk_events:]:
+        for summary in state.summaries[max(0, chunk_events - state.retired_chunks):]:
             self.timestamp_index.note_chunk(summary.t_max, summary.chunk_id)
 
         # Re-finalize chunks whose summaries were lost in memory: group the
@@ -736,6 +836,18 @@ class RecordLog:
         """
         if stats is not None:
             stats.records_decoded += 1
+        if address >= self._cold_boundary:
+            try:
+                return self._read_hot_record(address)
+            except AddressError:
+                # A migration pass recycled this prefix between the
+                # boundary check and the storage read; the archive is
+                # authoritative for it now.
+                if address >= self._cold_boundary:
+                    raise
+        return self._read_cold_record(address, stats)
+
+    def _read_hot_record(self, address: int) -> Record:
         data = self.log.read_upto(address, self._inline_read)
         source_id, timestamp, prev_addr, length = decode_header(data)
         if HEADER_SIZE + length <= len(data):
@@ -750,6 +862,45 @@ class RecordLog:
                 f"(source_id={source_id}, length={length})",
                 address=address,
             )
+        return Record(
+            source_id=source_id,
+            timestamp=timestamp,
+            prev_addr=prev_addr,
+            payload=payload,
+            address=address,
+        )
+
+    def _read_cold_record(
+        self, address: int, stats: "Optional[QueryStats]"
+    ) -> Record:
+        """Decode one record from the archive's decompressed chunk buffer.
+
+        The buffer is an owned copy (outside the zero-copy borrow rules)
+        whose framing — including each record's CRC — was re-derived and
+        length-verified during decode, so no per-read CRC pass is needed.
+        """
+        archive = self.archive
+        if archive is None:
+            raise AddressError(
+                f"address {address} is below the cold boundary but no "
+                f"archive is attached"
+            )
+        if address < self._retention_floor:
+            raise AddressError(
+                f"record at {address} was retired by retention "
+                f"(floor {self._retention_floor})"
+            )
+        hist = self._m_cold_read_ns
+        started = self.metrics.clock.now() if hist is not None else 0
+        entry = archive.entry_for_address(address)
+        if entry is None:
+            raise AddressError(f"address {address} is not covered by the archive")
+        region = archive.read_chunk_bytes(entry.chunk_id, stats)
+        offset = address - entry.start_addr
+        source_id, timestamp, prev_addr, length = decode_header(region, offset)
+        payload = region[offset + HEADER_SIZE : offset + HEADER_SIZE + length]
+        if hist is not None:
+            hist.observe(float(self.metrics.clock.now() - started))
         return Record(
             source_id=source_id,
             timestamp=timestamp,
@@ -788,11 +939,7 @@ class RecordLog:
         if end <= start:
             return
         size = end - start
-        region = self.log.read_view(start, size) if self._mmap_reads else None
-        is_view = region is not None
-        buffer: "bytes | memoryview" = (
-            region if region is not None else self.log.read(start, size)
-        )
+        buffer, is_view = self._region_buffer(start, end, stats)
         view = buffer if is_view else memoryview(buffer)
         offset = 0
         verify = self._verify_on_read
@@ -848,10 +995,7 @@ class RecordLog:
         if end <= start or self._verify_on_read:
             return None
         size = end - start
-        region = self.log.read_view(start, size) if self._mmap_reads else None
-        buffer: "bytes | memoryview" = (
-            region if region is not None else self.log.read(start, size)
-        )
+        buffer, _is_view = self._region_buffer(start, end, stats)
         # C-level consumers (frombuffer, struct) need the raw buffer; the
         # unwrap checks the view was not poisoned before decoding starts.
         raw_buffer = viewguard.unwrap(buffer)
@@ -902,6 +1046,195 @@ class RecordLog:
             lengths=bodies["len"],
             offsets=offsets,
             buffer=buffer,
+        )
+
+    def _region_buffer(  # loomflow: borrows=storage
+        self, start: int, end: int, stats: "Optional[QueryStats]"
+    ) -> "Tuple[bytes | memoryview, bool]":
+        """Fetch ``[start, end)`` as one buffer, dispatching across tiers.
+
+        Returns ``(buffer, is_view)``.  Hot regions come zero-copy from
+        the mmap tier when possible; regions at or below the cold
+        boundary are assembled from the archive's decompressed chunks
+        into an *owned* buffer (outside the borrow rules), with the hot
+        suffix of a straddling region appended via a copying read.  A
+        read that races a migration pass (the storage prefix recycling
+        under it) retries against the advanced boundary.
+        """
+        while True:
+            boundary = self._cold_boundary
+            if start >= boundary:
+                try:
+                    size = end - start
+                    region = (
+                        self.log.read_view(start, size) if self._mmap_reads else None
+                    )
+                    if region is not None:
+                        return region, True
+                    return self.log.read(start, size), False
+                except AddressError:
+                    if start >= self._cold_boundary:
+                        raise
+                    continue
+            archive = self.archive
+            if archive is None:
+                raise AddressError(
+                    f"region [{start}, {end}) is below the cold boundary "
+                    f"but no archive is attached"
+                )
+            if start < self._retention_floor:
+                raise AddressError(
+                    f"region [{start}, {end}) starts below the retention "
+                    f"floor {self._retention_floor}"
+                )
+            hist = self._m_cold_read_ns
+            started = self.metrics.clock.now() if hist is not None else 0
+            cold_end = min(end, boundary)
+            try:
+                cold = archive.read_range(start, cold_end, stats)
+                hot = (
+                    self.log.read(cold_end, end - cold_end)
+                    if end > cold_end
+                    else b""
+                )
+            except AddressError:
+                if self._cold_boundary != boundary:
+                    continue  # migration advanced mid-assembly; redo the split
+                raise
+            if hist is not None:
+                hist.observe(float(self.metrics.clock.now() - started))
+            return (cold if not hot else cold + hot), False
+
+    # ------------------------------------------------------------------
+    # Cold tier: migration and retention
+    # ------------------------------------------------------------------
+    @property
+    def cold_boundary(self) -> int:
+        """Hot/cold split: addresses below it are archive-authoritative."""
+        return self._cold_boundary
+
+    @property
+    def retention_floor(self) -> int:
+        """Addresses below it were retired by retention (unreadable)."""
+        return self._retention_floor
+
+    def commit_migration(self, boundary: int) -> None:
+        """Publish a ratified migration boundary (migrator-only).
+
+        Called after the archive's ``RECYCLE`` frame is durable.  The
+        GIL-atomic boundary store redirects readers to the archive first;
+        recycling the hot prefix then poisons outstanding zero-copy views
+        (they raise :class:`~repro.core.errors.StaleViewError` on touch)
+        and reclaims the memory behind them.
+        """
+        if boundary <= self._cold_boundary:
+            return
+        self._cold_boundary = boundary
+        self.log.storage.recycle_prefix(
+            min(boundary, self.log.storage.size),
+            "chunks migrated to the cold tier",
+        )
+
+    def note_migration(
+        self, chunks: int, records: int, raw: int, compressed: int
+    ) -> None:
+        """Fold one committed migration pass into the loomscope instruments."""
+        if self._m_migrations is not None:
+            self._m_migrations.inc()
+        if self._m_migrated_chunks is not None:
+            self._m_migrated_chunks.inc(chunks)
+        if self._m_migrated_raw is not None:
+            self._m_migrated_raw.inc(raw)
+        if self._m_migrated_compressed is not None:
+            self._m_migrated_compressed.inc(compressed)
+        if self._g_compression is not None and self.archive is not None:
+            self._g_compression.set(self.archive.compression_ratio)
+
+    def migrate(self, force: bool = True) -> MigrationReport:
+        """Run one migration pass now (tiered-storage API).
+
+        ``force`` migrates every eligible chunk — finalized and fully
+        persisted; chunks still in staging blocks stay hot — otherwise
+        the tier's watermark hysteresis applies.
+        """
+        if self._closed:
+            raise ClosedError("record log is closed")
+        migrator = self.migrator
+        if migrator is None:
+            raise LoomError(
+                "no cold tier configured (pass LoomConfig(tier=TierConfig(...)))"
+            )
+        return migrator.run_once(force=force)
+
+    def apply_retention(self, now: Optional[int] = None) -> RetentionReport:
+        """Retire archived chunks past the retention horizon.
+
+        Only *archived* chunks are eligible (the hot log is never
+        retention's concern: migrate first).  The floor advances
+        monotonically over a prefix of the address space; with mode
+        ``"downsample"``, every ``keep_every``-th chunk keeps its summary
+        resident (``SUMMARY_ONLY`` — distributive aggregates and
+        histograms retain downsampled coverage) while all raw archive
+        data below the floor is dropped.  Lifetime per-source ingest
+        counts are *not* decremented; visibility is enforced at the
+        query layer.
+
+        Commit order: the chunk-index mirror is flipped first (readers
+        stop materializing the chunks), then the ``RETIRE`` frame is
+        persisted and fsynced, then the floor is published to readers.
+        """
+        if self._closed:
+            raise ClosedError("record log is closed")
+        archive = self.archive
+        policy = self.config.retention
+        if archive is None or policy is None:
+            raise LoomError(
+                "no retention policy configured "
+                "(pass LoomConfig(retention=RetentionPolicy(...)))"
+            )
+        cutoff_ts = (now if now is not None else self.clock.now()) - policy.horizon_ns
+        floor = self._retention_floor
+        new_floor = floor
+        dropped: List[int] = []
+        kept: List[int] = []
+        records_dropped = 0
+        for entry in archive.entries():
+            if entry.retired:
+                continue
+            summary = self.chunk_index.summary_for_chunk(entry.chunk_id)
+            if summary is None or summary.t_max >= cutoff_ts:
+                break
+            new_floor = entry.end_addr
+            if (
+                policy.mode == "downsample"
+                and entry.chunk_id % policy.keep_every == 0
+            ):
+                kept.append(entry.chunk_id)
+            else:
+                dropped.append(entry.chunk_id)
+                records_dropped += summary.record_count
+        if new_floor <= floor:
+            return RetentionReport(
+                floor_addr=floor,
+                mode=policy.mode,
+                keep_every=policy.keep_every,
+                dropped_chunk_ids=(),
+                kept_chunk_ids=(),
+                records_dropped=0,
+            )
+        self.chunk_index.retire_below(new_floor, frozenset(kept))
+        archive.append_retire(new_floor, policy.mode, policy.keep_every)
+        archive.sync()
+        self._retention_floor = new_floor
+        if self._m_retired_chunks is not None:
+            self._m_retired_chunks.inc(len(dropped))
+        return RetentionReport(
+            floor_addr=new_floor,
+            mode=policy.mode,
+            keep_every=policy.keep_every,
+            dropped_chunk_ids=tuple(dropped),
+            kept_chunk_ids=tuple(kept),
+            records_dropped=records_dropped,
         )
 
     def active_region_start(self, n_finalized_chunks: int) -> int:

@@ -22,8 +22,19 @@ This module rebuilds a queryable view from those persisted bytes:
   logs.  With ``repair=True`` it *truncates* each log at the first torn or
   corrupt frame (and trims cross-log references past the cut) instead of
   raising, leaving clean prefixes a reopened instance can append to.
-* :func:`fsck` — offline integrity check of a whole data directory,
-  driving the ``fsck`` / ``recover`` CLI subcommands.
+* :func:`check_data_dir` — offline integrity check of a whole data
+  directory, returning a typed :class:`CheckReport`; this drives the
+  ``fsck`` / ``recover`` CLI subcommands.  (:func:`fsck` is the deprecated
+  untyped predecessor.)
+
+When a data directory has a cold tier (an ``archive.log``), recovery
+scans the archive frames *first*: the archive's ratified ``RECYCLE``
+boundary says where the hot record log's authoritative prefix was
+recycled, and ``RETIRE`` frames carry the retention floor.  Source chains
+and counts are then accumulated from the decoded live archive chunks plus
+the hot suffix — so recovered per-source counts cover *retained* records
+(records dropped by retention are gone by design and are no longer
+counted).
 
 Without ``repair``, recovery is read-only: it never mutates the persisted
 logs, so it can run against a live instance's files (e.g. from a second
@@ -35,10 +46,21 @@ from __future__ import annotations
 
 import os
 import struct
+import warnings
+import zlib
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import ContextManager, Dict, Iterator, List, Optional, Tuple
 
+from .archive import (
+    FRAME_HEADER,
+    RETIRE_DOWNSAMPLE,
+    ArchiveScan,
+    decode_chunk_region,
+    iter_region_records,
+    scan_archive_frames,
+)
+from .chunk_index import STATE_LIVE, STATE_SUMMARY_ONLY
 from .config import LoomConfig
 from .errors import CorruptionError, LoomError
 from .hybridlog import FRAME_ENTRY, NULL_ADDRESS
@@ -86,9 +108,26 @@ class RecoveredState:
 
     sources: Dict[int, RecoveredSource] = field(default_factory=dict)
     summaries: List[ChunkSummary] = field(default_factory=list)
+    #: Retention state per entry of :attr:`summaries` (``STATE_LIVE`` or
+    #: ``STATE_SUMMARY_ONLY`` — fully retired summaries are dropped before
+    #: restore and counted in :attr:`retired_chunks`).
+    summary_states: List[int] = field(default_factory=list)
     timestamp_entries: List[Tuple[int, int, int, int]] = field(default_factory=list)
     total_records: int = 0
     record_bytes: int = 0
+    #: Cold tier: record-log prefix recycled into the archive (0 = none).
+    recycled_upto: int = 0
+    #: Cold tier: retention floor below which records were retired.
+    retention_floor: int = 0
+    #: Raw retention mode from the last ``RETIRE`` frame (0 = none).
+    retention_mode: int = 0
+    retention_keep_every: int = 1
+    #: Live (non-retired) archived chunks adopted from the archive log.
+    archived_chunks: int = 0
+    #: Summaries fully retired by retention (dropped from ``summaries``).
+    retired_chunks: int = 0
+    archive_raw_bytes: int = 0
+    archive_compressed_bytes: int = 0
     #: Records seen in the record log but not covered by any finalized
     #: summary (they were in the active chunk(s) when the instance stopped).
     unsummarized_records: int = 0
@@ -102,6 +141,9 @@ class RecoveredState:
     records_since_ts_entry: Dict[int, int] = field(default_factory=dict)
     #: Human-readable description of every repair action taken.
     repairs: List[str] = field(default_factory=list)
+    #: Non-fatal observations (e.g. an unratified archive suffix the hot
+    #: log stays authoritative for) — populated even without ``repair``.
+    findings: List[str] = field(default_factory=list)
 
     def chain(self, source_id: int) -> Optional[int]:
         source = self.sources.get(source_id)
@@ -109,7 +151,7 @@ class RecoveredState:
 
 
 def scan_persisted_records(
-    storage: Storage, verify_crc: bool = True
+    storage: Storage, verify_crc: bool = True, start: int = 0
 ) -> Iterator[Record]:
     """Decode every fully persisted record in a record-log storage.
 
@@ -120,8 +162,12 @@ def scan_persisted_records(
     With ``verify_crc`` (default), each record's header checksum is
     validated against its bytes; a mismatch raises
     :class:`CorruptionError` carrying the record's address.
+
+    ``start`` skips a recycled prefix (bytes migrated to the cold tier and
+    reclaimed): chunks end on record boundaries, so the cold boundary is
+    always a valid scan origin.
     """
-    address = 0
+    address = start
     end = storage.size
     while address + HEADER_SIZE <= end:
         frame = storage.read(address, HEADER_SIZE)
@@ -173,7 +219,9 @@ def scan_persisted_timestamps(storage: Storage) -> Iterator[Tuple[int, int, int,
         address += _TS_ENTRY.size
 
 
-def verify_frames(storage: Storage, journal: Storage, label: str = "log") -> int:
+def verify_frames(
+    storage: Storage, journal: Storage, label: str = "log", start: int = 0
+) -> int:
     """CRC-check every flush extent recorded in a frame journal.
 
     Frames must tile the data log contiguously from address 0; bytes past
@@ -181,6 +229,12 @@ def verify_frames(storage: Storage, journal: Storage, label: str = "log") -> int
     CRCs, or are a torn flush a record-level scan will truncate).  Returns
     the number of frames verified; raises :class:`CorruptionError` on the
     first mismatch.
+
+    ``start`` marks a recycled prefix: frames at or below it keep their
+    contiguity (tiling) checks but skip the CRC — their bytes were handed
+    to the cold tier and may have been reclaimed (hole-punched), so the
+    archive, not the journal, vouches for that data now.  A frame
+    straddling ``start`` is likewise contiguity-checked only.
     """
     frames = 0
     expected = 0
@@ -202,7 +256,7 @@ def verify_frames(storage: Storage, journal: Storage, label: str = "log") -> int
                 f"persisted size {storage.size}",
                 address=address,
             )
-        if crc32(storage.read(address, length)) != stored:
+        if address >= start and crc32(storage.read(address, length)) != stored:
             raise CorruptionError(
                 f"{label}: flushed extent [{address}, {address + length}) "
                 f"fails its frame CRC",
@@ -215,7 +269,11 @@ def verify_frames(storage: Storage, journal: Storage, label: str = "log") -> int
 
 
 def _repair_frames(
-    storage: Storage, journal: Storage, label: str, repairs: List[str]
+    storage: Storage,
+    journal: Storage,
+    label: str,
+    repairs: List[str],
+    start: int = 0,
 ) -> None:
     """Repair-mode frame verification.
 
@@ -247,7 +305,9 @@ def _repair_frames(
                 f"{storage.size} (torn tail)"
             )
             return
-        if address != expected or crc32(storage.read(address, length)) != stored:
+        if address != expected or (
+            address >= start and crc32(storage.read(address, length)) != stored
+        ):
             cut = min(expected, address)
             storage.truncate(cut)
             journal.truncate(offset)
@@ -283,6 +343,8 @@ def recover(
     chunk_journal: Optional[Storage] = None,
     timestamp_journal: Optional[Storage] = None,
     metrics: Optional[MetricsRegistry] = None,
+    archive_storage: Optional[Storage] = None,
+    archive_journal: Optional[Storage] = None,
 ) -> RecoveredState:
     """Rebuild state from persisted logs; optionally cross-check and repair.
 
@@ -309,6 +371,15 @@ def recover(
     (``loom.recovery.phase_ns`` labelled by phase name) and a
     ``loom.recovery.repairs_total`` counter, so a reopened instance's
     introspection surface can answer "what did recovery cost".
+
+    ``archive_storage`` (with its optional sidecar ``archive_journal``)
+    brings the cold tier into the picture: its frames are scanned *first*
+    to learn the recycled boundary and retention floor, live archived
+    chunks are decoded into the same per-record accumulation the hot scan
+    feeds, and the hot record scan starts at the recycled boundary.  With
+    ``repair=True`` an unratified archive suffix (data frames whose
+    covering ``RECYCLE`` never made it to disk) is truncated — the hot
+    log is still authoritative for those chunks, so nothing is lost.
     """
     state = RecoveredState()
     repairs = state.repairs
@@ -319,20 +390,39 @@ def recover(
         return metrics.phase("loom.recovery.phase_ns", labels={"phase": name})
 
     # ------------------------------------------------------------------
+    # -1. Archive frames: the cold tier's self-describing walk tells us
+    #     where the hot log's recycled prefix ends and what retention
+    #     already retired, before any hot-log phase runs.
+    # ------------------------------------------------------------------
+    arch_records: List[Tuple[int, int, int, int]] = []
+    with _phase("archive_scan"):
+        if archive_storage is not None and archive_storage.size > 0:
+            _recover_archive(
+                state,
+                arch_records,
+                archive_storage,
+                archive_journal,
+                verify=verify,
+                repair=repair,
+            )
+
+    # ------------------------------------------------------------------
     # 0. Frame journals: bulk bit-rot check per log (cheap, no decoding).
+    #    The record log's recycled prefix is exempt from CRCs — its bytes
+    #    now live in the archive and may have been reclaimed.
     # ------------------------------------------------------------------
     with _phase("frames"):
-        for storage, journal, label in (
-            (record_storage, record_journal, "record log"),
-            (chunk_storage, chunk_journal, "chunk index"),
-            (timestamp_storage, timestamp_journal, "timestamp index"),
+        for storage, journal, label, skip in (
+            (record_storage, record_journal, "record log", state.recycled_upto),
+            (chunk_storage, chunk_journal, "chunk index", 0),
+            (timestamp_storage, timestamp_journal, "timestamp index", 0),
         ):
             if storage is None or journal is None:
                 continue
             if repair:
-                _repair_frames(storage, journal, label, repairs)
+                _repair_frames(storage, journal, label, repairs, start=skip)
             elif verify:
-                verify_frames(storage, journal, label=label)
+                verify_frames(storage, journal, label=label, start=skip)
 
     # ------------------------------------------------------------------
     # 1. Timestamp entries (with offsets, for potential truncation).
@@ -372,12 +462,19 @@ def recover(
     # ------------------------------------------------------------------
     # 3. THE single pass over the record log: collect light per-record
     #    tuples; everything downstream derives from this list in memory.
+    #    The scan starts at the recycled boundary (chunks end on record
+    #    boundaries, so it is a valid origin); records below it come from
+    #    the archive decode in phase -1 and are prepended in address
+    #    order.
     # ------------------------------------------------------------------
+    scan_start = state.recycled_upto
     records: List[Tuple[int, int, int, int]] = []  # (addr, sid, ts, payload_len)
-    valid_end = 0
+    valid_end = scan_start
     with _phase("record_scan"):
         try:
-            for record in scan_persisted_records(record_storage, verify_crc=verify):
+            for record in scan_persisted_records(
+                record_storage, verify_crc=verify, start=scan_start
+            ):
                 records.append(
                     (record.address, record.source_id, record.timestamp, len(record.payload))
                 )
@@ -389,13 +486,13 @@ def recover(
                 f"record log: truncated at corrupt record (address {exc.address})"
             )
         if repair and valid_end < record_storage.size:
-            if valid_end == 0 or records:
-                torn = record_storage.size - valid_end
-                record_storage.truncate(valid_end)
-                _trim_journal(record_journal, valid_end)
-                if not any(r.startswith("record log: truncated") for r in repairs):
-                    repairs.append(f"record log: dropped {torn}-byte torn tail")
+            torn = record_storage.size - valid_end
+            record_storage.truncate(valid_end)
+            _trim_journal(record_journal, valid_end)
+            if not any(r.startswith("record log: truncated") for r in repairs):
+                repairs.append(f"record log: dropped {torn}-byte torn tail")
 
+        records = arch_records + records
         for address, source_id, timestamp, payload_len in records:
             source = state.sources.get(source_id)
             if source is None:
@@ -450,6 +547,68 @@ def recover(
     return state
 
 
+def _recover_archive(
+    state: RecoveredState,
+    arch_records: List[Tuple[int, int, int, int]],
+    archive_storage: Storage,
+    archive_journal: Optional[Storage],
+    verify: bool,
+    repair: bool,
+) -> None:
+    """Phase -1 of :func:`recover`: adopt the cold tier.
+
+    Walks the archive's self-describing frames, repairs (truncates) the
+    unratified suffix when asked, and decodes every live ratified chunk
+    into ``arch_records`` — the same light per-record tuples the hot scan
+    produces, so every downstream phase treats cold and hot records
+    uniformly.
+    """
+    if archive_journal is not None:
+        if repair:
+            _repair_frames(
+                archive_storage, archive_journal, "archive", state.repairs
+            )
+        elif verify:
+            verify_frames(archive_storage, archive_journal, label="archive")
+    scan: ArchiveScan = scan_archive_frames(archive_storage)
+    state.findings.extend(scan.findings)
+    if repair and archive_storage.size > scan.ratified_end:
+        dropped = archive_storage.size - scan.ratified_end
+        archive_storage.truncate(scan.ratified_end)
+        _trim_journal(archive_journal, scan.ratified_end)
+        state.repairs.append(
+            f"archive: truncated {dropped}-byte unratified suffix "
+            f"(hot log stays authoritative for it)"
+        )
+    state.recycled_upto = scan.recycled_upto
+    state.retention_floor = scan.retention_floor
+    state.retention_mode = scan.retention_mode
+    state.retention_keep_every = scan.retention_keep_every
+    for entry in scan.ratified_entries:
+        if entry.retired:
+            continue
+        state.archived_chunks += 1
+        state.archive_raw_bytes += entry.raw_len
+        state.archive_compressed_bytes += entry.compressed_len
+        streams = archive_storage.read(
+            entry.frame_addr + FRAME_HEADER.size, entry.compressed_len
+        )
+        header_stream = zlib.decompress(bytes(streams[: entry.header_len]))
+        payload_blob = zlib.decompress(bytes(streams[entry.header_len :]))
+        region = decode_chunk_region(
+            header_stream,
+            payload_blob,
+            entry.start_addr,
+            entry.record_count,
+            entry.raw_len,
+            entry.flags,
+        )
+        for addr, sid, ts, _prev, length in iter_region_records(
+            region, entry.start_addr
+        ):
+            arch_records.append((addr, sid, ts, length))
+
+
 def _recover_summaries(
     state: RecoveredState,
     records: List[Tuple[int, int, int, int]],
@@ -462,7 +621,10 @@ def _recover_summaries(
     repair: bool,
 ) -> None:
     """Phase 4 of :func:`recover`: adopt summaries consistent with the
-    record log (truncating or raising on the inconsistent suffix)."""
+    record log (truncating or raising on the inconsistent suffix), then
+    fold the retention floor in: fully retired summaries are dropped
+    (counted in ``retired_chunks``), downsample-kept ones marked
+    summary-only."""
     repairs = state.repairs
     if chunk_storage is not None:
         kept = len(summaries)
@@ -488,8 +650,31 @@ def _recover_summaries(
                 )
             else:
                 summaries = summaries[:kept]
-        state.summaries = summaries
-        state.covered_addr = summaries[-1].end_addr if summaries else 0
+        covered_addr = summaries[-1].end_addr if summaries else 0
+        # Retention reconciliation: the floor is persisted in the archive's
+        # RETIRE frames; the chunk index itself is append-only and still
+        # holds retired summaries.  Recovery (unlike the runtime mirror,
+        # which keeps positions stable) drops them here, before restore.
+        live: List[ChunkSummary] = summaries
+        states: List[int] = [STATE_LIVE] * len(summaries)
+        if state.retention_floor > 0:
+            downsample = state.retention_mode == RETIRE_DOWNSAMPLE
+            keep_every = max(1, state.retention_keep_every)
+            live = []
+            states = []
+            for summary in summaries:
+                if summary.end_addr <= state.retention_floor:
+                    if downsample and summary.chunk_id % keep_every == 0:
+                        live.append(summary)
+                        states.append(STATE_SUMMARY_ONLY)
+                    else:
+                        state.retired_chunks += 1
+                else:
+                    live.append(summary)
+                    states.append(STATE_LIVE)
+        state.summaries = live
+        state.summary_states = states
+        state.covered_addr = covered_addr
         state.unsummarized_tail = [
             (addr, sid, ts)
             for addr, sid, ts, _len in records
@@ -497,7 +682,7 @@ def _recover_summaries(
         ]
         state.unsummarized_records = len(state.unsummarized_tail)
         if verify:
-            _verify_summaries(records, summaries)
+            _verify_summaries(records, live, states)
 
 
 def _recover_timestamps(
@@ -545,14 +730,17 @@ def _recover_timestamps(
             )
             # Every finalized summary wrote exactly one CHUNK event; the
             # timestamp log may trail by in-memory entries lost in a crash.
-            if chunk_events > len(state.summaries):
+            # Retired summaries were dropped from state.summaries but their
+            # CHUNK events are still in the (append-only) timestamp log.
+            persisted = len(state.summaries) + state.retired_chunks
+            if chunk_events > persisted:
                 if repair:
                     seen = 0
                     cut = len(ts_entries)
                     for i, (_ts, kind, _sid, _addr) in enumerate(ts_entries):
                         if kind == KIND_CHUNK:
                             seen += 1
-                            if seen > len(state.summaries):
+                            if seen > persisted:
                                 cut = i
                                 break
                     timestamp_storage.truncate(cut * _TS_ENTRY.size)
@@ -566,8 +754,7 @@ def _recover_timestamps(
                 elif verify:
                     raise CorruptionError(
                         f"timestamp index records {chunk_events} chunk events "
-                        f"but only {len(state.summaries)} summaries were "
-                        f"persisted"
+                        f"but only {persisted} summaries were persisted"
                     )
         # Per-source sampling phase: records since the last RECORD entry.
         last_entry_addr: Dict[int, int] = {}
@@ -585,10 +772,14 @@ def _recover_timestamps(
 
 
 def _verify_summaries(
-    records: List[Tuple[int, int, int, int]], summaries: List[ChunkSummary]
+    records: List[Tuple[int, int, int, int]],
+    summaries: List[ChunkSummary],
+    states: Optional[List[int]] = None,
 ) -> None:
     """Recount records per summary range (from the already-scanned list)
-    and compare with summary claims."""
+    and compare with summary claims.  Summary-only chunks are exempt:
+    their raw records were dropped by retention, so the recount is zero
+    by design."""
     counts: Dict[Tuple[int, int], int] = {}
     bounds = [(s.start_addr, s.end_addr) for s in summaries]
     i = 0
@@ -600,6 +791,8 @@ def _verify_summaries(
         if address >= bounds[i][0]:
             counts[(i, source_id)] = counts.get((i, source_id), 0) + 1
     for pos, summary in enumerate(summaries):
+        if states is not None and states[pos] != STATE_LIVE:
+            continue
         for source_id, info in summary.sources.items():
             actual = counts.get((pos, source_id), 0)
             if actual != info.record_count:
@@ -611,18 +804,61 @@ def _verify_summaries(
                 )
 
 
-def fsck(
+@dataclass(frozen=True)
+class LogCheck:
+    """Presence and on-disk size of one persisted log file."""
+
+    label: str
+    path: Optional[str]
+    present: bool
+    size_bytes: int
+
+
+@dataclass
+class CheckReport:
+    """Typed result of an offline data-directory integrity check.
+
+    The single return shape behind the CLI's ``fsck`` and ``recover``
+    subcommands: which log files exist and how large they are, the
+    reconstructed :class:`RecoveredState` (when the check got that far),
+    and — on corruption without ``repair`` — the error instead of a
+    raise, so callers render a report and choose an exit code.
+    """
+
+    data_dir: str
+    repair: bool
+    logs: List[LogCheck] = field(default_factory=list)
+    state: Optional[RecoveredState] = None
+    error: Optional[CorruptionError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def repairs(self) -> List[str]:
+        return self.state.repairs if self.state is not None else []
+
+    @property
+    def findings(self) -> List[str]:
+        return self.state.findings if self.state is not None else []
+
+
+def check_data_dir(
     data_dir: str,
     repair: bool = False,
     metrics: Optional[MetricsRegistry] = None,
-) -> RecoveredState:
+) -> CheckReport:
     """Offline integrity check (and optional repair) of a data directory.
 
-    Opens the three log files (and their ``.crc`` frame journals, when
-    present) under ``data_dir`` and runs :func:`recover` with full
-    verification.  This is the implementation behind the CLI's ``fsck``
-    and ``recover`` subcommands.  ``metrics`` is forwarded to
-    :func:`recover` for per-phase timing.
+    Opens every log file present under ``data_dir`` (record log, chunk
+    index, timestamp index, cold-tier archive, and their ``.crc`` frame
+    journals) and runs :func:`recover` with full verification, folding
+    the outcome into a :class:`CheckReport`.  A missing record log raises
+    :class:`LoomError` (there is nothing to check); corruption is
+    *captured* on the report rather than raised, so the CLI can print a
+    structured verdict.  ``metrics`` is forwarded to :func:`recover` for
+    per-phase timing.
     """
     cfg = LoomConfig(data_dir=data_dir)
     record_path = cfg.record_log_path()
@@ -634,27 +870,74 @@ def fsck(
             return FileStorage(path)
         return None
 
-    storages = [
-        FileStorage(record_path),
-        _open(cfg.chunk_index_path()),
-        _open(cfg.timestamp_index_path()),
-        _open(cfg.record_log_journal_path()),
-        _open(cfg.chunk_index_journal_path()),
-        _open(cfg.timestamp_index_journal_path()),
+    labelled: List[Tuple[str, Optional[str]]] = [
+        ("record log", record_path),
+        ("chunk index", cfg.chunk_index_path()),
+        ("timestamp index", cfg.timestamp_index_path()),
+        ("archive log", cfg.archive_log_path()),
+        ("record-log journal", cfg.record_log_journal_path()),
+        ("chunk-index journal", cfg.chunk_index_journal_path()),
+        ("timestamp-index journal", cfg.timestamp_index_journal_path()),
+        ("archive journal", cfg.archive_journal_path()),
     ]
+    storages: List[Optional[Storage]] = [_open(path) for _label, path in labelled]
+    report = CheckReport(
+        data_dir=data_dir,
+        repair=repair,
+        logs=[
+            LogCheck(
+                label=label,
+                path=path,
+                present=storage is not None,
+                size_bytes=storage.size if storage is not None else 0,
+            )
+            for (label, path), storage in zip(labelled, storages)
+        ],
+    )
+    record_storage = storages[0]
+    assert record_storage is not None  # record_path existence checked above
     try:
-        return recover(
-            storages[0],
+        report.state = recover(
+            record_storage,
             chunk_storage=storages[1],
             timestamp_storage=storages[2],
             verify=True,
             repair=repair,
-            record_journal=storages[3],
-            chunk_journal=storages[4],
-            timestamp_journal=storages[5],
+            record_journal=storages[4],
+            chunk_journal=storages[5],
+            timestamp_journal=storages[6],
             metrics=metrics,
+            archive_storage=storages[3],
+            archive_journal=storages[7],
         )
+    except CorruptionError as exc:
+        report.error = exc
     finally:
         for storage in storages:
             if storage is not None:
                 storage.close()
+    return report
+
+
+def fsck(
+    data_dir: str,
+    repair: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RecoveredState:
+    """Deprecated alias for :func:`check_data_dir`.
+
+    Returns the bare :class:`RecoveredState` (raising on corruption) the
+    way the old API did; new callers should consume the typed
+    :class:`CheckReport` instead.
+    """
+    warnings.warn(
+        "fsck() is deprecated; use check_data_dir(), which returns a "
+        "typed CheckReport",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    report = check_data_dir(data_dir, repair=repair, metrics=metrics)
+    if report.error is not None:
+        raise report.error
+    assert report.state is not None
+    return report.state

@@ -49,6 +49,7 @@ from .config import LoomConfig
 from .errors import LoomError
 from .histogram import HistogramSpec, IndexDefinition, IndexFunc
 from .hybridlog import NULL_ADDRESS, Health
+from .archive import MigrationReport, RetentionReport
 from .record_log import RecordLog, SourceState
 from .snapshot import Snapshot
 
@@ -320,6 +321,19 @@ class ShadowLog:
         #: not claimable afterwards.
         self.reseeded = False
         self.closed = False
+        #: Retention floor mirrored from apply_retention / reopen: records
+        #: below it were trimmed from the per-source mirrors.
+        self.chain_floor = 0
+        #: Records trimmed by retention, per source — the real per-source
+        #: counts are lifetime counts, so the count oracle adds these back.
+        self.removed: Dict[int, int] = {}
+        #: Trimmed records from summary-only (downsample-kept) chunks.
+        #: Scans no longer return them, but fully-in-range aggregates and
+        #: histograms still count them exactly via the resident summaries.
+        self.agg_records: Dict[int, List[ShadowRecord]] = {}
+        #: False once the summary-only pool is unknowable (reseed from a
+        #: retention-floored log) — aggregate oracles degrade to bounds.
+        self.agg_exact = True
 
     # -- mirrors of the public ingest surface ---------------------------
     def on_define_source(self, source_id: int) -> None:
@@ -377,6 +391,55 @@ class ShadowLog:
         # oracle re-derives visibility from the real watermark.
         pass
 
+    def on_migrate(self, record_log: RecordLog) -> None:
+        """Migration moves bytes between tiers without changing contents.
+
+        The mirror stays as-is; the install wrapper re-runs the full
+        differential oracle right after, which is exactly the cold-tier
+        totality claim: every answer must be identical across the
+        migration boundary.
+        """
+
+    def on_apply_retention(self, record_log: RecordLog) -> None:
+        """Trim mirrored records below the new retention floor.
+
+        Records from downsample-kept (summary-only) chunks move into the
+        per-source aggregate pool: scans must no longer return them, but
+        whole-range aggregates and histograms still count them exactly
+        from the resident summaries.  Everything else below the floor is
+        gone for good; the per-source trim counts keep the lifetime-count
+        oracle balanced.
+        """
+        floor = record_log.retention_floor
+        if floor <= self.chain_floor:
+            return
+        self.chain_floor = floor
+        # Address ranges of chunks that kept their summaries (scannable
+        # or not, the mirror only needs the summary-only ones — and all
+        # non-retired chunks above the floor keep their records anyway).
+        index = record_log.chunk_index
+        kept_ranges: List[Tuple[int, int]] = []
+        for i in range(len(index)):
+            summary = index.get(i)
+            if summary.end_addr > floor:
+                break
+            if not index.is_scannable(summary.chunk_id):
+                if index.summary_for_chunk(summary.chunk_id) is not None:
+                    kept_ranges.append((summary.start_addr, summary.end_addr))
+        starts = [lo for lo, _hi in kept_ranges]
+        for source_id, mirror in self.records.items():
+            cut = bisect.bisect_left([r.address for r in mirror], floor)
+            if cut == 0:
+                continue
+            trimmed = mirror[:cut]
+            del mirror[:cut]
+            self.removed[source_id] = self.removed.get(source_id, 0) + len(trimmed)
+            pool = self.agg_records.setdefault(source_id, [])
+            for record in trimmed:
+                i = bisect.bisect_right(starts, record.address) - 1
+                if i >= 0 and record.address < kept_ranges[i][1]:
+                    pool.append(record)
+
     def on_close(self) -> None:
         self.closed = True
 
@@ -389,7 +452,8 @@ class ShadowLog:
         """
         self.records = {sid: [] for sid in record_log.source_ids()}
         watermark = record_log.log.watermark
-        for record in record_log.iter_records_between(0, watermark):
+        floor = record_log.retention_floor
+        for record in record_log.iter_records_between(floor, watermark):
             self.records.setdefault(record.source_id, []).append(
                 ShadowRecord(
                     timestamp=record.timestamp,
@@ -404,6 +468,12 @@ class ShadowLog:
         }
         self.indexes = {}
         self.reseeded = True
+        self.chain_floor = floor
+        if floor > 0:
+            # Summary-only records below the floor are unrecoverable (the
+            # raw bytes are gone; only their bins survive), so aggregate
+            # oracles can claim bounds, not equality, from here on.
+            self.agg_exact = False
 
 
 # ----------------------------------------------------------------------
@@ -428,18 +498,27 @@ _PERCENTILES = (0.0, 50.0, 95.0, 100.0)
 def _check_counts(
     record_log: RecordLog, shadow: ShadowLog, failures: List[str]
 ) -> None:
-    """Cheap invariants: per-source counts and chain heads match."""
+    """Cheap invariants: per-source counts and chain heads match.
+
+    Real per-source counts are *lifetime* counts (retention does not
+    decrement them), so records the shadow trimmed at the floor are added
+    back.  A source whose every record was retired keeps its last (dead)
+    chain head in the real log; the head claim is vacuous then.
+    """
     for source_id, mirror in shadow.records.items():
         try:
             state: SourceState = record_log.get_source(source_id)
         except LoomError:
             failures.append(f"source {source_id} missing from the real log")
             continue
-        if state.record_count != len(mirror):
+        removed = shadow.removed.get(source_id, 0)
+        if state.record_count != len(mirror) + removed:
             failures.append(
                 f"source {source_id}: record_count {state.record_count} != "
-                f"shadow count {len(mirror)}"
+                f"shadow count {len(mirror)} + {removed} retired"
             )
+        if not mirror and removed:
+            continue
         expected_head = mirror[-1].address if mirror else NULL_ADDRESS
         if state.last_addr != expected_head:
             failures.append(
@@ -458,13 +537,17 @@ def _check_view_reads(record_log: RecordLog, failures: List[str]) -> None:
     """
     log = record_log.log
     persisted = log.storage.size
-    if persisted == 0:
+    # The recycled prefix belongs to the cold tier now; probing it would
+    # (correctly) raise AddressError.
+    lo = record_log.cold_boundary
+    if persisted <= lo:
         return
-    probe = min(VIEW_PROBE_BYTES, persisted)
+    probe = min(VIEW_PROBE_BYTES, persisted - lo)
+    mid = lo + (persisted - lo) // 2
     windows = {
-        (0, probe),
+        (lo, probe),
         (persisted - probe, probe),
-        (persisted // 2, min(probe, persisted - persisted // 2)),
+        (mid, min(probe, persisted - mid)),
     }
     for address, length in windows:
         view = log.read_view(address, length)
@@ -487,14 +570,15 @@ def _check_columnar_decode(
     same count, and identical (source, timestamp, prev, address, payload)
     per record.  Skipped for very large logs to keep LOOMSAN tractable.
     """
+    start = record_log.retention_floor
     end = snapshot.watermark
-    if end == 0 or end > COLUMNAR_CHECK_CAP:
+    if end <= start or end - start > COLUMNAR_CHECK_CAP:
         return
-    columns = snapshot.region_columns(0, end)
+    columns = snapshot.region_columns(start, end)
     if columns is None:
         # Allowed: verify_on_read configs decode scalar-only by design.
         return
-    scalar = list(record_log.iter_records_between(0, end))
+    scalar = list(record_log.iter_records_between(start, end))
     if len(columns) != len(scalar):
         failures.append(
             f"region_columns decoded {len(columns)} records where the "
@@ -658,6 +742,8 @@ def _check_aggregates(
     mirror: List[ShadowRecord],
     t_end: int,
     failures: List[str],
+    agg_pool: Sequence[ShadowRecord] = (),
+    agg_exact: bool = True,
 ) -> None:
     from .operators import bin_histogram, indexed_aggregate
 
@@ -671,6 +757,10 @@ def _check_aggregates(
     values = [index.index_func(r.payload) for r in mirror]
 
     if index.birth > 0:
+        if agg_pool or not agg_exact:
+            # Forward-only indexing *and* retention below the floor: no
+            # usefully tight bound remains claimable.
+            return
         # Bounds only: at least the post-definition records are counted,
         # never more than the shadow holds.
         agg = indexed_aggregate(snapshot, source_id, definition, 0, t_end, "count")
@@ -679,6 +769,66 @@ def _check_aggregates(
             failures.append(
                 f"index {index.index_id}: count {agg.count} outside shadow "
                 f"bounds [{post}, {len(values)}]"
+            )
+        return
+
+    if agg_pool or not agg_exact:
+        # Retention trimmed the mirror.  Whole-range distributive
+        # aggregates stay exact when the summary-only pool is known
+        # (records fold in via resident summary bins); after a reopen the
+        # pool is unknowable and only a lower bound holds.  Percentiles
+        # are approximated in-bin for summary-only chunks, so their exact
+        # oracle is not claimable either way.
+        pool_values = [index.index_func(r.payload) for r in agg_pool]
+        all_values = pool_values + values
+        agg = indexed_aggregate(snapshot, source_id, definition, 0, t_end, "count")
+        if not agg_exact:
+            if agg.count < len(values):
+                failures.append(
+                    f"index {index.index_id}: count {agg.count} below the "
+                    f"{len(values)} live records the shadow holds"
+                )
+            return
+        if agg.count != len(all_values):
+            failures.append(
+                f"index {index.index_id}: count {agg.count} != shadow "
+                f"{len(values)} live + {len(pool_values)} summary-only"
+            )
+            return
+        if not all_values:
+            return
+        for method, expected in (
+            ("sum", math.fsum(all_values)),
+            ("min", min(all_values)),
+            ("max", max(all_values)),
+            ("mean", math.fsum(all_values) / len(all_values)),
+        ):
+            agg = indexed_aggregate(
+                snapshot, source_id, definition, 0, t_end, method
+            )
+            got = agg.value
+            if got is None or not math.isclose(
+                got, expected, rel_tol=1e-9, abs_tol=1e-9
+            ):
+                failures.append(
+                    f"index {index.index_id}: {method} {got!r} != shadow "
+                    f"{expected!r} (live + summary-only)"
+                )
+        shadow_hist: Dict[int, int] = {}
+        for value in all_values:
+            b = index.spec.bin_of(value)
+            shadow_hist[b] = shadow_hist.get(b, 0) + 1
+        got_hist = {
+            b: n
+            for b, n in bin_histogram(
+                snapshot, source_id, definition, 0, t_end
+            ).items()
+            if n
+        }
+        if got_hist != shadow_hist:
+            failures.append(
+                f"index {index.index_id}: bin_histogram {got_hist!r} != "
+                f"shadow {shadow_hist!r} (live + summary-only)"
             )
         return
 
@@ -780,8 +930,16 @@ def verify_log(
         if source_id not in snapshot.heads:
             continue
         t_end = mirror[-1].timestamp if mirror else 0
+        pool = shadow.agg_records.get(source_id, [])
+        if pool and not mirror:
+            # Everything live was retired; aggregates still answer from
+            # the resident summaries up to the last pooled timestamp.
+            t_end = pool[-1].timestamp
         _check_raw_scan(snapshot, source_id, mirror, t_end, failures)
-        if check_seeks and not shadow.reseeded:
+        if check_seeks and not shadow.reseeded and shadow.chain_floor == 0:
+            # Seek probes address records below the retention floor; once
+            # retention retired any prefix the probe set is no longer a
+            # uniform sample of live data, so the oracle stands down.
             _check_seeks(record_log, source_id, mirror, failures)
         if len(mirror) > FULL_CHECK_CAP:
             continue
@@ -789,7 +947,15 @@ def verify_log(
             if index.source_id != source_id:
                 continue
             _check_indexed_scan(snapshot, index, mirror, t_end, failures)
-            _check_aggregates(snapshot, index, mirror, t_end, failures)
+            _check_aggregates(
+                snapshot,
+                index,
+                mirror,
+                t_end,
+                failures,
+                agg_pool=pool,
+                agg_exact=shadow.agg_exact,
+            )
     return failures
 
 
@@ -843,6 +1009,8 @@ def install() -> None:
     orig_push = RecordLog.push
     orig_push_many = RecordLog.push_many
     orig_sync = RecordLog.sync
+    orig_migrate = RecordLog.migrate
+    orig_apply_retention = RecordLog.apply_retention
     orig_close = RecordLog.close
     orig_reopen = RecordLog.__dict__["reopen"].__func__
     _originals.update(
@@ -854,6 +1022,8 @@ def install() -> None:
         push=orig_push,
         push_many=orig_push_many,
         sync=orig_sync,
+        migrate=orig_migrate,
+        apply_retention=orig_apply_retention,
         close=orig_close,
         reopen=orig_reopen,
     )
@@ -920,6 +1090,26 @@ def install() -> None:
             _check_counts(self, shadow, failures)
             _verdict(failures)
 
+    def migrate(self: RecordLog, force: bool = True) -> "MigrationReport":
+        report = orig_migrate(self, force=force)
+        shadow = _shadows.get(self)
+        if shadow is not None and self.health() == Health.HEALTHY:
+            shadow.on_migrate(self)
+            # Cold-tier totality: migration must not change any answer, so
+            # the full oracle reruns against the unchanged shadow.
+            _verdict(verify_log(self, shadow))
+        return report
+
+    def apply_retention(
+        self: RecordLog, now: Optional[int] = None
+    ) -> "RetentionReport":
+        report = orig_apply_retention(self, now=now)
+        shadow = _shadows.get(self)
+        if shadow is not None and self.health() == Health.HEALTHY:
+            shadow.on_apply_retention(self)
+            _verdict(verify_log(self, shadow))
+        return report
+
     def close(self: RecordLog) -> None:
         shadow = _shadows.get(self)
         if shadow is None or self._closed or shadow.closed:
@@ -958,6 +1148,8 @@ def install() -> None:
     setattr(RecordLog, "push", push)
     setattr(RecordLog, "push_many", push_many)
     setattr(RecordLog, "sync", sync)
+    setattr(RecordLog, "migrate", migrate)
+    setattr(RecordLog, "apply_retention", apply_retention)
     setattr(RecordLog, "close", close)
     setattr(RecordLog, "reopen", classmethod(reopen))
     # The view-lifetime guard rides along with every sanitized run: from
@@ -980,6 +1172,8 @@ def uninstall() -> None:
     setattr(RecordLog, "push", _originals["push"])
     setattr(RecordLog, "push_many", _originals["push_many"])
     setattr(RecordLog, "sync", _originals["sync"])
+    setattr(RecordLog, "migrate", _originals["migrate"])
+    setattr(RecordLog, "apply_retention", _originals["apply_retention"])
     setattr(RecordLog, "close", _originals["close"])
     setattr(RecordLog, "reopen", classmethod(_originals["reopen"]))
     _originals.clear()

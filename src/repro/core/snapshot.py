@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
 from . import yieldpoints
+from .chunk_index import STATE_RETIRED
+from .errors import AddressError
 from .hybridlog import NULL_ADDRESS
 from .record import Record
 from .record_log import RecordLog, RegionColumns
@@ -92,9 +94,12 @@ class Snapshot:
 
         ``start`` overrides the chain head (e.g. a timestamp-index hint);
         addresses at or above the watermark are skipped by walking past
-        them until the chain dips below the watermark.
+        them until the chain dips below the watermark.  The walk ends at
+        the retention floor: records retired by a retention pass are no
+        longer materializable, so the chain's older tail is invisible.
         """
         address = self.chain_head(source_id) if start is None else start
+        floor = self.record_log.retention_floor
         while address != NULL_ADDRESS and address >= self.watermark:
             # The hinted record is too new for this snapshot; records are
             # appended in address order so following the chain moves below
@@ -102,7 +107,21 @@ class Snapshot:
             record = self.record_log.read_record(address, stats=stats)
             address = record.prev_addr
         while address != NULL_ADDRESS:
-            record = self.record_log.read_record(address, stats=stats)
+            if address < floor:
+                # The chain continues into retired history: the caller
+                # drove the walk past the oldest materializable record,
+                # so the answer is missing dropped records.
+                if stats is not None:
+                    stats.degraded = True
+                break
+            try:
+                record = self.record_log.read_record(address, stats=stats)
+            except AddressError:
+                if address < self.record_log.retention_floor:
+                    if stats is not None:
+                        stats.degraded = True
+                    break  # retention advanced under the walk
+                raise
             yield record
             address = record.prev_addr
 
@@ -150,8 +169,10 @@ class Snapshot:
         )
 
     def all_summaries(self) -> Iterator[ChunkSummary]:
-        """All pinned summaries in chunk order (ablation mode helper)."""
+        """All pinned, non-retired summaries in chunk order."""
         for i in range(self.n_chunks):
+            if self.record_log.chunk_index.state_at(i) == STATE_RETIRED:
+                continue
             yield self.record_log.chunk_index.get(i)
 
     def active_region(self) -> Tuple[int, int]:
@@ -166,9 +187,18 @@ class Snapshot:
     def first_record_after(
         self, source_id: int, timestamp: int
     ) -> Optional[Tuple[int, int]]:
-        """Timestamp-index seek hint, filtered to this snapshot's view."""
+        """Timestamp-index seek hint, filtered to this snapshot's view.
+
+        Hits below the retention floor point at retired records; they are
+        dropped so callers fall back to the chain walk (which itself
+        stops at the floor).
+        """
         hit = self.record_log.timestamp_index.first_record_after(source_id, timestamp)
-        if hit is not None and hit[1] < self.watermark:
+        if (
+            hit is not None
+            and hit[1] < self.watermark
+            and hit[1] >= self.record_log.retention_floor
+        ):
             return hit
         return None
 

@@ -41,6 +41,40 @@ class Storage:
     #: Lazily created by :meth:`_track_view`; ``None`` in production runs.
     _views: Optional[viewguard.Ledger] = None
 
+    #: Exclusive upper bound of the *recycled prefix*: bytes below it were
+    #: migrated to the cold tier and may be physically reclaimed.  Reads
+    #: below it raise :class:`AddressError` (views return ``None``) — the
+    #: archive, not this storage, is authoritative there.
+    _recycled_upto: int = 0
+
+    @property
+    def recycled_upto(self) -> int:
+        return self._recycled_upto
+
+    def recycle_prefix(self, upto: int, reason: str) -> int:
+        """Mark ``[0, upto)`` recycled; poison outstanding views over it.
+
+        Returns the number of views poisoned.  Idempotent and monotonic:
+        a smaller ``upto`` than the current boundary is a no-op.  The
+        base implementation is metadata-only; backends override to also
+        reclaim the physical bytes.
+        """
+        if upto > self.size:
+            raise AddressError(
+                f"recycle to {upto} beyond persisted size {self.size}"
+            )
+        old = self._recycled_upto
+        if upto <= old:
+            return 0
+        # Publish the boundary before reclaiming bytes so a racing reader
+        # either fails the range check or reads still-intact bytes.
+        self._recycled_upto = upto
+        if self._views is not None:
+            return self._views.invalidate(
+                old, upto, f"storage prefix recycled to {upto}: {reason}"
+            )
+        return 0
+
     def _track_view(self, view: memoryview, address: int, length: int) -> memoryview:
         """Register ``view`` with the lifetime guard when it is active.
 
@@ -123,6 +157,11 @@ class Storage:
     def _check_range(self, address: int, length: int) -> None:
         if address < 0 or length < 0:
             raise AddressError(f"negative address or length: {address}, {length}")
+        if address < self._recycled_upto:
+            raise AddressError(
+                f"read at {address} below recycled prefix "
+                f"{self._recycled_upto} (serve it from the archive)"
+            )
         if address + length > self.size:
             raise AddressError(
                 f"read [{address}, {address + length}) beyond persisted size {self.size}"
@@ -197,6 +236,8 @@ class MemoryStorage(Storage):
             raise ClosedError("storage is closed")
         if address < 0 or length < 0 or address + length > self._size:
             return None
+        if address < self._recycled_upto:
+            return None
         if length == 0:
             return memoryview(b"")
         i = bisect_right(self._starts, address) - 1
@@ -231,6 +272,30 @@ class MemoryStorage(Storage):
                 f"storage byte at address {address} was mutated "
                 f"(fault injection replaced its extent)",
             )
+
+    def recycle_prefix(self, upto: int, reason: str) -> int:
+        """Recycle ``[0, upto)`` and free the memory of covered extents.
+
+        Extents fully below ``upto`` are replaced *in place* with empty
+        placeholders (single-item list stores are GIL-atomic), so the
+        bisect arithmetic of lock-free concurrent readers over the
+        surviving suffix never observes a torn list pair; reads below
+        the boundary are rejected by the range check before they could
+        touch a placeholder.
+        """
+        poisoned = super().recycle_prefix(upto, reason)
+        with self._lock:
+            for i, start in enumerate(self._starts):
+                extent = self._extents[i]
+                if start + len(extent) <= upto and len(extent):
+                    self._extents[i] = b""
+                elif start >= upto:
+                    break
+        return poisoned
+
+    def retained_bytes(self) -> int:
+        """Bytes actually held in memory (recycled extents excluded)."""
+        return sum(len(extent) for extent in list(self._extents))
 
     @property
     def size(self) -> int:
@@ -291,6 +356,11 @@ class FileStorage(Storage):
         #: Parked reason the mmap tier is degraded (mapping failed); reads
         #: keep working through pread, views just return None.
         self._mmap_error: Optional[Exception] = None
+        #: Punch filesystem holes over recycled prefixes (best effort,
+        #: Linux only).  Set by the record log when the tier config asks
+        #: for physical reclamation; failures park in ``_punch_error``.
+        self.punch_holes = False
+        self._punch_error: Optional[Exception] = None
 
     @property
     def path(self) -> str:
@@ -321,6 +391,8 @@ class FileStorage(Storage):
         if self._closed:
             raise ClosedError("storage is closed")
         if address < 0 or length < 0 or address + length > self._size:
+            return None
+        if address < self._recycled_upto:
             return None
         if length == 0:
             return memoryview(b"")
@@ -362,6 +434,39 @@ class FileStorage(Storage):
         entry = (mapped, size)
         self._map = entry
         return entry
+
+    def recycle_prefix(self, upto: int, reason: str) -> int:
+        """Recycle ``[0, upto)``; optionally punch holes over it.
+
+        Without hole punching this is a metadata-only boundary (the file
+        keeps its bytes until offline compaction); with ``punch_holes``
+        the covered range is deallocated via ``fallocate(PUNCH_HOLE |
+        KEEP_SIZE)`` so the address arithmetic is unchanged while the
+        blocks are returned to the filesystem.  Punch failures are parked
+        in ``_punch_error`` (introspection can report them) — the archive
+        is already authoritative for the range either way.
+        """
+        old = self._recycled_upto
+        poisoned = super().recycle_prefix(upto, reason)
+        if self.punch_holes and upto > old:
+            try:
+                import ctypes
+
+                libc = ctypes.CDLL("libc.so.6", use_errno=True)
+                # FALLOC_FL_KEEP_SIZE (0x01) | FALLOC_FL_PUNCH_HOLE (0x02)
+                rc = libc.fallocate(
+                    self._write_f.fileno(),
+                    ctypes.c_int(0x03),
+                    ctypes.c_longlong(old),
+                    ctypes.c_longlong(upto - old),
+                )
+                if rc != 0:
+                    self._punch_error = OSError(
+                        ctypes.get_errno(), "fallocate(PUNCH_HOLE) failed"
+                    )
+            except (OSError, AttributeError) as exc:
+                self._punch_error = exc
+        return poisoned
 
     @property
     def size(self) -> int:

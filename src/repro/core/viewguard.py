@@ -77,12 +77,18 @@ _INTERNAL_FRAGMENTS = (
     "/repro/core/hybridlog.py",
 )
 
+# Functions that dispatch a read across tiers on behalf of their caller;
+# like the files above, they hand views out rather than borrow them.
+_INTERNAL_FUNCTIONS = frozenset({"_region_buffer"})
+
 
 def _borrow_site() -> str:
     """``path:line in function`` of the code that requested the view."""
     stack = traceback.extract_stack()
     for frame in reversed(stack):
         filename = frame.filename.replace("\\", "/")
+        if frame.name in _INTERNAL_FUNCTIONS:
+            continue
         if not any(fragment in filename for fragment in _INTERNAL_FRAGMENTS):
             return f"{frame.filename}:{frame.lineno} in {frame.name}"
     frame = stack[0]

@@ -23,6 +23,9 @@ are relative to *now*, i.e. ``last 10s``):
                                                        (Prometheus-style text)
 ``fsck <data_dir>``                                    offline integrity check
 ``recover <data_dir>``                                 fsck + repair torn tails
+``archive``                                            cold-tier status
+``archive run``                                        force a migration pass
+``archive retention``                                  apply retention now
 =====================================================  ======================
 
 Query verbs run on the daemon's :class:`~repro.core.operators.QueryResult`
@@ -46,10 +49,10 @@ from typing import Callable, List, Optional, Tuple
 
 from ..core.errors import LoomError
 from ..core.operators import QueryResult
-from ..core.recovery import fsck
+from ..core.recovery import CheckReport, check_data_dir
 from .monitor import MonitoringDaemon
 
-_DURATION = re.compile(r"^(\d+(?:\.\d+)?)(ns|us|ms|s|m|h)$")
+_DURATION = re.compile(r"^(\d+(?:\.\d+)?)(ns|us|ms|s|m|h|d)$")
 _SCALE = {
     "ns": 1,
     "us": 1_000,
@@ -57,6 +60,7 @@ _SCALE = {
     "s": 1_000_000_000,
     "m": 60 * 1_000_000_000,
     "h": 3600 * 1_000_000_000,
+    "d": 86_400 * 1_000_000_000,
 }
 
 
@@ -112,6 +116,7 @@ class LoomCli:
             "stats": self._stats,
             "fsck": self._fsck,
             "recover": self._recover,
+            "archive": self._archive,
         }.get(verb)
         if handler is None:
             raise CliError(f"unknown command {verb!r}")
@@ -240,6 +245,14 @@ class LoomCli:
             f"footprint: {log_bytes:,} log bytes "
             f"({footprint['finalized_chunks']} chunks)",
         ]
+        if footprint.get("archived_chunks") or footprint.get("retention_floor"):
+            lines.append(
+                f"tiers: hot {footprint['hot_bytes']:,}B, cold "
+                f"{footprint['cold_bytes_compressed']:,}B compressed "
+                f"({footprint['archived_chunks']} chunks, "
+                f"{footprint['retired_chunks']} retired), "
+                f"retention floor {footprint['retention_floor']:,}"
+            )
         for source in info.sources:
             name = names.get(source.source_id, f"source-{source.source_id}")
             state = "closed" if source.closed else "open"
@@ -257,28 +270,98 @@ class LoomCli:
         snapshot = self.daemon.loom.metrics.snapshot()
         return CliResult("stats", render_exposition(snapshot), snapshot)
 
+    @staticmethod
+    def _render_check(report: CheckReport) -> List[str]:
+        """Shared CheckReport rendering for the fsck/recover verbs."""
+        lines = [
+            f"{check.label}: {check.size_bytes:,}B"
+            + ("" if check.present else " (absent)")
+            for check in report.logs
+            if check.present
+        ]
+        lines.extend(f"note: {finding}" for finding in report.findings)
+        state = report.state
+        if report.error is not None:
+            lines.append(f"corrupt: {report.error}")
+        elif state is not None:
+            lines.append(
+                f"ok: {state.total_records:,} records "
+                f"({len(state.sources)} sources), "
+                f"{len(state.summaries)} chunk summaries, "
+                f"{len(state.timestamp_entries)} timestamp entries"
+            )
+            if state.archived_chunks or state.retired_chunks:
+                lines.append(
+                    f"cold tier: {state.archived_chunks} archived chunks "
+                    f"({state.archive_compressed_bytes:,}B compressed), "
+                    f"{state.retired_chunks} retired, "
+                    f"retention floor {state.retention_floor:,}"
+                )
+        return lines
+
     def _fsck(self, tokens: List[str]) -> CliResult:
         if len(tokens) < 2:
             raise CliError("usage: fsck <data_dir>")
-        state = fsck(tokens[1], repair=False)
-        text = (
-            f"ok: {state.total_records:,} records "
-            f"({len(state.sources)} sources), "
-            f"{len(state.summaries)} chunk summaries, "
-            f"{len(state.timestamp_entries)} timestamp entries"
+        report = check_data_dir(tokens[1], repair=False)
+        return CliResult(
+            "fsck",
+            "\n".join(self._render_check(report)),
+            report,
+            exit_code=0 if report.ok else 1,
         )
-        return CliResult("fsck", text, state)
 
     def _recover(self, tokens: List[str]) -> CliResult:
         if len(tokens) < 2:
             raise CliError("usage: recover <data_dir>")
-        state = fsck(tokens[1], repair=True)
-        lines = list(state.repairs) or ["no repairs needed"]
-        lines.append(
-            f"recovered {state.total_records:,} records "
-            f"({len(state.sources)} sources)"
+        report = check_data_dir(tokens[1], repair=True)
+        lines = list(report.repairs) or ["no repairs needed"]
+        lines.extend(self._render_check(report))
+        return CliResult(
+            "recover",
+            "\n".join(lines),
+            report,
+            exit_code=0 if report.ok else 1,
         )
-        return CliResult("recover", "\n".join(lines), state)
+
+    def _archive(self, tokens: List[str]) -> CliResult:
+        """``archive`` (status), ``archive run``, ``archive retention``."""
+        loom = self.daemon.loom
+        if len(tokens) > 1 and tokens[1] == "run":
+            migration = loom.migrate(force=True)
+            text = (
+                f"migrated {migration.chunks_migrated} chunks "
+                f"({migration.records_migrated:,} records, "
+                f"{migration.raw_bytes:,}B -> {migration.compressed_bytes:,}B); "
+                f"cold boundary {migration.cold_boundary:,}"
+            )
+            return CliResult("archive", text, migration)
+        if len(tokens) > 1 and tokens[1] == "retention":
+            retention = loom.apply_retention()
+            text = (
+                f"retention floor {retention.floor_addr:,} ({retention.mode}): "
+                f"{len(retention.dropped_chunk_ids)} chunks dropped, "
+                f"{len(retention.kept_chunk_ids)} kept summary-only, "
+                f"{retention.records_dropped:,} records dropped"
+            )
+            return CliResult("archive", text, retention)
+        if len(tokens) > 1:
+            raise CliError("usage: archive [run|retention]")
+        footprint = loom.footprint()
+        archive = loom.record_log.archive
+        if archive is None:
+            return CliResult("archive", "no cold tier configured", None)
+        ratio = archive.compression_ratio
+        text = (
+            f"archived: {footprint['archived_chunks']} chunks "
+            f"({footprint['retired_chunks']} retired)\n"
+            f"cold: {footprint['cold_bytes_raw']:,}B raw -> "
+            f"{footprint['cold_bytes_compressed']:,}B compressed "
+            f"({ratio:.2f}x)\n"
+            f"hot: {footprint['hot_bytes']:,}B above boundary "
+            f"{footprint['recycled_upto']:,}\n"
+            f"retention floor: {footprint['retention_floor']:,}"
+        )
+        return CliResult("archive", text, footprint)
 
     def _where(self, tokens: List[str], trace: bool = False) -> CliResult:
         if len(tokens) < 6:
@@ -319,6 +402,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--data-dir", default=None,
         help="persist shard logs under this directory (default: in-memory)",
     )
+    serve.add_argument(
+        "--archive", action="store_true",
+        help="enable the compressed cold tier (background chunk migration)",
+    )
+    serve.add_argument(
+        "--retention-horizon", default=None, metavar="DUR",
+        help="retire archived chunks older than this (e.g. 24h); "
+        "implies --archive",
+    )
+    serve.add_argument(
+        "--retention-downsample", type=int, default=None, metavar="N",
+        help="keep every Nth retired chunk's summary resident "
+        "(default: drop retired chunks entirely)",
+    )
     health = sub.add_parser("health", help="probe a running service")
     health.add_argument("--host", default="127.0.0.1")
     health.add_argument("--port", type=int, default=7337)
@@ -326,12 +423,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.verb == "serve":
-        from ..core.config import LoomConfig
+        from ..core.config import LoomConfig, RetentionPolicy, TierConfig
         from .server import LoomServer, ServerConfig
 
+        tier = None
+        retention = None
+        if args.archive or args.retention_horizon is not None:
+            tier = TierConfig()
+        if args.retention_horizon is not None:
+            retention = RetentionPolicy(
+                horizon_ns=parse_duration(args.retention_horizon),
+                mode="downsample" if args.retention_downsample else "drop",
+                keep_every=args.retention_downsample or 4,
+            )
         loom_config = (
-            LoomConfig(data_dir=args.data_dir, threaded_flush=True)
-            if args.data_dir
+            LoomConfig(
+                data_dir=args.data_dir,
+                threaded_flush=True,
+                tier=tier,
+                retention=retention,
+            )
+            if args.data_dir or tier is not None
             else None
         )
         server = LoomServer(

@@ -1,0 +1,561 @@
+"""The compressed cold tier: archive codec, migration, retention, and the
+unified tiered-storage surface.
+
+ACCEPTANCE scenarios for the tiered-storage API:
+
+* the archive codec round-trips chunk regions *byte-identically* (framing
+  and CRCs are deterministic functions of the columns);
+* migrating finalized chunks into the archive changes no query answer,
+  and the cold read path decompresses only the chunks a query actually
+  needs (counter-backed: summary-only aggregates decompress nothing);
+* a zero-copy scan view that outlives a migration pass raises a typed
+  :class:`StaleViewError` naming the borrow site, and a rescan after the
+  migration returns byte-identical records;
+* retention (drop and downsample) makes retired data invisible while
+  downsampled summaries keep distributive aggregates exact;
+* a data directory with an archive reopens to the same answers, and the
+  typed ``check_data_dir`` report covers all eight files.
+"""
+
+from __future__ import annotations
+
+import struct
+import warnings
+
+import pytest
+
+from repro.core.archive import (
+    decode_chunk_region,
+    encode_chunk_streams,
+)
+from repro.core.chunk_index import STATE_SUMMARY_ONLY
+from repro.core.clock import VirtualClock
+from repro.core.config import LoomConfig, RetentionPolicy, TierConfig
+from repro.core.errors import AddressError, LoomError, StaleViewError
+from repro.core.hybridlog import NULL_ADDRESS
+from repro.core.loom import Loom
+from repro.core.operators import QueryStats
+from repro.core.record import encode_record
+from repro.core.record_log import RecordLog
+from repro.core.recovery import check_data_dir, fsck
+
+_VALUE = struct.Struct("<d")
+EDGES = [0.0, 25.0, 50.0, 75.0, 100.0]
+ALL_TIME = (0, 2**62)
+
+
+def _payload(value, pad=40):
+    return _VALUE.pack(float(value)) + b"\x00" * pad
+
+
+def _index_func(payload):
+    return _VALUE.unpack_from(payload)[0]
+
+
+def _tiered_config(tmp_path=None, **overrides):
+    kwargs = dict(
+        chunk_size=2048,
+        record_block_size=4096,
+        timestamp_interval=4,
+        tier=TierConfig(migrate_high_watermark=4, migrate_low_watermark=1),
+    )
+    if tmp_path is not None:
+        kwargs["data_dir"] = str(tmp_path)
+    kwargs.update(overrides)
+    return LoomConfig(**kwargs)
+
+
+def _fill(loom, clock, count=600, sources=(1, 2)):
+    """Push ``count`` float records round-robin over ``sources``."""
+    index_ids = {}
+    for sid in sources:
+        loom.define_source(sid)
+        index_ids[sid] = loom.define_index(sid, _index_func, EDGES)
+    for i in range(count):
+        sid = sources[i % len(sources)]
+        loom.push(sid, _payload(i % 100))
+        clock.advance(10)
+    loom.sync()
+    return index_ids
+
+
+# ----------------------------------------------------------------------
+# Codec: byte-identical round trips
+# ----------------------------------------------------------------------
+class TestCodec:
+    def _roundtrip(self, region, start_addr=0):
+        header, blob, count, flags = encode_chunk_streams(region, start_addr)
+        rebuilt = decode_chunk_region(
+            header, blob, start_addr, count, len(region), flags
+        )
+        assert rebuilt == region
+        return header, blob
+
+    def test_uniform_records_round_trip(self):
+        region = b"".join(
+            encode_record(7, 1_000 + 10 * i, NULL_ADDRESS if i == 0 else 28 * (i - 1), b"")
+            for i in range(5)
+        )
+        self._roundtrip(region)
+
+    def test_mixed_sources_and_payload_sizes(self):
+        region = b""
+        prev = {1: NULL_ADDRESS, 2: NULL_ADDRESS}
+        ts = 5_000
+        for i in range(40):
+            sid = 1 + (i % 2)
+            payload = bytes([i % 251]) * (i % 17)
+            addr = len(region)
+            region += encode_record(sid, ts, prev[sid], payload)
+            prev[sid] = addr
+            ts += (i * 37) % 113  # non-monotone deltas exercise zigzag
+        self._roundtrip(region, start_addr=123 * 28)
+
+    def test_empty_payloads_and_null_prevs(self):
+        region = b"".join(
+            encode_record(i + 1, 99, NULL_ADDRESS, b"") for i in range(8)
+        )
+        self._roundtrip(region)
+
+    def test_fixed_width_payloads_transpose(self):
+        from repro.core.archive import FLAG_TRANSPOSED
+
+        region = b""
+        for i in range(16):
+            region += encode_record(3, 10 * i, NULL_ADDRESS, _VALUE.pack(float(i)))
+        header, blob, count, flags = encode_chunk_streams(region, 0)
+        assert flags & FLAG_TRANSPOSED
+        assert decode_chunk_region(header, blob, 0, count, len(region), flags) == region
+
+    def test_compression_beats_raw_on_telemetry_shapes(self):
+        import zlib
+
+        region = b""
+        prev = NULL_ADDRESS
+        for i in range(64):
+            addr = len(region)
+            region += encode_record(1, 1_000_000 + 250 * i, prev, _payload(i % 8))
+            prev = addr
+        header, blob, _count, _flags = encode_chunk_streams(region, 0)
+        compressed = len(zlib.compress(header, 6)) + len(zlib.compress(blob, 6))
+        assert compressed * 4 <= len(region)
+
+
+# ----------------------------------------------------------------------
+# Migration: answers unchanged, reads stay targeted
+# ----------------------------------------------------------------------
+class TestMigration:
+    def test_migration_preserves_every_answer(self):
+        clock = VirtualClock(1_000)
+        loom = Loom(_tiered_config(), clock=clock)
+        index_ids = _fill(loom, clock)
+        before_scan = [
+            (r.address, r.timestamp, bytes(r.payload))
+            for r in loom.scan(1, ALL_TIME).records
+        ]
+        before_sum = loom.aggregate(1, index_ids[1], ALL_TIME, "sum").value
+        before_p90 = loom.aggregate(
+            1, index_ids[1], ALL_TIME, "percentile", percentile=90.0
+        ).value
+
+        report = loom.migrate(force=True)
+        assert report.chunks_migrated > 0
+        assert report.compressed_bytes < report.raw_bytes
+        assert loom.record_log.cold_boundary == report.cold_boundary > 0
+
+        after_scan = [
+            (r.address, r.timestamp, bytes(r.payload))
+            for r in loom.scan(1, ALL_TIME).records
+        ]
+        assert after_scan == before_scan
+        assert loom.aggregate(1, index_ids[1], ALL_TIME, "sum").value == before_sum
+        assert (
+            loom.aggregate(
+                1, index_ids[1], ALL_TIME, "percentile", percentile=90.0
+            ).value
+            == before_p90
+        )
+        loom.close()
+
+    def test_summary_only_aggregate_decompresses_nothing(self):
+        """The cold tier's "summaries first" guarantee, counter-backed: a
+        whole-range distributive aggregate over migrated data answers
+        from resident summaries with zero archive decompressions."""
+        clock = VirtualClock(1_000)
+        loom = Loom(_tiered_config(), clock=clock)
+        index_ids = _fill(loom, clock)
+        loom.migrate(force=True)
+        assert loom.record_log.cold_boundary > 0
+
+        snapshot = loom.snapshot()
+        stats = QueryStats()
+        from repro.core.operators import indexed_aggregate
+
+        index = loom.record_log.get_index(index_ids[1])
+        agg = indexed_aggregate(
+            snapshot, 1, index, 0, clock.now(), "count", stats=stats
+        )
+        assert agg.count == 300
+        assert stats.cold_chunks_decompressed == 0
+
+    def test_windowed_percentile_decompresses_only_target_chunks(self):
+        """A percentile over a narrow cold window touches only the chunks
+        overlapping that window — not the whole archive."""
+        clock = VirtualClock(1_000)
+        loom = Loom(_tiered_config(), clock=clock)
+        index_ids = _fill(loom, clock)
+        loom.migrate(force=True)
+        archive = loom.record_log.archive
+        total_chunks = archive.chunk_count
+        assert total_chunks >= 8
+
+        snapshot = loom.snapshot()
+        stats = QueryStats()
+        from repro.core.operators import indexed_aggregate
+
+        index = loom.record_log.get_index(index_ids[1])
+        # A window around one-tenth of ingested time, deep in the cold zone.
+        t_mid = 1_000 + 600  # ~60 records in
+        agg = indexed_aggregate(
+            snapshot, 1, index, t_mid, t_mid + 500, "percentile",
+            percentile=50.0, stats=stats,
+        )
+        assert agg.value is not None
+        assert 0 < stats.cold_chunks_decompressed < total_chunks
+        loom.close()
+
+    def test_cold_reads_hit_the_decompression_cache(self):
+        clock = VirtualClock(1_000)
+        loom = Loom(_tiered_config(), clock=clock)
+        _fill(loom, clock)
+        loom.migrate(force=True)
+        boundary = loom.record_log.cold_boundary
+        stats = QueryStats()
+        first = loom.record_log.read_record(0, stats)
+        again = loom.record_log.read_record(0, QueryStats())
+        assert bytes(first.payload) == bytes(again.payload)
+        assert stats.cold_chunks_decompressed == 1
+        assert boundary > 0
+        loom.close()
+
+    def test_migration_is_idempotent_without_new_chunks(self):
+        clock = VirtualClock(1_000)
+        loom = Loom(_tiered_config(), clock=clock)
+        _fill(loom, clock)
+        first = loom.migrate(force=True)
+        second = loom.migrate(force=True)
+        assert second.chunks_migrated == 0
+        assert second.cold_boundary == first.cold_boundary
+        loom.close()
+
+
+# ----------------------------------------------------------------------
+# Zero-copy views racing migration
+# ----------------------------------------------------------------------
+class TestViewsAcrossMigration:
+    def test_migration_poisons_outstanding_scan_view(self, tmp_path):
+        """ACCEPTANCE: a copy=False scan view taken before a migration
+        pass is poisoned when the hot prefix is recycled under it —
+        touching it raises StaleViewError naming the borrow site — and a
+        rescan after the migration is byte-identical to the answer the
+        view-based scan produced before it."""
+        from repro.core import viewguard
+
+        viewguard.activate()
+        try:
+            cfg = _tiered_config(
+                tmp_path, tier=TierConfig(migrate_high_watermark=64, auto_migrate=False)
+            )
+            clock = VirtualClock(1_000)
+            log = RecordLog(cfg, clock=clock)
+            log.define_source(1)
+            for i in range(600):
+                log.push(1, _payload(i % 100))
+                clock.advance(10)
+            log.sync()
+            # The mmap view tier serves only the fully persisted prefix;
+            # pick the last chunk boundary below the persisted tail.
+            persisted = log.log._storage.size
+            scan_end = max(
+                (
+                    log.chunk_index.get(i).end_addr
+                    for i in range(len(log.chunk_index))
+                    if log.chunk_index.get(i).end_addr <= persisted
+                ),
+                default=0,
+            )
+            assert scan_end > 0
+            records = list(log.iter_records_between(0, scan_end, copy=False))
+            assert records
+            before = [
+                (r.address, r.timestamp, bytes(r.payload)) for r in records
+            ]
+            payload_view = records[0].payload
+
+            report = log.migrate(force=True)
+            assert report.chunks_migrated > 0
+
+            with pytest.raises(StaleViewError) as exc_info:
+                bytes(payload_view)
+            assert exc_info.value.borrow_site is not None
+            assert "iter_records_between" in exc_info.value.borrow_site
+
+            after = [
+                (r.address, r.timestamp, bytes(r.payload))
+                for r in log.iter_records_between(0, scan_end)
+            ]
+            assert after == before
+            log.close()
+        finally:
+            viewguard.deactivate()
+
+
+# ----------------------------------------------------------------------
+# Retention
+# ----------------------------------------------------------------------
+class TestRetention:
+    def _loom_with_horizon(self, mode, keep_every=2, tmp_path=None):
+        cfg = _tiered_config(
+            tmp_path,
+            retention=RetentionPolicy(
+                horizon_ns=2_000, mode=mode, keep_every=keep_every
+            ),
+        )
+        clock = VirtualClock(1_000)
+        loom = Loom(cfg, clock=clock)
+        index_ids = _fill(loom, clock)
+        loom.migrate(force=True)
+        return loom, clock, index_ids
+
+    def test_drop_makes_old_data_invisible(self):
+        loom, clock, index_ids = self._loom_with_horizon("drop")
+        total_before = loom.aggregate(1, index_ids[1], ALL_TIME, "count").value
+        report = loom.apply_retention()
+        assert report.floor_addr > 0
+        assert report.dropped_chunk_ids and not report.kept_chunk_ids
+        after = loom.aggregate(1, index_ids[1], ALL_TIME, "count").value
+        assert after < total_before
+        # Retired addresses read as typed errors, not garbage.
+        with pytest.raises(AddressError):
+            loom.record_log.read_record(0)
+        loom.close()
+
+    def test_downsample_keeps_summary_aggregates_exact(self):
+        loom, clock, index_ids = self._loom_with_horizon("downsample")
+        before_count = loom.aggregate(1, index_ids[1], ALL_TIME, "count").value
+        report = loom.apply_retention()
+        assert report.kept_chunk_ids and report.dropped_chunk_ids
+        index = loom.record_log.chunk_index
+        # Dropped chunks' summaries are unreachable; kept ones answer.
+        for cid in report.dropped_chunk_ids:
+            assert index.summary_for_chunk(cid) is None
+        dropped_source_1 = 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for summary in index.iter_persisted():
+                if summary.chunk_id in report.dropped_chunk_ids:
+                    info = summary.source_info(1)
+                    dropped_source_1 += info.record_count if info else 0
+        # The exact whole-range count = pre-retention count minus only the
+        # records in fully dropped chunks (summary-only records still fold
+        # in via their resident bins).
+        after_count = loom.aggregate(1, index_ids[1], ALL_TIME, "count").value
+        assert after_count == before_count - dropped_source_1
+        # Scanning into the retired range degrades instead of erroring.
+        stats_result = loom.scan(1, (0, 1_000 + 600))
+        assert stats_result.stats.degraded
+        loom.close()
+
+    def test_retention_floor_is_monotone_across_passes(self):
+        loom, clock, index_ids = self._loom_with_horizon("downsample")
+        first = loom.apply_retention()
+        for i in range(300):
+            loom.push(1, _payload(i % 100))
+            clock.advance(10)
+        loom.sync()
+        loom.migrate(force=True)
+        second = loom.apply_retention()
+        assert second.floor_addr >= first.floor_addr
+        # Chunks kept by the first pass are not demoted by the second.
+        kept_then = set(first.kept_chunk_ids)
+        index = loom.record_log.chunk_index
+        for cid in kept_then:
+            assert index.state_for_chunk(cid) == STATE_SUMMARY_ONLY
+        loom.close()
+
+    def test_retention_requires_policy(self):
+        clock = VirtualClock(1_000)
+        loom = Loom(_tiered_config(), clock=clock)
+        _fill(loom, clock, count=50)
+        with pytest.raises(LoomError):
+            loom.apply_retention()
+        loom.close()
+
+
+# ----------------------------------------------------------------------
+# Reopen / recovery with an archive
+# ----------------------------------------------------------------------
+class TestReopenWithArchive:
+    def test_reopen_restores_cold_boundary_and_answers(self, tmp_path):
+        cfg = _tiered_config(tmp_path)
+        clock = VirtualClock(1_000)
+        loom = Loom(cfg, clock=clock)
+        _fill(loom, clock)
+        loom.migrate(force=True)
+        boundary = loom.record_log.cold_boundary
+        assert boundary > 0
+        before = [
+            (r.address, r.timestamp, bytes(r.payload))
+            for r in loom.scan(1, ALL_TIME).records
+        ]
+        loom.close()
+
+        reopened = Loom.open(cfg, clock=VirtualClock(10**7))
+        assert reopened.record_log.cold_boundary == boundary
+        after = [
+            (r.address, r.timestamp, bytes(r.payload))
+            for r in reopened.scan(1, ALL_TIME).records
+        ]
+        assert after == before
+        reopened.close()
+
+    def test_reopen_after_retention_restores_floor(self, tmp_path):
+        cfg = _tiered_config(
+            tmp_path,
+            retention=RetentionPolicy(horizon_ns=2_000, mode="downsample", keep_every=2),
+        )
+        clock = VirtualClock(1_000)
+        loom = Loom(cfg, clock=clock)
+        _fill(loom, clock)
+        loom.migrate(force=True)
+        report = loom.apply_retention()
+        assert report.floor_addr > 0
+        before = loom.scan(1, ALL_TIME)
+        assert before.stats.degraded  # range reaches into dropped history
+        before_records = [
+            (r.address, r.timestamp, bytes(r.payload)) for r in before.records
+        ]
+        loom.close()
+
+        reopened = Loom.open(cfg, clock=VirtualClock(10**7))
+        assert reopened.record_log.retention_floor == report.floor_addr
+        # Recovery reconstructs the same keep/drop decision per chunk.
+        index = reopened.record_log.chunk_index
+        for cid in report.kept_chunk_ids:
+            assert index.state_for_chunk(cid) == STATE_SUMMARY_ONLY
+        # Dropped chunks are not resident after recovery: their summaries
+        # are unreachable, so no query path can route to them.
+        for cid in report.dropped_chunk_ids:
+            assert index.summary_for_chunk(cid) is None
+        after = reopened.scan(1, ALL_TIME)
+        assert after.stats.degraded
+        after_records = [
+            (r.address, r.timestamp, bytes(r.payload)) for r in after.records
+        ]
+        assert after_records == before_records
+        # The recovered log keeps ingesting.
+        reopened.define_source(1)
+        addr = reopened.record_log.push(1, _payload(7.0))
+        assert addr >= report.floor_addr
+        reopened.close()
+
+    def test_check_data_dir_reports_all_tiers(self, tmp_path):
+        cfg = _tiered_config(
+            tmp_path,
+            retention=RetentionPolicy(horizon_ns=2_000, mode="drop"),
+        )
+        clock = VirtualClock(1_000)
+        loom = Loom(cfg, clock=clock)
+        _fill(loom, clock)
+        loom.migrate(force=True)
+        loom.apply_retention()
+        loom.close()
+
+        report = check_data_dir(str(tmp_path))
+        assert report.ok
+        labels = {check.label for check in report.logs}
+        assert "archive log" in labels
+        state = report.state
+        assert state is not None
+        assert state.archived_chunks > 0
+        assert state.retired_chunks > 0
+        assert state.recycled_upto > 0
+        assert state.retention_floor > 0
+        assert state.archive_compressed_bytes < state.archive_raw_bytes
+
+    def test_fsck_shim_warns_and_delegates(self, tmp_path):
+        cfg = _tiered_config(tmp_path)
+        clock = VirtualClock(1_000)
+        loom = Loom(cfg, clock=clock)
+        _fill(loom, clock, count=100)
+        loom.close()
+        with pytest.warns(DeprecationWarning, match="check_data_dir"):
+            state = fsck(str(tmp_path))
+        assert state.total_records == 100
+
+
+# ----------------------------------------------------------------------
+# Config and facade surface
+# ----------------------------------------------------------------------
+class TestTieredSurface:
+    def test_flat_config_kwargs_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="TierConfig"):
+            cfg = LoomConfig(archive_enabled=True)
+        assert cfg.tier is not None
+
+    def test_flat_retention_kwargs_warn_and_fold(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cfg = LoomConfig(
+                archive_enabled=True,
+                retention_horizon_ns=10_000,
+                retention_downsample=3,
+            )
+        messages = [str(w.message) for w in caught]
+        assert any("RetentionPolicy" in m for m in messages)
+        assert cfg.retention is not None
+        assert cfg.retention.mode == "downsample"
+        assert cfg.retention.keep_every == 3
+
+    def test_retention_requires_tier(self):
+        with pytest.raises(ValueError, match="tier"):
+            LoomConfig(retention=RetentionPolicy(horizon_ns=1))
+
+    def test_footprint_reports_per_tier_bytes(self):
+        clock = VirtualClock(1_000)
+        loom = Loom(
+            _tiered_config(tier=TierConfig(auto_migrate=False)), clock=clock
+        )
+        _fill(loom, clock)
+        pre = loom.footprint()
+        assert pre["hot_bytes"] == pre["record_log_bytes"]
+        assert pre["cold_bytes_compressed"] == 0
+        loom.migrate(force=True)
+        post = loom.footprint()
+        assert post["recycled_upto"] > 0
+        assert post["hot_bytes"] == post["record_log_bytes"] - post["recycled_upto"]
+        assert 0 < post["cold_bytes_compressed"] < post["cold_bytes_raw"]
+        assert post["archived_chunks"] > 0
+        loom.close()
+
+    def test_footprint_without_tier_keeps_zero_cold_keys(self):
+        loom = Loom(LoomConfig(), clock=VirtualClock())
+        loom.define_source(1)
+        loom.push(1, b"x")
+        fp = loom.footprint()
+        assert fp["cold_bytes_raw"] == 0
+        assert fp["archived_chunks"] == 0
+        assert fp["retention_floor"] == 0
+        loom.close()
+
+    def test_migration_metrics_exported(self):
+        clock = VirtualClock(1_000)
+        loom = Loom(_tiered_config(), clock=clock)
+        _fill(loom, clock)
+        loom.migrate(force=True)
+        snapshot = loom.metrics.snapshot()
+        migrated = snapshot.get("loom.archive.chunks_migrated_total")
+        ratio = snapshot.get("loom.archive.compression_ratio")
+        assert migrated is not None and migrated.value > 0
+        assert ratio is not None and ratio.value > 1.0
+        loom.close()

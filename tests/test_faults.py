@@ -304,7 +304,9 @@ class TestCliRecovery:
         cli = LoomCli(MonitoringDaemon())
         result = cli.execute(f"fsck {cfg.data_dir}")
         assert "60 records" in result.text
-        assert result.value.total_records == 60
+        assert result.value.ok
+        assert result.value.state.total_records == 60
+        assert result.exit_code == 0
 
     def test_recover_subcommand_repairs_torn_tail(self, tmp_path):
         cfg = self._crashed_dir(tmp_path)
@@ -316,13 +318,17 @@ class TestCliRecovery:
         with open(path, "r+b") as f:
             f.truncate(size - 5)
         cli = LoomCli(MonitoringDaemon())
-        with pytest.raises(CorruptionError):
-            cli.execute(f"fsck {cfg.data_dir}")  # read-only: reports, no fix
+        # Read-only check: reports the corruption (no exception), no fix.
+        checked = cli.execute(f"fsck {cfg.data_dir}")
+        assert not checked.value.ok
+        assert checked.exit_code == 1
+        assert "corrupt" in checked.text
         result = cli.execute(f"recover {cfg.data_dir}")
-        assert result.value.total_records == 59
+        assert result.value.state.total_records == 59
         assert result.value.repairs
         # After repair, fsck is clean and the directory reopens.
-        assert cli.execute(f"fsck {cfg.data_dir}").value.total_records == 59
+        clean = cli.execute(f"fsck {cfg.data_dir}")
+        assert clean.value.ok and clean.value.state.total_records == 59
         reopened = Loom.open(cfg)
         assert reopened.total_records == 59
         reopened.close()

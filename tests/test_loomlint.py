@@ -619,6 +619,8 @@ class RecordLog:
     def push(self): pass
     def push_many(self): pass
     def sync(self): pass
+    def migrate(self): pass
+    def apply_retention(self): pass
     def close(self): pass
     def reopen(self): pass
 """
@@ -631,6 +633,8 @@ _SHADOW_MIRRORS = [
     "push",
     "push_many",
     "sync",
+    "migrate",
+    "apply_retention",
     "close",
     "reopen",
 ]

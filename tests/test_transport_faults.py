@@ -300,7 +300,7 @@ class TestStorageFaultModes:
         """Arm a short write on the close-time flush: the tail frame is
         a lie, and frame-checksum recovery detects and truncates it."""
         from repro.core import Loom, LoomConfig, VirtualClock
-        from repro.core.recovery import fsck
+        from repro.core.recovery import check_data_dir
 
         cfg = LoomConfig(
             data_dir=str(tmp_path), chunk_size=256, record_block_size=100 << 10
@@ -325,7 +325,9 @@ class TestStorageFaultModes:
             loom.close()
         except Exception:
             pass  # a torn close may surface; recovery is the point
-        state = fsck(str(tmp_path), repair=True)
+        report = check_data_dir(str(tmp_path), repair=True)
+        assert report.ok
+        state = report.state
         # Every fully-persisted record survives; the torn tail is gone,
         # and recovery never silently returns garbage.
         assert state.total_records >= 50

@@ -186,6 +186,10 @@ ATTR_TYPES = {
     "snap": ("Snapshot",),
     "_blocks": ("Block",),
     "block": ("Block",),
+    "archive": ("ArchiveLog",),
+    "_archive": ("ArchiveLog",),
+    "migrator": ("ChunkMigrator",),
+    "_migrator": ("ChunkMigrator",),
 }
 
 # Local variable names resolved the same way (a deliberately tiny list:
@@ -194,6 +198,7 @@ LOCAL_TYPES = {
     "block": ("Block",),
     "summary": ("ChunkSummary",),
     "record": ("Record",),
+    "hist": ("Histogram",),
 }
 
 # Method names too generic to resolve by name match against *arbitrary*
@@ -357,6 +362,8 @@ SHADOW_SURFACE = (
     "push",
     "push_many",
     "sync",
+    "migrate",
+    "apply_retention",
     "close",
     "reopen",
 )
